@@ -1,0 +1,66 @@
+"""Shared utilities for the benchmark suite.
+
+Every bench regenerates one table/figure of the paper at a CPU-friendly
+scale.  Scale knobs (all env vars):
+
+* ``REPRO_BENCH_GRID``   — collocation points per axis (default 5; paper 64)
+* ``REPRO_BENCH_EPOCHS`` — training epochs per run (default 25; paper thousands)
+* ``REPRO_BENCH_SEEDS``  — seeds per configuration (default 1; paper 5)
+* ``REPRO_BENCH_DEEP_EPOCHS`` — epochs for the few-run diagnostics benches
+  (fig10/11/14, default 60)
+
+At the defaults the full bench suite finishes in roughly 10–20 minutes on
+one CPU core.  EXPERIMENTS.md documents how each scaled setting maps onto
+the paper's and what shape is (and is not) expected to survive the
+down-scaling.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.core import get_case, make_reference
+from repro.core.config import env_int
+
+__all__ = [
+    "bench_grid", "bench_epochs", "bench_seeds", "deep_epochs",
+    "reference_for", "run_once",
+]
+
+
+def bench_grid() -> int:
+    return env_int("REPRO_BENCH_GRID", 5)
+
+
+def bench_epochs() -> int:
+    return env_int("REPRO_BENCH_EPOCHS", 25)
+
+
+def bench_seeds() -> int:
+    return env_int("REPRO_BENCH_SEEDS", 1)
+
+
+def deep_epochs() -> int:
+    return env_int("REPRO_BENCH_DEEP_EPOCHS", 60)
+
+
+@lru_cache(maxsize=None)
+def reference_for(case_name: str):
+    """Moderate-resolution Padé reference shared across benches."""
+    return make_reference(get_case(case_name), n=48, n_snapshots=8)
+
+
+def run_once(case: str, model_kind: str, scaling: str, use_energy: bool,
+             epochs: int | None = None, seed: int = 0, **kw):
+    """One training run at bench scale (convenience wrapper)."""
+    from repro.core import RunConfig, run_single
+
+    config = RunConfig(
+        case=case, model_kind=model_kind, scaling=scaling,
+        use_energy=use_energy, seed=seed,
+        grid_n=bench_grid(),
+        epochs=epochs if epochs is not None else bench_epochs(),
+        **kw,
+    )
+    return run_single(config, reference=reference_for(case))

@@ -1,0 +1,17 @@
+"""Benchmark-suite conftest: keeps `benchmarks/` on sys.path so the
+benches can share `_helpers`, and prints the active scale knobs once."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_report_header(config):
+    from _helpers import bench_epochs, bench_grid, bench_seeds, deep_epochs
+
+    return (
+        f"repro bench scale: grid={bench_grid()}^3, epochs={bench_epochs()}, "
+        f"seeds={bench_seeds()}, deep_epochs={deep_epochs()} "
+        f"(override via REPRO_BENCH_* env vars; see EXPERIMENTS.md)"
+    )

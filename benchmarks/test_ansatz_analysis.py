@@ -1,0 +1,40 @@
+"""Ansatz expressibility / entangling-capability sweep.
+
+Not a paper table per se, but the quantitative backbone of the paper's
+ansatz discussion (§2.3 and §6.1 cite Sim et al. [28] for these measures).
+The bench prints both quantities for all six ansätze and asserts the
+orderings the literature establishes: entangling ansätze are more
+expressive (lower KL to Haar) and more entangling than the
+no-entanglement variant.
+"""
+
+import numpy as np
+
+from repro.torq import entangling_capability, expressibility, make_ansatz
+from repro.torq.ansatz import ANSATZ_NAMES
+
+
+def test_ansatz_expressibility_and_entanglement(benchmark):
+    def sweep():
+        rows = {}
+        for name in ANSATZ_NAMES:
+            ansatz = make_ansatz(name, n_qubits=4, n_layers=2)
+            rows[name] = (
+                expressibility(ansatz, n_pairs=150, rng=np.random.default_rng(0)),
+                entangling_capability(ansatz, n_samples=80, rng=np.random.default_rng(0)),
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    print("\nAnsatz analysis (4 qubits × 2 layers)")
+    print(f"{'ansatz':24s} {'expr. KL (↓)':>13s} {'ent. cap. (↑)':>14s}")
+    for name, (kl, ent) in rows.items():
+        print(f"{name:24s} {kl:13.3f} {ent:14.3f}")
+
+    assert rows["no_entanglement"][1] < 1e-6
+    for name in ("basic_entangling", "strongly_entangling", "cross_mesh"):
+        assert rows[name][1] > 0.05, f"{name} should entangle"
+        assert rows[name][0] < rows["no_entanglement"][0], (
+            f"{name} should be more expressive than the product ansatz"
+        )

@@ -1,0 +1,52 @@
+"""Fig. 5 — initial condition and final-time E_z contours.
+
+Regenerates: (a) the t = 0 Gaussian pulse, (b) vacuum E_z at t = 1.5,
+(c) dielectric E_z at t = 0.7, from the Padé reference, plus a (scaled)
+QPINN prediction of the vacuum final slice for visual comparison.
+"""
+
+import numpy as np
+
+from repro.core.metrics import evaluate_fields, l2_relative_error_fields
+from repro.experiments.figures import fig5_data
+
+from _helpers import run_once
+
+
+def _summary(name, plane, x, y):
+    i, j = np.unravel_index(np.abs(plane).argmax(), plane.shape)
+    print(f"  {name}: max|E_z| = {np.abs(plane).max():.3f} at "
+          f"({x[i]:+.2f}, {y[j]:+.2f}), mean|E_z| = {np.abs(plane).mean():.4f}")
+
+
+def test_fig5_reference_contours(benchmark):
+    vac = benchmark.pedantic(lambda: fig5_data(n_grid=48, case="vacuum"),
+                             iterations=1, rounds=1)
+    diel = fig5_data(n_grid=48, case="dielectric")
+
+    print("\nFig. 5 — field snapshots (Padé reference)")
+    _summary("(a) initial condition", vac["ez_initial"], vac["x"], vac["y"])
+    _summary(f"(b) vacuum t={vac['t_final']:.1f}", vac["ez_final_reference"],
+             vac["x"], vac["y"])
+    _summary(f"(c) dielectric t={diel['t_final']:.1f}", diel["ez_final_reference"],
+             diel["x"], diel["y"])
+
+    # IC is the unit-amplitude Gaussian; propagation disperses it.
+    assert vac["ez_initial"].max() == 1.0
+    assert np.abs(vac["ez_final_reference"]).max() < 1.0
+    # The dielectric slab region is marked in the eps map (shaded in 5c).
+    assert (diel["eps"] > 2.0).any()
+
+
+def test_fig5_qpinn_final_slice(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_once("vacuum", "strongly_entangling", "acos", True),
+        iterations=1, rounds=1,
+    )
+    data = fig5_data(n_grid=48, case="vacuum", train_result=result)
+    model_plane = data["ez_final_model"]
+    ref_plane = data["ez_final_reference"]
+    err = l2_relative_error_fields(model_plane, ref_plane)
+    print(f"\nFig. 5 (QPINN overlay): final-slice relative L2 = {err:.3f} "
+          f"(scaled run; run-level L2 = {result.final_l2:.3f})")
+    assert np.all(np.isfinite(model_plane))

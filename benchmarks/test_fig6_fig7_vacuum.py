@@ -1,0 +1,87 @@
+"""Figs. 6 & 7 — the vacuum ablation study.
+
+Fig. 6: loss curve of the best combination + the L2 grid over
+(ansatz × scaling × energy).  Fig. 7: L2 averages grouped by scaling and
+by ansatz with the π scaling omitted (the paper drops it from the
+averages because it is uniformly bad).
+
+Scaled: a 3-ansatz × 3-scaling sweep (the paper's 6 × 5) at bench
+grid/epochs — the printed grid has the paper's structure; EXPERIMENTS.md
+discusses which ordering claims survive this scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import run_ablation
+
+from _helpers import bench_epochs, bench_grid, bench_seeds
+
+ANSATZE = ("strongly_entangling", "basic_entangling", "no_entanglement")
+SCALINGS = ("acos", "asin", "pi")
+
+
+@pytest.fixture(scope="module")
+def vacuum_sweep():
+    return run_ablation(
+        "vacuum",
+        model_kinds=ANSATZE,
+        scalings=SCALINGS,
+        energy_options=(True, False),
+        seeds=bench_seeds(),
+        epochs=bench_epochs(),
+        grid_n=bench_grid(),
+    )
+
+
+def test_fig6_ablation_grid(benchmark, vacuum_sweep):
+    result = benchmark.pedantic(lambda: vacuum_sweep, iterations=1, rounds=1)
+
+    print("\nFig. 6b — vacuum L2 grid (X = no seed converged)")
+    print(f"{'cell':46s} {'mean L2':>9s} {'std':>8s} {'I_BH':>20s}")
+    for cell in result.cells:
+        l2 = cell.mean_l2()
+        l2s = "X" if l2 is None else f"{l2:9.4f}"
+        std = cell.std_l2()
+        stds = "-" if std is None else f"{std:8.4f}"
+        ibh = ",".join(f"{v:.2f}" for v in cell.i_bh_values())
+        print(f"{cell.label:46s} {l2s:>9s} {stds:>8s} {ibh:>20s}")
+    base = result.baseline_l2()
+    print(f"classical regular baseline: L2 = {base:.4f}")
+
+    best = result.best_cell()
+    assert best is not None, "no vacuum combination converged"
+    print(f"best combination: {best.label} (mean L2 {best.mean_l2():.4f}; "
+          f"paper: strongly_entangling/acos/+E)")
+
+    curve = best.mean_loss_curve()
+    band = best.std_loss_curve()
+    stride = max(1, len(curve) // 8)
+    series = "  ".join(
+        f"{e}:{curve[e]:.2e}±{band[e]:.1e}" for e in range(0, len(curve), stride)
+    )
+    print(f"Fig. 6a — best-combo mean loss curve: {series}")
+    assert curve[-1] < curve[0], "best combination failed to descend"
+
+    frac = result.outperforming_fraction()
+    print(f"converged QPINN runs beating classical baseline: {frac:.1%} "
+          f"(paper: 42.2%)")
+
+
+def test_fig7_grouped_averages(benchmark, vacuum_sweep):
+    groups_scale = benchmark.pedantic(
+        lambda: vacuum_sweep.group_by_scaling(omit=("pi",)), iterations=1, rounds=1
+    )
+    groups_ansatz = vacuum_sweep.group_by_ansatz(omit_scalings=("pi",))
+
+    print("\nFig. 7a — vacuum mean L2 by scaling (pi omitted):")
+    for name, value in groups_scale.items():
+        print(f"  {name:6s} {value:.4f}")
+    print("Fig. 7b — vacuum mean L2 by ansatz (pi omitted):")
+    for name, value in groups_ansatz.items():
+        print(f"  {name:22s} {value:.4f}")
+
+    assert set(groups_scale) <= {"acos", "asin"}
+    assert set(groups_ansatz) == set(ANSATZE)
+    for value in list(groups_scale.values()) + list(groups_ansatz.values()):
+        assert np.isfinite(value)

@@ -1,0 +1,87 @@
+"""§6.2 suggested follow-ups — extension ablations beyond the paper's
+evaluation section:
+
+* (b) classical trigonometric control: the Fig. 2 architecture with the
+  PQC replaced by an equal-interface trainable Fourier head,
+* (c) data re-uploading: 1 vs 2 encode/variational cycles,
+
+both compared against the standard QPINN on the vacuum case at bench
+scale.  The paper proposes these to test its "harmonic feature expansion"
+hypothesis; this bench provides the measurement harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollocationGrid,
+    MaxwellTrigControl,
+    Trainer,
+    TrainerConfig,
+    get_case,
+)
+from repro.core.models import MaxwellQPINN
+from repro.torq.reupload import ReuploadingQuantumLayer
+
+from _helpers import bench_epochs, bench_grid, reference_for
+
+
+def _train(model, use_energy=True):
+    case = get_case("vacuum")
+    trainer = Trainer(
+        model,
+        case.make_loss(use_energy=use_energy),
+        CollocationGrid(n=bench_grid(), t_max=case.t_max),
+        config=TrainerConfig(epochs=bench_epochs(), eval_every=max(1, bench_epochs() - 1),
+                             bh_n_space=12, bh_n_times=8),
+        reference=reference_for("vacuum"),
+    )
+    return trainer.train()
+
+
+def test_followup_b_trig_control(benchmark):
+    """PQC vs equal-interface classical trigonometric head."""
+
+    def run_both():
+        rng_q = np.random.default_rng(0)
+        qpinn = MaxwellQPINN(ansatz="strongly_entangling", scaling="acos", rng=rng_q)
+        trig = MaxwellTrigControl(scaling="acos", rng=np.random.default_rng(0))
+        return {"qpinn": _train(qpinn), "trig_control": _train(trig)}
+
+    results = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    print("\nFollow-up (b) — PQC vs classical trigonometric control (vacuum)")
+    for name, result in results.items():
+        print(f"  {name:14s}: final loss {result.history.loss[-1]:.3e}, "
+              f"L2 {result.final_l2:.4f}, I_BH {result.i_bh:.3f}")
+    for result in results.values():
+        assert np.isfinite(result.history.loss[-1])
+        assert result.history.loss[-1] < result.history.loss[0]
+
+
+def test_followup_c_data_reuploading(benchmark):
+    """1-cycle vs 2-cycle re-uploading head on the Maxwell QPINN."""
+
+    def run_pair():
+        out = {}
+        for cycles in (1, 2):
+            model = MaxwellQPINN(
+                ansatz="basic_entangling", scaling="acos",
+                rng=np.random.default_rng(0),
+            )
+            model.quantum = ReuploadingQuantumLayer(
+                n_qubits=7, n_layers=4, n_cycles=cycles,
+                ansatz="basic_entangling", scaling="acos",
+                rng=np.random.default_rng(1),
+            )
+            out[cycles] = (_train(model), model.quantum.quantum_parameter_count())
+        return out
+
+    results = benchmark.pedantic(run_pair, iterations=1, rounds=1)
+    print("\nFollow-up (c) — data re-uploading cycles (vacuum)")
+    for cycles, (result, qparams) in results.items():
+        print(f"  {cycles} cycle(s), {qparams:4d} quantum params: "
+              f"final loss {result.history.loss[-1]:.3e}, "
+              f"L2 {result.final_l2:.4f}, I_BH {result.i_bh:.3f}")
+    one, two = results[1][0], results[2][0]
+    assert np.isfinite(one.history.loss[-1]) and np.isfinite(two.history.loss[-1])
+    assert results[2][1] == 2 * results[1][1]

@@ -1,0 +1,82 @@
+"""Generic-PDE QPINN benches (title-coverage extension).
+
+The broader QPINN literature (Trahan et al. 2024 — the paper's ref. [11])
+evaluates hybrid networks on canonical PDEs and reports parameter
+efficiency at comparable error.  These benches run the classical and
+hybrid GenericPINN on Poisson and Burgers, printing parameter counts and
+relative L2 errors.
+
+Scale with ``REPRO_BENCH_PDE_EPOCHS`` (default 60).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import env_int
+from repro.pde import (
+    BurgersProblem,
+    GenericPINN,
+    PDETrainer,
+    PDETrainerConfig,
+    PoissonProblem,
+)
+
+
+def pde_epochs() -> int:
+    return env_int("REPRO_BENCH_PDE_EPOCHS", 60)
+
+
+def _train(model, problem, seed=0):
+    config = PDETrainerConfig(
+        epochs=pde_epochs(), n_collocation=192, n_data=48,
+        eval_every=max(1, pde_epochs() - 1), seed=seed, lr=5e-3,
+    )
+    return PDETrainer(model, problem, config).train()
+
+
+def test_poisson_classical_vs_quantum(benchmark):
+    problem = PoissonProblem()
+
+    def run_both():
+        classical = GenericPINN(2, 1, hidden=24, n_hidden=3,
+                                rng=np.random.default_rng(0))
+        hybrid = GenericPINN(2, 1, hidden=24, n_hidden=2,
+                             quantum="basic_entangling", n_qubits=4,
+                             n_layers=2, scaling="acos",
+                             rng=np.random.default_rng(0))
+        return {
+            "classical": (classical.num_parameters(), _train(classical, problem)),
+            "hybrid": (hybrid.num_parameters(), _train(hybrid, problem)),
+        }
+
+    results = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    print("\nGeneric-PDE bench — 2-D Poisson")
+    for name, (params, result) in results.items():
+        print(f"  {name:10s}: {params:5d} params, loss "
+              f"{result.loss[0]:.3e} -> {result.loss[-1]:.3e}, "
+              f"L2 {result.final_l2:.4f}")
+    c_params, c_res = results["classical"]
+    h_params, h_res = results["hybrid"]
+    print(f"parameter ratio hybrid/classical: {h_params / c_params:.2f} "
+          f"(Trahan et al. report ~0.42 on Burgers)")
+    assert h_params < c_params
+    for _, result in results.values():
+        assert result.loss[-1] < result.loss[0]
+
+
+def test_burgers_quantum_head(benchmark):
+    problem = BurgersProblem()
+
+    def run():
+        model = GenericPINN(2, 1, hidden=20, n_hidden=2,
+                            quantum="no_entanglement", n_qubits=4,
+                            n_layers=2, scaling="acos",
+                            rng=np.random.default_rng(1))
+        return model.num_parameters(), _train(model, problem, seed=1)
+
+    params, result = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nGeneric-PDE bench — Burgers (nu = 0.01/pi), hybrid head: "
+          f"{params} params, loss {result.loss[0]:.3e} -> "
+          f"{result.loss[-1]:.3e}, L2 {result.final_l2:.4f}")
+    assert np.isfinite(result.final_l2)
+    assert result.loss[-1] < result.loss[0]

@@ -1,0 +1,20 @@
+"""Table 1 — learnable parameter counts per architecture.
+
+Regenerates every row of the paper's Table 1 and asserts exact equality
+(this table is the one artefact we reproduce to the digit).
+"""
+
+from repro.experiments.tables import PAPER_TABLE1, table1_rows
+
+
+def test_table1_parameter_counts(benchmark):
+    rows = benchmark.pedantic(table1_rows, iterations=1, rounds=1)
+
+    print("\nTable 1 — learnable parameters (measured == paper)")
+    print(f"{'architecture':28s} {'classical':>10s} {'quantum':>8s} {'total':>8s}")
+    for row in rows:
+        print(f"{row['name']:28s} {row['classical']:10d} {row['quantum']:8d} {row['total']:8d}")
+        assert (row["classical"], row["quantum"], row["total"]) == row["paper"], (
+            f"{row['name']}: measured {row['total']} != paper {row['paper'][2]}"
+        )
+    assert {r["name"] for r in rows} == set(PAPER_TABLE1)

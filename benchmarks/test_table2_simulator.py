@@ -1,0 +1,129 @@
+"""Table 2 — TorQ (batched) vs default.qubit-like (per-point dense) speed.
+
+The paper reports 7.73 s/epoch for PennyLane default.qubit at 40³ points
+vs 0.145 s/epoch for TorQ (≈53×), plus a memory ceiling of 43³ vs 87³.
+Here both backends run on one CPU, so we reproduce the *shape*: the
+per-point cost of the batched backend is far below the per-point cost of
+the dense loop, and the gap grows with batch size.
+"""
+
+import numpy as np
+
+from repro.autodiff import Tensor, backward
+from repro.experiments.tables import PAPER_TABLE2_SPEEDUP
+from repro.torq import NaiveSimulator, QuantumLayer, make_ansatz
+
+N_QUBITS, N_LAYERS = 7, 4
+
+
+def _naive_epoch(batch: int) -> float:
+    import time
+    rng = np.random.default_rng(0)
+    ansatz = make_ansatz("basic_entangling", n_qubits=N_QUBITS, n_layers=N_LAYERS)
+    sim = NaiveSimulator(ansatz, scaling="acos")
+    params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
+    acts = rng.uniform(-0.9, 0.9, (batch, N_QUBITS))
+    start = time.perf_counter()
+    sim.forward(acts, params)
+    return time.perf_counter() - start
+
+
+def test_table2_torq_epoch(benchmark):
+    rng = np.random.default_rng(0)
+    layer = QuantumLayer(n_qubits=N_QUBITS, n_layers=N_LAYERS,
+                         ansatz="basic_entangling", scaling="acos", rng=rng)
+    batch = 8 ** 3
+    acts = Tensor(rng.uniform(-0.9, 0.9, (batch, N_QUBITS)))
+    params = layer.parameters()
+
+    def epoch():
+        layer.zero_grad()
+        out = layer(acts)
+        backward((out * out).mean(), params)
+
+    benchmark.pedantic(epoch, iterations=1, rounds=3, warmup_rounds=1)
+    torq_per_point = benchmark.stats["mean"] / batch
+
+    naive_batch = 4 ** 3
+    naive_seconds = _naive_epoch(naive_batch)
+    naive_per_point = naive_seconds / naive_batch
+    speedup = naive_per_point / torq_per_point
+
+    print("\nTable 2 — seconds per epoch (scaled grids)")
+    print(f"{'package':36s} {'points':>8s} {'sec/epoch':>11s} {'sec/point':>11s}")
+    print(f"{'naive dense (default.qubit-like)':36s} {naive_batch:8d} "
+          f"{naive_seconds:11.4f} {naive_per_point:11.6f}")
+    print(f"{'TorQ batched (fwd+bwd)':36s} {batch:8d} "
+          f"{benchmark.stats['mean']:11.4f} {torq_per_point:11.6f}")
+    print(f"per-point speedup: {speedup:.1f}x (paper at 40^3: "
+          f"{PAPER_TABLE2_SPEEDUP:.1f}x)")
+    # Shape check: batching must win decisively even though TorQ also
+    # computes gradients while the naive number is forward-only.
+    assert speedup > 5.0
+
+
+def test_table2_memory_ceiling(benchmark):
+    """Table 2's memory claim, reproduced as a projection.
+
+    The paper reports TorQ fits 87³ collocation points where default.qubit
+    overflows at 43³.  Here we measure TorQ's peak training-step memory
+    per collocation point (tracemalloc over forward+backward) and project
+    the largest grid fitting a 16 GB budget; the projection should sit far
+    above the naive backend's, whose taped per-point circuits blow up the
+    same way default.qubit's do.
+    """
+    import tracemalloc
+
+    rng = np.random.default_rng(2)
+    layer = QuantumLayer(n_qubits=N_QUBITS, n_layers=N_LAYERS,
+                         ansatz="basic_entangling", scaling="acos", rng=rng)
+    params = layer.parameters()
+
+    def peak_bytes(batch: int) -> int:
+        acts = Tensor(rng.uniform(-0.9, 0.9, (batch, N_QUBITS)))
+        tracemalloc.start()
+        layer.zero_grad()
+        out = layer(acts)
+        backward((out * out).mean(), params)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    small = benchmark.pedantic(lambda: peak_bytes(128), iterations=1, rounds=1)
+    large = peak_bytes(512)
+    per_point = (large - small) / (512 - 128)
+    budget = 16 * 1024 ** 3
+    max_points = budget / per_point
+    max_grid = max_points ** (1.0 / 3.0)
+    print(f"\nTable 2 memory: peak {small / 1e6:.0f} MB @128 pts, "
+          f"{large / 1e6:.0f} MB @512 pts -> {per_point / 1e3:.0f} kB/point")
+    print(f"projected max grid for a 16 GB budget: ~{max_grid:.0f}^3 "
+          f"(paper: 87^3 TorQ vs 43^3 default.qubit)")
+    assert large > small  # memory scales with the batch
+    assert max_grid > 20  # a useful grid fits the budget
+
+
+def test_table2_batched_scaling(benchmark):
+    """TorQ cost grows sublinearly per point as the batch grows (the
+    fixed Python/graph overhead amortises) — the mechanism behind the
+    paper's memory/speed headroom claims."""
+    rng = np.random.default_rng(1)
+    layer = QuantumLayer(n_qubits=N_QUBITS, n_layers=N_LAYERS,
+                         ansatz="basic_entangling", scaling="acos", rng=rng)
+
+    import time
+
+    def per_point_cost(batch: int) -> float:
+        acts = Tensor(rng.uniform(-0.9, 0.9, (batch, N_QUBITS)))
+        layer(acts)  # warm
+        start = time.perf_counter()
+        layer(acts)
+        return (time.perf_counter() - start) / batch
+
+    small = benchmark.pedantic(lambda: per_point_cost(8), iterations=1, rounds=1)
+    large = per_point_cost(512)
+    print(f"\nper-point forward cost: batch 8 -> {small * 1e6:.2f} us, "
+          f"batch 512 -> {large * 1e6:.2f} us")
+    # Fixed per-gate Python/graph overhead amortises across the batch
+    # (beyond cache capacity the curve flattens again — see EXPERIMENTS.md).
+    assert large < small

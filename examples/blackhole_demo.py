@@ -1,0 +1,57 @@
+"""The "black hole" phenomenon and its energy-conservation mitigation.
+
+Trains the vacuum QPINN twice — with and without the L_energy term of
+Eq. 25 — and prints the per-epoch diagnostics of Fig. 10 (loss, gradient
+norm/variance, Meyer–Wallach entanglement) plus the normalised energy
+profile Ũ(t) whose deficit defines I_BH (Eq. 35).  A collapsed (BH) run
+shows Ũ(t) ≈ 0 for t > 0: the network only remembers the initial slice.
+
+Scale up (the collapse needs enough epochs to manifest)::
+
+    REPRO_GRID=8 REPRO_EPOCHS=400 python examples/blackhole_demo.py
+"""
+
+import numpy as np
+
+from repro.core import RunConfig, get_case, make_reference, model_energy_series, run_single
+
+
+def run(use_energy: bool):
+    config = RunConfig(
+        case="vacuum",
+        model_kind="strongly_entangling",
+        scaling="acos",
+        use_energy=use_energy,
+        seed=0,
+    )
+    label = "with L_energy" if use_energy else "without L_energy"
+    print(f"\n=== training {label} ===")
+    result = run_single(config, reference=make_reference(get_case("vacuum")))
+    h = result.history
+    print(f"loss {h.loss[0]:.3e} -> {h.loss[-1]:.3e}")
+    print(f"grad norm {h.grad_norm[0]:.3e} -> {h.grad_norm[-1]:.3e}, "
+          f"grad variance {h.grad_variance[-1]:.3e}")
+    if h.mw_entropy:
+        print(f"Meyer-Wallach entanglement: {h.mw_entropy[0]:.3f} -> "
+              f"{h.mw_entropy[-1]:.3f}")
+    print(f"final L2 error: {result.final_l2:.4f}")
+    print(f"I_BH = {result.i_bh:.3f}  -> collapsed: {result.collapsed}")
+    times, energies = model_energy_series(result.model, t_max=1.5, n_times=8)
+    u_tilde = energies / energies[0]
+    profile = "  ".join(f"{t:.2f}:{u:.2f}" for t, u in zip(times, u_tilde))
+    print(f"normalized energy U~(t): {profile}")
+    return result
+
+
+def main() -> None:
+    with_energy = run(use_energy=True)
+    without_energy = run(use_energy=False)
+    print("\n=== summary ===")
+    print(f"I_BH with energy term:    {with_energy.i_bh:.3f}")
+    print(f"I_BH without energy term: {without_energy.i_bh:.3f}")
+    print("(paper: the term removes the collapse attractor; without it, "
+          "vacuum QPINN runs fall into the trivial solution)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Pulse–dielectric interaction (paper case 2) and the §5.1 loss ablation.
+
+Runs the dielectric test case (ε_r = 4 slab) with the paper's *split*
+physics loss (Eq. 14: vacuum and dielectric points averaged separately)
+and with the *intuitive* loss (Eq. 37: one global average with 1/ε(x)),
+both without the energy term.  The paper reports that the split loss is
+what keeps the dielectric case free of black-hole collapse.
+"""
+
+import numpy as np
+
+from repro.core import RunConfig, get_case, make_reference, run_single
+from repro.solvers import MaxwellPadeSolver
+from repro.maxwell import DielectricSlab
+
+
+def main() -> None:
+    case = get_case("dielectric")
+    reference = make_reference(case)
+    print(f"dielectric slab: x in [{case.medium.x_min}, {case.medium.x_max}], "
+          f"eps_r = {case.medium.eps_r}, t in [0, {case.t_max}]")
+
+    # Reference physics sanity: transmitted wave slows down inside the slab.
+    ref = MaxwellPadeSolver(n=64, medium=DielectricSlab()).solve(0.7, n_snapshots=3)
+    inside = np.abs(ref.ez[-1][ref.eps > 2.0]).max()
+    print(f"reference |E_z| inside the slab at t=0.7: {inside:.3f} "
+          "(wave penetrates and refracts)")
+
+    for variant in ("split", "intuitive"):
+        config = RunConfig(
+            case="dielectric",
+            model_kind="no_entanglement",   # paper's best dielectric family
+            scaling="asin",
+            use_energy=False,
+            phys_variant=variant,
+            seed=0,
+        )
+        result = run_single(config, reference=reference)
+        print(f"\nphysics loss variant: {variant}")
+        print(f"  loss {result.history.loss[0]:.3e} -> {result.history.loss[-1]:.3e}")
+        print(f"  final L2 {result.final_l2:.4f}; I_BH {result.i_bh:.3f} "
+              f"(collapsed: {result.collapsed})")
+    print("\n(paper Sec. 5.1: the split loss stabilises the dielectric case; "
+          "the intuitive loss reintroduces the black-hole failure mode)")
+
+
+if __name__ == "__main__":
+    main()

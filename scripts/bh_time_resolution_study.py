@@ -1,0 +1,67 @@
+"""Black-hole vs time-resolution study (reproduction-specific experiment).
+
+Hypothesis (from the scaled Fig. 10 runs): the trivial solution only pays
+loss inside the fade-to-zero *transition layer* right after t = 0.  With
+few time samples the L_energy penalty never sees that layer, so the
+energy term cannot rescue the run; the paper's 64 time samples do see it.
+This script trains vacuum QPINNs at fixed spatial resolution but varying
+time resolution, with and without L_energy, and reports I_BH per cell.
+
+Usage: python scripts/bh_time_resolution_study.py [epochs] [n_space]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import (
+    CollocationGrid,
+    Trainer,
+    TrainerConfig,
+    get_case,
+    make_reference,
+)
+from repro.core.models import build_model
+from repro.core.weighting import TemporalCurriculum
+
+
+def run(n_space: int, n_time: int, use_energy: bool, epochs: int, seed: int = 0):
+    case = get_case("vacuum")
+    model = build_model(
+        "strongly_entangling", rng=np.random.default_rng(seed),
+        t_max=case.t_max, scaling="acos",
+    )
+    loss = case.make_loss(
+        use_energy=use_energy,
+        curriculum=TemporalCurriculum(ramp_epochs=max(1, epochs // 2)),
+    )
+    grid = CollocationGrid(n=n_space, t_max=case.t_max, n_time=n_time)
+    trainer = Trainer(
+        model, loss, grid,
+        config=TrainerConfig(epochs=epochs, eval_every=max(1, epochs // 4),
+                             track_entanglement=False),
+        reference=make_reference(case, n=48, n_snapshots=8),
+    )
+    return trainer.train()
+
+
+def main() -> None:
+    epochs = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    n_space = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    print(f"epochs={epochs}, n_space={n_space}", flush=True)
+    print(f"{'n_time':>7s} {'energy':>7s} {'final L2':>9s} {'I_BH':>6s} "
+          f"{'collapsed':>9s} {'min L2 seen':>12s}", flush=True)
+    for n_time in (n_space, 4 * n_space):
+        for use_energy in (False, True):
+            start = time.perf_counter()
+            result = run(n_space, n_time, use_energy, epochs)
+            l2s = result.history.l2_error
+            print(f"{n_time:7d} {'+E' if use_energy else '-E':>7s} "
+                  f"{result.final_l2:9.3f} {result.i_bh:6.3f} "
+                  f"{str(result.collapsed):>9s} {min(l2s):12.3f}  "
+                  f"({time.perf_counter() - start:.0f}s)", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""``repro`` — reproduction of "Quantum Physics-Informed Neural Networks".
+
+The package implements, from scratch and NumPy-only:
+
+* :mod:`repro.autodiff` — reverse-mode autodiff with double backward
+  (the PyTorch substitute the whole stack runs on),
+* :mod:`repro.nn` / :mod:`repro.optim` — neural-network layers and Adam,
+* :mod:`repro.torq` — the TorQ batched statevector quantum simulator,
+  ansätze, input scalings, and measurements,
+* :mod:`repro.maxwell` — the 2-D TE_z Maxwell substrate (residuals, media,
+  initial conditions, Poynting energy),
+* :mod:`repro.solvers` — 4th-order Padé compact reference solver, Yee FDTD,
+  and an exact Fourier spectral solver,
+* :mod:`repro.core` — the paper's contribution: PINN/QPINN builders, the
+  composite physics-informed loss, the trainer, and black-hole diagnostics,
+* :mod:`repro.pde` — generic-PDE extensions (Schrödinger, Burgers, Poisson),
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from ._malloc import tune_allocator
+
+tune_allocator()
+
+from . import autodiff
+
+__all__ = ["autodiff", "tune_allocator", "__version__"]

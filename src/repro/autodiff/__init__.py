@@ -1,0 +1,96 @@
+"""``repro.autodiff`` — NumPy reverse-mode autodiff with double backward.
+
+The engine plays the role PyTorch autograd plays in the paper: it provides
+differentiable tensors, a ``grad`` function with ``create_graph`` support
+(so PDE residual derivatives can themselves be optimised), ``no_grad``
+contexts, and a finite-difference gradcheck utility.
+
+Quick example::
+
+    from repro import autodiff as ad
+
+    x = ad.Tensor([1.0, 2.0], requires_grad=True)
+    y = (ad.ops.sin(x) * x).sum()
+    (gx,) = ad.grad(y, [x], create_graph=True)   # differentiable gradient
+    (hxx,) = ad.grad(gx.sum(), [x])              # second derivative row sums
+"""
+
+from . import ops
+from .gradcheck import check_double_grad, check_grad, numeric_grad
+from .ops import (
+    absolute,
+    add,
+    amax,
+    amin,
+    arccos,
+    arcsin,
+    arctan,
+    broadcast_to,
+    clip,
+    concatenate,
+    cos,
+    cosh,
+    div,
+    dot_last,
+    exp,
+    expand_dims,
+    flip,
+    getitem,
+    log,
+    matmul,
+    maximum,
+    mean,
+    minimum,
+    moveaxis,
+    mul,
+    neg,
+    pow,
+    relu,
+    reshape,
+    roll,
+    scatter_add,
+    sigmoid,
+    sign,
+    sin,
+    sinh,
+    softplus,
+    sqrt,
+    square,
+    squeeze,
+    stack,
+    sub,
+    tan,
+    tanh,
+    tensor_sum,
+    transpose,
+    where,
+)
+from .tensor import (
+    Tensor,
+    arange,
+    as_tensor,
+    backward,
+    enable_grad,
+    full,
+    grad,
+    is_grad_enabled,
+    linspace,
+    no_grad,
+    ones,
+    zeros,
+)
+
+__all__ = [
+    "Tensor", "as_tensor", "grad", "backward", "no_grad", "enable_grad",
+    "is_grad_enabled", "zeros", "ones", "full", "arange", "linspace",
+    "ops", "check_grad", "check_double_grad", "numeric_grad",
+    # re-exported ops
+    "add", "sub", "mul", "div", "neg", "pow", "matmul", "dot_last",
+    "exp", "log", "sin", "cos", "tan", "tanh", "sinh", "cosh",
+    "arcsin", "arccos", "arctan", "sqrt", "square", "absolute",
+    "sigmoid", "softplus", "relu", "sign",
+    "maximum", "minimum", "clip", "where",
+    "reshape", "transpose", "moveaxis", "expand_dims", "squeeze",
+    "broadcast_to", "concatenate", "stack", "flip", "roll", "getitem",
+    "scatter_add", "tensor_sum", "mean", "amax", "amin",
+]

@@ -1,0 +1,106 @@
+"""Training checkpoints: persist and restore model + optimiser state.
+
+Long paper-scale runs (thousands of epochs on a laptop CPU) need resumable
+training; a checkpoint bundles the model's ``state_dict``, the Adam
+moments, the scheduler epoch, and the RNG-free parts of the history into
+one compressed ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def _named_buffers(model):
+    """Frozen ndarray attributes of each sub-module (e.g. RFF projections).
+
+    These are not :class:`Parameter`s — they never train — but a restored
+    model must reproduce them to compute the same function.
+    """
+    for prefix, module in _named_modules(model):
+        for attr, value in vars(module).items():
+            if attr.startswith("_"):
+                continue
+            if isinstance(value, np.ndarray):
+                yield f"{prefix}{attr}", module, attr, value
+
+
+def _named_modules(model, prefix: str = ""):
+    yield prefix, model
+    for name, module in getattr(model, "_modules", {}).items():
+        yield from _named_modules(module, prefix=f"{prefix}{name}.")
+
+
+def save_checkpoint(path, model, optimizer=None, epoch: int = 0,
+                    extra: dict | None = None) -> Path:
+    """Write a training checkpoint.
+
+    ``extra`` may carry JSON-serialisable metadata (loss history tails,
+    configuration echoes); it is stored under the ``meta`` key.
+    """
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        payload[f"model/{name}"] = value
+    for name, _, _, value in _named_buffers(model):
+        payload[f"buffer/{name}"] = value
+    if optimizer is not None:
+        state = optimizer.state_dict()
+        payload["optim/lr"] = np.array(state["lr"])
+        payload["optim/step_count"] = np.array(state["step_count"])
+        for i, m in enumerate(state["m"]):
+            payload[f"optim/m/{i}"] = m
+        for i, v in enumerate(state["v"]):
+            payload[f"optim/v/{i}"] = v
+    payload["epoch"] = np.array(epoch)
+    meta = json.dumps(extra or {})
+    payload["meta"] = np.frombuffer(meta.encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(path, model, optimizer=None) -> dict:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Returns ``{"epoch": int, "meta": dict}``.  The model (and optimiser,
+    when given) are updated in place.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        model_state = {
+            key[len("model/"):]: data[key]
+            for key in data.files if key.startswith("model/")
+        }
+        model.load_state_dict(model_state)
+        buffers = {name: (module, attr) for name, module, attr, _ in _named_buffers(model)}
+        for key in data.files:
+            if key.startswith("buffer/"):
+                name = key[len("buffer/"):]
+                if name not in buffers:
+                    raise KeyError(f"checkpoint buffer {name!r} has no home in the model")
+                module, attr = buffers[name]
+                setattr(module, attr, data[key].copy())
+        if optimizer is not None:
+            if "optim/lr" not in data.files:
+                raise KeyError("checkpoint carries no optimiser state")
+            m_keys = sorted(
+                (k for k in data.files if k.startswith("optim/m/")),
+                key=lambda k: int(k.rsplit("/", 1)[1]),
+            )
+            v_keys = sorted(
+                (k for k in data.files if k.startswith("optim/v/")),
+                key=lambda k: int(k.rsplit("/", 1)[1]),
+            )
+            optimizer.load_state_dict({
+                "lr": float(data["optim/lr"]),
+                "step_count": int(data["optim/step_count"]),
+                "m": [data[k] for k in m_keys],
+                "v": [data[k] for k in v_keys],
+            })
+        meta = json.loads(bytes(data["meta"]).decode() or "{}")
+        return {"epoch": int(data["epoch"]), "meta": meta}

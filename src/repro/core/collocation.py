@@ -1,0 +1,157 @@
+"""Collocation grids for PINN training (paper §2.2).
+
+The paper trains on a uniform 64³ grid over (x, y, t) ∈ [−1,1]² × [0, T]
+("spread equally").  The grid object owns:
+
+* leaf tensors ``x, y, t`` (each ``(N, 1)``, ``requires_grad=True``) — the
+  inputs PDE derivatives are taken with respect to,
+* the t = 0 plane for the initial-condition loss,
+* vacuum/dielectric point masks (the N_vac / N_diel split of Eq. 14),
+* per-point time-bin indices for adaptive temporal weighting (M = 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..maxwell.media import Medium, Vacuum
+
+__all__ = ["CollocationGrid"]
+
+
+@dataclass
+class CollocationGrid:
+    """Uniform space-time collocation set with physics metadata.
+
+    Parameters
+    ----------
+    n:
+        Points per coordinate (paper: 64 → 64³ total points).
+    t_max:
+        End of the simulated window (1.5 vacuum, 0.7 dielectric).
+    medium:
+        Material map used for the ε values and the N_vac/N_diel split.
+    n_time_bins:
+        Number of curriculum bins M (paper: 5).
+    """
+
+    n: int = 8
+    t_max: float = 1.5
+    medium: Medium = field(default_factory=Vacuum)
+    n_time_bins: int = 5
+    lo: float = -1.0
+    hi: float = 1.0
+    #: time-axis point count; defaults to ``n``.  Dense time sampling is
+    #: what lets L_energy "see" the fade-to-zero transition layer of a
+    #: collapsing run (see EXPERIMENTS.md, Figs. 10–11).
+    n_time: int | None = None
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise ValueError("need at least 2 points per coordinate")
+        if self.t_max <= 0:
+            raise ValueError("t_max must be positive")
+        if self.n_time is None:
+            self.n_time = self.n
+        if self.n_time < 2:
+            raise ValueError("need at least 2 time points")
+        # Spatial axes exclude the right endpoint (periodic identification);
+        # time includes both ends so the IC plane is exactly t = 0.
+        spacing = (self.hi - self.lo) / self.n
+        xs = self.lo + spacing * np.arange(self.n)
+        ys = self.lo + spacing * np.arange(self.n)
+        ts = np.linspace(0.0, self.t_max, self.n_time)
+        xx, yy, tt = np.meshgrid(xs, ys, ts, indexing="ij")
+        flat = lambda a: a.reshape(-1, 1)
+        self._x_np = flat(xx)
+        self._y_np = flat(yy)
+        self._t_np = flat(tt)
+        self.x = Tensor(self._x_np.copy(), requires_grad=True)
+        self.y = Tensor(self._y_np.copy(), requires_grad=True)
+        self.t = Tensor(self._t_np.copy(), requires_grad=True)
+
+        eps = self.medium.permittivity(self._x_np[:, 0], self._y_np[:, 0])
+        self.eps = eps.reshape(-1, 1)
+        self.vacuum_mask = np.isclose(self.eps, 1.0)
+        self.dielectric_mask = ~self.vacuum_mask
+
+        # Initial-condition plane: the full spatial grid at t = 0.
+        xx0, yy0 = np.meshgrid(xs, ys, indexing="ij")
+        self.x0 = flat(xx0)
+        self.y0 = flat(yy0)
+
+        # Time-bin ids for the M-bin curriculum (bin 0 = earliest times).
+        edges = np.linspace(0.0, self.t_max, self.n_time_bins + 1)
+        self.time_bin = np.clip(
+            np.digitize(self._t_np[:, 0], edges[1:-1]), 0, self.n_time_bins - 1
+        )
+        # Unique spatial cell area (for energy quadrature) and axes.
+        self.xs, self.ys, self.ts = xs, ys, ts
+        self.cell_area = spacing * spacing
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return self._x_np.shape[0]
+
+    def coords(self) -> tuple[Tensor, Tensor, Tensor]:
+        """The differentiable coordinate leaves (x, y, t)."""
+        return self.x, self.y, self.t
+
+    def numpy_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._x_np, self._y_np, self._t_np
+
+    def mirrored_x(self) -> tuple[Tensor, Tensor, Tensor]:
+        """Coordinates reflected through x → −x (for L_sym)."""
+        return Tensor(-self._x_np), Tensor(self._y_np), Tensor(self._t_np)
+
+    def mirrored_y(self) -> tuple[Tensor, Tensor, Tensor]:
+        """Coordinates reflected through y → −y (for L_sym)."""
+        return Tensor(self._x_np), Tensor(-self._y_np), Tensor(self._t_np)
+
+    def initial_plane(self) -> tuple[Tensor, Tensor, Tensor]:
+        """(x, y, 0) plane tensors for the IC loss (no grads needed)."""
+        zeros = np.zeros_like(self.x0)
+        return Tensor(self.x0), Tensor(self.y0), Tensor(zeros)
+
+    def subsample(self, indices: np.ndarray) -> "CollocationGrid":
+        """A view-like grid restricted to the given point indices.
+
+        Used for mini-batch training ablations: the IC plane, medium, and
+        bin structure are preserved while the main collocation set
+        shrinks to ``indices``.
+        """
+        indices = np.asarray(indices, dtype=int)
+        sub = object.__new__(CollocationGrid)
+        sub.n = self.n
+        sub.n_time = self.n_time
+        sub.t_max = self.t_max
+        sub.medium = self.medium
+        sub.n_time_bins = self.n_time_bins
+        sub.lo, sub.hi = self.lo, self.hi
+        sub._x_np = self._x_np[indices]
+        sub._y_np = self._y_np[indices]
+        sub._t_np = self._t_np[indices]
+        sub.x = Tensor(sub._x_np.copy(), requires_grad=True)
+        sub.y = Tensor(sub._y_np.copy(), requires_grad=True)
+        sub.t = Tensor(sub._t_np.copy(), requires_grad=True)
+        sub.eps = self.eps[indices]
+        sub.vacuum_mask = self.vacuum_mask[indices]
+        sub.dielectric_mask = self.dielectric_mask[indices]
+        sub.x0, sub.y0 = self.x0, self.y0
+        sub.time_bin = self.time_bin[indices]
+        sub.xs, sub.ys, sub.ts = self.xs, self.ys, self.ts
+        sub.cell_area = self.cell_area
+        return sub
+
+    def bin_weights_vector(self, bin_weights: np.ndarray) -> np.ndarray:
+        """Expand per-bin weights to a per-point column vector."""
+        bin_weights = np.asarray(bin_weights, dtype=np.float64)
+        if bin_weights.shape != (self.n_time_bins,):
+            raise ValueError(
+                f"expected {self.n_time_bins} bin weights, got {bin_weights.shape}"
+            )
+        return bin_weights[self.time_bin].reshape(-1, 1)

@@ -1,0 +1,254 @@
+"""Experiment case/run configuration (the paper's three test cases).
+
+* ``vacuum``     — centered pulse, t ∈ [0, 1.5], homogeneous ε = 1, both
+  mirror symmetries enforced (paper §4.1),
+* ``dielectric`` — centered pulse, t ∈ [0, 0.7], ε_r = 4 slab; only the
+  y-mirror symmetry survives and the split physics loss (Eq. 14) is used
+  (paper §4.2, §5.1),
+* ``asymmetric`` — appendix A: shifted/stretched pulse in vacuum,
+  t ∈ [0, 1.5], no symmetry loss at all.
+
+Environment knobs (read once per call through :func:`env_int`):
+``REPRO_GRID``, ``REPRO_EPOCHS``, ``REPRO_SEEDS``, ``REPRO_REF_GRID``,
+``REPRO_REF_SNAPSHOTS`` scale every harness between CPU-smoke and
+paper-fidelity settings.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..maxwell.initial import ASYMMETRIC_PULSE, CENTERED_PULSE, GaussianPulse
+from ..maxwell.media import DielectricSlab, Medium, Vacuum
+from ..solvers.fdtd import YeeFDTDSolver
+from ..solvers.maxwell_ref import MaxwellPadeSolver, ReferenceSolution
+from .collocation import CollocationGrid
+from .losses import MaxwellLoss
+from .models import build_model
+from .trainer import Trainer, TrainerConfig, TrainingResult
+from .weighting import TemporalCurriculum
+
+__all__ = [
+    "CaseConfig",
+    "RunConfig",
+    "CASES",
+    "get_case",
+    "env_int",
+    "default_grid_n",
+    "default_epochs",
+    "default_seeds",
+    "make_reference",
+    "run_single",
+]
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment override with a safe fallback."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+def default_grid_n() -> int:
+    """Collocation points per axis (REPRO_GRID, default 8)."""
+    return env_int("REPRO_GRID", 8)
+
+
+def default_epochs() -> int:
+    """Training epochs (REPRO_EPOCHS, default 60)."""
+    return env_int("REPRO_EPOCHS", 60)
+
+
+def default_seeds() -> int:
+    """Seeds per configuration (REPRO_SEEDS, default 2)."""
+    return env_int("REPRO_SEEDS", 2)
+
+
+@dataclass(frozen=True)
+class CaseConfig:
+    """Immutable description of one physical test case."""
+
+    name: str
+    medium: Medium
+    pulse: GaussianPulse
+    t_max: float
+    mirror_x: bool
+    mirror_y: bool
+    use_symmetry: bool
+    phys_variant: str
+
+    def make_loss(
+        self,
+        use_energy: bool,
+        curriculum: TemporalCurriculum | None = None,
+        phys_variant: str | None = None,
+    ) -> MaxwellLoss:
+        """Build this case's configured MaxwellLoss."""
+        return MaxwellLoss(
+            pulse=self.pulse,
+            phys_variant=phys_variant or self.phys_variant,
+            use_energy=use_energy,
+            use_symmetry=self.use_symmetry,
+            mirror_x=self.mirror_x,
+            mirror_y=self.mirror_y,
+            curriculum=curriculum,
+        )
+
+    def make_grid(self, n: int | None = None) -> CollocationGrid:
+        """Build this case's collocation grid."""
+        return CollocationGrid(
+            n=n if n is not None else default_grid_n(),
+            t_max=self.t_max,
+            medium=self.medium,
+        )
+
+
+CASES: dict[str, CaseConfig] = {
+    "vacuum": CaseConfig(
+        name="vacuum",
+        medium=Vacuum(),
+        pulse=CENTERED_PULSE,
+        t_max=1.5,
+        mirror_x=True,
+        mirror_y=True,
+        use_symmetry=True,
+        phys_variant="vacuum",
+    ),
+    "dielectric": CaseConfig(
+        name="dielectric",
+        medium=DielectricSlab(),
+        pulse=CENTERED_PULSE,
+        t_max=0.7,
+        mirror_x=False,
+        mirror_y=True,
+        use_symmetry=True,
+        phys_variant="split",
+    ),
+    "asymmetric": CaseConfig(
+        name="asymmetric",
+        medium=Vacuum(),
+        pulse=ASYMMETRIC_PULSE,
+        t_max=1.5,
+        mirror_x=False,
+        mirror_y=False,
+        use_symmetry=False,
+        phys_variant="vacuum",
+    ),
+}
+
+
+def get_case(name: str) -> CaseConfig:
+    """Look up a test case by name."""
+    try:
+        return CASES[name]
+    except KeyError:
+        raise ValueError(f"unknown case {name!r}; available: {tuple(CASES)}") from None
+
+
+_REFERENCE_CACHE: dict[tuple, ReferenceSolution] = {}
+
+
+def make_reference(
+    case: CaseConfig,
+    n: int | None = None,
+    n_snapshots: int | None = None,
+    solver: str = "pade",
+) -> ReferenceSolution:
+    """High-fidelity reference for the L2 metric.
+
+    Cached in memory per settings; additionally cached on disk when the
+    ``REPRO_CACHE_DIR`` environment variable names a directory, so
+    repeated experiment invocations skip the Padé solve entirely.
+    """
+    n = n if n is not None else env_int("REPRO_REF_GRID", 64)
+    n_snapshots = (
+        n_snapshots if n_snapshots is not None else env_int("REPRO_REF_SNAPSHOTS", 12)
+    )
+    key = (case.name, n, n_snapshots, solver)
+    if key in _REFERENCE_CACHE:
+        return _REFERENCE_CACHE[key]
+
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    cache_path = None
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+        cache_path = os.path.join(
+            cache_dir, f"ref_{case.name}_{solver}_n{n}_s{n_snapshots}.npz"
+        )
+        if os.path.exists(cache_path):
+            ref = ReferenceSolution.load(cache_path)
+            _REFERENCE_CACHE[key] = ref
+            return ref
+
+    cls = {"pade": MaxwellPadeSolver, "fdtd": YeeFDTDSolver}[solver]
+    ref = cls(n=n, medium=case.medium, pulse=case.pulse).solve(
+        case.t_max, n_snapshots=n_snapshots
+    )
+    if cache_path:
+        ref.save(cache_path)
+    _REFERENCE_CACHE[key] = ref
+    return ref
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One training run = case × model kind × scaling × energy flag × seed."""
+
+    case: str = "vacuum"
+    model_kind: str = "strongly_entangling"  # or "regular"/"reduced"/"extra"
+    scaling: str = "acos"
+    use_energy: bool = True
+    seed: int = 0
+    grid_n: int | None = None
+    epochs: int | None = None
+    init: str = "reg"
+    phys_variant: str | None = None  # override (e.g. "intuitive" for §5.1)
+    curriculum_ramp: int | None = None
+
+    def with_seed(self, seed: int) -> "RunConfig":
+        """Copy of this config with a different seed."""
+        return replace(self, seed=seed)
+
+
+def run_single(
+    config: RunConfig,
+    reference: ReferenceSolution | None = None,
+    trainer_config: TrainerConfig | None = None,
+) -> TrainingResult:
+    """Execute one run end to end and return the training result."""
+    case = get_case(config.case)
+    rng = np.random.default_rng(config.seed)
+    model = build_model(
+        config.model_kind,
+        rng=rng,
+        t_max=case.t_max,
+        scaling=config.scaling,
+        init=config.init,
+    )
+    epochs = config.epochs if config.epochs is not None else default_epochs()
+    ramp = (
+        config.curriculum_ramp
+        if config.curriculum_ramp is not None
+        else max(1, epochs // 2)
+    )
+    curriculum = TemporalCurriculum(ramp_epochs=ramp)
+    loss = case.make_loss(
+        use_energy=config.use_energy,
+        curriculum=curriculum,
+        phys_variant=config.phys_variant,
+    )
+    grid = case.make_grid(config.grid_n)
+    if reference is None:
+        reference = make_reference(case)
+    tc = trainer_config if trainer_config is not None else TrainerConfig(epochs=epochs)
+    if trainer_config is None:
+        tc.epochs = epochs
+    trainer = Trainer(model, loss, grid, config=tc, reference=reference)
+    return trainer.train()

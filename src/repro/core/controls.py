@@ -1,0 +1,137 @@
+"""Classical control architectures (paper §6.2 follow-up (b)).
+
+The paper hypothesises the PQC helps because it injects a *trigonometric
+feature basis* near the output.  The clean control experiment it suggests
+is a classical network whose penultimate layer is an equal-size
+trigonometric basis instead of a quantum circuit.  This module provides
+that control: :class:`TrigControlLayer` mimics the PQC's interface
+(n_qubits in → n_qubits out, bounded outputs, a comparable number of
+trainable parameters) but is purely classical:
+
+    out_q = cos(ω_q · scale(a_q) + φ_q)
+
+with trainable frequencies ω and phases φ per qubit-channel and layer,
+summed over ``n_layers`` harmonics — a Fourier head with exactly
+``2 · n_qubits · n_layers`` parameters (vs 3·n·L of a Rot-based ansatz).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from ..nn.module import Module, Parameter
+from ..torq.embedding import scale_input
+
+__all__ = ["TrigControlLayer", "MaxwellTrigControl"]
+
+
+class TrigControlLayer(Module):
+    """Classical trigonometric stand-in for the quantum layer."""
+
+    def __init__(
+        self,
+        n_qubits: int = 7,
+        n_layers: int = 4,
+        scaling: str = "acos",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.n_qubits = int(n_qubits)
+        self.n_layers = int(n_layers)
+        self.scaling = str(scaling)
+        # Frequencies start near the PQC's first harmonic (ω = 1) and
+        # phases uniformly — mirroring the paper's "reg" circuit init.
+        self.frequencies = Parameter(
+            1.0 + 0.1 * rng.normal(size=(n_layers, self.n_qubits)), name="frequencies"
+        )
+        self.phases = Parameter(
+            rng.uniform(0.0, 2.0 * np.pi, size=(n_layers, self.n_qubits)), name="phases"
+        )
+
+    @property
+    def in_features(self) -> int:
+        """Input width expected by this layer."""
+        return self.n_qubits
+
+    @property
+    def out_features(self) -> int:
+        """Output width produced by this layer."""
+        return self.n_qubits
+
+    def forward(self, activations: Tensor) -> Tensor:
+        """(batch, n) tanh activations → (batch, n) bounded features."""
+        if activations.ndim != 2 or activations.shape[1] != self.n_qubits:
+            raise ValueError(
+                f"expected (batch, {self.n_qubits}) activations, got {activations.shape}"
+            )
+        angles = scale_input(self.scaling, activations)  # (batch, n)
+        total = None
+        for harmonic in range(self.n_layers):
+            w = self.frequencies[harmonic]  # (n,)
+            p = self.phases[harmonic]
+            term = ad.cos(angles * w + p)
+            total = term if total is None else total + term
+        return total * (1.0 / self.n_layers)  # keep outputs in [-1, 1]
+
+
+class MaxwellTrigControl(Module):
+    """The Fig. 2 architecture with the PQC swapped for the trig control.
+
+    Built from the same front end as :class:`repro.core.MaxwellQPINN` so
+    the comparison isolates the penultimate layer.
+    """
+
+    def __init__(
+        self,
+        scaling: str = "acos",
+        n_qubits: int = 7,
+        n_layers: int = 4,
+        rng: np.random.Generator | None = None,
+        t_max: float = 1.5,
+        **trunk_kwargs,
+    ):
+        super().__init__()
+        from .models import MaxwellQPINN
+
+        rng = rng if rng is not None else np.random.default_rng()
+        # Reuse the QPINN trunk wholesale, then replace the quantum layer.
+        self._hybrid = MaxwellQPINN(
+            ansatz="no_entanglement", scaling=scaling,
+            n_qubits=n_qubits, n_layers=n_layers, rng=rng, t_max=t_max,
+            **trunk_kwargs,
+        )
+        self.trig = TrigControlLayer(
+            n_qubits=n_qubits, n_layers=n_layers, scaling=scaling, rng=rng
+        )
+        # Detach the quantum parameters from training by replacing the
+        # module reference; the trunk/head Linears stay shared.
+        self._hybrid._modules.pop("quantum")
+
+    def parameters(self):
+        """All trainable parameters of this module (recursive)."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = ""):
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
+        yield from self._hybrid.named_parameters(prefix=f"{prefix}trunk.")
+        yield from self.trig.named_parameters(prefix=f"{prefix}trig.")
+
+    def fields(self, x: Tensor, y: Tensor, t: Tensor):
+        """Evaluate the field components at the given coordinates."""
+        out = self.forward(x, y, t)
+        return out[:, 0:1], out[:, 1:2], out[:, 2:3]
+
+    def penultimate(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        acts = self._hybrid.pre_quantum_activations(x, y, t)
+        return self.trig(acts)
+
+    def forward(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        return self._hybrid.head(self.penultimate(x, y, t))
+
+    def num_parameters(self) -> int:
+        """Total count of trainable scalars."""
+        return int(sum(p.size for p in self.parameters()))

@@ -1,0 +1,66 @@
+"""Parameter-initialisation study helpers (paper §5.2, Fig. 12).
+
+The paper probes whether the BH collapse is caused by the PQC's outputs
+clustering near zero at initialisation: it compares the *second-to-last
+layer* outputs at epoch 0 across ansätze, scalings, and four quantum
+parameter-initialisation strategies (reg / zeros / π / π/2), against the
+classical tanh layer.  These helpers capture those distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad
+
+__all__ = ["OutputSpread", "penultimate_outputs", "output_spread"]
+
+
+@dataclass(frozen=True)
+class OutputSpread:
+    """Summary statistics of a layer-output sample (Fig. 12 panels)."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    frac_near_zero: float  # fraction with |value| < 0.1
+
+    @staticmethod
+    def from_samples(values: np.ndarray) -> "OutputSpread":
+        values = np.asarray(values, dtype=np.float64).ravel()
+        return OutputSpread(
+            mean=float(values.mean()),
+            std=float(values.std()),
+            min=float(values.min()),
+            max=float(values.max()),
+            frac_near_zero=float((np.abs(values) < 0.1).mean()),
+        )
+
+
+def penultimate_outputs(
+    model, n_points: int = 256, t_max: float = 1.5, seed: int = 0
+) -> np.ndarray:
+    """Second-to-last-layer outputs on random collocation points.
+
+    For a QPINN this is the PQC ⟨Z⟩ vector; for the classical PINN the last
+    hidden tanh activations — exactly the comparison of Fig. 12.
+    """
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.uniform(-1, 1, (n_points, 1)))
+    y = Tensor(rng.uniform(-1, 1, (n_points, 1)))
+    t = Tensor(rng.uniform(0, t_max, (n_points, 1)))
+    with no_grad():
+        out = model.penultimate(x, y, t)
+    return out.data.copy()
+
+
+def output_spread(
+    model, n_points: int = 256, t_max: float = 1.5, seed: int = 0
+) -> OutputSpread:
+    """Distribution summary of the penultimate outputs at initialisation."""
+    return OutputSpread.from_samples(
+        penultimate_outputs(model, n_points=n_points, t_max=t_max, seed=seed)
+    )

@@ -1,0 +1,210 @@
+"""PINN and QPINN model builders (paper Figs. 1–2, Table 1).
+
+Classical PINN (Fig. 1):
+
+    (x,y,t) → periodic embedding (6) → RFF (256) →
+    Linear 256→128 ∘ tanh → [Linear 128→128 ∘ tanh] × (depth−1) →
+    Linear 128→3 → (E_z, H_x, H_y)
+
+QPINN (Fig. 2): the *second-to-last* classical layer is replaced by a
+7-qubit PQC, with adapter layers matching dimensions:
+
+    … → Linear 256→128 ∘ tanh → [Linear 128→128 ∘ tanh] × 2 →
+    Linear 128→7 ∘ tanh → input scaling → PQC (4 ansatz layers) →
+    ⟨Z⟩ per qubit → Linear 7→3
+
+Trainable-parameter totals reproduce Table 1 exactly (the +1 everywhere is
+the learned time period of the periodic embedding):
+
+    classical regular 82 820 · reduced 66 308 · extra 99 332
+    QPINN classical side 66 848 (+84–224 quantum, ansatz-dependent)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from ..nn import (
+    Linear,
+    Module,
+    PeriodicSpaceTimeEmbedding,
+    RandomFourierFeatures,
+)
+from ..torq.layer import QuantumLayer
+
+__all__ = [
+    "MaxwellPINN",
+    "MaxwellQPINN",
+    "build_model",
+    "CLASSICAL_DEPTHS",
+]
+
+#: Paper's three classical variants: hidden-layer counts.
+CLASSICAL_DEPTHS = {"reduced": 3, "regular": 4, "extra": 5}
+
+_HIDDEN = 128
+_RFF_FEATURES = 128  # 128 cos + 128 sin = 256 trunk inputs
+_N_OUTPUTS = 3
+
+
+class _MaxwellBase(Module):
+    """Shared front end: periodic embedding + RFF + first trunk layer."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        t_max: float,
+        hidden: int,
+        rff_features: int,
+        rff_sigma: float,
+    ):
+        super().__init__()
+        self.embedding = PeriodicSpaceTimeEmbedding(
+            lengths=(2.0, 2.0), time_period_init=2.0 * t_max
+        )
+        self.rff = RandomFourierFeatures(
+            in_features=self.embedding.out_features,
+            num_features=rff_features,
+            sigma=rff_sigma,
+            rng=rng,
+        )
+        self.hidden = hidden
+
+    def _features(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        coords = ad.concatenate([x, y, t], axis=1)
+        return self.rff(self.embedding(coords))
+
+    def forward(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        raise NotImplementedError
+
+    def fields(self, x: Tensor, y: Tensor, t: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+        """(E_z, H_x, H_y) as ``(N, 1)`` tensors."""
+        out = self.forward(x, y, t)
+        return out[:, 0:1], out[:, 1:2], out[:, 2:3]
+
+
+class MaxwellPINN(_MaxwellBase):
+    """Classical baseline network with configurable depth (Table 1 rows 1–3)."""
+
+    def __init__(
+        self,
+        depth: str | int = "regular",
+        rng: np.random.Generator | None = None,
+        t_max: float = 1.5,
+        hidden: int = _HIDDEN,
+        rff_features: int = _RFF_FEATURES,
+        rff_sigma: float = 1.0,
+    ):
+        rng = rng if rng is not None else np.random.default_rng()
+        super().__init__(rng, t_max, hidden, rff_features, rff_sigma)
+        n_hidden = CLASSICAL_DEPTHS[depth] if isinstance(depth, str) else int(depth)
+        if n_hidden < 1:
+            raise ValueError("need at least one hidden layer")
+        self.depth_name = depth if isinstance(depth, str) else f"custom{n_hidden}"
+        self.first = Linear(2 * rff_features, hidden, rng=rng)
+        self.trunk = []
+        for i in range(n_hidden - 1):
+            layer = Linear(hidden, hidden, rng=rng)
+            setattr(self, f"hidden{i}", layer)
+            self.trunk.append(layer)
+        self.head = Linear(hidden, _N_OUTPUTS, rng=rng)
+
+    def penultimate(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        """Output of the second-to-last layer (Fig. 12's tanh activations)."""
+        h = ad.tanh(self.first(self._features(x, y, t)))
+        for layer in self.trunk:
+            h = ad.tanh(layer(h))
+        return h
+
+    def forward(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        return self.head(self.penultimate(x, y, t))
+
+
+class MaxwellQPINN(_MaxwellBase):
+    """Hybrid network with a PQC as the second-to-last layer (Fig. 2)."""
+
+    def __init__(
+        self,
+        ansatz: str = "strongly_entangling",
+        scaling: str = "acos",
+        n_qubits: int = 7,
+        n_layers: int = 4,
+        init: str = "reg",
+        rng: np.random.Generator | None = None,
+        t_max: float = 1.5,
+        hidden: int = _HIDDEN,
+        rff_features: int = _RFF_FEATURES,
+        rff_sigma: float = 1.0,
+        n_classical_hidden: int = 3,
+    ):
+        rng = rng if rng is not None else np.random.default_rng()
+        super().__init__(rng, t_max, hidden, rff_features, rff_sigma)
+        self.first = Linear(2 * rff_features, hidden, rng=rng)
+        self.trunk = []
+        for i in range(n_classical_hidden - 1):
+            layer = Linear(hidden, hidden, rng=rng)
+            setattr(self, f"hidden{i}", layer)
+            self.trunk.append(layer)
+        self.pre_quantum = Linear(hidden, n_qubits, rng=rng)
+        self.quantum = QuantumLayer(
+            n_qubits=n_qubits,
+            n_layers=n_layers,
+            ansatz=ansatz,
+            scaling=scaling,
+            init=init,
+            rng=rng,
+        )
+        self.head = Linear(n_qubits, _N_OUTPUTS, rng=rng)
+
+    # ------------------------------------------------------------------
+    def pre_quantum_activations(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        """tanh activations entering the PQC, shape ``(N, n_qubits)``."""
+        h = ad.tanh(self.first(self._features(x, y, t)))
+        for layer in self.trunk:
+            h = ad.tanh(layer(h))
+        return ad.tanh(self.pre_quantum(h))
+
+    def penultimate(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        """PQC ⟨Z⟩ outputs — the second-to-last layer of Fig. 12."""
+        return self.quantum(self.pre_quantum_activations(x, y, t))
+
+    def quantum_state(self, x: Tensor, y: Tensor, t: Tensor):
+        """Final circuit state (for Meyer–Wallach diagnostics, Fig. 10e)."""
+        return self.quantum.run_state(self.pre_quantum_activations(x, y, t))
+
+    def forward(self, x: Tensor, y: Tensor, t: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        return self.head(self.penultimate(x, y, t))
+
+    # ------------------------------------------------------------------
+    def classical_parameter_count(self) -> int:
+        """Number of classical trainable parameters."""
+        return self.num_parameters() - self.quantum.ansatz.param_count
+
+    def quantum_parameter_count(self) -> int:
+        """Number of variational circuit parameters."""
+        return self.quantum.ansatz.param_count
+
+
+def build_model(
+    kind: str,
+    rng: np.random.Generator | None = None,
+    t_max: float = 1.5,
+    scaling: str = "acos",
+    init: str = "reg",
+    **overrides,
+):
+    """Build a model by experiment label.
+
+    ``kind`` is either a classical depth (``"regular"``, ``"reduced"``,
+    ``"extra"``) or an ansatz name from :data:`repro.torq.ANSATZ_NAMES`.
+    """
+    if kind in CLASSICAL_DEPTHS:
+        return MaxwellPINN(depth=kind, rng=rng, t_max=t_max, **overrides)
+    return MaxwellQPINN(
+        ansatz=kind, scaling=scaling, init=init, rng=rng, t_max=t_max, **overrides
+    )

@@ -1,0 +1,276 @@
+"""Training loop with the paper's diagnostics.
+
+Tracks, per epoch: total loss and its components, global gradient norm and
+variance (Fig. 10c–d), learning rate; optionally (sparsely) the L2 error
+against a reference solution (Fig. 10a) and — for QPINNs — the
+Meyer–Wallach entanglement of the circuit state on a probe batch
+(Fig. 10e).  After training it computes the black-hole indicator I_BH.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff import Tensor, backward, no_grad
+from ..optim import Adam, StepDecay
+from ..solvers.maxwell_ref import ReferenceSolution
+from ..torq.entanglement import meyer_wallach
+from .blackhole import is_collapsed, model_bh_indicator
+from .collocation import CollocationGrid
+from .losses import MaxwellLoss
+from .metrics import l2_relative_error
+
+__all__ = ["TrainerConfig", "TrainingHistory", "TrainingResult", "Trainer"]
+
+
+@dataclass
+class TrainerConfig:
+    """Hyperparameters (defaults follow the paper where known)."""
+
+    epochs: int = 200
+    lr: float = 1e-3
+    lr_step: int = 2000
+    lr_gamma: float = 0.85
+    eval_every: int = 25
+    track_entanglement: bool = True
+    entanglement_probe: int = 64
+    bh_n_space: int = 16
+    bh_n_times: int = 10
+    log_every: int = 0  # 0 silences console output
+    #: extra quasi-Newton epochs after Adam (ref. [21]'s Adam→L-BFGS recipe)
+    lbfgs_epochs: int = 0
+    #: clip the global gradient norm (0 disables)
+    clip_grad_norm: float = 0.0
+    #: sample this many collocation points per epoch instead of the full
+    #: grid (0 = full batch).  The paper deliberately avoids mini-batching,
+    #: citing Hao et al. [34] that it degrades PINNs — this knob exists to
+    #: test that claim (see benchmarks/test_minibatch_ablation.py).
+    batch_points: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch series; sparse series carry their epoch indices."""
+
+    loss: list[float] = field(default_factory=list)
+    components: dict[str, list[float]] = field(default_factory=dict)
+    grad_norm: list[float] = field(default_factory=list)
+    grad_variance: list[float] = field(default_factory=list)
+    learning_rate: list[float] = field(default_factory=list)
+    l2_epochs: list[int] = field(default_factory=list)
+    l2_error: list[float] = field(default_factory=list)
+    mw_epochs: list[int] = field(default_factory=list)
+    mw_entropy: list[float] = field(default_factory=list)
+    #: ‖θ_e − θ_0‖ / ‖θ_0‖ per epoch — the "laziness" diagnostic the paper
+    #: contrasts the BH collapse against (ref. [25]): lazy training shows
+    #: near-zero drift, BH shows genuine movement followed by collapse.
+    param_drift: list[float] = field(default_factory=list)
+    seconds_per_epoch: float = 0.0
+
+
+@dataclass
+class TrainingResult:
+    """Everything the experiment harnesses need from one run."""
+
+    model: object
+    history: TrainingHistory
+    final_l2: float | None
+    i_bh: float
+    collapsed: bool
+    converged: bool
+
+
+class Trainer:
+    """Orchestrates one training run of a PINN/QPINN on one test case."""
+
+    def __init__(
+        self,
+        model,
+        loss: MaxwellLoss,
+        grid: CollocationGrid,
+        config: TrainerConfig | None = None,
+        reference: ReferenceSolution | None = None,
+    ):
+        self.model = model
+        self.loss = loss
+        self.grid = grid
+        self.config = config if config is not None else TrainerConfig()
+        self.reference = reference
+        self.params = model.parameters()
+        self.optimizer = Adam(self.params, lr=self.config.lr)
+        self.scheduler = StepDecay(
+            self.optimizer, step_size=self.config.lr_step, gamma=self.config.lr_gamma
+        )
+        self._probe = self._make_probe()
+        self._theta0 = np.concatenate([p.data.ravel().copy() for p in self.params])
+        self._theta0_norm = float(np.linalg.norm(self._theta0)) or 1.0
+        self._batch_rng = np.random.default_rng(424242)
+        if self.config.batch_points and loss.rba is not None:
+            # RBA weights are indexed by fixed collocation ids; resampled
+            # mini-batches would scramble the mapping.
+            raise ValueError("batch_points cannot be combined with RBA weights")
+
+    # ------------------------------------------------------------------
+    def _make_probe(self):
+        """Fixed random probe points for the entanglement diagnostic."""
+        rng = np.random.default_rng(12345)
+        k = self.config.entanglement_probe
+        x = rng.uniform(-1, 1, (k, 1))
+        y = rng.uniform(-1, 1, (k, 1))
+        t = rng.uniform(0, self.grid.t_max, (k, 1))
+        return Tensor(x), Tensor(y), Tensor(t)
+
+    def _grad_stats(self) -> tuple[float, float]:
+        flat = [p.grad.ravel() for p in self.params if p.grad is not None]
+        if not flat:
+            return 0.0, 0.0
+        g = np.concatenate(flat)
+        return float(np.linalg.norm(g)), float(g.var())
+
+    def _entanglement(self) -> float | None:
+        if not hasattr(self.model, "quantum_state"):
+            return None
+        with no_grad():
+            state = self.model.quantum_state(*self._probe)
+        return float(meyer_wallach(state).mean())
+
+    # ------------------------------------------------------------------
+    def train(self) -> TrainingResult:
+        """Run the training loop and return the result record."""
+        cfg = self.config
+        hist = TrainingHistory()
+        start = time.perf_counter()
+        # Autodiff graphs are acyclic and freed by reference counting; the
+        # cyclic collector only adds multi-second pauses scanning the live
+        # graph, so it is paused for the duration of the loop.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for epoch in range(cfg.epochs):
+                self._train_epoch(epoch, hist)
+            if cfg.lbfgs_epochs > 0:
+                self._finetune_lbfgs(hist)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        elapsed = time.perf_counter() - start
+        hist.seconds_per_epoch = elapsed / max(1, cfg.epochs + cfg.lbfgs_epochs)
+        return self._finalize(hist)
+
+    def _finetune_lbfgs(self, hist: TrainingHistory) -> None:
+        """Quasi-Newton fine-tuning phase after the Adam epochs."""
+        from ..optim import LBFGS
+
+        cfg = self.config
+        optimizer = LBFGS(self.params)
+        epoch_offset = cfg.epochs
+
+        def closure() -> float:
+            optimizer.zero_grad()
+            total, _ = self.loss(self.model, self.grid, epoch_offset)
+            backward(total, self.params)
+            return float(total.data)
+
+        for k in range(cfg.lbfgs_epochs):
+            loss_value = optimizer.step(closure)
+            hist.loss.append(loss_value)
+            norm, var = self._grad_stats()
+            hist.grad_norm.append(norm)
+            hist.grad_variance.append(var)
+            hist.learning_rate.append(0.0)  # line-search controlled
+            if cfg.eval_every and self.reference is not None and (
+                k == cfg.lbfgs_epochs - 1
+            ):
+                hist.l2_epochs.append(epoch_offset + k)
+                hist.l2_error.append(l2_relative_error(self.model, self.reference))
+
+    def _param_drift(self) -> float:
+        theta = np.concatenate([p.data.ravel() for p in self.params])
+        return float(np.linalg.norm(theta - self._theta0)) / self._theta0_norm
+
+    def _epoch_grid(self) -> CollocationGrid:
+        cfg = self.config
+        if cfg.batch_points and cfg.batch_points < self.grid.n_points:
+            indices = self._batch_rng.choice(
+                self.grid.n_points, size=cfg.batch_points, replace=False
+            )
+            return self.grid.subsample(indices)
+        return self.grid
+
+    def _clip_gradients(self) -> None:
+        limit = self.config.clip_grad_norm
+        if limit <= 0:
+            return
+        total = np.sqrt(sum(
+            float((p.grad ** 2).sum()) for p in self.params if p.grad is not None
+        ))
+        if total > limit:
+            scale = limit / total
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad *= scale
+
+    def _train_epoch(self, epoch: int, hist: TrainingHistory) -> None:
+        cfg = self.config
+        self.optimizer.zero_grad()
+        total, comps = self.loss(self.model, self._epoch_grid(), epoch)
+        backward(total, self.params)
+        loss_value = float(total.data)
+        del total  # release the graph before the diagnostics run
+        self._clip_gradients()
+        norm, var = self._grad_stats()
+        self.optimizer.step()
+        self.scheduler.step()
+        if self.loss.curriculum is not None:
+            self.loss.curriculum.update(loss_value)
+
+        hist.param_drift.append(self._param_drift())
+        hist.loss.append(loss_value)
+        for key, value in comps.items():
+            hist.components.setdefault(key, []).append(value)
+        hist.grad_norm.append(norm)
+        hist.grad_variance.append(var)
+        hist.learning_rate.append(self.scheduler.current_lr())
+
+        last = epoch == cfg.epochs - 1
+        if cfg.eval_every and (epoch % cfg.eval_every == 0 or last):
+            if self.reference is not None:
+                hist.l2_epochs.append(epoch)
+                hist.l2_error.append(
+                    l2_relative_error(self.model, self.reference)
+                )
+            if cfg.track_entanglement:
+                mw = self._entanglement()
+                if mw is not None:
+                    hist.mw_epochs.append(epoch)
+                    hist.mw_entropy.append(mw)
+        if cfg.log_every and epoch % cfg.log_every == 0:  # pragma: no cover
+            print(f"epoch {epoch:5d}  loss {hist.loss[-1]:.4e}")
+
+    def _finalize(self, hist: TrainingHistory) -> TrainingResult:
+        cfg = self.config
+        eps_fn = self.grid.medium.permittivity
+        i_bh = model_bh_indicator(
+            self.model,
+            self.grid.t_max,
+            eps_fn=eps_fn,
+            n_space=cfg.bh_n_space,
+            n_times=cfg.bh_n_times,
+        )
+        final_l2 = hist.l2_error[-1] if hist.l2_error else None
+        collapsed = is_collapsed(i_bh)
+        # The paper marks non-converged runs with an "X"; we treat collapse
+        # or a non-finite loss as non-convergence.
+        converged = bool(np.isfinite(hist.loss[-1])) and not collapsed
+        return TrainingResult(
+            model=self.model,
+            history=hist,
+            final_l2=final_l2,
+            i_bh=i_bh,
+            collapsed=collapsed,
+            converged=converged,
+        )

@@ -1,0 +1,11 @@
+"""``repro.experiments`` — table/figure regeneration harnesses."""
+
+from . import figures, tables
+from .ablation import AblationResult, CellResult, RunSummary, run_ablation, run_cell
+from .registry import EXPERIMENTS, main, run_experiment
+
+__all__ = [
+    "figures", "tables",
+    "RunSummary", "CellResult", "AblationResult", "run_ablation", "run_cell",
+    "EXPERIMENTS", "run_experiment", "main",
+]

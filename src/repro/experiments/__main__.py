@@ -1,0 +1,6 @@
+"""CLI entry point: ``python -m repro.experiments <experiment-id>``."""
+
+from .registry import main
+
+if __name__ == "__main__":
+    main()

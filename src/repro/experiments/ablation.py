@@ -1,0 +1,269 @@
+"""Ablation-sweep harness (paper §4, Figs. 6–9, 14).
+
+Runs a grid of (model kind × input scaling × energy-loss flag) over several
+seeds on one test case, collecting per-run summaries and the aggregations
+the paper reports: per-combination mean/std L2 errors, convergence marks
+("X" when no seed converges), and the Fig. 7/9 groupings by scale and by
+ansatz (with the vacuum case's π-scale exclusion rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import RunConfig, default_seeds, get_case, make_reference, run_single
+from ..core.trainer import TrainingResult
+
+__all__ = [
+    "RunSummary",
+    "CellResult",
+    "AblationResult",
+    "run_ablation",
+    "run_cell",
+]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Lightweight record of one training run."""
+
+    model_kind: str
+    scaling: str
+    use_energy: bool
+    seed: int
+    final_l2: float | None
+    i_bh: float
+    collapsed: bool
+    converged: bool
+    loss_curve: tuple[float, ...]
+    l2_curve: tuple[float, ...]
+    l2_epochs: tuple[int, ...]
+    grad_norm: tuple[float, ...] = ()
+    grad_variance: tuple[float, ...] = ()
+    mw_entropy: tuple[float, ...] = ()
+    mw_epochs: tuple[int, ...] = ()
+
+    @staticmethod
+    def from_result(config: RunConfig, result: TrainingResult) -> "RunSummary":
+        """Build the summary record from a full training result."""
+        h = result.history
+        return RunSummary(
+            model_kind=config.model_kind,
+            scaling=config.scaling,
+            use_energy=config.use_energy,
+            seed=config.seed,
+            final_l2=result.final_l2,
+            i_bh=result.i_bh,
+            collapsed=result.collapsed,
+            converged=result.converged,
+            loss_curve=tuple(h.loss),
+            l2_curve=tuple(h.l2_error),
+            l2_epochs=tuple(h.l2_epochs),
+            grad_norm=tuple(h.grad_norm),
+            grad_variance=tuple(h.grad_variance),
+            mw_entropy=tuple(h.mw_entropy),
+            mw_epochs=tuple(h.mw_epochs),
+        )
+
+
+@dataclass
+class CellResult:
+    """All seeds of one (model, scaling, energy) combination."""
+
+    model_kind: str
+    scaling: str
+    use_energy: bool
+    runs: list[RunSummary] = field(default_factory=list)
+
+    @property
+    def converged_runs(self) -> list[RunSummary]:
+        """Runs that converged and report an L2 error."""
+        return [r for r in self.runs if r.converged and r.final_l2 is not None]
+
+    @property
+    def any_converged(self) -> bool:
+        """Paper's "X" mark: no seed of this combination converged."""
+        return bool(self.converged_runs)
+
+    def mean_l2(self) -> float | None:
+        """Mean final L2 over converged runs (None if all failed)."""
+        runs = self.converged_runs
+        if not runs:
+            return None
+        return float(np.mean([r.final_l2 for r in runs]))
+
+    def std_l2(self) -> float | None:
+        """Std of final L2 over converged runs (None if all failed)."""
+        runs = self.converged_runs
+        if not runs:
+            return None
+        return float(np.std([r.final_l2 for r in runs]))
+
+    def mean_loss_curve(self) -> np.ndarray:
+        """Loss curve averaged over this cell's runs."""
+        return np.mean([r.loss_curve for r in self.runs], axis=0)
+
+    def std_loss_curve(self) -> np.ndarray:
+        """Per-epoch loss standard deviation over runs."""
+        return np.std([r.loss_curve for r in self.runs], axis=0)
+
+    def i_bh_values(self) -> list[float]:
+        """Black-hole indicators of every run in the cell."""
+        return [r.i_bh for r in self.runs]
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell label (model/scaling/energy)."""
+        energy = "+E" if self.use_energy else "-E"
+        return f"{self.model_kind}/{self.scaling}/{energy}"
+
+
+@dataclass
+class AblationResult:
+    """The full sweep plus the paper's aggregation views."""
+
+    case: str
+    cells: list[CellResult]
+    classical_baseline: CellResult | None = None
+
+    # ------------------------------------------------------------------
+    def cell(self, model_kind: str, scaling: str, use_energy: bool) -> CellResult:
+        """Look up one (model, scaling, energy) cell."""
+        for c in self.cells:
+            if (
+                c.model_kind == model_kind
+                and c.scaling == scaling
+                and c.use_energy == use_energy
+            ):
+                return c
+        raise KeyError(f"no cell {model_kind}/{scaling}/energy={use_energy}")
+
+    def best_cell(self) -> CellResult | None:
+        """The converged cell with the lowest mean L2."""
+        scored = [(c.mean_l2(), c) for c in self.cells if c.mean_l2() is not None]
+        if not scored:
+            return None
+        return min(scored, key=lambda pair: pair[0])[1]
+
+    def baseline_l2(self) -> float | None:
+        """Mean L2 of the classical baseline cell."""
+        if self.classical_baseline is None:
+            return None
+        return self.classical_baseline.mean_l2()
+
+    def outperforming_fraction(self) -> float | None:
+        """Fraction of converged QPINN runs beating the classical baseline
+        (paper §4.1 observation 2: 42.2 % in the vacuum case)."""
+        base = self.baseline_l2()
+        if base is None:
+            return None
+        runs = [r for c in self.cells for r in c.converged_runs]
+        if not runs:
+            return None
+        return float(np.mean([r.final_l2 < base for r in runs]))
+
+    # ------------------------------------------------------------------
+    def group_by_scaling(self, omit: tuple[str, ...] = ()) -> dict[str, float]:
+        """Fig. 7a/9a: mean L2 per input scaling (omitting e.g. π)."""
+        groups: dict[str, list[float]] = {}
+        for c in self.cells:
+            if c.scaling in omit:
+                continue
+            l2 = c.mean_l2()
+            if l2 is not None:
+                groups.setdefault(c.scaling, []).append(l2)
+        return {k: float(np.mean(v)) for k, v in sorted(groups.items())}
+
+    def group_by_ansatz(self, omit_scalings: tuple[str, ...] = ()) -> dict[str, float]:
+        """Fig. 7b/9b: mean L2 per ansatz, optionally dropping scalings."""
+        groups: dict[str, list[float]] = {}
+        for c in self.cells:
+            if c.scaling in omit_scalings:
+                continue
+            l2 = c.mean_l2()
+            if l2 is not None:
+                groups.setdefault(c.model_kind, []).append(l2)
+        return {k: float(np.mean(v)) for k, v in sorted(groups.items())}
+
+
+def run_cell(
+    case: str,
+    model_kind: str,
+    scaling: str,
+    use_energy: bool,
+    seeds: int,
+    epochs: int | None = None,
+    grid_n: int | None = None,
+    reference=None,
+    phys_variant: str | None = None,
+) -> CellResult:
+    """Train ``seeds`` runs of one combination and summarise them."""
+    if reference is None:
+        reference = make_reference(get_case(case))
+    cell = CellResult(model_kind=model_kind, scaling=scaling, use_energy=use_energy)
+    for seed in range(seeds):
+        config = RunConfig(
+            case=case,
+            model_kind=model_kind,
+            scaling=scaling,
+            use_energy=use_energy,
+            seed=seed,
+            epochs=epochs,
+            grid_n=grid_n,
+            phys_variant=phys_variant,
+        )
+        result = run_single(config, reference=reference)
+        cell.runs.append(RunSummary.from_result(config, result))
+    return cell
+
+
+def run_ablation(
+    case: str,
+    model_kinds: tuple[str, ...],
+    scalings: tuple[str, ...],
+    energy_options: tuple[bool, ...] = (True, False),
+    seeds: int | None = None,
+    epochs: int | None = None,
+    grid_n: int | None = None,
+    include_classical_baseline: bool = True,
+    baseline_use_energy: bool = False,
+) -> AblationResult:
+    """Run the full (model × scaling × energy) grid for one case.
+
+    The classical baseline ("regular" depth) is trained once per energy
+    setting requested; the paper's headline baseline excludes the energy
+    term (which degrades classical runs).
+    """
+    seeds = seeds if seeds is not None else default_seeds()
+    reference = make_reference(get_case(case))
+    cells: list[CellResult] = []
+    for kind in model_kinds:
+        for scaling in scalings:
+            for use_energy in energy_options:
+                cells.append(
+                    run_cell(
+                        case,
+                        kind,
+                        scaling,
+                        use_energy,
+                        seeds,
+                        epochs=epochs,
+                        grid_n=grid_n,
+                        reference=reference,
+                    )
+                )
+    baseline = None
+    if include_classical_baseline:
+        baseline = run_cell(
+            case,
+            "regular",
+            "none",
+            baseline_use_energy,
+            seeds,
+            epochs=epochs,
+            grid_n=grid_n,
+            reference=reference,
+        )
+    return AblationResult(case=case, cells=cells, classical_baseline=baseline)

@@ -1,0 +1,224 @@
+"""Figure-data generators: one function per paper figure.
+
+Each ``figN_data`` returns plain NumPy arrays / dicts ready to print or
+plot; the benchmark suite calls these and prints the same series the paper
+shows.  Training-based figures accept scale knobs so the same code runs at
+smoke scale (CI) and at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blackhole import model_energy_series
+from ..core.config import RunConfig, get_case, make_reference, run_single
+from ..core.initialization import OutputSpread, output_spread
+from ..core.metrics import evaluate_fields
+from ..core.models import build_model
+from ..torq import INIT_STRATEGIES, SCALING_NAMES, scale_input, single_qubit_z_response
+from .ablation import CellResult, RunSummary, run_cell
+
+__all__ = [
+    "fig3_data",
+    "fig5_data",
+    "fig10_data",
+    "fig11_data",
+    "fig12_data",
+    "fig13_data",
+]
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — input-scaling analysis (pure math, no training)
+# ----------------------------------------------------------------------
+
+def fig3_data(n_samples: int = 4096, n_grid: int = 201, seed: int = 0) -> dict:
+    """⟨Z⟩ response curves and angle/outcome distributions per scaling.
+
+    Returns, per scaling name:
+      ``response``   — (a, ⟨Z⟩(a)) on a uniform grid (panels a/b),
+      ``angles``     — scaled angles for a ~ U[−1, 1] (panel c),
+      ``tanh_angles``— scaled angles for a = tanh(N(0,1)) (panel b inputs),
+      ``outcomes``   — ⟨Z⟩ samples for the uniform inputs (panel d).
+    """
+    rng = np.random.default_rng(seed)
+    a_grid = np.linspace(-1.0, 1.0, n_grid)
+    a_uniform = rng.uniform(-1.0, 1.0, n_samples)
+    a_tanh = np.tanh(rng.normal(0.0, 1.0, n_samples))
+    data: dict[str, dict] = {}
+    for name in SCALING_NAMES:
+        angles = scale_input(name, a_uniform).data
+        data[name] = {
+            "response": (a_grid, single_qubit_z_response(name, a_grid)),
+            "angles": angles,
+            "tanh_angles": scale_input(name, a_tanh).data,
+            "outcomes": np.cos(angles),
+        }
+    return data
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — initial conditions and final-time contours
+# ----------------------------------------------------------------------
+
+def fig5_data(
+    n_grid: int = 64,
+    train_result=None,
+    case: str = "vacuum",
+) -> dict:
+    """IC plane and final-time E_z from the reference (and a model if given).
+
+    Returns grids ``x, y``, ``ez_initial``, ``ez_final_reference`` and —
+    when a trained model is supplied — ``ez_final_model``.
+    """
+    case_cfg = get_case(case)
+    ref = make_reference(case_cfg, n=n_grid)
+    out = {
+        "x": ref.x,
+        "y": ref.y,
+        "t_final": float(ref.times[-1]),
+        "ez_initial": ref.ez[0],
+        "ez_final_reference": ref.ez[-1],
+        "eps": ref.eps,
+    }
+    if train_result is not None:
+        xx, yy = np.meshgrid(ref.x, ref.y, indexing="ij")
+        tcol = np.full(xx.size, ref.times[-1])
+        ez, _, _ = evaluate_fields(train_result.model, xx.ravel(), yy.ravel(), tcol)
+        out["ez_final_model"] = ez.reshape(xx.shape)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — black-hole diagnostics with vs without the energy term
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig10Series:
+    """Diagnostics of one configuration averaged over seeds."""
+
+    label: str
+    loss: np.ndarray
+    loss_std: np.ndarray
+    grad_norm: np.ndarray
+    grad_variance: np.ndarray
+    l2_epochs: np.ndarray
+    l2_error: np.ndarray
+    mw_epochs: np.ndarray
+    mw_entropy: np.ndarray
+    i_bh: tuple[float, ...]
+
+
+def _cell_to_series(label: str, cell: CellResult) -> Fig10Series:
+    def mean_over_runs(getter) -> np.ndarray:
+        series = [np.asarray(getter(r), dtype=np.float64) for r in cell.runs]
+        min_len = min(len(s) for s in series)
+        return np.mean([s[:min_len] for s in series], axis=0)
+
+    return Fig10Series(
+        label=label,
+        loss=mean_over_runs(lambda r: r.loss_curve),
+        loss_std=np.std(
+            [r.loss_curve[: min(len(x.loss_curve) for x in cell.runs)] for r in cell.runs],
+            axis=0,
+        ),
+        grad_norm=mean_over_runs(lambda r: r.grad_norm),
+        grad_variance=mean_over_runs(lambda r: r.grad_variance),
+        l2_epochs=np.asarray(cell.runs[0].l2_epochs),
+        l2_error=mean_over_runs(lambda r: r.l2_curve),
+        mw_epochs=np.asarray(cell.runs[0].mw_epochs),
+        mw_entropy=mean_over_runs(lambda r: r.mw_entropy),
+        i_bh=tuple(cell.i_bh_values()),
+    )
+
+
+def fig10_data(
+    ansatz: str = "strongly_entangling",
+    scaling: str = "acos",
+    seeds: int = 2,
+    epochs: int | None = None,
+    grid_n: int | None = None,
+) -> dict[str, Fig10Series]:
+    """Train the vacuum QPINN with and without L_energy, track diagnostics."""
+    out: dict[str, Fig10Series] = {}
+    for use_energy in (True, False):
+        cell = run_cell(
+            "vacuum", ansatz, scaling, use_energy,
+            seeds=seeds, epochs=epochs, grid_n=grid_n,
+        )
+        key = "with_energy" if use_energy else "without_energy"
+        out[key] = _cell_to_series(key, cell)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — field snapshots of a collapsed run
+# ----------------------------------------------------------------------
+
+def fig11_data(
+    run_summary_model,
+    times: tuple[float, ...] = (0.0, 0.3, 1.5),
+    n_grid: int = 48,
+) -> dict:
+    """E_z planes of a trained (possibly collapsed) model at given times."""
+    axis = np.linspace(-1.0, 1.0, n_grid, endpoint=False)
+    xx, yy = np.meshgrid(axis, axis, indexing="ij")
+    planes = {}
+    for t in times:
+        ez, _, _ = evaluate_fields(
+            run_summary_model, xx.ravel(), yy.ravel(), np.full(xx.size, t)
+        )
+        planes[t] = ez.reshape(xx.shape)
+    return {"x": axis, "y": axis, "planes": planes}
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — penultimate-layer output spreads across initialisations
+# ----------------------------------------------------------------------
+
+def fig12_data(
+    ansatze: tuple[str, ...] = ("strongly_entangling", "no_entanglement"),
+    scalings: tuple[str, ...] = ("acos", "none"),
+    inits: tuple[str, ...] = INIT_STRATEGIES,
+    n_points: int = 256,
+    seed: int = 0,
+) -> dict[str, OutputSpread]:
+    """Second-to-last-layer output distributions at epoch 0.
+
+    Keys are ``"<kind>/<scaling>/<init>"`` plus a ``"classical/tanh"``
+    entry for the PINN comparison.
+    """
+    rng = np.random.default_rng(seed)
+    out: dict[str, OutputSpread] = {}
+    for ansatz in ansatze:
+        for scaling in scalings:
+            for init in inits:
+                model = build_model(
+                    ansatz, rng=np.random.default_rng(seed),
+                    scaling=scaling, init=init,
+                )
+                out[f"{ansatz}/{scaling}/{init}"] = output_spread(
+                    model, n_points=n_points, seed=seed
+                )
+    classical = build_model("regular", rng=rng)
+    out["classical/tanh"] = output_spread(classical, n_points=n_points, seed=seed)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — asymmetric-pulse reference snapshots
+# ----------------------------------------------------------------------
+
+def fig13_data(
+    n_grid: int = 64, times: tuple[float, ...] = (0.0, 0.5, 0.8, 1.5)
+) -> dict:
+    """Reference E_z planes for the appendix-A asymmetric pulse."""
+    case = get_case("asymmetric")
+    ref = make_reference(case, n=n_grid, n_snapshots=16)
+    planes = {}
+    for t in times:
+        k = int(np.argmin(np.abs(ref.times - t)))
+        planes[float(ref.times[k])] = ref.ez[k]
+    return {"x": ref.x, "y": ref.y, "planes": planes}

@@ -1,0 +1,235 @@
+"""Experiment registry and CLI.
+
+Maps experiment ids (``table1``, ``table2``, ``fig3`` … ``fig14``,
+``sec51``) to runnable harnesses that print the paper's rows/series.
+Usage::
+
+    python -m repro.experiments <experiment-id> [...]
+    python -m repro.experiments list
+
+Scale via ``REPRO_GRID`` / ``REPRO_EPOCHS`` / ``REPRO_SEEDS`` env vars.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+import numpy as np
+
+from ..core.config import default_epochs, default_grid_n, default_seeds
+from ..torq import SCALING_NAMES
+from . import figures, tables
+from .ablation import run_ablation, run_cell
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _print_table1() -> None:
+    print(f"{'architecture':28s} {'classical':>10s} {'quantum':>8s} {'total':>8s}  paper-total match")
+    for row in tables.table1_rows():
+        match = (row["classical"], row["quantum"], row["total"]) == row["paper"]
+        print(
+            f"{row['name']:28s} {row['classical']:10d} {row['quantum']:8d} "
+            f"{row['total']:8d}  {row['paper'][2]:8d} {'OK' if match else 'MISMATCH'}"
+        )
+
+
+def _print_table2() -> None:
+    rows = tables.table2_rows()
+    print(f"{'package':36s} {'points':>8s} {'sec/epoch':>12s}")
+    for row in rows:
+        print(f"{row.package:36s} {row.grid_points:8d} {row.seconds_per_epoch:12.4f}")
+    naive = [r for r in rows if r.package.startswith("naive")]
+    torq = [r for r in rows if r.package.startswith("TorQ")]
+    if naive and torq:
+        per_point_naive = max(r.seconds_per_epoch / r.grid_points for r in naive)
+        per_point_torq = min(r.seconds_per_epoch / r.grid_points for r in torq)
+        print(
+            f"per-point speedup (batched vs looped): {per_point_naive / per_point_torq:.1f}x "
+            f"(paper: {tables.PAPER_TABLE2_SPEEDUP:.1f}x at 40^3)"
+        )
+
+
+def _print_fig3() -> None:
+    data = figures.fig3_data()
+    print(f"{'scaling':8s} {'<Z>(a=-1)':>10s} {'<Z>(0)':>8s} {'<Z>(1)':>8s} "
+          f"{'angle-mean':>11s} {'angle-std':>10s} {'outcome-std':>12s}")
+    for name, d in data.items():
+        a, z = d["response"]
+        print(
+            f"{name:8s} {z[0]:10.3f} {z[len(z)//2]:8.3f} {z[-1]:8.3f} "
+            f"{d['angles'].mean():11.3f} {d['angles'].std():10.3f} "
+            f"{d['outcomes'].std():12.3f}"
+        )
+
+
+def _ablation_defaults() -> dict:
+    return {
+        "seeds": default_seeds(),
+        "epochs": default_epochs(),
+        "grid_n": default_grid_n(),
+    }
+
+
+def _print_ablation(case: str, omit_scaling_in_groups: tuple[str, ...]) -> None:
+    kw = _ablation_defaults()
+    result = run_ablation(
+        case,
+        model_kinds=("basic_entangling", "strongly_entangling", "no_entanglement"),
+        scalings=("none", "acos", "asin"),
+        **kw,
+    )
+    base = result.baseline_l2()
+    print(f"classical baseline (regular) L2: {base}")
+    print(f"{'cell':44s} {'mean L2':>10s} {'std':>8s} {'conv':>5s}")
+    for cell in result.cells:
+        l2 = cell.mean_l2()
+        l2s = "X" if l2 is None else f"{l2:10.4f}"
+        std = cell.std_l2()
+        stds = "-" if std is None else f"{std:8.4f}"
+        print(f"{cell.label:44s} {l2s:>10s} {stds:>8s} {len(cell.converged_runs):5d}")
+    best = result.best_cell()
+    if best is not None:
+        print(f"best combination: {best.label} (mean L2 {best.mean_l2():.4f})")
+    print("grouped by scaling:", result.group_by_scaling(omit=omit_scaling_in_groups))
+    print("grouped by ansatz:", result.group_by_ansatz(omit_scalings=omit_scaling_in_groups))
+    frac = result.outperforming_fraction()
+    if frac is not None:
+        print(f"fraction of converged QPINN runs beating classical: {frac:.1%}")
+
+
+def _print_fig10() -> None:
+    kw = _ablation_defaults()
+    data = figures.fig10_data(
+        seeds=kw["seeds"], epochs=kw["epochs"], grid_n=kw["grid_n"]
+    )
+    for key, series in data.items():
+        print(
+            f"{key}: final loss {series.loss[-1]:.4e}, final L2 "
+            f"{series.l2_error[-1]:.4f}, grad-norm {series.grad_norm[-1]:.3e}, "
+            f"MW entropy {series.mw_entropy[-1] if len(series.mw_entropy) else float('nan'):.3f}, "
+            f"I_BH {series.i_bh}"
+        )
+
+
+def _print_fig12() -> None:
+    data = figures.fig12_data()
+    print(f"{'configuration':48s} {'std':>7s} {'near-0':>7s} {'min':>7s} {'max':>7s}")
+    for key, spread in data.items():
+        print(
+            f"{key:48s} {spread.std:7.3f} {spread.frac_near_zero:7.2%} "
+            f"{spread.min:7.3f} {spread.max:7.3f}"
+        )
+
+
+def _print_sec51() -> None:
+    kw = _ablation_defaults()
+    for variant in ("split", "intuitive"):
+        cell = run_cell(
+            "dielectric", "basic_entangling", "none", False,
+            seeds=kw["seeds"], epochs=kw["epochs"], grid_n=kw["grid_n"],
+            phys_variant=variant,
+        )
+        l2 = cell.mean_l2()
+        print(
+            f"dielectric phys={variant:9s} no-energy: mean L2 "
+            f"{'X' if l2 is None else f'{l2:.4f}'}  I_BH {cell.i_bh_values()}"
+        )
+
+
+def _print_fig5() -> None:
+    data = figures.fig5_data(n_grid=48, case="vacuum")
+    diel = figures.fig5_data(n_grid=48, case="dielectric")
+    print(f"(a) IC: max|E_z| = {abs(data['ez_initial']).max():.3f}")
+    print(f"(b) vacuum t={data['t_final']:.1f}: max|E_z| = "
+          f"{abs(data['ez_final_reference']).max():.3f}")
+    print(f"(c) dielectric t={diel['t_final']:.1f}: max|E_z| = "
+          f"{abs(diel['ez_final_reference']).max():.3f} "
+          f"(slab cells: {(diel['eps'] > 2).sum()})")
+
+
+def _print_fig13() -> None:
+    data = figures.fig13_data(n_grid=48, times=(0.0, 0.5, 0.8, 1.5))
+    for t, plane in data["planes"].items():
+        i, j = np.unravel_index(np.abs(plane).argmax(), plane.shape)
+        print(f"t = {t:.2f}: max|E_z| = {np.abs(plane).max():.3f} at "
+              f"({data['x'][i]:+.2f}, {data['y'][j]:+.2f})")
+
+
+def _print_ansatz_analysis() -> None:
+    """Expressibility / entangling capability per ansatz (Sim et al.,
+    the paper's reference for its ansatz choices)."""
+    from ..torq import entangling_capability, expressibility, make_ansatz
+    from ..torq.ansatz import ANSATZ_NAMES
+
+    rng_seed = 0
+    print(f"{'ansatz':24s} {'expressibility KL':>18s} {'entangling cap.':>16s}")
+    for name in ANSATZ_NAMES:
+        ansatz = make_ansatz(name, n_qubits=4, n_layers=2)
+        kl = expressibility(ansatz, n_pairs=150, rng=np.random.default_rng(rng_seed))
+        ent = entangling_capability(ansatz, n_samples=80, rng=np.random.default_rng(rng_seed))
+        print(f"{name:24s} {kl:18.3f} {ent:16.3f}")
+    print("(lower KL = closer to Haar-random; paper Sec. 6.1 relates both "
+          "axes to the vacuum/dielectric ansatz orderings)")
+
+
+EXPERIMENTS: dict[str, Callable[[], None]] = {
+    "table1": _print_table1,
+    "table2": _print_table2,
+    "fig3": _print_fig3,
+    "fig5": _print_fig5,
+    "fig13": _print_fig13,
+    "fig6": lambda: _print_ablation("vacuum", omit_scaling_in_groups=("pi",)),
+    "fig8": lambda: _print_ablation("dielectric", omit_scaling_in_groups=()),
+    "fig10": _print_fig10,
+    "fig12": _print_fig12,
+    "sec51": _print_sec51,
+    "ansatz-analysis": _print_ansatz_analysis,
+}
+
+
+def run_experiment(name: str) -> None:
+    """Run one registered experiment by name."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    fn()
+
+
+def export_artifacts(out_dir: str) -> None:
+    """Run a compact ablation and write CSV/JSON artefacts to ``out_dir``."""
+    import os
+
+    from ..report import ablation_to_csv, summary_json
+
+    os.makedirs(out_dir, exist_ok=True)
+    kw = _ablation_defaults()
+    for case in ("vacuum", "dielectric"):
+        result = run_ablation(
+            case,
+            model_kinds=("basic_entangling", "no_entanglement"),
+            scalings=("acos", "none"),
+            **kw,
+        )
+        csv_path = ablation_to_csv(result, os.path.join(out_dir, f"{case}_runs.csv"))
+        json_path = summary_json(result, os.path.join(out_dir, f"{case}_summary.json"))
+        print(f"{case}: wrote {csv_path} and {json_path}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point."""
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv or argv[0] in ("list", "--list", "-l"):
+        print("available experiments:", ", ".join(EXPERIMENTS))
+        print("or: export <output-dir>  (write ablation CSV/JSON artefacts)")
+        return
+    if argv[0] == "export":
+        export_artifacts(argv[1] if len(argv) > 1 else "results")
+        return
+    for name in argv:
+        print(f"=== {name} ===")
+        run_experiment(name)

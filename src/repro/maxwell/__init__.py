@@ -1,0 +1,48 @@
+"""``repro.maxwell`` — the 2-D TE_z Maxwell physics substrate."""
+
+from .full3d import (
+    Field3DDerivatives,
+    curl_residuals_e,
+    curl_residuals_h,
+    divergence_e,
+    divergence_h,
+    energy_density_3d,
+    solenoidal_gaussian,
+)
+from .energy import (
+    bh_indicator,
+    energy_density,
+    energy_residual,
+    normalized_energy,
+    poynting_vector,
+    total_energy,
+)
+from .initial import ASYMMETRIC_PULSE, CENTERED_PULSE, GaussianPulse
+from .media import DielectricSlab, Medium, Vacuum
+from .tmz import (
+    TMFieldDerivatives,
+    te_to_tm_duality,
+    tm_residual_ampere_x,
+    tm_residual_ampere_y,
+    tm_residual_faraday,
+)
+from .tez import (
+    FieldDerivatives,
+    residual_ampere,
+    residual_ampere_scaled,
+    residual_faraday_x,
+    residual_faraday_y,
+)
+
+__all__ = [
+    "Medium", "Vacuum", "DielectricSlab",
+    "GaussianPulse", "CENTERED_PULSE", "ASYMMETRIC_PULSE",
+    "FieldDerivatives", "residual_ampere", "residual_ampere_scaled",
+    "residual_faraday_x", "residual_faraday_y",
+    "energy_density", "poynting_vector", "energy_residual",
+    "total_energy", "normalized_energy", "bh_indicator",
+    "Field3DDerivatives", "curl_residuals_e", "curl_residuals_h",
+    "divergence_e", "divergence_h", "energy_density_3d", "solenoidal_gaussian",
+    "TMFieldDerivatives", "tm_residual_faraday", "tm_residual_ampere_x",
+    "tm_residual_ampere_y", "te_to_tm_duality",
+]

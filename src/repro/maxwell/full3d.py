@@ -1,0 +1,104 @@
+"""Full 3-D Maxwell substrate (paper §6.3 future work: "3D problems").
+
+Source-free, normalised (ε₀ = μ₀ = 1) Maxwell equations on a periodic
+box, with all six field components:
+
+    ∂E/∂t =  ∇×H        ∂H/∂t = −∇×E
+    ∇·E = 0             ∇·H = 0
+
+Unlike the TE_z reduction, the divergence constraints are no longer
+automatic consequences of a 2-D ansatz, so 3-D PINNs penalise them
+explicitly (they are preserved exactly by the continuous dynamics but not
+by an unconstrained network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "Field3DDerivatives",
+    "curl_residuals_e",
+    "curl_residuals_h",
+    "divergence_e",
+    "divergence_h",
+    "energy_density_3d",
+    "solenoidal_gaussian",
+]
+
+
+@dataclass
+class Field3DDerivatives:
+    """First derivatives of all six components (naming: dF{c}_d{axis})."""
+
+    # Electric field derivatives
+    dEx_dt: Any; dEx_dy: Any; dEx_dz: Any; dEx_dx: Any
+    dEy_dt: Any; dEy_dx: Any; dEy_dz: Any; dEy_dy: Any
+    dEz_dt: Any; dEz_dx: Any; dEz_dy: Any; dEz_dz: Any
+    # Magnetic field derivatives
+    dHx_dt: Any; dHx_dy: Any; dHx_dz: Any; dHx_dx: Any
+    dHy_dt: Any; dHy_dx: Any; dHy_dz: Any; dHy_dy: Any
+    dHz_dt: Any; dHz_dx: Any; dHz_dy: Any; dHz_dz: Any
+
+
+def curl_residuals_e(d: Field3DDerivatives) -> tuple[Any, Any, Any]:
+    """Ampère residuals: ∂E/∂t − ∇×H, componentwise."""
+    rx = d.dEx_dt - (d.dHz_dy - d.dHy_dz)
+    ry = d.dEy_dt - (d.dHx_dz - d.dHz_dx)
+    rz = d.dEz_dt - (d.dHy_dx - d.dHx_dy)
+    return rx, ry, rz
+
+
+def curl_residuals_h(d: Field3DDerivatives) -> tuple[Any, Any, Any]:
+    """Faraday residuals: ∂H/∂t + ∇×E, componentwise."""
+    rx = d.dHx_dt + (d.dEz_dy - d.dEy_dz)
+    ry = d.dHy_dt + (d.dEx_dz - d.dEz_dx)
+    rz = d.dHz_dt + (d.dEy_dx - d.dEx_dy)
+    return rx, ry, rz
+
+
+def divergence_e(d: Field3DDerivatives) -> Any:
+    """∇·E (should vanish in the source-free problem)."""
+    return d.dEx_dx + d.dEy_dy + d.dEz_dz
+
+
+def divergence_h(d: Field3DDerivatives) -> Any:
+    """∇·H (always zero physically)."""
+    return d.dHx_dx + d.dHy_dy + d.dHz_dz
+
+
+def energy_density_3d(ex, ey, ez, hx, hy, hz) -> Any:
+    """u = ½ (|E|² + |H|²) with ε = μ = 1."""
+    return 0.5 * (ex * ex + ey * ey + ez * ez + hx * hx + hy * hy + hz * hz)
+
+
+def solenoidal_gaussian(
+    n: int, sharpness: float = 25.0, lo: float = -1.0, hi: float = 1.0
+) -> tuple[np.ndarray, ...]:
+    """Divergence-free Gaussian pulse E₀ on an n³ periodic grid.
+
+    Construction: E₀ = ∇×A with A = (0, 0, g) and a centered Gaussian g,
+    giving E₀ = (∂g/∂y, −∂g/∂x, 0) — exactly solenoidal, band-limited
+    enough for spectral evolution.  Returns ``(axis, Ex, Ey, Ez)``.
+    """
+    spacing = (hi - lo) / n
+    axis = lo + spacing * np.arange(n)
+    xx, yy, zz = np.meshgrid(axis, axis, axis, indexing="ij")
+    g = np.exp(-sharpness * (xx ** 2 + yy ** 2 + zz ** 2))
+    k = 2.0 * np.pi * np.fft.fftfreq(n, d=spacing)
+    if n % 2 == 0:
+        # Zero the Nyquist wavenumber for odd derivatives: its 1j·k
+        # product has no conjugate partner, so keeping it would leave a
+        # spurious (longitudinal) residue after taking the real part.
+        k = k.copy()
+        k[n // 2] = 0.0
+    g_hat = np.fft.fftn(g)
+    ky = k[None, :, None]
+    kx = k[:, None, None]
+    ex = np.fft.ifftn(1j * ky * g_hat).real     # ∂g/∂y
+    ey = np.fft.ifftn(-1j * kx * g_hat).real    # −∂g/∂x
+    ez = np.zeros_like(ex)
+    return axis, ex, ey, ez

@@ -1,0 +1,66 @@
+"""Initial conditions for the electromagnetic pulse problems.
+
+Both test cases start from a Gaussian pulse in E_z with zero magnetic
+field (Eqs. 16–18).  The appendix-A asymmetric case shifts the pulse to
+(0.4, 0.3) and stretches it by (σ_x, σ_y) = (0.85, 0.65); we interpret the
+stretch factors as scalings of the base Gaussian width (documented
+convention — the paper gives only the factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GaussianPulse", "CENTERED_PULSE", "ASYMMETRIC_PULSE"]
+
+
+@dataclass(frozen=True)
+class GaussianPulse:
+    """E_z(x, y, 0) = exp(−k [(x−x₀)²/σ_x² + (y−y₀)²/σ_y²]), H = 0."""
+
+    x0: float = 0.0
+    y0: float = 0.0
+    sigma_x: float = 1.0
+    sigma_y: float = 1.0
+    sharpness: float = 25.0
+
+    def ez(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """E_z component at the given points."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        arg = (
+            ((x - self.x0) / self.sigma_x) ** 2
+            + ((y - self.y0) / self.sigma_y) ** 2
+        )
+        return np.exp(-self.sharpness * arg)
+
+    def hx(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """H_x component at the given points."""
+        return np.zeros(np.broadcast(np.asarray(x), np.asarray(y)).shape)
+
+    def hy(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """H_y component at the given points."""
+        return np.zeros(np.broadcast(np.asarray(x), np.asarray(y)).shape)
+
+    def fields(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(E_z, H_x, H_y) at t = 0."""
+        return self.ez(x, y), self.hx(x, y), self.hy(x, y)
+
+    @property
+    def symmetric_x(self) -> bool:
+        """Whether the pulse is even under x → −x (centered in x)."""
+        return self.x0 == 0.0
+
+    @property
+    def symmetric_y(self) -> bool:
+        """Whether the pulse is even under y → −y (centered in y)."""
+        return self.y0 == 0.0
+
+
+#: Eq. 16: the centered pulse used by both main test cases.
+CENTERED_PULSE = GaussianPulse()
+
+#: Appendix A: shifted, stretched pulse breaking both mirror symmetries.
+ASYMMETRIC_PULSE = GaussianPulse(x0=0.4, y0=0.3, sigma_x=0.85, sigma_y=0.65)

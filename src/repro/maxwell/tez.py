@@ -1,0 +1,63 @@
+"""TE_z Maxwell residuals (paper Eqs. 7, 9, 11, 12).
+
+After the Eq. 6 field scaling and ε₀ = μ₀ = 1 normalisation, the governing
+system on the periodic box is
+
+    ∂E_z/∂t = (1/ε) (∂H_y/∂x − ∂H_x/∂y)
+    ∂H_x/∂t = −∂E_z/∂y
+    ∂H_y/∂t =  ∂E_z/∂x
+
+The residual helpers below are *representation agnostic*: they accept any
+objects supporting arithmetic (autodiff tensors during training, ndarrays
+in solver tests) so the same physics code backs both the PINN loss and the
+reference solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["FieldDerivatives", "residual_faraday_x", "residual_faraday_y",
+           "residual_ampere", "residual_ampere_scaled"]
+
+
+@dataclass
+class FieldDerivatives:
+    """Container for the first derivatives entering the TE_z residuals.
+
+    Attributes are whatever tensor type the caller uses; names follow the
+    paper's notation (e.g. ``dEz_dt`` = ∂E_z/∂t).
+    """
+
+    dEz_dt: Any
+    dEz_dx: Any
+    dEz_dy: Any
+    dHx_dt: Any
+    dHx_dy: Any
+    dHy_dt: Any
+    dHy_dx: Any
+
+
+def residual_ampere(d: FieldDerivatives) -> Any:
+    """Vacuum Ampère residual (Eq. 9): ∂E_z/∂t − (∂H_y/∂x − ∂H_x/∂y)."""
+    return d.dEz_dt - (d.dHy_dx - d.dHx_dy)
+
+
+def residual_ampere_scaled(d: FieldDerivatives, inv_eps: Any) -> Any:
+    """Heterogeneous Ampère residual (Eqs. 11/36) with 1/ε(x) weights.
+
+    ``inv_eps`` is 1/ε at each collocation point (broadcastable).  With
+    ``inv_eps == 1`` this reduces to :func:`residual_ampere`.
+    """
+    return d.dEz_dt - inv_eps * (d.dHy_dx - d.dHx_dy)
+
+
+def residual_faraday_x(d: FieldDerivatives) -> Any:
+    """Eq. 12a: ∂H_x/∂t + ∂E_z/∂y."""
+    return d.dHx_dt + d.dEz_dy
+
+
+def residual_faraday_y(d: FieldDerivatives) -> Any:
+    """Eq. 12b: ∂H_y/∂t − ∂E_z/∂x."""
+    return d.dHy_dt - d.dEz_dx

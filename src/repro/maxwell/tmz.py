@@ -1,0 +1,64 @@
+"""TM_z polarization residuals — the dual of the paper's TE_z choice.
+
+The paper picks TE_z "for simplicity"; the complementary transverse
+magnetic polarization has the out-of-plane magnetic field H_z(x, y, t)
+and in-plane electric components (E_x, E_y):
+
+    ∂H_z/∂t = −(∂E_y/∂x − ∂E_x/∂y)
+    ∂E_x/∂t =  (1/ε) ∂H_z/∂y
+    ∂E_y/∂t = −(1/ε) ∂H_z/∂x
+
+In vacuum the two polarizations are related by the duality transform
+(E → H, H → −E), which the tests exploit: any exact TE_z solution maps to
+an exact TM_z solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "TMFieldDerivatives",
+    "tm_residual_faraday",
+    "tm_residual_ampere_x",
+    "tm_residual_ampere_y",
+    "te_to_tm_duality",
+]
+
+
+@dataclass
+class TMFieldDerivatives:
+    """First derivatives entering the TM_z residuals."""
+
+    dHz_dt: Any
+    dHz_dx: Any
+    dHz_dy: Any
+    dEx_dt: Any
+    dEx_dy: Any
+    dEy_dt: Any
+    dEy_dx: Any
+
+
+def tm_residual_faraday(d: TMFieldDerivatives) -> Any:
+    """∂H_z/∂t + (∂E_y/∂x − ∂E_x/∂y)."""
+    return d.dHz_dt + (d.dEy_dx - d.dEx_dy)
+
+
+def tm_residual_ampere_x(d: TMFieldDerivatives, inv_eps: Any = 1.0) -> Any:
+    """∂E_x/∂t − (1/ε) ∂H_z/∂y."""
+    return d.dEx_dt - inv_eps * d.dHz_dy
+
+
+def tm_residual_ampere_y(d: TMFieldDerivatives, inv_eps: Any = 1.0) -> Any:
+    """∂E_y/∂t + (1/ε) ∂H_z/∂x."""
+    return d.dEy_dt + inv_eps * d.dHz_dx
+
+
+def te_to_tm_duality(ez, hx, hy):
+    """Map a vacuum TE_z solution to a TM_z solution via (E, H) → (H, −E).
+
+    Given (E_z, H_x, H_y) solving the TE system with ε = μ = 1, the fields
+    (H_z, E_x, E_y) = (E_z, −H_x, −H_y) solve the TM system.
+    """
+    return ez, -hx, -hy

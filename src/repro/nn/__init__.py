@@ -1,0 +1,14 @@
+"""``repro.nn`` — neural-network building blocks for PINN/QPINN trunks."""
+
+from .fourier import RandomFourierFeatures
+from .init import uniform, xavier_normal, xavier_uniform, zeros_init
+from .layers import Identity, Lambda, Linear, Sequential, Sin, Tanh
+from .module import Module, Parameter
+from .periodic import PeriodicSpaceTimeEmbedding
+
+__all__ = [
+    "Module", "Parameter",
+    "Linear", "Tanh", "Sin", "Identity", "Lambda", "Sequential",
+    "RandomFourierFeatures", "PeriodicSpaceTimeEmbedding",
+    "xavier_uniform", "xavier_normal", "uniform", "zeros_init",
+]

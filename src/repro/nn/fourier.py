@@ -1,0 +1,52 @@
+"""Random Fourier feature embedding (paper §2.2, refs. Tancik et al. 2020).
+
+Maps inputs ``v ∈ R^d`` to ``[cos(v Ω), sin(v Ω)]`` where the projection
+matrix ``Ω`` is sampled once from N(0, σ²) and frozen (it is *not* a
+trainable parameter).  The paper uses 128 cosine + 128 sine outputs, so the
+first hidden layer after the RFF has 256 inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from .module import Module
+
+__all__ = ["RandomFourierFeatures"]
+
+
+class RandomFourierFeatures(Module):
+    """Fixed randomized sinusoidal embedding mitigating spectral bias."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_features: int = 128,
+        sigma: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = int(in_features)
+        self.num_features = int(num_features)
+        self.sigma = float(sigma)
+        # Frozen projection: plain ndarray, not a Parameter.
+        self.projection = rng.normal(0.0, self.sigma, size=(self.in_features, self.num_features))
+
+    @property
+    def out_features(self) -> int:
+        """Output width produced by this layer."""
+        return 2 * self.num_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        proj = x @ Tensor(self.projection)
+        return ad.concatenate([ad.cos(proj), ad.sin(proj)], axis=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RandomFourierFeatures(in={self.in_features}, "
+            f"features={self.num_features}, sigma={self.sigma})"
+        )

@@ -1,0 +1,34 @@
+"""Weight initialisation schemes.
+
+Xavier/Glorot initialisation is the default for the tanh-activated PINN
+trunks; quantum circuit parameters use the paper's ``[0, 2π)`` uniform
+(:mod:`repro.core.initialization` adds the §5.2 alternatives).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "uniform", "zeros_init"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def xavier_normal(rng: np.random.Generator, fan_in: int, fan_out: int, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def uniform(rng: np.random.Generator, shape, low: float, high: float) -> np.ndarray:
+    """Uniform initialisation in [low, high]."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros_init(shape) -> np.ndarray:
+    """All-zero initialisation."""
+    return np.zeros(shape)

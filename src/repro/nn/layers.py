@@ -1,0 +1,116 @@
+"""Core layers: Linear, activations, and Sequential composition."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from .init import xavier_uniform
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Tanh", "Sin", "Identity", "Lambda", "Sequential"]
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Glorot-uniform initialisation.
+
+    Inputs are batched as ``(N, in_features)``; the collocation batch is
+    always the leading axis throughout the library.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        gain: float = 1.0,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            xavier_uniform(rng, self.in_features, self.out_features, gain=gain),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(self.out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation (the paper's hidden activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        return ad.tanh(x)
+
+
+class Sin(Module):
+    """Sine activation (used by spectral-control ablation variants)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        return ad.sin(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        return x
+
+
+class Lambda(Module):
+    """Wrap an arbitrary tensor function as a parameterless module."""
+
+    def __init__(self, fn: Callable[[Tensor], Tensor], label: str = "lambda"):
+        super().__init__()
+        self.fn = fn
+        self.label = label
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        return self.fn(x)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Lambda({self.label})"
+
+
+class Sequential(Module):
+    """Chain modules; supports indexing and iteration."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layer_list = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the module to the input tensor(s)."""
+        for layer in self._layer_list:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layer_list[index]
+
+    def __iter__(self):
+        return iter(self._layer_list)
+
+    def __len__(self) -> int:
+        return len(self._layer_list)

@@ -1,0 +1,76 @@
+"""Periodic input embeddings (paper §2.2, Eqs. 27–28 and the learned-period
+time mapping).
+
+Spatial coordinates pass through ``sin(2πx/Lx), cos(2πx/Lx)`` so the network
+is *exactly* periodic over the domain — eliminating the boundary loss term
+(Dong & Ni 2021).  Time passes through the same sinusoidal map but with a
+learned period: the simulated window never covers a full period, so the
+network learns the effective one.  The period is parameterised as
+``T = softplus(raw)`` to stay positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from .module import Module, Parameter
+
+__all__ = ["PeriodicSpaceTimeEmbedding"]
+
+
+def _inverse_softplus(value: float) -> float:
+    """Return ``raw`` with ``softplus(raw) == value`` (value > 0)."""
+    return float(np.log(np.expm1(value)))
+
+
+class PeriodicSpaceTimeEmbedding(Module):
+    """Map ``(x, y, t)`` to strictly periodic sinusoidal features.
+
+    Output feature order: ``(sin_x, cos_x, sin_y, cos_y, sin_t, cos_t)``.
+
+    Parameters
+    ----------
+    lengths:
+        Spatial domain lengths ``(Lx, Ly)``; the paper's domain is
+        ``[-1, 1]²`` so both are 2.
+    time_period_init:
+        Initial guess for the learned time period.  The paper does not
+        report the initialisation; we default to twice the simulated window
+        so the map starts injective over ``[0, t_max]``.
+    """
+
+    def __init__(self, lengths: tuple[float, float] = (2.0, 2.0), time_period_init: float = 3.0):
+        super().__init__()
+        if min(lengths) <= 0 or time_period_init <= 0:
+            raise ValueError("domain lengths and time period must be positive")
+        self.lengths = (float(lengths[0]), float(lengths[1]))
+        self.raw_time_period = Parameter(
+            np.array([_inverse_softplus(time_period_init)]), name="raw_time_period"
+        )
+
+    @property
+    def out_features(self) -> int:
+        """Output width produced by this layer."""
+        return 6
+
+    def time_period(self) -> Tensor:
+        """Current learned time period as a differentiable scalar tensor."""
+        return ad.softplus(self.raw_time_period)
+
+    def forward(self, coords: Tensor) -> Tensor:
+        """``coords``: (N, 3) columns (x, y, t) → (N, 6) periodic features."""
+        if coords.shape[-1] != 3:
+            raise ValueError(f"expected 3 input columns (x, y, t), got {coords.shape[-1]}")
+        x = coords[:, 0:1]
+        y = coords[:, 1:2]
+        t = coords[:, 2:3]
+        two_pi = 2.0 * np.pi
+        ax = x * (two_pi / self.lengths[0])
+        ay = y * (two_pi / self.lengths[1])
+        at = t * (two_pi / self.time_period())
+        return ad.concatenate(
+            [ad.sin(ax), ad.cos(ax), ad.sin(ay), ad.cos(ay), ad.sin(at), ad.cos(at)],
+            axis=-1,
+        )

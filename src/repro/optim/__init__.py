@@ -1,0 +1,8 @@
+"""``repro.optim`` — optimisers and learning-rate schedules."""
+
+from .adam import Adam
+from .lbfgs import LBFGS
+from .schedulers import ConstantLR, ExponentialDecay, StepDecay
+from .sgd import SGD
+
+__all__ = ["Adam", "SGD", "LBFGS", "StepDecay", "ExponentialDecay", "ConstantLR"]

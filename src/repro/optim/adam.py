@@ -1,0 +1,80 @@
+"""Adam optimiser (Kingma & Ba 2014) — the paper's optimiser.
+
+Operates on accumulated ``.grad`` arrays under ``no_grad``; the paper's
+settings are ``lr=1e-3`` with a ×0.85 decay every 2000 epochs
+(see :mod:`repro.optim.schedulers`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """First-order adaptive-moment optimiser with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("Adam received an empty parameter list")
+        self.lr = float(lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self.step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        """Apply one Adam update using each parameter's ``.grad``."""
+        self.step_count += 1
+        t = self.step_count
+        bc1 = 1.0 - self.beta1 ** t
+        bc2 = 1.0 - self.beta2 ** t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Snapshot all state as plain NumPy arrays."""
+        return {
+            "lr": self.lr,
+            "step_count": self.step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state from a :meth:`state_dict` snapshot."""
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+        self._m = [np.asarray(m).copy() for m in state["m"]]
+        self._v = [np.asarray(v).copy() for v in state["v"]]

@@ -1,0 +1,65 @@
+"""Learning-rate schedulers.
+
+:class:`StepDecay` implements the paper's schedule: learning rate decayed
+by a factor of 0.85 every 2000 epochs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StepDecay", "ExponentialDecay", "ConstantLR"]
+
+
+class _SchedulerBase:
+    """Shared bookkeeping: wraps an optimiser and rescales its ``lr``."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def current_lr(self) -> float:
+        """The optimiser's current learning rate."""
+        return float(self.optimizer.lr)
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimiser's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+
+    def _lr_at(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class StepDecay(_SchedulerBase):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs.
+
+    Paper settings: ``gamma=0.85``, ``step_size=2000``.
+    """
+
+    def __init__(self, optimizer, step_size: int = 2000, gamma: float = 0.85):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialDecay(_SchedulerBase):
+    """Continuous decay ``lr = base * gamma**epoch``."""
+
+    def __init__(self, optimizer, gamma: float = 0.9999):
+        super().__init__(optimizer)
+        self.gamma = float(gamma)
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** epoch
+
+
+class ConstantLR(_SchedulerBase):
+    """No-op scheduler keeping the interface uniform."""
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr

@@ -1,0 +1,57 @@
+"""Stochastic gradient descent with optional momentum.
+
+Not used by the paper's headline runs, but provided as a baseline optimiser
+for ablations and for tests that need deterministic simple dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Plain/momentum SGD over accumulated ``.grad`` arrays."""
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("SGD received an empty parameter list")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        """Apply one optimisation update from the accumulated gradients."""
+        self.step_count += 1
+        for p, vel in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += g
+                update = vel
+            else:
+                update = g
+            p.data = p.data - self.lr * update

@@ -1,0 +1,14 @@
+"""``repro.pde`` — generic-PDE QPINN extensions (Schrödinger, Burgers,
+Poisson) on the same hybrid architecture as the Maxwell networks."""
+
+from .extra import HeatProblem, HelmholtzProblem, WaveProblem
+from .model import GenericPINN
+from .problems import BurgersProblem, PoissonProblem, SchrodingerProblem
+from .trainer import PDETrainer, PDETrainerConfig, PDETrainingResult
+
+__all__ = [
+    "GenericPINN",
+    "BurgersProblem", "SchrodingerProblem", "PoissonProblem",
+    "HeatProblem", "WaveProblem", "HelmholtzProblem",
+    "PDETrainer", "PDETrainerConfig", "PDETrainingResult",
+]

@@ -1,0 +1,202 @@
+"""Additional canonical PDE problems with analytic references.
+
+Extends :mod:`repro.pde.problems` with three more workloads commonly used
+to benchmark (Q)PINNs; all have closed-form solutions, so they double as
+strong correctness tests for the differentiation machinery:
+
+* :class:`HeatProblem` — 1-D diffusion; solution decays as e^{−απ²t},
+* :class:`WaveProblem` — 1-D wave equation; needs a *second* time
+  derivative, exercising triple-nested autodiff,
+* :class:`HelmholtzProblem` — 2-D Helmholtz with a manufactured solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor, grad
+
+__all__ = ["HeatProblem", "WaveProblem", "HelmholtzProblem"]
+
+
+def _second(first: Tensor, x: Tensor) -> Tensor:
+    (second,) = grad(first.sum(), [x], create_graph=True, allow_unused=True)
+    return second
+
+
+@dataclass
+class HeatProblem:
+    """u_t = α u_xx on [0, 1]; u(x, 0) = sin(πx); u(0) = u(1) = 0.
+
+    Exact solution: u* = e^{−απ²t} sin(πx).
+    """
+
+    alpha: float = 0.1
+    t_max: float = 1.0
+    in_dim: int = 2
+    out_dim: int = 1
+    name: str = "heat"
+
+    def exact(self, x: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Closed-form reference solution."""
+        return np.exp(-self.alpha * np.pi ** 2 * t) * np.sin(np.pi * x)
+
+    def sample(self, n: int, rng: np.random.Generator):
+        """Draw random collocation points for this problem."""
+        return rng.uniform(0, 1, (n, 1)), rng.uniform(0, self.t_max, (n, 1))
+
+    def residual_loss(self, model, x_np, t_np) -> Tensor:
+        """Mean squared PDE residual at the given points."""
+        x = Tensor(x_np, requires_grad=True)
+        t = Tensor(t_np, requires_grad=True)
+        u = model(ad.concatenate([x, t], axis=1))
+        u_x, u_t = grad(u.sum(), [x, t], create_graph=True)
+        u_xx = _second(u_x, x)
+        res = u_t - self.alpha * u_xx
+        return (res * res).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        x0 = rng.uniform(0, 1, (n, 1))
+        u0 = model(Tensor(np.concatenate([x0, np.zeros_like(x0)], axis=1)))
+        ic = ((u0 - Tensor(np.sin(np.pi * x0))) ** 2).mean()
+        tb = rng.uniform(0, self.t_max, (n, 1))
+        xb = np.where(rng.random((n, 1)) < 0.5, 0.0, 1.0)
+        ub = model(Tensor(np.concatenate([xb, tb], axis=1)))
+        return ic + (ub * ub).mean()
+
+    def l2_error(self, model, n_grid: int = 24) -> float:
+        """Relative L2 error against the problem's reference solution."""
+        x = np.linspace(0, 1, n_grid)
+        t = np.linspace(0, self.t_max, n_grid)
+        xx, tt = np.meshgrid(x, t, indexing="ij")
+        coords = Tensor(np.stack([xx.ravel(), tt.ravel()], axis=1))
+        with ad.no_grad():
+            pred = model(coords).data[:, 0]
+        ref = self.exact(xx, tt).ravel()
+        return float(np.sqrt(np.sum((pred - ref) ** 2) / np.sum(ref ** 2)))
+
+
+@dataclass
+class WaveProblem:
+    """u_tt = c² u_xx on [0, 1]; u(x, 0) = sin(πx), u_t(x, 0) = 0.
+
+    Exact standing wave: u* = cos(cπt) sin(πx).  The residual needs u_tt,
+    i.e. a derivative of a derivative of the network.
+    """
+
+    c: float = 1.0
+    t_max: float = 1.0
+    in_dim: int = 2
+    out_dim: int = 1
+    name: str = "wave"
+
+    def exact(self, x: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Closed-form reference solution."""
+        return np.cos(self.c * np.pi * t) * np.sin(np.pi * x)
+
+    def sample(self, n: int, rng: np.random.Generator):
+        """Draw random collocation points for this problem."""
+        return rng.uniform(0, 1, (n, 1)), rng.uniform(0, self.t_max, (n, 1))
+
+    def residual_loss(self, model, x_np, t_np) -> Tensor:
+        """Mean squared PDE residual at the given points."""
+        x = Tensor(x_np, requires_grad=True)
+        t = Tensor(t_np, requires_grad=True)
+        u = model(ad.concatenate([x, t], axis=1))
+        u_x, u_t = grad(u.sum(), [x, t], create_graph=True)
+        u_xx = _second(u_x, x)
+        u_tt = _second(u_t, t)
+        res = u_tt - (self.c ** 2) * u_xx
+        return (res * res).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        # Initial displacement and initial velocity.
+        """Initial/boundary-condition misfit loss."""
+        x0_np = rng.uniform(0, 1, (n, 1))
+        x0 = Tensor(x0_np)
+        t0 = Tensor(np.zeros((n, 1)), requires_grad=True)
+        u0 = model(ad.concatenate([x0, t0], axis=1))
+        ic = ((u0 - Tensor(np.sin(np.pi * x0_np))) ** 2).mean()
+        (u_t0,) = grad(u0.sum(), [t0], create_graph=True)
+        velocity = (u_t0 * u_t0).mean()
+        tb = rng.uniform(0, self.t_max, (n, 1))
+        xb = np.where(rng.random((n, 1)) < 0.5, 0.0, 1.0)
+        ub = model(Tensor(np.concatenate([xb, tb], axis=1)))
+        return ic + velocity + (ub * ub).mean()
+
+    def l2_error(self, model, n_grid: int = 24) -> float:
+        """Relative L2 error against the problem's reference solution."""
+        x = np.linspace(0, 1, n_grid)
+        t = np.linspace(0, self.t_max, n_grid)
+        xx, tt = np.meshgrid(x, t, indexing="ij")
+        coords = Tensor(np.stack([xx.ravel(), tt.ravel()], axis=1))
+        with ad.no_grad():
+            pred = model(coords).data[:, 0]
+        ref = self.exact(xx, tt).ravel()
+        return float(np.sqrt(np.sum((pred - ref) ** 2) / np.sum(ref ** 2)))
+
+
+@dataclass
+class HelmholtzProblem:
+    """∇²u + k²u = f on [0, 1]², u|∂Ω = 0 (manufactured solution).
+
+    u* = sin(a₁πx) sin(a₂πy), f = (k² − (a₁² + a₂²)π²) u*.
+    """
+
+    k: float = 1.0
+    a1: int = 1
+    a2: int = 2
+    in_dim: int = 2
+    out_dim: int = 1
+    name: str = "helmholtz"
+
+    def exact(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Closed-form reference solution."""
+        return np.sin(self.a1 * np.pi * x) * np.sin(self.a2 * np.pi * y)
+
+    def source(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Right-hand-side source term of the PDE."""
+        factor = self.k ** 2 - (self.a1 ** 2 + self.a2 ** 2) * np.pi ** 2
+        return factor * self.exact(x, y)
+
+    def sample(self, n: int, rng: np.random.Generator):
+        """Draw random collocation points for this problem."""
+        return rng.uniform(0, 1, (n, 1)), rng.uniform(0, 1, (n, 1))
+
+    def residual_loss(self, model, x_np, y_np) -> Tensor:
+        """Mean squared PDE residual at the given points."""
+        x = Tensor(x_np, requires_grad=True)
+        y = Tensor(y_np, requires_grad=True)
+        u = model(ad.concatenate([x, y], axis=1))
+        u_x, u_y = grad(u.sum(), [x, y], create_graph=True)
+        u_xx = _second(u_x, x)
+        u_yy = _second(u_y, y)
+        res = u_xx + u_yy + (self.k ** 2) * u - Tensor(self.source(x_np, y_np))
+        return (res * res).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        quarter = max(1, n // 4)
+        s = rng.uniform(0, 1, (quarter, 1))
+        edges = np.concatenate([
+            np.concatenate([s, np.zeros_like(s)], axis=1),
+            np.concatenate([s, np.ones_like(s)], axis=1),
+            np.concatenate([np.zeros_like(s), s], axis=1),
+            np.concatenate([np.ones_like(s), s], axis=1),
+        ], axis=0)
+        ub = model(Tensor(edges))
+        return (ub * ub).mean()
+
+    def l2_error(self, model, n_grid: int = 24) -> float:
+        """Relative L2 error against the problem's reference solution."""
+        axis = np.linspace(0, 1, n_grid)
+        xx, yy = np.meshgrid(axis, axis, indexing="ij")
+        coords = Tensor(np.stack([xx.ravel(), yy.ravel()], axis=1))
+        with ad.no_grad():
+            pred = model(coords).data[:, 0]
+        ref = self.exact(xx, yy).ravel()
+        return float(np.sqrt(np.sum((pred - ref) ** 2) / np.sum(ref ** 2)))

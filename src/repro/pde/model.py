@@ -1,0 +1,92 @@
+"""Generic hybrid PINN model for arbitrary low-dimensional PDEs.
+
+The Maxwell networks in :mod:`repro.core.models` are specialised to the
+paper's architecture; this module provides the same hybrid design
+(classical trunk, optional PQC as the second-to-last layer) for generic
+``in_dim → out_dim`` problems: Schrödinger, Burgers, Poisson, and whatever
+users define via :mod:`repro.pde.problems`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from ..nn import Linear, Module, RandomFourierFeatures
+from ..torq.layer import QuantumLayer
+
+__all__ = ["GenericPINN"]
+
+
+class GenericPINN(Module):
+    """Feed-forward (optionally hybrid quantum-classical) PDE network.
+
+    Parameters
+    ----------
+    in_dim / out_dim:
+        Input coordinates and output field counts.
+    hidden / n_hidden:
+        Width and number of tanh hidden layers.
+    quantum:
+        ``None`` for a classical net, or an ansatz name to insert a PQC as
+        the second-to-last layer (mirroring the Maxwell QPINN design).
+    n_qubits / n_layers / scaling:
+        PQC configuration (ignored for classical nets).
+    rff_features:
+        When positive, a random Fourier feature embedding is applied first.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        hidden: int = 32,
+        n_hidden: int = 3,
+        quantum: str | None = None,
+        n_qubits: int = 5,
+        n_layers: int = 2,
+        scaling: str = "acos",
+        rff_features: int = 0,
+        rff_sigma: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.rff = None
+        trunk_in = in_dim
+        if rff_features > 0:
+            self.rff = RandomFourierFeatures(
+                in_features=in_dim, num_features=rff_features, sigma=rff_sigma, rng=rng
+            )
+            trunk_in = 2 * rff_features
+        self.first = Linear(trunk_in, hidden, rng=rng)
+        self.trunk = []
+        for i in range(max(0, n_hidden - 1)):
+            layer = Linear(hidden, hidden, rng=rng)
+            setattr(self, f"hidden{i}", layer)
+            self.trunk.append(layer)
+        self.quantum = None
+        if quantum is not None:
+            self.pre_quantum = Linear(hidden, n_qubits, rng=rng)
+            self.quantum = QuantumLayer(
+                n_qubits=n_qubits, n_layers=n_layers,
+                ansatz=quantum, scaling=scaling, rng=rng,
+            )
+            self.head = Linear(n_qubits, out_dim, rng=rng)
+        else:
+            self.head = Linear(hidden, out_dim, rng=rng)
+
+    def forward(self, coords: Tensor) -> Tensor:
+        """``coords``: (N, in_dim) → (N, out_dim)."""
+        h = coords
+        if self.rff is not None:
+            h = self.rff(h)
+        h = ad.tanh(self.first(h))
+        for layer in self.trunk:
+            h = ad.tanh(layer(h))
+        if self.quantum is not None:
+            h = self.quantum(ad.tanh(self.pre_quantum(h)))
+        return self.head(h)

@@ -1,0 +1,272 @@
+"""Benchmark PDE problems for the generic QPINN layer.
+
+Three canonical problems from the QPINN literature (Trahan et al. 2024;
+Raissi et al. 2019) on the same hybrid architecture:
+
+* :class:`BurgersProblem` — 1-D viscous Burgers, ν = 0.01/π, IC −sin(πx);
+  odd symmetry makes the periodic spectral reference exact for the
+  Dirichlet problem.
+* :class:`SchrodingerProblem` — 1-D nonlinear Schrödinger (the original
+  PINN paper's benchmark): i h_t + ½ h_xx + |h|² h = 0, h(x,0) = 2 sech x,
+  periodic on [−5, 5]; network outputs (Re h, Im h).
+* :class:`PoissonProblem` — 2-D Poisson with a manufactured solution
+  u = sin(πx) sin(πy) (analytic reference).
+
+Each problem supplies collocation sampling, the PDE residual loss built on
+the shared autodiff machinery, data (IC/BC) losses, and a reference
+solution for relative-L2 evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor, grad
+
+__all__ = ["BurgersProblem", "SchrodingerProblem", "PoissonProblem"]
+
+
+def _second_derivative(out_sum: Tensor, first: Tensor, x: Tensor) -> Tensor:
+    """d²/dx² via a second reverse pass over the first derivative."""
+    (second,) = grad(first.sum(), [x], create_graph=True, allow_unused=True)
+    return second
+
+
+# ----------------------------------------------------------------------
+# Burgers
+# ----------------------------------------------------------------------
+
+@dataclass
+class BurgersProblem:
+    """u_t + u u_x = ν u_xx on x ∈ [−1, 1], t ∈ [0, 1], u(x,0) = −sin(πx)."""
+
+    nu: float = 0.01 / np.pi
+    in_dim: int = 2
+    out_dim: int = 1
+    name: str = "burgers"
+
+    def sample(self, n: int, rng: np.random.Generator):
+        """Draw random collocation points for this problem."""
+        x = rng.uniform(-1.0, 1.0, (n, 1))
+        t = rng.uniform(0.0, 1.0, (n, 1))
+        return x, t
+
+    def residual_loss(self, model, x_np: np.ndarray, t_np: np.ndarray) -> Tensor:
+        """Mean squared PDE residual at the given points."""
+        x = Tensor(x_np, requires_grad=True)
+        t = Tensor(t_np, requires_grad=True)
+        u = model(ad.concatenate([x, t], axis=1))
+        u_x, u_t = grad(u.sum(), [x, t], create_graph=True)
+        u_xx = _second_derivative(u, u_x, x)
+        res = u_t + u * u_x - self.nu * u_xx
+        return (res * res).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        # Initial condition ...
+        """Initial/boundary-condition misfit loss."""
+        x0 = rng.uniform(-1.0, 1.0, (n, 1))
+        coords0 = Tensor(np.concatenate([x0, np.zeros_like(x0)], axis=1))
+        u0 = model(coords0)
+        target = Tensor(-np.sin(np.pi * x0))
+        ic = ((u0 - target) * (u0 - target)).mean()
+        # ... and homogeneous Dirichlet boundaries.
+        tb = rng.uniform(0.0, 1.0, (n, 1))
+        xb = np.where(rng.random((n, 1)) < 0.5, -1.0, 1.0)
+        ub = model(Tensor(np.concatenate([xb, tb], axis=1)))
+        bc = (ub * ub).mean()
+        return ic + bc
+
+    def reference(self, n_modes: int = 256, n_steps: int = 400):
+        """Pseudo-spectral periodic solver (odd data ⇒ valid for Dirichlet)."""
+        n = n_modes
+        x = -1.0 + 2.0 * np.arange(n) / n
+        k = np.pi * np.fft.fftfreq(n, d=1.0 / n)  # wavenumbers for period 2
+        u = -np.sin(np.pi * x)
+        dt = 1.0 / n_steps
+        nu = self.nu
+
+        def rhs(v):
+            v_hat = np.fft.fft(v)
+            vx = np.fft.ifft(1j * k * v_hat).real
+            vxx = np.fft.ifft(-(k ** 2) * v_hat).real
+            return -v * vx + nu * vxx
+
+        snaps = [u.copy()]
+        times = [0.0]
+        for step in range(n_steps):
+            k1 = rhs(u)
+            k2 = rhs(u + 0.5 * dt * k1)
+            k3 = rhs(u + 0.5 * dt * k2)
+            k4 = rhs(u + dt * k3)
+            u = u + dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+            if (step + 1) % max(1, n_steps // 20) == 0:
+                snaps.append(u.copy())
+                times.append((step + 1) * dt)
+        return x, np.asarray(times), np.stack(snaps)
+
+    def l2_error(self, model, reference=None) -> float:
+        """Relative L2 error against the problem's reference solution."""
+        if reference is None:
+            reference = self.reference()
+        x, times, frames = reference
+        xs = x[::8]
+        xx, tt = np.meshgrid(xs, times, indexing="ij")
+        coords = Tensor(np.stack([xx.ravel(), tt.ravel()], axis=1))
+        with ad.no_grad():
+            pred = model(coords).data[:, 0]
+        ref = frames[:, ::8].T.ravel()
+        return float(np.sqrt(np.sum((pred - ref) ** 2) / np.sum(ref ** 2)))
+
+
+# ----------------------------------------------------------------------
+# Nonlinear Schrödinger
+# ----------------------------------------------------------------------
+
+@dataclass
+class SchrodingerProblem:
+    """i h_t + ½ h_xx + |h|² h = 0, h(x, 0) = 2 sech(x), periodic [−5, 5]."""
+
+    x_lo: float = -5.0
+    x_hi: float = 5.0
+    t_max: float = np.pi / 2.0
+    in_dim: int = 2
+    out_dim: int = 2  # (u, v) = (Re h, Im h)
+    name: str = "schrodinger"
+
+    def sample(self, n: int, rng: np.random.Generator):
+        """Draw random collocation points for this problem."""
+        x = rng.uniform(self.x_lo, self.x_hi, (n, 1))
+        t = rng.uniform(0.0, self.t_max, (n, 1))
+        return x, t
+
+    def residual_loss(self, model, x_np: np.ndarray, t_np: np.ndarray) -> Tensor:
+        """Mean squared PDE residual at the given points."""
+        x = Tensor(x_np, requires_grad=True)
+        t = Tensor(t_np, requires_grad=True)
+        out = model(ad.concatenate([x, t], axis=1))
+        u = out[:, 0:1]
+        v = out[:, 1:2]
+        u_x, u_t = grad(u.sum(), [x, t], create_graph=True)
+        v_x, v_t = grad(v.sum(), [x, t], create_graph=True)
+        u_xx = _second_derivative(u, u_x, x)
+        v_xx = _second_derivative(v, v_x, x)
+        sq = u * u + v * v
+        f_u = -v_t + 0.5 * u_xx + sq * u  # real part of the NLS operator
+        f_v = u_t + 0.5 * v_xx + sq * v   # imaginary part
+        return (f_u * f_u).mean() + (f_v * f_v).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        x0 = rng.uniform(self.x_lo, self.x_hi, (n, 1))
+        out0 = model(Tensor(np.concatenate([x0, np.zeros_like(x0)], axis=1)))
+        target_u = Tensor(2.0 / np.cosh(x0))
+        du = out0[:, 0:1] - target_u
+        dv = out0[:, 1:2]
+        ic = (du * du + dv * dv).mean()
+        # Periodic boundary matching h(−5, t) = h(5, t).
+        tb = rng.uniform(0.0, self.t_max, (n, 1))
+        lo = model(Tensor(np.concatenate([np.full_like(tb, self.x_lo), tb], axis=1)))
+        hi = model(Tensor(np.concatenate([np.full_like(tb, self.x_hi), tb], axis=1)))
+        diff = lo - hi
+        bc = (diff * diff).mean()
+        return ic + bc
+
+    def reference(self, n_modes: int = 256, n_steps: int = 400):
+        """Split-step Fourier integration of the NLS equation."""
+        n = n_modes
+        length = self.x_hi - self.x_lo
+        x = self.x_lo + length * np.arange(n) / n
+        k = 2.0 * np.pi * np.fft.fftfreq(n, d=length / n)
+        h = (2.0 / np.cosh(x)).astype(np.complex128)
+        dt = self.t_max / n_steps
+        half_kinetic = np.exp(-0.5j * (k ** 2) * (dt / 2.0))
+        snaps = [h.copy()]
+        times = [0.0]
+        for step in range(n_steps):
+            h = np.fft.ifft(half_kinetic * np.fft.fft(h))
+            h = h * np.exp(1j * np.abs(h) ** 2 * dt)
+            h = np.fft.ifft(half_kinetic * np.fft.fft(h))
+            if (step + 1) % max(1, n_steps // 20) == 0:
+                snaps.append(h.copy())
+                times.append((step + 1) * dt)
+        return x, np.asarray(times), np.stack(snaps)
+
+    def l2_error(self, model, reference=None) -> float:
+        """Relative L2 error against the problem's reference solution."""
+        if reference is None:
+            reference = self.reference()
+        x, times, frames = reference
+        xs_idx = np.arange(0, x.size, 8)
+        xx, tt = np.meshgrid(x[xs_idx], times, indexing="ij")
+        coords = Tensor(np.stack([xx.ravel(), tt.ravel()], axis=1))
+        with ad.no_grad():
+            out = model(coords).data
+        pred = np.abs(out[:, 0] + 1j * out[:, 1])
+        ref = np.abs(frames[:, xs_idx].T.ravel())
+        return float(np.sqrt(np.sum((pred - ref) ** 2) / np.sum(ref ** 2)))
+
+
+# ----------------------------------------------------------------------
+# Poisson
+# ----------------------------------------------------------------------
+
+@dataclass
+class PoissonProblem:
+    """−∇²u = f on [0, 1]², u|∂Ω = 0, manufactured u* = sin(πx) sin(πy)."""
+
+    in_dim: int = 2
+    out_dim: int = 1
+    name: str = "poisson"
+
+    def source(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Right-hand-side source term of the PDE."""
+        return 2.0 * np.pi ** 2 * np.sin(np.pi * x) * np.sin(np.pi * y)
+
+    def exact(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Closed-form reference solution."""
+        return np.sin(np.pi * x) * np.sin(np.pi * y)
+
+    def sample(self, n: int, rng: np.random.Generator):
+        """Draw random collocation points for this problem."""
+        x = rng.uniform(0.0, 1.0, (n, 1))
+        y = rng.uniform(0.0, 1.0, (n, 1))
+        return x, y
+
+    def residual_loss(self, model, x_np: np.ndarray, y_np: np.ndarray) -> Tensor:
+        """Mean squared PDE residual at the given points."""
+        x = Tensor(x_np, requires_grad=True)
+        y = Tensor(y_np, requires_grad=True)
+        u = model(ad.concatenate([x, y], axis=1))
+        u_x, u_y = grad(u.sum(), [x, y], create_graph=True)
+        u_xx = _second_derivative(u, u_x, x)
+        u_yy = _second_derivative(u, u_y, y)
+        f = Tensor(self.source(x_np, y_np))
+        res = -(u_xx + u_yy) - f
+        return (res * res).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        # Dirichlet boundary: sample the four edges.
+        """Initial/boundary-condition misfit loss."""
+        edges = []
+        quarter = max(1, n // 4)
+        s = rng.uniform(0.0, 1.0, (quarter, 1))
+        edges.append(np.concatenate([s, np.zeros_like(s)], axis=1))
+        edges.append(np.concatenate([s, np.ones_like(s)], axis=1))
+        edges.append(np.concatenate([np.zeros_like(s), s], axis=1))
+        edges.append(np.concatenate([np.ones_like(s), s], axis=1))
+        coords = Tensor(np.concatenate(edges, axis=0))
+        ub = model(coords)
+        return (ub * ub).mean()
+
+    def l2_error(self, model, n_grid: int = 33) -> float:
+        """Relative L2 error against the problem's reference solution."""
+        axis = np.linspace(0.0, 1.0, n_grid)
+        xx, yy = np.meshgrid(axis, axis, indexing="ij")
+        coords = Tensor(np.stack([xx.ravel(), yy.ravel()], axis=1))
+        with ad.no_grad():
+            pred = model(coords).data[:, 0]
+        ref = self.exact(xx, yy).ravel()
+        return float(np.sqrt(np.sum((pred - ref) ** 2) / np.sum(ref ** 2)))

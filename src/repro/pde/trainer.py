@@ -1,0 +1,96 @@
+"""Compact trainer for the generic PDE problems.
+
+A slimmed-down counterpart of :class:`repro.core.trainer.Trainer` for the
+Schrödinger/Burgers/Poisson extensions: random collocation resampling,
+Adam, residual + data losses, and relative-L2 tracking.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff import backward
+from ..optim import Adam
+
+__all__ = ["PDETrainerConfig", "PDETrainingResult", "PDETrainer"]
+
+
+@dataclass
+class PDETrainerConfig:
+    epochs: int = 200
+    lr: float = 2e-3
+    n_collocation: int = 256
+    n_data: int = 64
+    data_weight: float = 10.0
+    resample_every: int = 10
+    eval_every: int = 50
+    seed: int = 0
+
+
+@dataclass
+class PDETrainingResult:
+    model: object
+    loss: list[float] = field(default_factory=list)
+    l2_epochs: list[int] = field(default_factory=list)
+    l2_error: list[float] = field(default_factory=list)
+
+    @property
+    def final_l2(self) -> float | None:
+        """Last recorded relative L2 error (None if never evaluated)."""
+        return self.l2_error[-1] if self.l2_error else None
+
+
+class PDETrainer:
+    """Train a :class:`GenericPINN` on one :mod:`repro.pde.problems` task."""
+
+    def __init__(self, model, problem, config: PDETrainerConfig | None = None):
+        self.model = model
+        self.problem = problem
+        self.config = config if config is not None else PDETrainerConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.params = model.parameters()
+        self.optimizer = Adam(self.params, lr=self.config.lr)
+        self._points = None
+        self._reference = None
+
+    def _reference_solution(self):
+        if self._reference is None and hasattr(self.problem, "reference"):
+            self._reference = self.problem.reference()
+        return self._reference
+
+    def _evaluate(self) -> float:
+        if hasattr(self.problem, "reference"):
+            return self.problem.l2_error(self.model, self._reference_solution())
+        return self.problem.l2_error(self.model)
+
+    def train(self) -> PDETrainingResult:
+        """Run the training loop and return the result record."""
+        cfg = self.config
+        result = PDETrainingResult(model=self.model)
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for epoch in range(cfg.epochs):
+                if self._points is None or epoch % cfg.resample_every == 0:
+                    self._points = self.problem.sample(cfg.n_collocation, self.rng)
+                self.optimizer.zero_grad()
+                loss = self.problem.residual_loss(self.model, *self._points)
+                loss = loss + cfg.data_weight * self.problem.data_loss(
+                    self.model, cfg.n_data, self.rng
+                )
+                backward(loss, self.params)
+                self.optimizer.step()
+                result.loss.append(float(loss.data))
+                loss = None
+                if cfg.eval_every and (
+                    epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1
+                ):
+                    result.l2_epochs.append(epoch)
+                    result.l2_error.append(self._evaluate())
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return result

@@ -1,0 +1,124 @@
+"""Result reporting: ASCII tables/contours and CSV/JSON artefacts.
+
+The evaluation environment has no plotting stack, so experiment harnesses
+render text and write machine-readable artefacts instead: per-run CSVs of
+training histories, per-cell CSVs of ablation sweeps, and JSON summaries.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "ascii_contour",
+    "history_to_csv",
+    "ablation_to_csv",
+    "summary_json",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as a fixed-width ASCII table (no external deps)."""
+    rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_contour(field: np.ndarray, width: int = 40, chars: str = " .:-=+*#%@") -> str:
+    """Coarse ASCII rendering of |field| levels (terminal 'contour plot')."""
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise ValueError("ascii_contour expects a 2-D field")
+    step = max(1, field.shape[0] // width)
+    sub = np.abs(field[::step, ::step])
+    scale = sub.max() or 1.0
+    levels = np.clip(sub / scale * (len(chars) - 1), 0, len(chars) - 1).astype(int)
+    return "\n".join("".join(chars[v] for v in row) for row in levels)
+
+
+def history_to_csv(history, path) -> Path:
+    """Write a :class:`TrainingHistory` as a per-epoch CSV."""
+    path = Path(path)
+    component_keys = sorted(history.components)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["epoch", "loss", "grad_norm", "grad_variance", "learning_rate"]
+            + component_keys
+        )
+        for epoch in range(len(history.loss)):
+            writer.writerow(
+                [
+                    epoch,
+                    history.loss[epoch],
+                    history.grad_norm[epoch],
+                    history.grad_variance[epoch],
+                    history.learning_rate[epoch],
+                ]
+                + [history.components[k][epoch] for k in component_keys]
+            )
+    return path
+
+
+def ablation_to_csv(result, path) -> Path:
+    """Write an :class:`AblationResult` as one CSV row per run."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["case", "model_kind", "scaling", "use_energy", "seed",
+             "final_l2", "i_bh", "converged", "collapsed"]
+        )
+        for cell in result.cells:
+            for run in cell.runs:
+                writer.writerow(
+                    [result.case, run.model_kind, run.scaling, run.use_energy,
+                     run.seed, run.final_l2, run.i_bh, run.converged,
+                     run.collapsed]
+                )
+    return path
+
+
+def summary_json(result, path) -> Path:
+    """Write an ablation summary (per-cell aggregates) as JSON."""
+    path = Path(path)
+    payload = {
+        "case": result.case,
+        "baseline_l2": result.baseline_l2(),
+        "outperforming_fraction": result.outperforming_fraction(),
+        "cells": [
+            {
+                "label": cell.label,
+                "mean_l2": cell.mean_l2(),
+                "std_l2": cell.std_l2(),
+                "n_converged": len(cell.converged_runs),
+                "i_bh": cell.i_bh_values(),
+            }
+            for cell in result.cells
+        ],
+    }
+    best = result.best_cell()
+    payload["best_cell"] = best.label if best is not None else None
+    path.write_text(json.dumps(payload, indent=2))
+    return path

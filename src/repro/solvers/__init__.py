@@ -1,0 +1,22 @@
+"""``repro.solvers`` — high-fidelity reference solvers for TE_z Maxwell."""
+
+from .compact import CompactFirstDerivative, pade_first_derivative
+from .fdtd import YeeFDTDSolver
+from .maxwell_ref import MaxwellPadeSolver, ReferenceSolution, make_grid
+from .rk4 import integrate, rk4_step
+from .spectral import SpectralVacuumSolver
+from .spectral3d import Spectral3DSolution, SpectralVacuum3DSolver
+from .tridiag import (
+    CyclicTridiagonalSolver,
+    solve_cyclic_tridiagonal,
+    solve_tridiagonal,
+)
+
+__all__ = [
+    "solve_tridiagonal", "solve_cyclic_tridiagonal", "CyclicTridiagonalSolver",
+    "CompactFirstDerivative", "pade_first_derivative",
+    "rk4_step", "integrate",
+    "MaxwellPadeSolver", "ReferenceSolution", "make_grid",
+    "SpectralVacuumSolver", "YeeFDTDSolver",
+    "SpectralVacuum3DSolver", "Spectral3DSolution",
+]

@@ -1,0 +1,62 @@
+"""4th-order compact (Padé) finite differences on periodic grids.
+
+The classical tridiagonal Padé scheme for the first derivative,
+
+    (1/4) f'_{i−1} + f'_i + (1/4) f'_{i+1} = (3 / 4h) (f_{i+1} − f_{i−1}),
+
+is formally 4th-order accurate with substantially better spectral
+resolution than the explicit 4th-order stencil — this is the scheme family
+the paper's high-fidelity reference solution uses (Shaviner et al. 2025).
+The periodic closure makes the left-hand matrix cyclic tridiagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tridiag import CyclicTridiagonalSolver
+
+__all__ = ["CompactFirstDerivative", "pade_first_derivative"]
+
+
+class CompactFirstDerivative:
+    """Pre-factorised periodic Padé d/dx along a chosen axis.
+
+    One instance per (grid size, spacing); the cyclic factorisation and the
+    RHS stencil are reused every call, so evaluation is a roll-difference
+    plus two vectorised triangular sweeps.
+    """
+
+    ALPHA = 0.25
+    RHS_COEFF = 0.75  # 3/4: multiplies (f_{i+1} − f_{i−1}) / h
+
+    def __init__(self, n: int, spacing: float):
+        if n < 5:
+            raise ValueError("compact scheme needs at least 5 points")
+        if spacing <= 0:
+            raise ValueError("grid spacing must be positive")
+        self.n = int(n)
+        self.spacing = float(spacing)
+        self._solver = CyclicTridiagonalSolver(self.ALPHA, 1.0, self.ALPHA, self.n)
+
+    def __call__(self, f: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Differentiate ``f`` along ``axis`` (periodic)."""
+        f = np.asarray(f, dtype=np.float64)
+        if f.shape[axis] != self.n:
+            raise ValueError(
+                f"axis {axis} has length {f.shape[axis]}, solver built for {self.n}"
+            )
+        moved = np.moveaxis(f, axis, 0)
+        rhs = (
+            self.RHS_COEFF
+            * (np.roll(moved, -1, axis=0) - np.roll(moved, 1, axis=0))
+            / self.spacing
+        )
+        derivative = self._solver.solve(rhs)
+        return np.moveaxis(derivative, 0, axis)
+
+
+def pade_first_derivative(f: np.ndarray, spacing: float, axis: int = 0) -> np.ndarray:
+    """One-shot periodic Padé derivative (building a solver each call)."""
+    f = np.asarray(f)
+    return CompactFirstDerivative(f.shape[axis], spacing)(f, axis=axis)

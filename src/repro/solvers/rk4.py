@@ -1,0 +1,78 @@
+"""Classic explicit 4th-order Runge–Kutta time integration.
+
+Generic over the state type: the right-hand side maps a state pytree
+(here: tuples of ndarrays) to its time derivative.  Matching the spatial
+scheme's 4th order keeps the reference solution's overall accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+State = tuple[np.ndarray, ...]
+
+__all__ = ["rk4_step", "integrate"]
+
+
+def _axpy(state: State, deriv: State, scale: float) -> State:
+    return tuple(s + scale * d for s, d in zip(state, deriv))
+
+
+def rk4_step(
+    rhs: Callable[[State, float], State], state: State, t: float, dt: float
+) -> State:
+    """One RK4 step of size ``dt`` from time ``t``."""
+    k1 = rhs(state, t)
+    k2 = rhs(_axpy(state, k1, dt / 2.0), t + dt / 2.0)
+    k3 = rhs(_axpy(state, k2, dt / 2.0), t + dt / 2.0)
+    k4 = rhs(_axpy(state, k3, dt), t + dt)
+    return tuple(
+        s + (dt / 6.0) * (a + 2.0 * b + 2.0 * c + d)
+        for s, a, b, c, d in zip(state, k1, k2, k3, k4)
+    )
+
+
+def integrate(
+    rhs: Callable[[State, float], State],
+    state: State,
+    t0: float,
+    t1: float,
+    dt: float,
+    snapshot_times: Sequence[float] | None = None,
+    callback: Callable[[float, State], None] | None = None,
+) -> tuple[State, list[tuple[float, State]]]:
+    """March from ``t0`` to ``t1``; optionally record snapshots.
+
+    Snapshots are taken at the first step whose end time reaches each
+    requested time (the step size is not adapted; choose ``dt`` so the
+    requested times are close to step boundaries).
+
+    Returns the final state and the recorded ``(time, state)`` list.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if t1 < t0:
+        raise ValueError("t1 must be >= t0")
+    remaining = (
+        sorted(float(s) for s in snapshot_times)
+        if snapshot_times is not None
+        else []
+    )
+    snapshots: list[tuple[float, State]] = []
+    t = float(t0)
+
+    def record_due(time: float, st: State) -> None:
+        while remaining and remaining[0] <= time + 1e-12:
+            snapshots.append((remaining.pop(0), tuple(np.copy(c) for c in st)))
+
+    record_due(t, state)
+    while t < t1 - 1e-12:
+        step = min(dt, t1 - t)
+        state = rk4_step(rhs, state, t, step)
+        t += step
+        record_due(t, state)
+        if callback is not None:
+            callback(t, state)
+    return state, snapshots

@@ -1,0 +1,151 @@
+"""Tridiagonal and cyclic-tridiagonal linear solvers.
+
+Compact (Padé) finite-difference schemes on periodic domains lead to
+cyclic tridiagonal systems; we solve them with the Thomas algorithm plus
+the Sherman–Morrison correction.  Right-hand sides may carry trailing
+batch axes (the solve is vectorised over them), which is how the Maxwell
+reference solver applies one factorisation to a whole field plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["solve_tridiagonal", "solve_cyclic_tridiagonal", "CyclicTridiagonalSolver"]
+
+
+def solve_tridiagonal(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Thomas algorithm for A x = rhs with A tridiagonal (no pivoting).
+
+    ``lower[i]`` multiplies ``x[i-1]`` in row i (``lower[0]`` unused);
+    ``upper[i]`` multiplies ``x[i+1]`` (``upper[-1]`` unused).  ``rhs`` may
+    have extra trailing axes.
+    """
+    n = diag.shape[0]
+    if n < 1:
+        raise ValueError("empty system")
+    rhs = np.asarray(rhs, dtype=np.float64)
+    cp = np.empty(n)
+    dp = np.empty((n,) + rhs.shape[1:])
+    beta = diag[0]
+    if beta == 0:
+        raise np.linalg.LinAlgError("zero pivot in Thomas algorithm")
+    cp[0] = upper[0] / beta if n > 1 else 0.0
+    dp[0] = rhs[0] / beta
+    for i in range(1, n):
+        beta = diag[i] - lower[i] * cp[i - 1]
+        if beta == 0:
+            raise np.linalg.LinAlgError("zero pivot in Thomas algorithm")
+        cp[i] = upper[i] / beta if i < n - 1 else 0.0
+        dp[i] = (rhs[i] - lower[i] * dp[i - 1]) / beta
+    x = np.empty_like(dp)
+    x[n - 1] = dp[n - 1]
+    for i in range(n - 2, -1, -1):
+        x[i] = dp[i] - cp[i] * x[i + 1]
+    return x
+
+
+def solve_cyclic_tridiagonal(
+    lower: np.ndarray,
+    diag: np.ndarray,
+    upper: np.ndarray,
+    corner_lower: float,
+    corner_upper: float,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Solve a cyclic tridiagonal system via Sherman–Morrison.
+
+    ``corner_upper`` is A[0, n-1]; ``corner_lower`` is A[n-1, 0].
+    """
+    n = diag.shape[0]
+    if n < 3:
+        raise ValueError("cyclic solver requires n >= 3")
+    gamma = -diag[0]
+    d_mod = diag.copy()
+    d_mod[0] -= gamma
+    d_mod[-1] -= corner_lower * corner_upper / gamma
+
+    y = solve_tridiagonal(lower, d_mod, upper, rhs)
+
+    u = np.zeros(n)
+    u[0] = gamma
+    u[-1] = corner_lower
+    q = solve_tridiagonal(lower, d_mod, upper, u)
+
+    # v = (1, 0, ..., 0, corner_upper / gamma)
+    numer = y[0] + (corner_upper / gamma) * y[-1]
+    denom = 1.0 + q[0] + (corner_upper / gamma) * q[-1]
+    if abs(denom) < 1e-300:
+        raise np.linalg.LinAlgError("singular cyclic system")
+    factor = numer / denom
+    return y - q.reshape((n,) + (1,) * (np.ndim(rhs) - 1)) * factor
+
+
+class CyclicTridiagonalSolver:
+    """Pre-factorised constant-coefficient cyclic tridiagonal solver.
+
+    For the Padé scheme the matrix is the circulant tridiag(α, 1, α), and
+    the same system is solved every Runge–Kutta stage.  We precompute the
+    two Thomas solves' coefficient sweeps once and replay them as pure
+    vectorised array operations over arbitrary batched right-hand sides.
+    """
+
+    def __init__(self, lower: float, diag: float, upper: float, n: int):
+        if n < 3:
+            raise ValueError("cyclic solver requires n >= 3")
+        self.n = int(n)
+        low = np.full(n, lower)
+        dia = np.full(n, diag)
+        upp = np.full(n, upper)
+        self._low = low
+        self._upp = upp
+        gamma = -diag
+        d_mod = dia.copy()
+        d_mod[0] -= gamma
+        d_mod[-1] -= lower * upper / gamma
+        self._gamma = gamma
+        self._corner_upper = upper
+        self._corner_lower = lower
+        # Forward-sweep multipliers for the modified Thomas factorisation.
+        cp = np.empty(n)
+        beta = np.empty(n)
+        beta[0] = d_mod[0]
+        cp[0] = upp[0] / beta[0]
+        for i in range(1, n):
+            beta[i] = d_mod[i] - low[i] * cp[i - 1]
+            cp[i] = upp[i] / beta[i] if i < n - 1 else 0.0
+        self._cp = cp
+        self._beta = beta
+        # Solve for the Sherman–Morrison correction vector once.
+        u = np.zeros(n)
+        u[0] = gamma
+        u[-1] = lower
+        self._q = self._thomas(u)
+        self._denom = 1.0 + self._q[0] + (upper / gamma) * self._q[-1]
+
+    def _thomas(self, rhs: np.ndarray) -> np.ndarray:
+        n = self.n
+        rhs = np.asarray(rhs, dtype=np.float64)
+        dp = np.empty_like(rhs)
+        dp[0] = rhs[0] / self._beta[0]
+        for i in range(1, n):
+            dp[i] = (rhs[i] - self._low[i] * dp[i - 1]) / self._beta[i]
+        x = np.empty_like(dp)
+        x[n - 1] = dp[n - 1]
+        for i in range(n - 2, -1, -1):
+            x[i] = dp[i] - self._cp[i] * x[i + 1]
+        return x
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve for a right-hand side with optional trailing batch axes."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.shape[0] != self.n:
+            raise ValueError(f"rhs first axis {rhs.shape[0]} != n {self.n}")
+        y = self._thomas(rhs)
+        numer = y[0] + (self._corner_upper / self._gamma) * y[-1]
+        factor = numer / self._denom
+        if rhs.ndim > 1:
+            return y - self._q.reshape((self.n,) + (1,) * (rhs.ndim - 1)) * factor
+        return y - self._q * factor

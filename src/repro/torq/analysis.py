@@ -1,0 +1,121 @@
+"""Ansatz analysis: expressibility and entangling capability (Sim,
+Johnson & Aspuru-Guzik 2019 — the paper's reference [28] for ansatz
+selection).
+
+* **Expressibility**: KL divergence between the fidelity distribution of
+  random circuit-state pairs and the Haar distribution
+  P_Haar(F) = (d−1)(1−F)^{d−2}.  Lower = more expressive (closer to
+  Haar-random states).
+* **Entangling capability**: mean Meyer–Wallach entanglement over random
+  parameter draws.
+
+Both quantities feed the paper's discussion of why mid-depth entangling
+ansätze behave differently from the no-entanglement and cross-mesh
+variants, and power the expressivity-vs-trainability probes suggested in
+§6.2 (follow-up e).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad
+from .ansatz import Ansatz, apply_ansatz
+from .entanglement import meyer_wallach
+from .state import zero_state
+
+__all__ = [
+    "random_circuit_states",
+    "expressibility",
+    "entangling_capability",
+    "gradient_variance_scan",
+]
+
+
+def random_circuit_states(
+    ansatz: Ansatz, n_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Final states |ψ(θ)⟩ for uniform θ ∈ [0, 2π)^m; shape (n, 2^q)."""
+    states = np.empty((n_samples, 2 ** ansatz.n_qubits), dtype=np.complex128)
+    with no_grad():
+        for i in range(n_samples):
+            params = Tensor(rng.uniform(0.0, 2.0 * np.pi, ansatz.param_count))
+            state = apply_ansatz(zero_state(1, ansatz.n_qubits), ansatz, params)
+            states[i] = state.numpy()[0]
+    return states
+
+
+def expressibility(
+    ansatz: Ansatz,
+    n_pairs: int = 200,
+    n_bins: int = 40,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """KL(P_circuit(F) ‖ P_Haar(F)) over state-pair fidelities.
+
+    Lower values mean the ansatz explores Hilbert space more uniformly;
+    an idle circuit (fidelity always 1) scores very high.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    a = random_circuit_states(ansatz, n_pairs, rng)
+    b = random_circuit_states(ansatz, n_pairs, rng)
+    fidelities = np.abs(np.einsum("ij,ij->i", a.conj(), b)) ** 2
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    counts, _ = np.histogram(fidelities, bins=edges)
+    p_circuit = counts / counts.sum()
+
+    d = 2 ** ansatz.n_qubits
+    # Haar bin mass: integral of (d-1)(1-F)^(d-2) over each bin =
+    # (1-lo)^(d-1) - (1-hi)^(d-1).
+    p_haar = (1.0 - edges[:-1]) ** (d - 1) - (1.0 - edges[1:]) ** (d - 1)
+
+    mask = p_circuit > 0
+    return float(np.sum(p_circuit[mask] * np.log(p_circuit[mask] / p_haar[mask])))
+
+
+def entangling_capability(
+    ansatz: Ansatz, n_samples: int = 100, rng: np.random.Generator | None = None
+) -> float:
+    """Mean Meyer–Wallach Q over uniform random parameters (Sim et al.)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    states = random_circuit_states(ansatz, n_samples, rng)
+    return float(meyer_wallach(states, ansatz.n_qubits).mean())
+
+
+def gradient_variance_scan(
+    ansatz_name: str,
+    qubit_counts: tuple[int, ...] = (2, 3, 4, 5),
+    n_layers: int = 2,
+    n_samples: int = 40,
+    rng: np.random.Generator | None = None,
+) -> dict[int, float]:
+    """Var over random θ of ∂⟨Z₀⟩/∂θ₀ as a function of system size.
+
+    The barren-plateau signature (McClean et al. 2018) is this variance
+    decaying exponentially in qubit count for expressive ansätze; the
+    paper contrasts that *initialisation-time* effect with its
+    black-hole collapse, which appears mid-training (§5).  The scan uses
+    autodiff on the batched simulator, so the cost is one small backward
+    per sample.
+    """
+    from ..autodiff import grad
+    from .ansatz import make_ansatz
+    from .measure import pauli_z_expectations
+
+    rng = rng if rng is not None else np.random.default_rng()
+    result: dict[int, float] = {}
+    for n_qubits in qubit_counts:
+        ansatz = make_ansatz(ansatz_name, n_qubits=n_qubits, n_layers=n_layers)
+        samples = np.empty(n_samples)
+        for i in range(n_samples):
+            params = Tensor(
+                rng.uniform(0.0, 2.0 * np.pi, ansatz.param_count),
+                requires_grad=True,
+            )
+            state = apply_ansatz(zero_state(1, n_qubits), ansatz, params)
+            z0 = pauli_z_expectations(state)[:, 0].sum()
+            (g,) = grad(z0, [params], allow_unused=True)
+            samples[i] = g.data[0]
+        result[n_qubits] = float(samples.var())
+    return result

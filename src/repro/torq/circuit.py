@@ -1,0 +1,182 @@
+"""User-facing circuit builder for TorQ.
+
+The ansatz classes cover the paper's fixed architectures; this module
+exposes general circuit construction for library users:
+
+    from repro.torq import Circuit
+
+    qc = Circuit(3)
+    qc.h(0).cnot(0, 1).rx(2, "theta").crz(1, 2, "phi")
+    state = qc.run(params={"theta": 0.3, "phi": 1.2}, batch=8)
+    z = qc.z_expectations(params={"theta": 0.3, "phi": 1.2})
+
+Named parameters may be shared between gates; values can be floats or
+differentiable tensors, so a :class:`Circuit` can sit inside a training
+loop like any other module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, as_tensor
+from .measure import pauli_z_expectations
+from .state import (
+    QuantumState,
+    apply_cnot,
+    apply_crz,
+    apply_hadamard,
+    apply_rot,
+    apply_rx,
+    apply_ry,
+    apply_rz,
+    apply_x,
+    apply_y,
+    apply_z,
+    zero_state,
+)
+
+__all__ = ["Circuit"]
+
+
+@dataclass(frozen=True)
+class _Op:
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[object, ...]  # floats, tensors, or parameter-name strings
+
+
+_FIXED = {
+    "h": apply_hadamard,
+    "x": apply_x,
+    "y": apply_y,
+    "z": apply_z,
+}
+
+
+class Circuit:
+    """A gate sequence on ``n_qubits`` with named/literal parameters."""
+
+    def __init__(self, n_qubits: int):
+        if n_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.n_qubits = int(n_qubits)
+        self._ops: list[_Op] = []
+
+    # -- construction (fluent) ------------------------------------------
+    def _append(self, name: str, qubits: tuple[int, ...], params: tuple = ()) -> "Circuit":
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(f"qubit {q} out of range")
+        if len(qubits) == 2 and qubits[0] == qubits[1]:
+            raise ValueError("control and target must differ")
+        self._ops.append(_Op(name, qubits, params))
+        return self
+
+    def h(self, q: int) -> "Circuit":
+        """Append a Hadamard gate."""
+        return self._append("h", (q,))
+
+    def x(self, q: int) -> "Circuit":
+        """Append a Pauli-X gate."""
+        return self._append("x", (q,))
+
+    def y(self, q: int) -> "Circuit":
+        """Append a Pauli-Y gate."""
+        return self._append("y", (q,))
+
+    def z(self, q: int) -> "Circuit":
+        """Append a Pauli-Z gate."""
+        return self._append("z", (q,))
+
+    def rx(self, q: int, theta) -> "Circuit":
+        """Append an RX rotation."""
+        return self._append("rx", (q,), (theta,))
+
+    def ry(self, q: int, theta) -> "Circuit":
+        """Append an RY rotation."""
+        return self._append("ry", (q,), (theta,))
+
+    def rz(self, q: int, theta) -> "Circuit":
+        """Append an RZ rotation."""
+        return self._append("rz", (q,), (theta,))
+
+    def rot(self, q: int, alpha, beta, gamma) -> "Circuit":
+        """Append an arbitrary Rot(α, β, γ) rotation."""
+        return self._append("rot", (q,), (alpha, beta, gamma))
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        """Append a CNOT gate."""
+        return self._append("cnot", (control, target))
+
+    def crz(self, control: int, target: int, theta) -> "Circuit":
+        """Append a controlled-RZ gate."""
+        return self._append("crz", (control, target), (theta,))
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def n_gates(self) -> int:
+        """Number of gates appended so far."""
+        return len(self._ops)
+
+    def parameter_names(self) -> tuple[str, ...]:
+        """Free (string-named) parameters in first-appearance order."""
+        seen: list[str] = []
+        for op in self._ops:
+            for p in op.params:
+                if isinstance(p, str) and p not in seen:
+                    seen.append(p)
+        return tuple(seen)
+
+    # -- execution --------------------------------------------------------
+    def _resolve(self, value, params: Mapping[str, object] | None):
+        if isinstance(value, str):
+            if params is None or value not in params:
+                raise KeyError(f"missing value for parameter {value!r}")
+            return params[value]
+        return value
+
+    def run(
+        self,
+        params: Mapping[str, object] | None = None,
+        batch: int = 1,
+        initial: QuantumState | None = None,
+    ) -> QuantumState:
+        """Execute the circuit; returns the final batched state."""
+        state = initial if initial is not None else zero_state(batch, self.n_qubits)
+        if state.n_qubits != self.n_qubits:
+            raise ValueError("initial state has the wrong qubit count")
+        for op in self._ops:
+            if op.name in _FIXED:
+                state = _FIXED[op.name](state, op.qubits[0])
+            elif op.name == "rx":
+                state = apply_rx(state, op.qubits[0], self._resolve(op.params[0], params))
+            elif op.name == "ry":
+                state = apply_ry(state, op.qubits[0], self._resolve(op.params[0], params))
+            elif op.name == "rz":
+                state = apply_rz(state, op.qubits[0], self._resolve(op.params[0], params))
+            elif op.name == "rot":
+                a, b, g = (self._resolve(p, params) for p in op.params)
+                state = apply_rot(state, op.qubits[0], a, b, g)
+            elif op.name == "cnot":
+                state = apply_cnot(state, op.qubits[0], op.qubits[1])
+            elif op.name == "crz":
+                state = apply_crz(
+                    state, op.qubits[0], op.qubits[1],
+                    self._resolve(op.params[0], params),
+                )
+            else:  # pragma: no cover - closed op set
+                raise ValueError(f"unknown op {op.name!r}")
+        return state
+
+    def z_expectations(
+        self, params: Mapping[str, object] | None = None, batch: int = 1
+    ) -> Tensor:
+        """Per-qubit ⟨Z⟩ of the final state, shape ``(batch, n_qubits)``."""
+        return pauli_z_expectations(self.run(params=params, batch=batch))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Circuit(n_qubits={self.n_qubits}, gates={self.n_gates})"

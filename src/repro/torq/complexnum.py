@@ -1,0 +1,149 @@
+"""Differentiable complex arithmetic as (re, im) tensor pairs.
+
+The autodiff engine is real-valued; quantum amplitudes are represented as a
+pair of real tensors.  Every operation below lowers to the engine's real
+primitives, so statevector simulation is differentiable end-to-end —
+including the double backward needed when PDE residuals flow through the
+parametrised quantum circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor, as_tensor
+
+__all__ = ["ComplexTensor", "as_complex", "expi"]
+
+
+class ComplexTensor:
+    """A complex array stored as two real :class:`Tensor` components."""
+
+    __slots__ = ("re", "im")
+
+    def __init__(self, re, im=None):
+        self.re = as_tensor(re)
+        if im is None:
+            im = np.zeros_like(self.re.data)
+        self.im = as_tensor(im)
+        if self.re.shape != self.im.shape:
+            raise ValueError(
+                f"real/imaginary shape mismatch: {self.re.shape} vs {self.im.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        """Array shape."""
+        return self.re.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.re.ndim
+
+    def numpy(self) -> np.ndarray:
+        """Materialise as a complex ndarray (detached from the graph)."""
+        return self.re.data + 1j * self.im.data
+
+    def detach(self) -> "ComplexTensor":
+        """A copy cut off from the autodiff graph."""
+        return ComplexTensor(self.re.detach(), self.im.detach())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComplexTensor(shape={self.shape})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ComplexTensor") -> "ComplexTensor":
+        other = as_complex(other)
+        return ComplexTensor(self.re + other.re, self.im + other.im)
+
+    def __sub__(self, other: "ComplexTensor") -> "ComplexTensor":
+        other = as_complex(other)
+        return ComplexTensor(self.re - other.re, self.im - other.im)
+
+    def __mul__(self, other) -> "ComplexTensor":
+        """Complex product; real tensors/scalars broadcast as real factors."""
+        if isinstance(other, ComplexTensor):
+            re = self.re * other.re - self.im * other.im
+            im = self.re * other.im + self.im * other.re
+            return ComplexTensor(re, im)
+        return ComplexTensor(self.re * other, self.im * other)
+
+    def __rmul__(self, other) -> "ComplexTensor":
+        return self.__mul__(other)
+
+    def __neg__(self) -> "ComplexTensor":
+        return ComplexTensor(-self.re, -self.im)
+
+    def conj(self) -> "ComplexTensor":
+        """Complex conjugate."""
+        return ComplexTensor(self.re, -self.im)
+
+    def abs2(self) -> Tensor:
+        """Squared magnitude |z|² as a real tensor (Born probabilities)."""
+        return self.re * self.re + self.im * self.im
+
+    def mul_i(self) -> "ComplexTensor":
+        """Multiply by the imaginary unit: (re, im) → (−im, re)."""
+        return ComplexTensor(-self.im, self.re)
+
+    # ------------------------------------------------------------------
+    # Shape ops (delegate to both components)
+    # ------------------------------------------------------------------
+    def reshape(self, shape) -> "ComplexTensor":
+        """Reshape (both components for complex tensors)."""
+        return ComplexTensor(ad.reshape(self.re, shape), ad.reshape(self.im, shape))
+
+    def __getitem__(self, index) -> "ComplexTensor":
+        return ComplexTensor(self.re[index], self.im[index])
+
+    def sum(self, axis=None, keepdims: bool = False) -> "ComplexTensor":
+        """Sum over the given axes."""
+        return ComplexTensor(
+            ad.tensor_sum(self.re, axis, keepdims),
+            ad.tensor_sum(self.im, axis, keepdims),
+        )
+
+    def flip(self, axis: int) -> "ComplexTensor":
+        """Reverse along one axis."""
+        return ComplexTensor(ad.flip(self.re, axis), ad.flip(self.im, axis))
+
+    def transpose(self, axes=None) -> "ComplexTensor":
+        """Permute axes."""
+        return ComplexTensor(ad.transpose(self.re, axes), ad.transpose(self.im, axes))
+
+
+def as_complex(value) -> ComplexTensor:
+    """Coerce tensors, ndarrays (possibly complex), or scalars."""
+    if isinstance(value, ComplexTensor):
+        return value
+    if isinstance(value, Tensor):
+        return ComplexTensor(value)
+    arr = np.asarray(value)
+    if arr.dtype.kind == "c":
+        return ComplexTensor(Tensor(arr.real.copy()), Tensor(arr.imag.copy()))
+    return ComplexTensor(Tensor(arr))
+
+
+def stack(parts: Sequence[ComplexTensor], axis: int) -> ComplexTensor:
+    """Stack complex tensors along a new axis."""
+    return ComplexTensor(
+        ad.stack([p.re for p in parts], axis=axis),
+        ad.stack([p.im for p in parts], axis=axis),
+    )
+
+
+def expi(theta: Tensor) -> ComplexTensor:
+    """e^{iθ} as a complex tensor: (cos θ, sin θ)."""
+    theta = as_tensor(theta)
+    return ComplexTensor(ad.cos(theta), ad.sin(theta))
+
+
+# Re-export stack under a namespaced name to avoid clashing with ops.stack.
+ComplexTensor.stack = staticmethod(stack)

@@ -1,0 +1,51 @@
+"""Meyer–Wallach global entanglement measure (paper Fig. 10e).
+
+Q(ψ) = 2 (1 − (1/n) Σ_q Tr ρ_q²) where ρ_q is the reduced single-qubit
+density matrix.  Q = 0 for product states and approaches 1 for highly
+entangled states.  This is a training *diagnostic*, so it operates on
+detached NumPy amplitudes and is fully vectorised over the batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .state import QuantumState
+
+__all__ = ["single_qubit_purities", "meyer_wallach"]
+
+
+def single_qubit_purities(amplitudes: np.ndarray, n_qubits: int) -> np.ndarray:
+    """Tr ρ_q² for each qubit; ``amplitudes`` is ``(batch, 2**n)`` complex.
+
+    Returns an array of shape ``(batch, n_qubits)``.
+    """
+    amplitudes = np.asarray(amplitudes)
+    batch, dim = amplitudes.shape
+    if dim != 2 ** n_qubits:
+        raise ValueError(f"dimension {dim} != 2**{n_qubits}")
+    full = amplitudes.reshape((batch,) + (2,) * n_qubits)
+    purities = np.empty((batch, n_qubits))
+    for q in range(n_qubits):
+        # Expose qubit q as a 2-row matrix against the rest of the system.
+        mat = np.moveaxis(full, q + 1, 1).reshape(batch, 2, dim // 2)
+        rho = np.einsum("bij,bkj->bik", mat, mat.conj())
+        purities[:, q] = np.einsum("bik,bki->b", rho, rho).real
+    return purities
+
+
+def meyer_wallach(state: QuantumState | np.ndarray, n_qubits: int | None = None) -> np.ndarray:
+    """Meyer–Wallach Q per batch element.
+
+    Accepts either a :class:`QuantumState` or a raw complex amplitude array
+    of shape ``(batch, 2**n)`` together with ``n_qubits``.
+    """
+    if isinstance(state, QuantumState):
+        amplitudes = state.numpy()
+        n_qubits = state.n_qubits
+    else:
+        if n_qubits is None:
+            raise ValueError("n_qubits is required with raw amplitudes")
+        amplitudes = np.asarray(state)
+    purities = single_qubit_purities(amplitudes, n_qubits)
+    return 2.0 * (1.0 - purities.mean(axis=1))

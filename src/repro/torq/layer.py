@@ -1,0 +1,114 @@
+"""The quantum layer: a PQC usable as a neural-network module (Fig. 2).
+
+Pipeline per forward pass, batched over all collocation points:
+
+    tanh activations (batch, n_qubits)
+      → input scaling (Eq. 29)          → rotation angles
+      → |0…0⟩ + RX angle embedding      → data-encoded state
+      → ansatz layers (Fig. 4)          → variational state
+      → per-qubit ⟨Z⟩ readout           → (batch, n_qubits) outputs
+
+Everything is differentiable twice, so the layer can sit inside a PINN
+whose loss contains input-derivatives of the network outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn.module import Module, Parameter
+from .ansatz import Ansatz, apply_ansatz, make_ansatz
+from .embedding import angle_embedding, scale_input
+from .measure import pauli_z_expectations
+from .state import QuantumState, zero_state
+
+__all__ = ["QuantumLayer", "INIT_STRATEGIES", "initial_circuit_params"]
+
+# §5.2 parameter-initialisation strategies.
+INIT_STRATEGIES: tuple[str, ...] = ("reg", "zeros", "pi", "half_pi")
+
+
+def initial_circuit_params(
+    strategy: str,
+    count: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Initial quantum parameters per the paper's §5.2 strategies.
+
+    * ``reg``     — U[0, 2π) (used throughout the paper)
+    * ``zeros``   — all 0
+    * ``pi``      — all π
+    * ``half_pi`` — all π/2
+    """
+    if strategy == "reg":
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.uniform(0.0, 2.0 * np.pi, size=count)
+    if strategy == "zeros":
+        return np.zeros(count)
+    if strategy == "pi":
+        return np.full(count, np.pi)
+    if strategy == "half_pi":
+        return np.full(count, np.pi / 2.0)
+    raise ValueError(
+        f"unknown init strategy {strategy!r}; available: {INIT_STRATEGIES}"
+    )
+
+
+class QuantumLayer(Module):
+    """A parametrised quantum circuit as an ``n_qubits → n_qubits`` module."""
+
+    def __init__(
+        self,
+        n_qubits: int = 7,
+        n_layers: int = 4,
+        ansatz: str | Ansatz = "strongly_entangling",
+        scaling: str = "acos",
+        init: str = "reg",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.ansatz = ansatz if isinstance(ansatz, Ansatz) else make_ansatz(
+            ansatz, n_qubits=n_qubits, n_layers=n_layers
+        )
+        self.n_qubits = self.ansatz.n_qubits
+        self.n_layers = self.ansatz.n_layers
+        self.scaling = str(scaling)
+        self.init_strategy = str(init)
+        self.params = Parameter(
+            initial_circuit_params(init, self.ansatz.param_count, rng=rng),
+            name="quantum_params",
+        )
+
+    @property
+    def in_features(self) -> int:
+        """Input width expected by this layer."""
+        return self.n_qubits
+
+    @property
+    def out_features(self) -> int:
+        """Output width produced by this layer."""
+        return self.n_qubits
+
+    def run_state(self, activations: Tensor) -> QuantumState:
+        """Encode activations and run the ansatz, returning the final state."""
+        if activations.ndim != 2 or activations.shape[1] != self.n_qubits:
+            raise ValueError(
+                f"expected activations of shape (batch, {self.n_qubits}), "
+                f"got {activations.shape}"
+            )
+        angles = scale_input(self.scaling, activations)
+        state = zero_state(activations.shape[0], self.n_qubits)
+        state = angle_embedding(state, angles)
+        return apply_ansatz(state, self.ansatz, self.params)
+
+    def forward(self, activations: Tensor) -> Tensor:
+        """Per-qubit ⟨Z⟩ readout, shape ``(batch, n_qubits)``."""
+        return pauli_z_expectations(self.run_state(activations))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"QuantumLayer(ansatz={self.ansatz.name!r}, qubits={self.n_qubits}, "
+            f"layers={self.n_layers}, scaling={self.scaling!r}, "
+            f"params={self.ansatz.param_count})"
+        )

@@ -1,0 +1,62 @@
+"""OpenQASM 2.0 export for :class:`~repro.torq.circuit.Circuit`.
+
+The paper benchmarks against PennyLane and Qiskit; exporting TorQ circuits
+as OpenQASM lets users replay the exact circuit on those stacks (or on
+hardware).  Named parameters are bound at export time.
+
+Conventions: TorQ's ``rot(α, β, γ) = RZ(γ) RY(β) RZ(α)`` is emitted as the
+equivalent OpenQASM ``u3``-free sequence ``rz(α); ry(β); rz(γ)``; TorQ's
+``crz`` matches OpenQASM's ``crz`` phase convention (diag(1,1,e^{−iθ/2},
+e^{+iθ/2})).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .circuit import Circuit
+
+__all__ = ["to_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def _value(raw, params: Mapping[str, float] | None) -> float:
+    if isinstance(raw, str):
+        if params is None or raw not in params:
+            raise KeyError(f"missing value for parameter {raw!r}")
+        raw = params[raw]
+    value = getattr(raw, "data", raw)
+    try:
+        return float(value)
+    except TypeError as exc:
+        raise TypeError(
+            "QASM export needs scalar parameter values (per-batch angles "
+            "cannot be serialised into one circuit)"
+        ) from exc
+
+
+def to_qasm(circuit: Circuit, params: Mapping[str, float] | None = None) -> str:
+    """Serialise the circuit (with parameters bound) to OpenQASM 2.0."""
+    lines = [_HEADER + f"qreg q[{circuit.n_qubits}];"]
+    for op in circuit._ops:
+        name = op.name
+        q = op.qubits
+        if name in ("h", "x", "y", "z"):
+            lines.append(f"{name} q[{q[0]}];")
+        elif name in ("rx", "ry", "rz"):
+            theta = _value(op.params[0], params)
+            lines.append(f"{name}({theta!r}) q[{q[0]}];")
+        elif name == "rot":
+            a, b, g = (_value(p, params) for p in op.params)
+            lines.append(f"rz({a!r}) q[{q[0]}];")
+            lines.append(f"ry({b!r}) q[{q[0]}];")
+            lines.append(f"rz({g!r}) q[{q[0]}];")
+        elif name == "cnot":
+            lines.append(f"cx q[{q[0]}],q[{q[1]}];")
+        elif name == "crz":
+            theta = _value(op.params[0], params)
+            lines.append(f"crz({theta!r}) q[{q[0]}],q[{q[1]}];")
+        else:  # pragma: no cover - closed op set
+            raise ValueError(f"cannot export op {name!r}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,140 @@
+"""Naive full-matrix statevector simulator — the Table 2 baseline.
+
+This backend deliberately reproduces the *cost model* of a generic
+simulator such as PennyLane's ``default.qubit`` used point-by-point from a
+training loop:
+
+* one circuit execution per collocation point (Python-level loop),
+* each gate promoted to a dense ``2^n × 2^n`` unitary via Kronecker
+  products and applied with a full matrix–vector product.
+
+It is numerically exact, so it doubles as a cross-validation oracle for the
+fast TorQ backend: both interpret the *same* :class:`GateSpec` sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ansatz import Ansatz, GateSpec
+from .embedding import scaling_fn
+from ..autodiff import Tensor, no_grad
+
+__all__ = ["NaiveSimulator", "gate_matrix"]
+
+
+_I2 = np.eye(2, dtype=np.complex128)
+_X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]])
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2.0), 0], [0, np.exp(1j * theta / 2.0)]]
+    )
+
+
+def _rot(alpha: float, beta: float, gamma: float) -> np.ndarray:
+    return _rz(gamma) @ _ry(beta) @ _rz(alpha)
+
+
+def _embed_single(u: np.ndarray, qubit: int, n_qubits: int) -> np.ndarray:
+    """Kronecker-promote a 2×2 unitary to the full Hilbert space."""
+    out = np.array([[1.0 + 0j]])
+    for q in range(n_qubits):
+        out = np.kron(out, u if q == qubit else _I2)
+    return out
+
+
+def _embed_controlled(
+    u: np.ndarray, control: int, target: int, n_qubits: int
+) -> np.ndarray:
+    """Full matrix for a controlled single-qubit unitary."""
+    dim = 2 ** n_qubits
+    out = np.eye(dim, dtype=np.complex128)
+    for basis in range(dim):
+        bits = [(basis >> (n_qubits - 1 - q)) & 1 for q in range(n_qubits)]
+        if bits[control] != 1:
+            continue
+        t = bits[target]
+        partner_bits = list(bits)
+        partner_bits[target] = 1 - t
+        partner = 0
+        for b in partner_bits:
+            partner = (partner << 1) | b
+        out[basis, basis] = u[t, t]
+        out[partner, basis] = u[1 - t, t]
+    return out
+
+
+def gate_matrix(gate: GateSpec, params: np.ndarray, n_qubits: int) -> np.ndarray:
+    """Dense ``2^n × 2^n`` unitary for one gate spec."""
+    if gate.name == "rot":
+        a, b, g = (params[i] for i in gate.params)
+        return _embed_single(_rot(a, b, g), gate.qubits[0], n_qubits)
+    if gate.name == "rx":
+        return _embed_single(_rx(params[gate.params[0]]), gate.qubits[0], n_qubits)
+    if gate.name == "rz":
+        return _embed_single(_rz(params[gate.params[0]]), gate.qubits[0], n_qubits)
+    if gate.name == "cnot":
+        return _embed_controlled(_X, gate.qubits[0], gate.qubits[1], n_qubits)
+    if gate.name == "crz":
+        return _embed_controlled(
+            _rz(params[gate.params[0]]), gate.qubits[0], gate.qubits[1], n_qubits
+        )
+    raise ValueError(f"unknown gate {gate.name!r}")
+
+
+class NaiveSimulator:
+    """Per-point, dense-matrix execution of an ansatz circuit."""
+
+    def __init__(self, ansatz: Ansatz, scaling: str = "acos"):
+        self.ansatz = ansatz
+        self.n_qubits = ansatz.n_qubits
+        self.scaling = scaling
+        self._scale = scaling_fn(scaling)
+
+    # ------------------------------------------------------------------
+    def run_point(self, activations: np.ndarray, params: np.ndarray) -> np.ndarray:
+        """Final statevector (2^n,) for a single collocation point."""
+        n = self.n_qubits
+        with no_grad():
+            angles = self._scale(Tensor(np.asarray(activations, dtype=np.float64))).data
+        state = np.zeros(2 ** n, dtype=np.complex128)
+        state[0] = 1.0
+        for q in range(n):
+            state = _embed_single(_rx(angles[q]), q, n) @ state
+        for gate in self.ansatz.gate_sequence():
+            state = gate_matrix(gate, params, n) @ state
+        return state
+
+    def z_expectations_point(
+        self, activations: np.ndarray, params: np.ndarray
+    ) -> np.ndarray:
+        """Per-qubit ⟨Z⟩ for one collocation point."""
+        state = self.run_point(activations, params)
+        probs = np.abs(state) ** 2
+        n = self.n_qubits
+        z = np.empty(n)
+        indices = np.arange(2 ** n)
+        for q in range(n):
+            bit = (indices >> (n - 1 - q)) & 1
+            z[q] = probs[bit == 0].sum() - probs[bit == 1].sum()
+        return z
+
+    def forward(self, activations: np.ndarray, params: np.ndarray) -> np.ndarray:
+        """Batched forward by looping points — the baseline's cost model."""
+        activations = np.asarray(activations, dtype=np.float64)
+        out = np.empty((activations.shape[0], self.n_qubits))
+        for i in range(activations.shape[0]):
+            out[i] = self.z_expectations_point(activations[i], params)
+        return out

@@ -1,0 +1,223 @@
+"""Double-backward (grad-of-grad) correctness — the PINN-critical path."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor, check_double_grad, grad
+
+
+class TestSecondDerivativesAnalytic:
+    def test_cubic(self):
+        x = Tensor([2.0], requires_grad=True)
+        (g,) = grad((x ** 3).sum(), [x], create_graph=True)
+        (h,) = grad(g.sum(), [x])
+        np.testing.assert_allclose(h.data, [12.0])
+
+    def test_sin_second_derivative(self):
+        x = Tensor([0.7], requires_grad=True)
+        (g,) = grad(ad.sin(x).sum(), [x], create_graph=True)
+        (h,) = grad(g.sum(), [x])
+        np.testing.assert_allclose(h.data, -np.sin(0.7))
+
+    def test_exp_all_orders(self):
+        x = Tensor([0.3], requires_grad=True)
+        y = ad.exp(x).sum()
+        g = y
+        for _ in range(3):
+            (g,) = grad(g if isinstance(g, Tensor) else g, [x], create_graph=True)
+            g = g.sum()
+        np.testing.assert_allclose(g.data, np.exp(0.3))
+
+    def test_tanh_second_derivative(self):
+        v = 0.4
+        x = Tensor([v], requires_grad=True)
+        (g,) = grad(ad.tanh(x).sum(), [x], create_graph=True)
+        (h,) = grad(g.sum(), [x])
+        t = np.tanh(v)
+        np.testing.assert_allclose(h.data, -2 * t * (1 - t * t), rtol=1e-10)
+
+    def test_log_second_derivative(self):
+        x = Tensor([2.0], requires_grad=True)
+        (g,) = grad(ad.log(x).sum(), [x], create_graph=True)
+        (h,) = grad(g.sum(), [x])
+        np.testing.assert_allclose(h.data, [-0.25])
+
+    def test_mixed_partial(self):
+        # f = x^2 y -> d2f/dxdy = 2x
+        x = Tensor([3.0], requires_grad=True)
+        y = Tensor([5.0], requires_grad=True)
+        f = (x * x * y).sum()
+        (gx,) = grad(f, [x], create_graph=True)
+        (gxy,) = grad(gx.sum(), [y])
+        np.testing.assert_allclose(gxy.data, [6.0])
+
+    def test_laplacian_of_quadratic(self):
+        # u = x^2 + y^2 -> u_xx + u_yy = 4 at every point
+        x = Tensor(np.array([[0.3], [0.9]]), requires_grad=True)
+        y = Tensor(np.array([[-0.2], [0.4]]), requires_grad=True)
+        u = x * x + y * y
+        ux, uy = grad(u.sum(), [x, y], create_graph=True)
+        (uxx,) = grad(ux.sum(), [x], create_graph=True)
+        (uyy,) = grad(uy.sum(), [y], create_graph=True)
+        np.testing.assert_allclose((uxx + uyy).data, [[4.0], [4.0]])
+
+
+class TestDoubleGradcheck:
+    def test_polynomial(self, rng):
+        check_double_grad(lambda a: (a * a * a - 2.0 * a).sum(),
+                          [rng.uniform(-1, 1, (3,))])
+
+    def test_trig_composition(self, rng):
+        check_double_grad(lambda a: (ad.sin(a) * ad.cos(a)).sum(),
+                          [rng.uniform(-1, 1, (3,))])
+
+    def test_through_matmul(self, rng):
+        check_double_grad(
+            lambda a, b: ad.tanh(a @ b).sum(),
+            [rng.normal(size=(2, 3)) * 0.5, rng.normal(size=(3, 2)) * 0.5],
+        )
+
+    def test_through_division(self, rng):
+        check_double_grad(lambda a: (1.0 / (1.0 + a * a)).sum(),
+                          [rng.uniform(-1, 1, (3,))])
+
+    def test_through_sqrt(self, rng):
+        check_double_grad(lambda a: ad.sqrt(1.0 + a * a).sum(),
+                          [rng.uniform(0.2, 1.0, (3,))])
+
+    def test_through_getitem(self, rng):
+        check_double_grad(lambda a: (a[1:] * a[:-1]).sum(),
+                          [rng.uniform(-1, 1, (4,))])
+
+    def test_through_concatenate(self, rng):
+        check_double_grad(
+            lambda a, b: (ad.concatenate([a, b], axis=0) ** 2).sum(),
+            [rng.normal(size=(2,)), rng.normal(size=(3,))],
+        )
+
+    def test_through_reductions(self, rng):
+        check_double_grad(
+            lambda a: (ad.mean(a * a, axis=0) ** 2).sum(),
+            [rng.normal(size=(3, 2))],
+        )
+
+    def test_through_broadcasting(self, rng):
+        check_double_grad(
+            lambda a, b: ((a + b) ** 2).sum(),
+            [rng.normal(size=(3, 1)), rng.normal(size=(2,))],
+        )
+
+    def test_through_arcsin(self, rng):
+        check_double_grad(lambda a: ad.arcsin(a).sum(),
+                          [rng.uniform(-0.6, 0.6, (3,))])
+
+    def test_through_exp(self, rng):
+        check_double_grad(lambda a: ad.exp(-a * a).sum(),
+                          [rng.uniform(-1, 1, (3,))])
+
+
+class TestPinnPattern:
+    """The exact use pattern of PINN training: residual of a network's
+    input-derivatives optimised w.r.t. the network weights."""
+
+    def test_residual_gradient_matches_fd(self, rng):
+        w1 = rng.normal(size=(1, 8)) * 0.7
+        w2 = rng.normal(size=(8, 1)) * 0.7
+        x_np = rng.uniform(-1, 1, (5, 1))
+
+        def residual_loss(w1_t, w2_t):
+            x = Tensor(x_np, requires_grad=True)
+            u = ad.tanh(x @ w1_t) @ w2_t
+            (du_dx,) = grad(u.sum(), [x], create_graph=True)
+            res = du_dx - u  # enforce u' = u
+            return (res * res).mean()
+
+        t1 = Tensor(w1, requires_grad=True)
+        t2 = Tensor(w2, requires_grad=True)
+        loss = residual_loss(t1, t2)
+        g1, g2 = grad(loss, [t1, t2])
+
+        eps = 1e-6
+        for t, g, base in ((t1, g1, w1), (t2, g2, w2)):
+            it = np.nditer(base, flags=["multi_index"])
+            while not it.finished:
+                ix = it.multi_index
+                orig = base[ix]
+                base[ix] = orig + eps
+                fp = float(residual_loss(Tensor(w1), Tensor(w2)).data)
+                base[ix] = orig - eps
+                fm = float(residual_loss(Tensor(w1), Tensor(w2)).data)
+                base[ix] = orig
+                np.testing.assert_allclose(
+                    g.data[ix], (fp - fm) / (2 * eps), atol=1e-5, rtol=1e-3
+                )
+                it.iternext()
+
+    def test_known_solution_zero_residual_gradient_small(self):
+        # For u(x) = x (identity "network"), residual of u'' is exactly 0.
+        x = Tensor(np.linspace(-1, 1, 7).reshape(-1, 1), requires_grad=True)
+        w = Tensor(np.array([[1.0]]), requires_grad=True)
+        u = x @ w
+        (ux,) = grad(u.sum(), [x], create_graph=True)
+        # ux == w is constant in x, so the second pass needs allow_unused.
+        (uxx,) = grad(ux.sum(), [x], create_graph=True, allow_unused=True)
+        loss = (uxx * uxx).mean()
+        (gw,) = grad(loss, [w], allow_unused=True)
+        np.testing.assert_allclose(gw.data, [[0.0]], atol=1e-12)
+
+    def test_third_order_chain(self):
+        x = Tensor([0.5], requires_grad=True)
+        y = (x ** 4).sum()
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1.sum(), [x], create_graph=True)
+        (g3,) = grad(g2.sum(), [x])
+        np.testing.assert_allclose(g3.data, [24.0 * 0.5])
+
+
+class TestDoubleGradThroughStructuralOps:
+    def test_through_flip(self, rng):
+        check_double_grad(
+            lambda a: (ad.flip(a, 0) * a).sum(), [rng.uniform(-1, 1, (4,))]
+        )
+
+    def test_through_roll(self, rng):
+        check_double_grad(
+            lambda a: (ad.roll(a, 1, 0) * a).sum(), [rng.uniform(-1, 1, (4,))]
+        )
+
+    def test_through_where(self, rng):
+        mask = np.array([True, False, True])
+        check_double_grad(
+            lambda a: (ad.where(mask, a * a, a * 2.0)).sum(),
+            [rng.uniform(0.2, 1.0, (3,))],
+        )
+
+    def test_through_stack(self, rng):
+        check_double_grad(
+            lambda a, b: (ad.stack([a * a, b], axis=0) ** 2).sum(),
+            [rng.uniform(-1, 1, (3,)), rng.uniform(-1, 1, (3,))],
+        )
+
+    def test_through_transpose(self, rng):
+        check_double_grad(
+            lambda a: (ad.transpose(a) @ a).sum(), [rng.uniform(-1, 1, (2, 3))]
+        )
+
+    def test_through_scatter_add(self, rng):
+        check_double_grad(
+            lambda a: (ad.scatter_add(a * a, slice(1, 4), (5,)) ** 2).sum(),
+            [rng.uniform(0.1, 1.0, (3,))],
+        )
+
+    def test_through_clip_interior(self, rng):
+        check_double_grad(
+            lambda a: (ad.clip(a, -10.0, 10.0) ** 3).sum(),
+            [rng.uniform(-1, 1, (3,))],
+        )
+
+    def test_through_broadcast_to(self, rng):
+        check_double_grad(
+            lambda a: (ad.broadcast_to(a * a, (3, 2)) ** 2).sum(),
+            [rng.uniform(-1, 1, (2,))],
+        )

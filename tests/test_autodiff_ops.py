@@ -1,0 +1,421 @@
+"""Per-operation correctness: forward values and gradcheck vs central
+differences, plus hypothesis property tests on representative ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor, check_grad, grad
+
+
+def finite_arrays(min_val=-3.0, max_val=3.0, min_dims=1, max_dims=2):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=min_dims, max_dims=max_dims, min_side=1, max_side=4),
+        elements=st.floats(min_val, max_val, allow_nan=False),
+    )
+
+
+class TestArithmeticForward:
+    def test_add(self):
+        np.testing.assert_allclose((Tensor([1.0]) + Tensor([2.0])).data, [3.0])
+
+    def test_add_scalar(self):
+        np.testing.assert_allclose((Tensor([1.0]) + 2.0).data, [3.0])
+
+    def test_radd(self):
+        np.testing.assert_allclose((2.0 + Tensor([1.0])).data, [3.0])
+
+    def test_sub(self):
+        np.testing.assert_allclose((Tensor([5.0]) - 2.0).data, [3.0])
+
+    def test_rsub(self):
+        np.testing.assert_allclose((2.0 - Tensor([5.0])).data, [-3.0])
+
+    def test_mul(self):
+        np.testing.assert_allclose((Tensor([3.0]) * Tensor([4.0])).data, [12.0])
+
+    def test_div(self):
+        np.testing.assert_allclose((Tensor([8.0]) / 2.0).data, [4.0])
+
+    def test_rdiv(self):
+        np.testing.assert_allclose((8.0 / Tensor([2.0])).data, [4.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow_scalar(self):
+        np.testing.assert_allclose((Tensor([2.0]) ** 3).data, [8.0])
+
+    def test_pow_tensor(self):
+        np.testing.assert_allclose(
+            ad.pow(Tensor([2.0]), Tensor([3.0])).data, [8.0]
+        )
+
+    def test_broadcasting_forward(self):
+        a = Tensor(np.ones((3, 1)))
+        b = Tensor(np.arange(4.0))
+        assert (a + b).shape == (3, 4)
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self, rng):
+        check_grad(lambda a, b: (a + b).sum(),
+                   [rng.normal(size=(3, 1)), rng.normal(size=(4,))])
+
+    def test_sub_broadcast(self, rng):
+        check_grad(lambda a, b: (a - b).sum(),
+                   [rng.normal(size=(2, 3)), rng.normal(size=(3,))])
+
+    def test_mul_broadcast(self, rng):
+        check_grad(lambda a, b: (a * b).sum(),
+                   [rng.normal(size=(3,)), rng.normal(size=(2, 3))])
+
+    def test_div(self, rng):
+        check_grad(lambda a, b: (a / b).sum(),
+                   [rng.normal(size=(3,)), rng.uniform(1.0, 2.0, (3,))])
+
+    def test_pow_scalar_exponent(self, rng):
+        check_grad(lambda a: (a ** 3).sum(), [rng.uniform(0.5, 2.0, (4,))])
+
+    def test_pow_tensor_exponent(self, rng):
+        check_grad(
+            lambda a, b: ad.pow(a, b).sum(),
+            [rng.uniform(0.5, 2.0, (3,)), rng.uniform(0.5, 2.0, (3,))],
+        )
+
+    def test_pow_zero_exponent_zero_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        (g,) = grad((x ** 0).sum(), [x])
+        np.testing.assert_allclose(g.data, [0.0])
+
+    @given(finite_arrays())
+    def test_mul_self_gradient_is_2x(self, data):
+        x = Tensor(data, requires_grad=True)
+        (g,) = grad((x * x).sum(), [x])
+        np.testing.assert_allclose(g.data, 2 * data, atol=1e-12)
+
+    @given(finite_arrays(), finite_arrays())
+    def test_add_gradients_are_ones_summed(self, a, b):
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        try:
+            out = ta + tb
+        except ValueError:
+            return  # shapes not broadcastable: not this test's concern
+        ga, gb = grad(out.sum(), [ta, tb])
+        assert ga.shape == a.shape
+        assert gb.shape == b.shape
+        np.testing.assert_allclose(ga.data.sum() + gb.data.sum(), 2 * out.size)
+
+
+class TestTranscendental:
+    @pytest.mark.parametrize(
+        "fn,np_fn,domain",
+        [
+            (ad.exp, np.exp, (-1, 1)),
+            (ad.log, np.log, (0.5, 3)),
+            (ad.sin, np.sin, (-3, 3)),
+            (ad.cos, np.cos, (-3, 3)),
+            (ad.tan, np.tan, (-1, 1)),
+            (ad.tanh, np.tanh, (-2, 2)),
+            (ad.sinh, np.sinh, (-2, 2)),
+            (ad.cosh, np.cosh, (-2, 2)),
+            (ad.arcsin, np.arcsin, (-0.9, 0.9)),
+            (ad.arccos, np.arccos, (-0.9, 0.9)),
+            (ad.arctan, np.arctan, (-3, 3)),
+            (ad.sqrt, np.sqrt, (0.1, 4)),
+            (ad.square, np.square, (-2, 2)),
+        ],
+    )
+    def test_forward_and_gradient(self, fn, np_fn, domain, rng):
+        x = rng.uniform(*domain, size=(5,))
+        np.testing.assert_allclose(fn(Tensor(x)).data, np_fn(x), rtol=1e-12)
+        check_grad(lambda a: fn(a).sum(), [x])
+
+    def test_sigmoid_forward(self):
+        np.testing.assert_allclose(ad.sigmoid(Tensor([0.0])).data, [0.5])
+
+    def test_sigmoid_gradient(self, rng):
+        check_grad(lambda a: ad.sigmoid(a).sum(), [rng.normal(size=(4,))])
+
+    def test_softplus_gradient(self, rng):
+        check_grad(lambda a: ad.softplus(a).sum(), [rng.normal(size=(4,))])
+
+    def test_relu_forward(self):
+        np.testing.assert_allclose(
+            ad.relu(Tensor([-1.0, 0.5])).data, [0.0, 0.5]
+        )
+
+    def test_relu_gradient_away_from_kink(self, rng):
+        x = rng.uniform(0.5, 2.0, (4,)) * rng.choice([-1.0, 1.0], 4)
+        check_grad(lambda a: ad.relu(a).sum(), [x])
+
+    def test_abs_gradient_away_from_zero(self):
+        check_grad(lambda a: ad.absolute(a).sum(), [np.array([1.0, -2.0, 3.0])])
+
+    def test_sign_zero_gradient(self):
+        x = Tensor([1.0, -2.0], requires_grad=True)
+        (g,) = grad(ad.sign(x).sum(), [x])
+        np.testing.assert_allclose(g.data, [0.0, 0.0])
+
+    @given(finite_arrays(-2.0, 2.0))
+    def test_sin_cos_pythagorean(self, data):
+        s = ad.sin(Tensor(data)).data
+        c = ad.cos(Tensor(data)).data
+        np.testing.assert_allclose(s * s + c * c, np.ones_like(data), atol=1e-12)
+
+
+class TestPiecewiseOps:
+    def test_maximum_forward(self):
+        np.testing.assert_allclose(
+            ad.maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0])).data, [3.0, 5.0]
+        )
+
+    def test_maximum_gradient(self):
+        check_grad(
+            lambda a, b: ad.maximum(a, b).sum(),
+            [np.array([1.0, 5.0]), np.array([3.0, 2.0])],
+        )
+
+    def test_minimum_gradient(self):
+        check_grad(
+            lambda a, b: ad.minimum(a, b).sum(),
+            [np.array([1.0, 5.0]), np.array([3.0, 2.0])],
+        )
+
+    def test_clip_forward(self):
+        np.testing.assert_allclose(
+            ad.clip(Tensor([-2.0, 0.5, 3.0]), -1.0, 1.0).data, [-1.0, 0.5, 1.0]
+        )
+
+    def test_clip_gradient_inside(self):
+        check_grad(lambda a: ad.clip(a, -1.0, 1.0).sum(), [np.array([0.2, -0.5])])
+
+    def test_clip_gradient_outside_is_zero(self):
+        x = Tensor([5.0], requires_grad=True)
+        (g,) = grad(ad.clip(x, -1.0, 1.0).sum(), [x])
+        np.testing.assert_allclose(g.data, [0.0])
+
+    def test_where_forward(self):
+        out = ad.where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_where_gradient(self):
+        mask = np.array([True, False, True])
+        check_grad(
+            lambda a, b: ad.where(mask, a, b).sum(),
+            [np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0])],
+        )
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self, rng):
+        check_grad(
+            lambda a: (ad.reshape(a, (6,)) * np.arange(6.0)).sum(),
+            [rng.normal(size=(2, 3))],
+        )
+
+    def test_transpose_forward(self, rng):
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(ad.transpose(Tensor(x)).data, x.T)
+
+    def test_transpose_axes_gradient(self, rng):
+        w = rng.normal(size=(4, 3, 2))
+        check_grad(
+            lambda a: (ad.transpose(a, (2, 0, 1)) * w).sum(),
+            [rng.normal(size=(3, 2, 4))],
+        )
+
+    def test_moveaxis_gradient(self, rng):
+        w = rng.normal(size=(3, 2, 4))
+        check_grad(
+            lambda a: (ad.moveaxis(a, 0, 1) * w).sum(),
+            [rng.normal(size=(2, 3, 4))],
+        )
+
+    def test_expand_squeeze_inverse(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)))
+        y = ad.squeeze(ad.expand_dims(x, 1), 1)
+        np.testing.assert_allclose(y.data, x.data)
+
+    def test_broadcast_to_gradient(self, rng):
+        w = rng.normal(size=(4, 3))
+        check_grad(
+            lambda a: (ad.broadcast_to(a, (4, 3)) * w).sum(),
+            [rng.normal(size=(3,))],
+        )
+
+    def test_concatenate_forward(self):
+        out = ad.concatenate([Tensor([1.0]), Tensor([2.0, 3.0])], axis=0)
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_concatenate_gradient(self, rng):
+        w = rng.normal(size=(5, 2))
+        check_grad(
+            lambda a, b: (ad.concatenate([a, b], axis=0) * w).sum(),
+            [rng.normal(size=(2, 2)), rng.normal(size=(3, 2))],
+        )
+
+    def test_stack_gradient(self, rng):
+        w = rng.normal(size=(2, 3))
+        check_grad(
+            lambda a, b: (ad.stack([a, b], axis=0) * w).sum(),
+            [rng.normal(size=(3,)), rng.normal(size=(3,))],
+        )
+
+    def test_flip_is_involution(self, rng):
+        x = Tensor(rng.normal(size=(3, 2)))
+        np.testing.assert_allclose(ad.flip(ad.flip(x, 0), 0).data, x.data)
+
+    def test_flip_gradient(self, rng):
+        w = rng.normal(size=(4,))
+        check_grad(lambda a: (ad.flip(a, 0) * w).sum(), [rng.normal(size=(4,))])
+
+    def test_roll_gradient(self, rng):
+        w = rng.normal(size=(5,))
+        check_grad(lambda a: (ad.roll(a, 2, 0) * w).sum(), [rng.normal(size=(5,))])
+
+    def test_getitem_slice_gradient(self, rng):
+        check_grad(lambda a: (a[1:3] * a[0:2]).sum(), [rng.normal(size=(4,))])
+
+    def test_getitem_int_index(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        (g,) = grad(x[1], [x])
+        np.testing.assert_allclose(g.data, [0.0, 1.0, 0.0])
+
+    def test_getitem_fancy_index_accumulates(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        idx = np.array([0, 0, 1])
+        (g,) = grad(x[idx].sum(), [x])
+        np.testing.assert_allclose(g.data, [2.0, 1.0])
+
+    def test_scatter_add_forward(self):
+        out = ad.scatter_add(Tensor([1.0, 2.0]), slice(1, 3), (4,))
+        np.testing.assert_allclose(out.data, [0.0, 1.0, 2.0, 0.0])
+
+    def test_scatter_add_gradient(self, rng):
+        w = rng.normal(size=(5,))
+        check_grad(
+            lambda a: (ad.scatter_add(a, slice(1, 4), (5,)) * w).sum(),
+            [rng.normal(size=(3,))],
+        )
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(ad.tensor_sum(Tensor(x)).data, x.sum())
+
+    def test_sum_axis_keepdims(self, rng):
+        x = rng.normal(size=(3, 4))
+        out = ad.tensor_sum(Tensor(x), axis=1, keepdims=True)
+        np.testing.assert_allclose(out.data, x.sum(axis=1, keepdims=True))
+
+    def test_sum_multi_axis_gradient(self, rng):
+        w = rng.normal(size=(3,))
+        check_grad(
+            lambda a: (ad.tensor_sum(a, axis=(0, 2)) * w).sum(),
+            [rng.normal(size=(2, 3, 4))],
+        )
+
+    def test_sum_negative_axis_gradient(self, rng):
+        w = rng.normal(size=(2,))
+        check_grad(
+            lambda a: (ad.tensor_sum(a, axis=-1) * w).sum(),
+            [rng.normal(size=(2, 3))],
+        )
+
+    def test_mean_forward(self, rng):
+        x = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(ad.mean(Tensor(x)).data, x.mean())
+
+    def test_mean_axis_gradient(self, rng):
+        w = rng.normal(size=(4,))
+        check_grad(
+            lambda a: (ad.mean(a, axis=1) * w).sum(), [rng.normal(size=(4, 3))]
+        )
+
+    def test_amax_forward(self):
+        np.testing.assert_allclose(ad.amax(Tensor([1.0, 3.0, 2.0])).data, 3.0)
+
+    def test_amax_gradient_unique_max(self):
+        check_grad(lambda a: ad.amax(a), [np.array([1.0, 3.0, 2.0])])
+
+    def test_amax_tie_splits_gradient(self):
+        x = Tensor([2.0, 2.0], requires_grad=True)
+        (g,) = grad(ad.amax(x), [x])
+        np.testing.assert_allclose(g.data, [0.5, 0.5])
+
+    def test_amin_gradient(self):
+        check_grad(lambda a: ad.amin(a), [np.array([4.0, 1.0, 2.0])])
+
+    def test_amax_axis_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(3,))
+        check_grad(lambda a: (ad.amax(a, axis=1) * w).sum(), [x])
+
+
+class TestMatmul:
+    def test_forward_2d(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_gradient_2d(self, rng):
+        check_grad(
+            lambda a, b: (a @ b).sum(),
+            [rng.normal(size=(3, 4)), rng.normal(size=(4, 2))],
+        )
+
+    def test_gradient_batched(self, rng):
+        check_grad(
+            lambda a, b: (a @ b).sum(),
+            [rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 2))],
+        )
+
+    def test_gradient_broadcast_batch(self, rng):
+        check_grad(
+            lambda a, b: (a @ b).sum(),
+            [rng.normal(size=(2, 3, 4)), rng.normal(size=(4, 2))],
+        )
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            ad.matmul(Tensor([1.0]), Tensor([1.0]))
+
+    def test_dot_last(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            ad.dot_last(Tensor(a), Tensor(b)).data, (a * b).sum(axis=-1)
+        )
+
+
+class TestComparisons:
+    def test_lt_returns_bool_array(self):
+        out = Tensor([1.0, 3.0]) < Tensor([2.0, 2.0])
+        assert out.dtype == bool
+        np.testing.assert_array_equal(out, [True, False])
+
+    def test_ge_with_scalar(self):
+        np.testing.assert_array_equal(Tensor([1.0, 3.0]) >= 2.0, [False, True])
+
+
+class TestMethodAliases:
+    def test_sum_method(self, rng):
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(Tensor(x).sum(axis=0).data, x.sum(axis=0))
+
+    def test_mean_method(self, rng):
+        x = rng.normal(size=(4,))
+        np.testing.assert_allclose(Tensor(x).mean().data, x.mean())
+
+    def test_reshape_method(self, rng):
+        x = rng.normal(size=(2, 3))
+        assert Tensor(x).reshape(3, 2).shape == (3, 2)
+
+    def test_T_property(self, rng):
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(Tensor(x).T.data, x.T)

@@ -1,0 +1,123 @@
+"""Hypothesis property tests for calculus laws the engine must obey."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor, grad
+
+vectors = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 6),
+    elements=st.floats(-2.0, 2.0, allow_nan=False),
+)
+
+scalars = st.floats(-3.0, 3.0, allow_nan=False)
+
+
+class TestLinearity:
+    @given(vectors, scalars, scalars)
+    def test_grad_is_linear_in_output_combination(self, data, a, b):
+        """∇(a·f + b·g) = a·∇f + b·∇g."""
+        x = Tensor(data, requires_grad=True)
+        f = (x * x).sum()
+        g = ad.sin(x).sum()
+        combined = a * f + b * g
+
+        (gc,) = grad(combined, [x])
+        x2 = Tensor(data, requires_grad=True)
+        (gf,) = grad((x2 * x2).sum(), [x2])
+        x3 = Tensor(data, requires_grad=True)
+        (gg,) = grad(ad.sin(x3).sum(), [x3])
+        np.testing.assert_allclose(
+            gc.data, a * gf.data + b * gg.data, atol=1e-10
+        )
+
+    @given(vectors, scalars)
+    def test_scalar_pullthrough(self, data, c):
+        x = Tensor(data, requires_grad=True)
+        (g,) = grad((c * x).sum(), [x])
+        np.testing.assert_allclose(g.data, np.full_like(data, c))
+
+
+class TestProductAndChainRules:
+    @given(vectors)
+    def test_product_rule(self, data):
+        x = Tensor(data, requires_grad=True)
+        f = ad.sin(x)
+        g = ad.exp(x * 0.3)
+        (gx,) = grad((f * g).sum(), [x])
+        expected = np.cos(data) * np.exp(0.3 * data) + np.sin(data) * 0.3 * np.exp(0.3 * data)
+        np.testing.assert_allclose(gx.data, expected, atol=1e-10)
+
+    @given(vectors)
+    def test_chain_rule(self, data):
+        x = Tensor(data, requires_grad=True)
+        (gx,) = grad(ad.sin(x * x).sum(), [x])
+        np.testing.assert_allclose(gx.data, np.cos(data ** 2) * 2 * data, atol=1e-10)
+
+    @given(vectors)
+    def test_quotient_rule(self, data):
+        x = Tensor(data, requires_grad=True)
+        denom = 2.0 + x * x
+        (gx,) = grad((x / denom).sum(), [x])
+        expected = (2.0 + data ** 2 - data * 2 * data) / (2.0 + data ** 2) ** 2
+        np.testing.assert_allclose(gx.data, expected, atol=1e-10)
+
+
+class TestStructuralInvariants:
+    @given(vectors)
+    def test_grad_of_sum_equals_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        (g,) = grad(x.sum(), [x])
+        np.testing.assert_allclose(g.data, np.ones_like(data))
+
+    @given(vectors)
+    def test_detach_blocks_gradient(self, data):
+        x = Tensor(data, requires_grad=True)
+        y = (x * x).sum() + (x.detach() * 3.0).sum()
+        (g,) = grad(y, [x])
+        np.testing.assert_allclose(g.data, 2 * data, atol=1e-12)
+
+    @given(vectors)
+    def test_gradient_shape_always_matches_input(self, data):
+        x = Tensor(data, requires_grad=True)
+        out = ad.tanh(x * 0.5 + 1.0)
+        (g,) = grad(out.sum(), [x])
+        assert g.shape == x.shape
+
+    @given(vectors, vectors)
+    def test_concat_grad_decomposes(self, a, b):
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        out = (ad.concatenate([ta, tb], axis=0) ** 2).sum()
+        ga, gb = grad(out, [ta, tb])
+        np.testing.assert_allclose(ga.data, 2 * a, atol=1e-12)
+        np.testing.assert_allclose(gb.data, 2 * b, atol=1e-12)
+
+    @given(vectors)
+    def test_second_derivative_of_even_function_is_even(self, data):
+        x = Tensor(data, requires_grad=True)
+        (g1,) = grad((x * x * x * x).sum(), [x], create_graph=True)
+        (g2,) = grad(g1.sum(), [x])
+        np.testing.assert_allclose(g2.data, 12 * data ** 2, atol=1e-8)
+
+
+class TestNumericalHygiene:
+    @given(vectors)
+    def test_no_mutation_of_input_data(self, data):
+        original = data.copy()
+        x = Tensor(data, requires_grad=True)
+        out = ad.exp(ad.sin(x * 2.0)).sum()
+        grad(out, [x])
+        np.testing.assert_array_equal(x.data, original)
+
+    @given(vectors)
+    def test_repeated_backward_same_answer(self, data):
+        x = Tensor(data, requires_grad=True)
+        out = (ad.cos(x) * x).sum()
+        (g1,) = grad(out, [x])
+        (g2,) = grad(out, [x])
+        np.testing.assert_allclose(g1.data, g2.data)

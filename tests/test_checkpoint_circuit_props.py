@@ -1,0 +1,151 @@
+"""Checkpoint round-trips and hypothesis-generated circuit equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, backward
+from repro.core import load_checkpoint, save_checkpoint
+from repro.core.models import MaxwellPINN
+from repro.optim import Adam
+
+
+def tiny_model(seed=0):
+    return MaxwellPINN(depth=2, hidden=8, rff_features=4,
+                       rng=np.random.default_rng(seed))
+
+
+class TestCheckpoint:
+    def _train_steps(self, model, opt, n):
+        for _ in range(n):
+            opt.zero_grad()
+            x = Tensor(np.random.default_rng(1).uniform(-1, 1, (8, 1)))
+            out = model.forward(x, x, x)
+            backward((out * out).sum(), model.parameters())
+            opt.step()
+
+    def test_model_roundtrip(self, tmp_path):
+        model = tiny_model()
+        path = save_checkpoint(tmp_path / "ck.npz", model, epoch=7)
+        fresh = tiny_model(seed=9)
+        info = load_checkpoint(path, fresh)
+        assert info["epoch"] == 7
+        x = Tensor(np.zeros((3, 1)))
+        np.testing.assert_allclose(
+            model.forward(x, x, x).data, fresh.forward(x, x, x).data
+        )
+
+    def test_optimizer_state_roundtrip(self, tmp_path):
+        model = tiny_model()
+        opt = Adam(model.parameters(), lr=0.01)
+        self._train_steps(model, opt, 3)
+        save_checkpoint(tmp_path / "ck.npz", model, opt, epoch=3)
+
+        fresh = tiny_model(seed=9)
+        fresh_opt = Adam(fresh.parameters(), lr=0.5)
+        load_checkpoint(tmp_path / "ck.npz", fresh, fresh_opt)
+        assert fresh_opt.step_count == 3
+        assert fresh_opt.lr == pytest.approx(0.01)
+        np.testing.assert_allclose(fresh_opt._m[0], opt._m[0])
+
+    def test_meta_payload(self, tmp_path):
+        model = tiny_model()
+        save_checkpoint(tmp_path / "ck.npz", model,
+                        extra={"loss": [1.0, 0.5], "note": "hi"})
+        info = load_checkpoint(tmp_path / "ck.npz", tiny_model(seed=2))
+        assert info["meta"]["note"] == "hi"
+
+    def test_missing_optimizer_state_raises(self, tmp_path):
+        model = tiny_model()
+        save_checkpoint(tmp_path / "ck.npz", model)
+        with pytest.raises(KeyError):
+            load_checkpoint(tmp_path / "ck.npz", tiny_model(seed=1),
+                            Adam(model.parameters()))
+
+    def test_resumed_training_matches_uninterrupted(self, tmp_path):
+        # Train 6 steps straight vs 3 + checkpoint + 3 resumed.
+        straight = tiny_model()
+        opt_s = Adam(straight.parameters(), lr=0.01)
+        self._train_steps(straight, opt_s, 6)
+
+        half = tiny_model()
+        opt_h = Adam(half.parameters(), lr=0.01)
+        self._train_steps(half, opt_h, 3)
+        save_checkpoint(tmp_path / "ck.npz", half, opt_h, epoch=3)
+        resumed = tiny_model(seed=5)
+        opt_r = Adam(resumed.parameters(), lr=0.01)
+        load_checkpoint(tmp_path / "ck.npz", resumed, opt_r)
+        self._train_steps(resumed, opt_r, 3)
+
+        for (na, pa), (_, pb) in zip(
+            straight.named_parameters(), resumed.named_parameters()
+        ):
+            np.testing.assert_allclose(pa.data, pb.data, atol=1e-12, err_msg=na)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random programs agree between TorQ and the dense simulator.
+# ----------------------------------------------------------------------
+
+gate_st = st.sampled_from(["rx", "ry_as_rot", "rz", "rot", "cnot", "crz"])
+
+
+@st.composite
+def random_program(draw):
+    n_qubits = draw(st.integers(2, 4))
+    n_gates = draw(st.integers(1, 8))
+    ops = []
+    for _ in range(n_gates):
+        kind = draw(gate_st)
+        q = draw(st.integers(0, n_qubits - 1))
+        q2 = draw(st.integers(0, n_qubits - 1).filter(lambda v: True))
+        if q2 == q:
+            q2 = (q + 1) % n_qubits
+        params = [draw(st.floats(0, 2 * np.pi, allow_nan=False)) for _ in range(3)]
+        ops.append((kind, q, q2, params))
+    return n_qubits, ops
+
+
+class TestRandomProgramEquivalence:
+    @given(random_program())
+    @settings(max_examples=20, deadline=None)
+    def test_torq_matches_dense_for_random_programs(self, program):
+        """Any gate program must agree between the batched TorQ backend
+        and the Kronecker-dense oracle."""
+        from repro.torq.ansatz import GateSpec
+        from repro.torq.reference import gate_matrix
+        from repro.torq.state import (
+            apply_cnot, apply_crz, apply_rot, apply_rx, apply_rz, zero_state,
+        )
+
+        n_qubits, ops = program
+        state = zero_state(1, n_qubits)
+        dense = np.zeros(2 ** n_qubits, dtype=complex)
+        dense[0] = 1.0
+        flat_params = []
+        for kind, q, q2, params in ops:
+            if kind == "rx":
+                state = apply_rx(state, q, params[0])
+                spec = GateSpec("rx", (q,), (len(flat_params),))
+                flat_params.append(params[0])
+            elif kind == "rz":
+                state = apply_rz(state, q, params[0])
+                spec = GateSpec("rz", (q,), (len(flat_params),))
+                flat_params.append(params[0])
+            elif kind in ("rot", "ry_as_rot"):
+                state = apply_rot(state, q, *params)
+                spec = GateSpec(
+                    "rot", (q,),
+                    (len(flat_params), len(flat_params) + 1, len(flat_params) + 2),
+                )
+                flat_params.extend(params)
+            elif kind == "cnot":
+                state = apply_cnot(state, q, q2)
+                spec = GateSpec("cnot", (q, q2))
+            else:
+                state = apply_crz(state, q, q2, params[0])
+                spec = GateSpec("crz", (q, q2), (len(flat_params),))
+                flat_params.append(params[0])
+            dense = gate_matrix(spec, np.asarray(flat_params), n_qubits) @ dense
+        np.testing.assert_allclose(state.numpy()[0], dense, atol=1e-10)

@@ -1,0 +1,165 @@
+"""Collocation grid and temporal-curriculum tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CollocationGrid, TemporalCurriculum
+from repro.maxwell import DielectricSlab
+
+
+class TestCollocationGrid:
+    def test_point_count_is_n_cubed(self):
+        assert CollocationGrid(n=5, t_max=1.5).n_points == 125
+
+    def test_coordinate_ranges(self):
+        g = CollocationGrid(n=8, t_max=0.7)
+        x, y, t = g.numpy_coords()
+        assert x.min() == -1.0 and x.max() < 1.0  # periodic: right end excluded
+        assert t.min() == 0.0 and t.max() == pytest.approx(0.7)
+
+    def test_coords_require_grad(self):
+        g = CollocationGrid(n=4, t_max=1.0)
+        assert all(c.requires_grad for c in g.coords())
+
+    def test_initial_plane_is_t_zero(self):
+        g = CollocationGrid(n=4, t_max=1.0)
+        x0, y0, t0 = g.initial_plane()
+        assert x0.shape == (16, 1)
+        np.testing.assert_allclose(t0.data, 0.0)
+
+    def test_mirrored_coordinates(self):
+        g = CollocationGrid(n=4, t_max=1.0)
+        mx = g.mirrored_x()
+        my = g.mirrored_y()
+        x, y, t = g.numpy_coords()
+        np.testing.assert_allclose(mx[0].data, -x)
+        np.testing.assert_allclose(mx[1].data, y)
+        np.testing.assert_allclose(my[1].data, -y)
+        np.testing.assert_allclose(my[2].data, t)
+
+    def test_vacuum_masks(self):
+        g = CollocationGrid(n=4, t_max=1.0)
+        assert g.vacuum_mask.all()
+        assert not g.dielectric_mask.any()
+
+    def test_dielectric_masks_split(self):
+        g = CollocationGrid(n=8, t_max=0.7, medium=DielectricSlab(x_min=0.5))
+        assert g.dielectric_mask.any() and g.vacuum_mask.any()
+        x, _, _ = g.numpy_coords()
+        np.testing.assert_array_equal(g.dielectric_mask[:, 0], x[:, 0] >= 0.5)
+
+    def test_eps_values(self):
+        g = CollocationGrid(n=8, t_max=0.7, medium=DielectricSlab(eps_r=4.0))
+        assert set(np.unique(g.eps)) == {1.0, 4.0}
+
+    def test_time_bins_cover_all(self):
+        g = CollocationGrid(n=10, t_max=1.0, n_time_bins=5)
+        assert set(np.unique(g.time_bin)) == set(range(5))
+
+    def test_time_bins_monotone_in_t(self):
+        g = CollocationGrid(n=10, t_max=1.0, n_time_bins=5)
+        _, _, t = g.numpy_coords()
+        order = np.argsort(t[:, 0])
+        assert np.all(np.diff(g.time_bin[order]) >= 0)
+
+    def test_bin_weights_vector(self):
+        g = CollocationGrid(n=5, t_max=1.0, n_time_bins=5)
+        w = g.bin_weights_vector(np.array([1.0, 0.8, 0.6, 0.4, 0.2]))
+        assert w.shape == (g.n_points, 1)
+        _, _, t = g.numpy_coords()
+        assert w[t[:, 0] == 0.0].max() == 1.0
+
+    def test_bin_weights_shape_check(self):
+        g = CollocationGrid(n=5, t_max=1.0, n_time_bins=5)
+        with pytest.raises(ValueError):
+            g.bin_weights_vector(np.ones(3))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            CollocationGrid(n=1)
+        with pytest.raises(ValueError):
+            CollocationGrid(n=4, t_max=-1.0)
+
+    def test_cell_area(self):
+        g = CollocationGrid(n=8, t_max=1.0)
+        np.testing.assert_allclose(g.cell_area, (2.0 / 8) ** 2)
+
+
+class TestTemporalCurriculum:
+    def test_initial_weights_favour_first_bin(self):
+        c = TemporalCurriculum(n_bins=5, ramp_epochs=100)
+        w = c.weights(epoch=0)
+        assert w[0] == 1.0
+        assert np.all(w[1:] <= w[0])
+        np.testing.assert_allclose(w[2:], c.min_weight)
+
+    def test_full_ramp_all_ones(self):
+        c = TemporalCurriculum(n_bins=5, ramp_epochs=100)
+        np.testing.assert_allclose(c.weights(epoch=100), 1.0)
+
+    def test_weights_monotone_in_epoch(self):
+        c = TemporalCurriculum(n_bins=5, ramp_epochs=50)
+        w_early = c.weights(epoch=10)
+        w_late = c.weights(epoch=40)
+        assert np.all(w_late >= w_early)
+
+    def test_weights_monotone_in_bin(self):
+        c = TemporalCurriculum(n_bins=5, ramp_epochs=100)
+        w = c.weights(epoch=30)
+        assert np.all(np.diff(w) <= 1e-12)
+
+    def test_schedule_mode_requires_epoch(self):
+        with pytest.raises(ValueError):
+            TemporalCurriculum().weights()
+
+    def test_adaptive_mode_advances_on_improvement(self):
+        c = TemporalCurriculum(n_bins=3, ramp_epochs=10, mode="adaptive")
+        for loss in (1.0, 0.9, 0.8, 0.7):
+            c.update(loss)
+        assert c.progress == pytest.approx(0.4)
+
+    def test_adaptive_mode_freezes_on_stagnation(self):
+        c = TemporalCurriculum(n_bins=3, ramp_epochs=10, mode="adaptive")
+        c.update(1.0)
+        p = c.progress
+        for _ in range(5):
+            c.update(1.0)  # no improvement
+        assert c.progress == p
+
+    def test_schedule_update_is_noop(self):
+        c = TemporalCurriculum(mode="schedule")
+        c.update(0.1)
+        assert c.progress == 0.0
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            TemporalCurriculum(n_bins=0)
+        with pytest.raises(ValueError):
+            TemporalCurriculum(ramp_epochs=0)
+        with pytest.raises(ValueError):
+            TemporalCurriculum(mode="bogus")
+        with pytest.raises(ValueError):
+            TemporalCurriculum(min_weight=2.0)
+
+
+class TestTimeResolutionKnob:
+    def test_n_time_changes_point_count(self):
+        g = CollocationGrid(n=4, t_max=1.0, n_time=9)
+        assert g.n_points == 4 * 4 * 9
+        assert g.ts.size == 9
+
+    def test_default_n_time_equals_n(self):
+        g = CollocationGrid(n=5, t_max=1.0)
+        assert g.n_time == 5
+
+    def test_ic_plane_unaffected(self):
+        g = CollocationGrid(n=4, t_max=1.0, n_time=7)
+        assert g.x0.shape == (16, 1)
+
+    def test_time_bins_still_cover(self):
+        g = CollocationGrid(n=4, t_max=1.0, n_time=15, n_time_bins=5)
+        assert set(np.unique(g.time_bin)) == set(range(5))
+
+    def test_invalid_n_time(self):
+        with pytest.raises(ValueError):
+            CollocationGrid(n=4, t_max=1.0, n_time=1)

@@ -1,0 +1,160 @@
+"""Model-builder tests: Table 1 parameter counts, shapes, periodicity."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad, no_grad
+from repro.core import CLASSICAL_DEPTHS, MaxwellPINN, MaxwellQPINN, build_model
+from repro.torq import ANSATZ_NAMES
+
+
+def small_qpinn(**kw):
+    defaults = dict(
+        hidden=16, rff_features=8, n_qubits=3, n_layers=1,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kw)
+    return MaxwellQPINN(**defaults)
+
+
+class TestTable1Counts:
+    @pytest.mark.parametrize(
+        "depth,count", [("regular", 82820), ("reduced", 66308), ("extra", 99332)]
+    )
+    def test_classical(self, depth, count):
+        assert MaxwellPINN(depth=depth, rng=np.random.default_rng(0)).num_parameters() == count
+
+    @pytest.mark.parametrize(
+        "ansatz,quantum",
+        [("cross_mesh", 196), ("cross_mesh_2rot", 224), ("cross_mesh_cnot", 84),
+         ("no_entanglement", 84), ("basic_entangling", 84), ("strongly_entangling", 84)],
+    )
+    def test_qpinn(self, ansatz, quantum):
+        m = MaxwellQPINN(ansatz=ansatz, rng=np.random.default_rng(0))
+        assert m.classical_parameter_count() == 66848
+        assert m.quantum_parameter_count() == quantum
+        assert m.num_parameters() == 66848 + quantum
+
+
+class TestForwardShapes:
+    def _coords(self, n=6):
+        rng = np.random.default_rng(1)
+        return (
+            Tensor(rng.uniform(-1, 1, (n, 1))),
+            Tensor(rng.uniform(-1, 1, (n, 1))),
+            Tensor(rng.uniform(0, 1.5, (n, 1))),
+        )
+
+    def test_classical_fields(self):
+        m = MaxwellPINN(depth=2, hidden=16, rff_features=8, rng=np.random.default_rng(0))
+        ez, hx, hy = m.fields(*self._coords())
+        assert ez.shape == hx.shape == hy.shape == (6, 1)
+
+    def test_qpinn_fields(self):
+        ez, hx, hy = small_qpinn().fields(*self._coords())
+        assert ez.shape == (6, 1)
+
+    def test_qpinn_penultimate_is_bounded(self):
+        m = small_qpinn()
+        out = m.penultimate(*self._coords()).data
+        assert np.all(np.abs(out) <= 1.0 + 1e-10)
+
+    def test_qpinn_pre_quantum_width(self):
+        m = small_qpinn()
+        acts = m.pre_quantum_activations(*self._coords())
+        assert acts.shape == (6, 3)
+
+    def test_quantum_state_accessor(self):
+        m = small_qpinn()
+        state = m.quantum_state(*self._coords())
+        assert state.n_qubits == 3
+        np.testing.assert_allclose(state.norm2().data, 1.0, atol=1e-12)
+
+    def test_classical_penultimate_width(self):
+        m = MaxwellPINN(depth=2, hidden=16, rff_features=8, rng=np.random.default_rng(0))
+        assert m.penultimate(*self._coords()).shape == (6, 16)
+
+
+class TestPeriodicity:
+    def test_model_is_spatially_periodic(self):
+        m = MaxwellPINN(depth=2, hidden=16, rff_features=8, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, (4, 1))
+        y = rng.uniform(-1, 1, (4, 1))
+        t = rng.uniform(0, 1, (4, 1))
+        with no_grad():
+            base = m.forward(Tensor(x), Tensor(y), Tensor(t)).data
+            shifted = m.forward(Tensor(x + 2.0), Tensor(y - 2.0), Tensor(t)).data
+        np.testing.assert_allclose(base, shifted, atol=1e-10)
+
+    def test_qpinn_is_spatially_periodic(self):
+        m = small_qpinn()
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, (3, 1))
+        y = rng.uniform(-1, 1, (3, 1))
+        t = rng.uniform(0, 1, (3, 1))
+        with no_grad():
+            base = m.forward(Tensor(x), Tensor(y), Tensor(t)).data
+            shifted = m.forward(Tensor(x + 2.0), Tensor(y), Tensor(t)).data
+        np.testing.assert_allclose(base, shifted, atol=1e-10)
+
+
+class TestGradFlow:
+    def test_derivatives_wrt_inputs_exist(self):
+        m = small_qpinn()
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.uniform(-1, 1, (4, 1)), requires_grad=True)
+        y = Tensor(rng.uniform(-1, 1, (4, 1)), requires_grad=True)
+        t = Tensor(rng.uniform(0, 1, (4, 1)), requires_grad=True)
+        ez, _, _ = m.fields(x, y, t)
+        gx, gy, gt = grad(ez.sum(), [x, y, t], create_graph=True)
+        assert np.all(np.isfinite(gx.data))
+        # and the second-order path to the quantum parameters exists:
+        (gq,) = grad((gt * gt).sum(), [m.quantum.params], allow_unused=True)
+        assert np.all(np.isfinite(gq.data))
+
+    def test_all_parameters_receive_gradients(self):
+        m = small_qpinn()
+        rng = np.random.default_rng(5)
+        x = Tensor(rng.uniform(-1, 1, (8, 1)))
+        y = Tensor(rng.uniform(-1, 1, (8, 1)))
+        t = Tensor(rng.uniform(0, 1, (8, 1)))
+        out = m.forward(x, y, t).sum()
+        grads = grad(out, m.parameters(), allow_unused=True)
+        nonzero = sum(bool(np.abs(g.data).sum() > 0) for g in grads)
+        assert nonzero >= len(grads) - 1  # time-period param may idle at t~const
+
+
+class TestBuildModel:
+    def test_build_classical(self):
+        for depth in CLASSICAL_DEPTHS:
+            m = build_model(depth, rng=np.random.default_rng(0))
+            assert isinstance(m, MaxwellPINN)
+
+    def test_build_quantum(self):
+        m = build_model("cross_mesh", rng=np.random.default_rng(0))
+        assert isinstance(m, MaxwellQPINN)
+        assert m.quantum.ansatz.name == "cross_mesh"
+
+    def test_build_passes_scaling_and_init(self):
+        m = build_model(
+            "no_entanglement", rng=np.random.default_rng(0),
+            scaling="asin", init="zeros",
+        )
+        assert m.quantum.scaling == "asin"
+        np.testing.assert_allclose(m.quantum.params.data, 0.0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            build_model("not_an_ansatz", rng=np.random.default_rng(0))
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            MaxwellPINN(depth=0, rng=np.random.default_rng(0))
+
+    def test_seeded_build_is_deterministic(self):
+        a = build_model("regular", rng=np.random.default_rng(7))
+        b = build_model("regular", rng=np.random.default_rng(7))
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_allclose(pa.data, pb.data)

@@ -1,0 +1,252 @@
+"""Trainer and configuration tests (small end-to-end training runs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CASES,
+    CollocationGrid,
+    MaxwellQPINN,
+    RunConfig,
+    Trainer,
+    TrainerConfig,
+    env_int,
+    get_case,
+    make_reference,
+    run_single,
+)
+from repro.core.models import MaxwellPINN
+from repro.maxwell import DielectricSlab, Vacuum
+
+
+def tiny_model(quantum=False, seed=0):
+    rng = np.random.default_rng(seed)
+    if quantum:
+        return MaxwellQPINN(
+            hidden=12, rff_features=6, n_qubits=3, n_layers=1,
+            ansatz="no_entanglement", rng=rng,
+        )
+    return MaxwellPINN(depth=2, hidden=12, rff_features=6, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def vacuum_reference():
+    return make_reference(get_case("vacuum"), n=32, n_snapshots=5)
+
+
+class TestTrainer:
+    def _train(self, quantum, epochs=6, use_energy=True, reference=None):
+        case = get_case("vacuum")
+        model = tiny_model(quantum=quantum)
+        loss = case.make_loss(use_energy=use_energy)
+        grid = CollocationGrid(n=4, t_max=1.5)
+        cfg = TrainerConfig(epochs=epochs, eval_every=3, bh_n_space=8, bh_n_times=5)
+        return Trainer(model, loss, grid, config=cfg, reference=reference).train()
+
+    def test_loss_decreases_classical(self):
+        result = self._train(quantum=False, epochs=15)
+        assert result.history.loss[-1] < result.history.loss[0]
+
+    def test_histories_populated(self):
+        result = self._train(quantum=False, epochs=6)
+        h = result.history
+        assert len(h.loss) == 6
+        assert len(h.grad_norm) == 6
+        assert len(h.grad_variance) == 6
+        assert len(h.learning_rate) == 6
+        assert h.seconds_per_epoch > 0
+
+    def test_components_tracked(self):
+        result = self._train(quantum=False, epochs=4)
+        comps = result.history.components
+        for key in ("phys", "ic", "total"):
+            assert len(comps[key]) == 4
+
+    def test_l2_tracked_with_reference(self, vacuum_reference):
+        result = self._train(quantum=False, epochs=6, reference=vacuum_reference)
+        assert result.history.l2_epochs == [0, 3, 5]
+        assert result.final_l2 is not None
+
+    def test_entanglement_tracked_for_qpinn_only(self):
+        quantum = self._train(quantum=True, epochs=4)
+        classical = self._train(quantum=False, epochs=4)
+        assert len(quantum.history.mw_entropy) > 0
+        assert len(classical.history.mw_entropy) == 0
+
+    def test_mw_entropy_in_range(self):
+        result = self._train(quantum=True, epochs=4)
+        assert all(0.0 - 1e-9 <= q <= 1.0 + 1e-9 for q in result.history.mw_entropy)
+
+    def test_i_bh_computed(self):
+        result = self._train(quantum=False, epochs=4)
+        assert np.isfinite(result.i_bh)
+        assert isinstance(result.collapsed, bool)
+
+    def test_gc_reenabled_after_training(self):
+        import gc
+        assert gc.isenabled()
+        self._train(quantum=False, epochs=2)
+        assert gc.isenabled()
+
+    def test_lr_schedule_applied(self):
+        case = get_case("vacuum")
+        model = tiny_model()
+        cfg = TrainerConfig(epochs=4, lr=1e-3, lr_step=2, lr_gamma=0.5, eval_every=0)
+        trainer = Trainer(model, case.make_loss(use_energy=False),
+                          CollocationGrid(n=4, t_max=1.5), config=cfg)
+        result = trainer.train()
+        np.testing.assert_allclose(result.history.learning_rate[-1], 1e-3 * 0.25)
+
+
+class TestCases:
+    def test_three_cases_defined(self):
+        assert set(CASES) == {"vacuum", "dielectric", "asymmetric"}
+
+    def test_vacuum_case(self):
+        case = get_case("vacuum")
+        assert isinstance(case.medium, Vacuum)
+        assert case.t_max == 1.5
+        assert case.mirror_x and case.mirror_y
+        assert case.phys_variant == "vacuum"
+
+    def test_dielectric_case(self):
+        case = get_case("dielectric")
+        assert isinstance(case.medium, DielectricSlab)
+        assert case.t_max == 0.7
+        assert not case.mirror_x and case.mirror_y  # x-mirror broken by slab
+        assert case.phys_variant == "split"
+
+    def test_asymmetric_case(self):
+        case = get_case("asymmetric")
+        assert not case.use_symmetry
+        assert case.pulse.x0 == 0.4
+
+    def test_unknown_case(self):
+        with pytest.raises(ValueError):
+            get_case("plasma")
+
+    def test_make_grid_uses_medium(self):
+        grid = get_case("dielectric").make_grid(n=6)
+        assert grid.dielectric_mask.any()
+
+    def test_make_loss_flags(self):
+        loss = get_case("vacuum").make_loss(use_energy=False)
+        assert not loss.use_energy and loss.mirror_x
+
+    def test_make_loss_variant_override(self):
+        loss = get_case("dielectric").make_loss(True, phys_variant="intuitive")
+        assert loss.phys_variant == "intuitive"
+
+
+class TestEnvAndRunSingle:
+    def test_env_int_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+    def test_env_int_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "11")
+        assert env_int("REPRO_TEST_KNOB", 7) == 11
+
+    def test_env_int_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "eleven")
+        with pytest.raises(ValueError):
+            env_int("REPRO_TEST_KNOB", 7)
+
+    def test_run_single_end_to_end(self, vacuum_reference):
+        config = RunConfig(
+            case="vacuum", model_kind="regular", use_energy=False,
+            seed=0, grid_n=4, epochs=3,
+        )
+        result = run_single(config, reference=vacuum_reference)
+        assert len(result.history.loss) == 3
+        assert result.final_l2 is not None
+
+    def test_run_single_quantum_with_init(self, vacuum_reference):
+        config = RunConfig(
+            case="vacuum", model_kind="no_entanglement", scaling="none",
+            init="zeros", seed=0, grid_n=4, epochs=2,
+        )
+        result = run_single(config, reference=vacuum_reference)
+        assert result.model.quantum.init_strategy == "zeros"
+
+    def test_run_config_with_seed(self):
+        config = RunConfig(seed=0)
+        assert config.with_seed(3).seed == 3
+
+
+class TestLbfgsFinetuning:
+    def test_lbfgs_phase_extends_history(self, vacuum_reference):
+        case = get_case("vacuum")
+        model = tiny_model()
+        cfg = TrainerConfig(epochs=4, lbfgs_epochs=3, eval_every=2,
+                            bh_n_space=8, bh_n_times=4)
+        trainer = Trainer(model, case.make_loss(use_energy=False),
+                          CollocationGrid(n=4, t_max=1.5), config=cfg,
+                          reference=vacuum_reference)
+        result = trainer.train()
+        assert len(result.history.loss) == 7
+        # the quasi-Newton phase must not blow the loss up
+        assert result.history.loss[-1] <= result.history.loss[3] * 1.5
+
+    def test_lbfgs_phase_improves_over_adam_tail(self):
+        case = get_case("vacuum")
+        model = tiny_model(seed=3)
+        cfg = TrainerConfig(epochs=8, lbfgs_epochs=5, eval_every=0,
+                            bh_n_space=8, bh_n_times=4)
+        trainer = Trainer(model, case.make_loss(use_energy=False),
+                          CollocationGrid(n=4, t_max=1.5), config=cfg)
+        result = trainer.train()
+        adam_final = result.history.loss[7]
+        assert result.history.loss[-1] <= adam_final + 1e-12
+
+
+class TestTrainerExtras:
+    def test_param_drift_tracked_and_monotone_start(self):
+        case = get_case("vacuum")
+        model = tiny_model()
+        cfg = TrainerConfig(epochs=5, eval_every=0, bh_n_space=8, bh_n_times=4)
+        trainer = Trainer(model, case.make_loss(use_energy=False),
+                          CollocationGrid(n=4, t_max=1.5), config=cfg)
+        result = trainer.train()
+        drift = result.history.param_drift
+        assert len(drift) == 5
+        assert drift[0] > 0.0  # Adam moved the parameters
+        assert all(np.isfinite(d) for d in drift)
+
+    def test_grad_clipping_caps_norm(self):
+        case = get_case("vacuum")
+        model = tiny_model(seed=1)
+        cfg = TrainerConfig(epochs=3, eval_every=0, clip_grad_norm=0.1,
+                            bh_n_space=8, bh_n_times=4)
+        trainer = Trainer(model, case.make_loss(use_energy=False),
+                          CollocationGrid(n=4, t_max=1.5), config=cfg)
+        result = trainer.train()
+        assert max(result.history.grad_norm) <= 0.1 + 1e-9
+
+    def test_minibatch_training_runs(self):
+        case = get_case("vacuum")
+        model = tiny_model(seed=2)
+        cfg = TrainerConfig(epochs=5, eval_every=0, batch_points=20,
+                            bh_n_space=8, bh_n_times=4)
+        trainer = Trainer(model, case.make_loss(use_energy=False),
+                          CollocationGrid(n=4, t_max=1.5), config=cfg)
+        result = trainer.train()
+        assert result.history.loss[-1] < result.history.loss[0]
+
+    def test_minibatch_rejects_rba(self):
+        case = get_case("vacuum")
+        loss = case.make_loss(use_energy=False)
+        loss.rba = "auto"
+        cfg = TrainerConfig(epochs=1, batch_points=10)
+        with pytest.raises(ValueError):
+            Trainer(tiny_model(), loss, CollocationGrid(n=4, t_max=1.5), config=cfg)
+
+    def test_subsample_grid_consistency(self):
+        grid = CollocationGrid(n=5, t_max=1.5)
+        idx = np.arange(0, grid.n_points, 3)
+        sub = grid.subsample(idx)
+        assert sub.n_points == idx.size
+        x, _, _ = grid.numpy_coords()
+        xs, _, _ = sub.numpy_coords()
+        np.testing.assert_allclose(xs, x[idx])
+        assert sub.x0.shape == grid.x0.shape  # IC plane untouched

@@ -1,0 +1,73 @@
+"""Tests for the Eq. 8 loss cost model and the barren-plateau scan."""
+
+import numpy as np
+import pytest
+
+from repro.core import DerivativeRequirement, LossCostModel, MAXWELL_COST_MODEL
+from repro.torq import gradient_variance_scan
+
+
+class TestCostModel:
+    def test_forward_only_costs_one(self):
+        assert LossCostModel().cost_per_point() == 1.0
+
+    def test_eq8_formula(self):
+        model = LossCostModel().add("first", order=1, occurrences=3)
+        model.add("second", order=2, occurrences=1)
+        # 1 + 2^1 * 3 + 2^2 * 1
+        assert model.cost_per_point() == 1.0 + 6.0 + 4.0
+
+    def test_requirement_cost(self):
+        assert DerivativeRequirement("d2", order=2, occurrences=2).cost() == 8.0
+
+    def test_add_chains(self):
+        model = LossCostModel().add("a", 1).add("b", 1)
+        assert len(model.requirements) == 2
+
+    def test_invalid_requirements(self):
+        with pytest.raises(ValueError):
+            LossCostModel().add("bad", order=-1)
+        with pytest.raises(ValueError):
+            LossCostModel().add("bad", order=1, occurrences=0)
+
+    def test_maxwell_model_value(self):
+        # one forward + three first-order reverse passes = 1 + 3*2 = 7
+        assert MAXWELL_COST_MODEL.cost_per_point() == 7.0
+
+    def test_energy_term_is_free(self):
+        """Eq. 25 reuses already-computed derivatives — zero marginal cost."""
+        assert MAXWELL_COST_MODEL.marginal_cost("L_energy") == 0.0
+
+    def test_marginal_cost_selects(self):
+        model = LossCostModel().add("a", 1).add("b", 2)
+        assert model.marginal_cost("b") == 4.0
+        assert model.marginal_cost("a", "b") == 6.0
+
+
+class TestGradientVarianceScan:
+    def test_scan_shape(self):
+        scan = gradient_variance_scan(
+            "basic_entangling", qubit_counts=(2, 3), n_layers=1,
+            n_samples=15, rng=np.random.default_rng(0),
+        )
+        assert set(scan) == {2, 3}
+        assert all(v >= 0 for v in scan.values())
+
+    def test_variance_decays_with_qubits_for_entangling(self):
+        """The BP trend: gradient variance shrinks with system size."""
+        scan = gradient_variance_scan(
+            "strongly_entangling", qubit_counts=(2, 5), n_layers=2,
+            n_samples=60, rng=np.random.default_rng(1),
+        )
+        assert scan[5] < scan[2]
+
+    def test_product_ansatz_variance_does_not_collapse(self):
+        """No-entanglement circuits measure a single qubit's rotation, so
+        the variance is size-independent (no BP) — the contrast the paper
+        draws on when it notes BH 'doesn't occur with the no entanglement
+        ansatz'."""
+        scan = gradient_variance_scan(
+            "no_entanglement", qubit_counts=(2, 5), n_layers=1,
+            n_samples=60, rng=np.random.default_rng(2),
+        )
+        assert scan[5] > 0.2 * scan[2]

@@ -1,0 +1,199 @@
+"""Experiment-harness tests: tables, figure data, ablation aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AblationResult,
+    CellResult,
+    RunSummary,
+    run_cell,
+    tables,
+)
+from repro.experiments.figures import fig3_data, fig5_data, fig12_data, fig13_data
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def summary(model="a", scaling="none", energy=True, l2=0.5, converged=True, seed=0):
+    return RunSummary(
+        model_kind=model, scaling=scaling, use_energy=energy, seed=seed,
+        final_l2=l2 if converged else None, i_bh=0.1 if converged else 0.99,
+        collapsed=not converged, converged=converged,
+        loss_curve=(1.0, 0.5), l2_curve=(l2,) if converged else (),
+        l2_epochs=(0,) if converged else (),
+    )
+
+
+class TestTable1:
+    def test_every_row_matches_paper(self):
+        for row in tables.table1_rows():
+            assert (row["classical"], row["quantum"], row["total"]) == row["paper"], row
+
+    def test_nine_rows(self):
+        assert len(tables.table1_rows()) == 9
+
+
+class TestTable2:
+    def test_speedup_shape(self):
+        rows = tables.table2_rows(
+            torq_grids=(4,), naive_grids=(3,), n_qubits=4, n_layers=2, repeats=1
+        )
+        naive = [r for r in rows if r.package.startswith("naive")][0]
+        torq = [r for r in rows if r.package.startswith("TorQ")][0]
+        # Batched beats the per-point dense loop per collocation point.
+        assert (naive.seconds_per_epoch / naive.grid_points) > (
+            torq.seconds_per_epoch / torq.grid_points
+        )
+
+    def test_row_tuple(self):
+        row = tables.Table2Row("x", 10, 0.5)
+        assert row.as_tuple() == ("x", 10, 0.5)
+
+    def test_paper_speedup_constant(self):
+        assert tables.PAPER_TABLE2_SPEEDUP == pytest.approx(53.26, abs=0.1)
+
+
+class TestCellAggregation:
+    def test_mean_and_std(self):
+        cell = CellResult("a", "none", True,
+                          runs=[summary(l2=0.4), summary(l2=0.6, seed=1)])
+        np.testing.assert_allclose(cell.mean_l2(), 0.5)
+        np.testing.assert_allclose(cell.std_l2(), 0.1)
+
+    def test_non_converged_excluded(self):
+        cell = CellResult("a", "none", True,
+                          runs=[summary(l2=0.4), summary(converged=False, seed=1)])
+        np.testing.assert_allclose(cell.mean_l2(), 0.4)
+
+    def test_all_failed_is_x_mark(self):
+        cell = CellResult("a", "none", True, runs=[summary(converged=False)])
+        assert cell.mean_l2() is None
+        assert not cell.any_converged
+
+    def test_label(self):
+        assert CellResult("a", "acos", False).label == "a/acos/-E"
+
+    def test_mean_loss_curve(self):
+        cell = CellResult("a", "none", True,
+                          runs=[summary(), summary(seed=1)])
+        np.testing.assert_allclose(cell.mean_loss_curve(), [1.0, 0.5])
+
+
+class TestAblationResult:
+    def _result(self):
+        cells = [
+            CellResult("ans1", "none", True, runs=[summary(l2=0.3)]),
+            CellResult("ans1", "pi", True, runs=[summary(scaling="pi", l2=0.9)]),
+            CellResult("ans2", "none", True, runs=[summary(model="ans2", l2=0.5)]),
+        ]
+        baseline = CellResult("regular", "none", False, runs=[summary(model="regular", l2=0.45)])
+        return AblationResult(case="vacuum", cells=cells, classical_baseline=baseline)
+
+    def test_best_cell(self):
+        assert self._result().best_cell().model_kind == "ans1"
+
+    def test_cell_lookup(self):
+        r = self._result()
+        assert r.cell("ans2", "none", True).runs[0].final_l2 == 0.5
+        with pytest.raises(KeyError):
+            r.cell("nope", "none", True)
+
+    def test_group_by_scaling_with_omission(self):
+        groups = self._result().group_by_scaling(omit=("pi",))
+        assert set(groups) == {"none"}
+        np.testing.assert_allclose(groups["none"], 0.4)
+
+    def test_group_by_ansatz(self):
+        groups = self._result().group_by_ansatz(omit_scalings=("pi",))
+        np.testing.assert_allclose(groups["ans1"], 0.3)
+        np.testing.assert_allclose(groups["ans2"], 0.5)
+
+    def test_outperforming_fraction(self):
+        # baseline 0.45; runs 0.3 (beats), 0.9 (no), 0.5 (no) -> 1/3
+        np.testing.assert_allclose(self._result().outperforming_fraction(), 1 / 3)
+
+    def test_baseline_l2(self):
+        np.testing.assert_allclose(self._result().baseline_l2(), 0.45)
+
+
+class TestFigureData:
+    def test_fig3_identity_properties(self):
+        data = fig3_data(n_samples=512, n_grid=41)
+        a, z = data["acos"]["response"]
+        np.testing.assert_allclose(z, a, atol=1e-6)      # acos: <Z> = a
+        a, z = data["asin"]["response"]
+        np.testing.assert_allclose(z, -a, atol=1e-6)     # asin: <Z> = -a
+
+    def test_fig3_all_scalings_present(self):
+        data = fig3_data(n_samples=128, n_grid=21)
+        assert set(data) == {"none", "pi", "bias", "asin", "acos"}
+
+    def test_fig3_outcome_bounds(self):
+        data = fig3_data(n_samples=256, n_grid=21)
+        for d in data.values():
+            assert np.all(np.abs(d["outcomes"]) <= 1.0 + 1e-12)
+
+    def test_fig5_reference_fields(self):
+        data = fig5_data(n_grid=24)
+        assert data["ez_initial"].shape == (24, 24)
+        assert data["ez_final_reference"].shape == (24, 24)
+        # the pulse disperses: the final peak is below the initial peak
+        assert np.abs(data["ez_final_reference"]).max() < data["ez_initial"].max()
+
+    def test_fig12_spreads(self):
+        data = fig12_data(
+            ansatze=("no_entanglement",), scalings=("none",),
+            inits=("reg", "zeros"), n_points=64,
+        )
+        assert "classical/tanh" in data
+        assert "no_entanglement/none/reg" in data
+        for spread in data.values():
+            assert -1.01 <= spread.min <= spread.max <= 1.01
+
+    def test_fig12_zero_init_quantum_outputs_cluster(self):
+        data = fig12_data(
+            ansatze=("no_entanglement",), scalings=("acos",),
+            inits=("zeros",), n_points=64,
+        )
+        spread = data["no_entanglement/acos/zeros"]
+        # zero-parameter circuit + acos scaling reproduces the tanh inputs
+        assert spread.std > 0.05
+
+    def test_fig13_snapshots(self):
+        data = fig13_data(n_grid=24, times=(0.0, 0.5))
+        assert len(data["planes"]) == 2
+        first = data["planes"][0.0]
+        i, j = np.unravel_index(np.abs(first).argmax(), first.shape)
+        assert data["x"][i] == pytest.approx(0.4, abs=0.1)
+
+
+class TestRegistry:
+    def test_known_experiments(self):
+        for key in ("table1", "table2", "fig3", "fig6", "fig8", "fig10", "fig12", "sec51"):
+            assert key in EXPERIMENTS
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(SystemExit):
+            run_experiment("fig99")
+
+    def test_table1_runs(self, capsys):
+        run_experiment("table1")
+        out = capsys.readouterr().out
+        assert "82820" in out and "MISMATCH" not in out
+
+    def test_fig3_runs(self, capsys):
+        run_experiment("fig3")
+        out = capsys.readouterr().out
+        assert "acos" in out
+
+
+class TestRunCell:
+    def test_run_cell_end_to_end(self):
+        cell = run_cell(
+            "vacuum", "no_entanglement", "none", False,
+            seeds=1, epochs=2, grid_n=4,
+        )
+        assert len(cell.runs) == 1
+        run = cell.runs[0]
+        assert len(run.loss_curve) == 2
+        assert np.isfinite(run.i_bh)

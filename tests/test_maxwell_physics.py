@@ -1,0 +1,301 @@
+"""Physics-substrate tests: residuals, energy, media, initial conditions.
+
+The strongest checks feed the *exact* spectral vacuum solution through the
+residual and energy expressions using FFT derivatives: every residual must
+vanish to spectral accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.maxwell import (
+    ASYMMETRIC_PULSE,
+    CENTERED_PULSE,
+    DielectricSlab,
+    FieldDerivatives,
+    GaussianPulse,
+    Vacuum,
+    bh_indicator,
+    energy_density,
+    energy_residual,
+    normalized_energy,
+    poynting_vector,
+    residual_ampere,
+    residual_ampere_scaled,
+    residual_faraday_x,
+    residual_faraday_y,
+    total_energy,
+)
+from repro.solvers import SpectralVacuumSolver
+
+
+def spectral_derivatives(n=32, t=0.37, dt=1e-5):
+    """Exact fields and their derivatives at one time slice via FFT."""
+    solver = SpectralVacuumSolver(n=n)
+    ez, hx, hy = solver.fields_at(t)
+    ez_p, hx_p, hy_p = solver.fields_at(t + dt)
+    ez_m, hx_m, hy_m = solver.fields_at(t - dt)
+    kx = solver.kx[:, None]
+    ky = solver.ky[None, :]
+
+    def ddx(f):
+        return np.fft.ifft2(1j * kx * np.fft.fft2(f)).real
+
+    def ddy(f):
+        return np.fft.ifft2(1j * ky * np.fft.fft2(f)).real
+
+    derivs = FieldDerivatives(
+        dEz_dt=(ez_p - ez_m) / (2 * dt),
+        dEz_dx=ddx(ez),
+        dEz_dy=ddy(ez),
+        dHx_dt=(hx_p - hx_m) / (2 * dt),
+        dHx_dy=ddy(hx),
+        dHy_dt=(hy_p - hy_m) / (2 * dt),
+        dHy_dx=ddx(hy),
+    )
+    return (ez, hx, hy), derivs
+
+
+class TestResidualsVanishOnExactSolution:
+    def test_ampere(self):
+        _, d = spectral_derivatives()
+        assert np.abs(residual_ampere(d)).max() < 1e-6
+
+    def test_faraday_x(self):
+        _, d = spectral_derivatives()
+        assert np.abs(residual_faraday_x(d)).max() < 1e-6
+
+    def test_faraday_y(self):
+        _, d = spectral_derivatives()
+        assert np.abs(residual_faraday_y(d)).max() < 1e-6
+
+    def test_energy_residual(self):
+        (ez, hx, hy), d = spectral_derivatives()
+        assert np.abs(energy_residual(ez, hx, hy, d)).max() < 1e-6
+
+    def test_scaled_ampere_reduces_to_vacuum(self):
+        _, d = spectral_derivatives()
+        np.testing.assert_allclose(
+            residual_ampere_scaled(d, 1.0), residual_ampere(d), atol=1e-14
+        )
+
+
+class TestResidualDefinitions:
+    def _unit_derivs(self):
+        one = np.ones((2, 2))
+        return FieldDerivatives(
+            dEz_dt=1 * one, dEz_dx=2 * one, dEz_dy=3 * one,
+            dHx_dt=4 * one, dHx_dy=5 * one, dHy_dt=6 * one, dHy_dx=7 * one,
+        )
+
+    def test_ampere_formula(self):
+        np.testing.assert_allclose(residual_ampere(self._unit_derivs()), 1 - (7 - 5))
+
+    def test_scaled_ampere_formula(self):
+        np.testing.assert_allclose(
+            residual_ampere_scaled(self._unit_derivs(), 0.25), 1 - 0.25 * (7 - 5)
+        )
+
+    def test_faraday_formulas(self):
+        d = self._unit_derivs()
+        np.testing.assert_allclose(residual_faraday_x(d), 4 + 3)
+        np.testing.assert_allclose(residual_faraday_y(d), 6 - 2)
+
+    def test_energy_residual_formula(self):
+        d = self._unit_derivs()
+        ez, hx, hy = 2.0, 3.0, 4.0
+        expected = (2 * 1 + 3 * 4 + 4 * 6) - (2 * 4 + 2 * 7) + (3 * 3 + 2 * 5)
+        np.testing.assert_allclose(energy_residual(ez, hx, hy, d), expected)
+
+
+class TestEnergy:
+    def test_energy_density_formula(self):
+        np.testing.assert_allclose(
+            energy_density(2.0, 3.0, 4.0, eps=2.0), 0.5 * (2 * 4 + 9 + 16)
+        )
+
+    def test_poynting_components(self):
+        sx, sy = poynting_vector(2.0, 3.0, 4.0)
+        assert sx == -8.0 and sy == 6.0
+
+    def test_total_energy_time_axis(self):
+        ez = np.ones((3, 4, 4))
+        u = total_energy(ez, np.zeros_like(ez), np.zeros_like(ez), cell_area=0.5)
+        np.testing.assert_allclose(u, [4.0, 4.0, 4.0])
+
+    def test_spectral_solution_conserves_energy(self):
+        sol = SpectralVacuumSolver(n=48).solve(1.0, n_snapshots=6)
+        e = sol.energies()
+        np.testing.assert_allclose(e / e[0], 1.0, atol=1e-10)
+
+    def test_normalized_energy(self):
+        np.testing.assert_allclose(
+            normalized_energy(np.array([2.0, 1.0, 0.5])), [1.0, 0.5, 0.25]
+        )
+
+    def test_normalized_energy_rejects_zero_start(self):
+        with pytest.raises(ValueError):
+            normalized_energy(np.array([0.0, 1.0]))
+
+    def test_bh_indicator_collapsed(self):
+        times = np.linspace(0, 1.5, 10)
+        energies = np.concatenate([[1.0], np.full(9, 0.02)])
+        assert bh_indicator(energies, times, delta=0.1) > 0.97
+
+    def test_bh_indicator_conserved(self):
+        times = np.linspace(0, 1.5, 10)
+        assert abs(bh_indicator(np.ones(10), times, delta=0.1)) < 1e-12
+
+    def test_bh_indicator_ignores_t0(self):
+        times = np.linspace(0, 1.0, 5)
+        energies = np.array([1.0, 1.0, 1.0, 1.0, 1.0])
+        energies[0] = 1.0  # min over t >= delta only
+        assert bh_indicator(energies, times, delta=0.3) == pytest.approx(0.0)
+
+    def test_bh_indicator_requires_window(self):
+        with pytest.raises(ValueError):
+            bh_indicator(np.ones(3), np.array([0.0, 0.01, 0.02]), delta=0.5)
+
+    def test_bh_indicator_alignment_check(self):
+        with pytest.raises(ValueError):
+            bh_indicator(np.ones(3), np.zeros(4))
+
+
+class TestMedia:
+    def test_vacuum_everywhere_one(self, rng):
+        x, y = rng.uniform(-1, 1, 10), rng.uniform(-1, 1, 10)
+        np.testing.assert_allclose(Vacuum().permittivity(x, y), 1.0)
+        assert Vacuum().homogeneous
+
+    def test_slab_inside_outside(self):
+        slab = DielectricSlab(x_min=0.5, x_max=1.0, eps_r=4.0)
+        np.testing.assert_allclose(slab.permittivity(np.array([0.7]), np.array([0.0])), 4.0)
+        np.testing.assert_allclose(slab.permittivity(np.array([0.0]), np.array([0.0])), 1.0)
+        assert not slab.homogeneous
+
+    def test_slab_mask(self):
+        slab = DielectricSlab()
+        mask = slab.is_vacuum_mask(np.array([0.0, 0.7]), np.array([0.0, 0.0]))
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_slab_independent_of_y(self, rng):
+        slab = DielectricSlab()
+        y = rng.uniform(-1, 1, 20)
+        eps = slab.permittivity(np.full(20, 0.7), y)
+        np.testing.assert_allclose(eps, 4.0)
+
+    def test_smooth_profile_limits(self):
+        slab = DielectricSlab(x_min=0.2, x_max=0.8)
+        x = np.array([-0.9, 0.5, 0.99])
+        smooth = slab.smooth_permittivity(x, np.zeros(3), width=0.01)
+        np.testing.assert_allclose(smooth, [1.0, 4.0, 1.0], atol=1e-3)
+
+    def test_smooth_profile_monotone_at_interface(self):
+        slab = DielectricSlab(x_min=0.0, x_max=1.0)
+        x = np.linspace(-0.5, 0.5, 50)
+        prof = slab.smooth_permittivity(x, np.zeros(50), width=0.1)
+        assert np.all(np.diff(prof) >= -1e-12)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            DielectricSlab(x_min=1.0, x_max=0.5)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            DielectricSlab(eps_r=-1.0)
+
+
+class TestPulses:
+    def test_centered_pulse_peak(self):
+        assert CENTERED_PULSE.ez(np.array([0.0]), np.array([0.0]))[0] == 1.0
+
+    def test_centered_pulse_formula(self, rng):
+        x, y = rng.uniform(-1, 1, 5), rng.uniform(-1, 1, 5)
+        np.testing.assert_allclose(
+            CENTERED_PULSE.ez(x, y), np.exp(-25 * (x ** 2 + y ** 2))
+        )
+
+    def test_magnetic_fields_zero(self, rng):
+        x, y = rng.uniform(-1, 1, 5), rng.uniform(-1, 1, 5)
+        np.testing.assert_allclose(CENTERED_PULSE.hx(x, y), 0.0)
+        np.testing.assert_allclose(CENTERED_PULSE.hy(x, y), 0.0)
+
+    def test_fields_tuple(self):
+        ez, hx, hy = CENTERED_PULSE.fields(np.zeros(3), np.zeros(3))
+        assert ez.shape == hx.shape == hy.shape == (3,)
+
+    def test_asymmetric_pulse_parameters(self):
+        assert ASYMMETRIC_PULSE.x0 == 0.4
+        assert ASYMMETRIC_PULSE.y0 == 0.3
+        assert ASYMMETRIC_PULSE.sigma_x == 0.85
+        assert ASYMMETRIC_PULSE.sigma_y == 0.65
+
+    def test_symmetry_flags(self):
+        assert CENTERED_PULSE.symmetric_x and CENTERED_PULSE.symmetric_y
+        assert not ASYMMETRIC_PULSE.symmetric_x
+        assert not ASYMMETRIC_PULSE.symmetric_y
+
+    def test_stretched_pulse_wider_in_x(self):
+        pulse = GaussianPulse(sigma_x=2.0, sigma_y=1.0)
+        along_x = pulse.ez(np.array([0.5]), np.array([0.0]))[0]
+        along_y = pulse.ez(np.array([0.0]), np.array([0.5]))[0]
+        assert along_x > along_y
+
+
+class TestTMzDuality:
+    """TM_z residual definitions, verified via the duality transform."""
+
+    def _tm_derivs_from_te(self, n=32, t=0.41, dt=1e-5):
+        from repro.maxwell import TMFieldDerivatives
+        solver = SpectralVacuumSolver(n=n)
+        kx = solver.kx[:, None]
+        ky = solver.ky[None, :]
+
+        def ddx(f):
+            return np.fft.ifft2(1j * kx * np.fft.fft2(f)).real
+
+        def ddy(f):
+            return np.fft.ifft2(1j * ky * np.fft.fft2(f)).real
+
+        from repro.maxwell import te_to_tm_duality
+        hz, ex, ey = te_to_tm_duality(*solver.fields_at(t))
+        hz_p, ex_p, ey_p = te_to_tm_duality(*solver.fields_at(t + dt))
+        hz_m, ex_m, ey_m = te_to_tm_duality(*solver.fields_at(t - dt))
+        d = TMFieldDerivatives(
+            dHz_dt=(hz_p - hz_m) / (2 * dt),
+            dHz_dx=ddx(hz),
+            dHz_dy=ddy(hz),
+            dEx_dt=(ex_p - ex_m) / (2 * dt),
+            dEx_dy=ddy(ex),
+            dEy_dt=(ey_p - ey_m) / (2 * dt),
+            dEy_dx=ddx(ey),
+        )
+        return d
+
+    def test_dual_te_solution_satisfies_tm_residuals(self):
+        from repro.maxwell import (
+            tm_residual_ampere_x, tm_residual_ampere_y, tm_residual_faraday,
+        )
+        d = self._tm_derivs_from_te()
+        assert np.abs(tm_residual_faraday(d)).max() < 1e-6
+        assert np.abs(tm_residual_ampere_x(d)).max() < 1e-6
+        assert np.abs(tm_residual_ampere_y(d)).max() < 1e-6
+
+    def test_tm_residual_formulas(self):
+        from repro.maxwell import (
+            TMFieldDerivatives, tm_residual_ampere_x, tm_residual_ampere_y,
+            tm_residual_faraday,
+        )
+        d = TMFieldDerivatives(dHz_dt=1.0, dHz_dx=2.0, dHz_dy=3.0,
+                               dEx_dt=4.0, dEx_dy=5.0, dEy_dt=6.0, dEy_dx=7.0)
+        assert tm_residual_faraday(d) == 1.0 + (7.0 - 5.0)
+        assert tm_residual_ampere_x(d, 0.5) == 4.0 - 0.5 * 3.0
+        assert tm_residual_ampere_y(d, 0.5) == 6.0 + 0.5 * 2.0
+
+    def test_duality_transform_shape(self):
+        from repro.maxwell import te_to_tm_duality
+        a, b, c = np.ones(3), 2 * np.ones(3), 3 * np.ones(3)
+        hz, ex, ey = te_to_tm_duality(a, b, c)
+        np.testing.assert_allclose(hz, a)
+        np.testing.assert_allclose(ex, -b)
+        np.testing.assert_allclose(ey, -c)

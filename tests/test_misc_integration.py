@@ -1,0 +1,189 @@
+"""Miscellaneous integration and coverage tests: allocator tuning,
+figure-data plumbing, the CLI registry, and end-to-end mini pipelines."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro._malloc import tune_allocator
+
+
+class TestAllocatorTuning:
+    def test_returns_true_on_glibc(self):
+        # Linux CI: mallopt must be reachable; elsewhere a no-op is fine.
+        result = tune_allocator()
+        assert isinstance(result, bool)
+
+    def test_idempotent(self):
+        first = tune_allocator()
+        assert tune_allocator() == first
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+        assert repro.__version__
+
+    def test_top_level_modules_importable(self):
+        import repro.autodiff
+        import repro.core
+        import repro.experiments
+        import repro.maxwell
+        import repro.nn
+        import repro.optim
+        import repro.pde
+        import repro.solvers
+        import repro.torq
+
+    def test_all_exports_resolve(self):
+        import repro.core as core
+        import repro.torq as torq
+        for module in (core, torq):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestRegistryCLI:
+    def test_main_list(self, capsys):
+        from repro.experiments import main
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_main_no_args_lists(self, capsys):
+        from repro.experiments import main
+        main([])
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_main_runs_experiment(self, capsys):
+        from repro.experiments import main
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "=== table1 ===" in out and "82820" in out
+
+
+class TestFig10DataPlumbing:
+    def test_series_structure(self):
+        from repro.experiments.figures import fig10_data
+        data = fig10_data(ansatz="no_entanglement", scaling="none",
+                          seeds=1, epochs=3, grid_n=4)
+        assert set(data) == {"with_energy", "without_energy"}
+        s = data["with_energy"]
+        assert len(s.loss) == 3
+        assert len(s.grad_norm) == 3
+        assert len(s.i_bh) == 1
+
+    def test_fig11_planes(self):
+        from repro.experiments.figures import fig11_data
+        from repro.core.models import MaxwellPINN
+        model = MaxwellPINN(depth=2, hidden=8, rff_features=4,
+                            rng=np.random.default_rng(0))
+        data = fig11_data(model, times=(0.0, 0.5), n_grid=12)
+        assert set(data["planes"]) == {0.0, 0.5}
+        assert data["planes"][0.0].shape == (12, 12)
+
+
+class TestEndToEndMiniPipelines:
+    def test_full_qpinn_pipeline(self):
+        """Reference solve → train → evaluate → BH classify, all public API."""
+        from repro.core import (
+            RunConfig, classify_bh_phenomenon, get_case, make_reference, run_single,
+        )
+        reference = make_reference(get_case("vacuum"), n=32, n_snapshots=4)
+        indicators = []
+        for seed in range(2):
+            result = run_single(
+                RunConfig(case="vacuum", model_kind="no_entanglement",
+                          scaling="acos", use_energy=True, seed=seed,
+                          grid_n=4, epochs=3),
+                reference=reference,
+            )
+            indicators.append(result.i_bh)
+        report = classify_bh_phenomenon(indicators)
+        assert len(report.indicators) == 2
+
+    def test_trainer_is_deterministic_given_seed(self):
+        from repro.core import RunConfig, get_case, make_reference, run_single
+        reference = make_reference(get_case("vacuum"), n=32, n_snapshots=4)
+        config = RunConfig(case="vacuum", model_kind="regular",
+                           use_energy=False, seed=5, grid_n=4, epochs=3)
+        a = run_single(config, reference=reference)
+        b = run_single(config, reference=reference)
+        np.testing.assert_allclose(a.history.loss, b.history.loss, rtol=1e-12)
+
+    def test_different_seeds_differ(self):
+        from repro.core import RunConfig, get_case, make_reference, run_single
+        reference = make_reference(get_case("vacuum"), n=32, n_snapshots=4)
+        a = run_single(RunConfig(model_kind="regular", use_energy=False,
+                                 seed=0, grid_n=4, epochs=2), reference=reference)
+        b = run_single(RunConfig(model_kind="regular", use_energy=False,
+                                 seed=1, grid_n=4, epochs=2), reference=reference)
+        assert a.history.loss[-1] != b.history.loss[-1]
+
+
+@pytest.mark.parametrize(
+    "script", ["quickstart.py", "blackhole_demo.py", "dielectric_pulse.py",
+               "simulator_speedup.py", "schrodinger_qpinn.py",
+               "asymmetric_pulse.py", "inverse_permittivity.py",
+               "noisy_hardware.py", "maxwell3d_pinn.py"],
+)
+def test_example_scripts_compile(script):
+    """Every example must at least byte-compile (full runs are manual)."""
+    import pathlib
+    import py_compile
+    path = pathlib.Path(__file__).parent.parent / "examples" / script
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_example_runs_at_smoke_scale():
+    """Execute the quickstart end to end with tiny env knobs."""
+    import os
+    import pathlib
+    env = dict(os.environ, REPRO_GRID="4", REPRO_EPOCHS="2",
+               REPRO_SEEDS="1", REPRO_REF_GRID="32", REPRO_REF_SNAPSHOTS="4")
+    script = pathlib.Path(__file__).parent.parent / "examples" / "quickstart.py"
+    proc = subprocess.run(
+        [sys.executable, str(script)], env=env,
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "relative L2 error" in proc.stdout
+
+
+def test_export_artifacts(tmp_path, monkeypatch):
+    """The export CLI writes per-run CSVs and per-case JSON summaries."""
+    monkeypatch.setenv("REPRO_GRID", "4")
+    monkeypatch.setenv("REPRO_EPOCHS", "1")
+    monkeypatch.setenv("REPRO_SEEDS", "1")
+    monkeypatch.setenv("REPRO_REF_GRID", "32")
+    monkeypatch.setenv("REPRO_REF_SNAPSHOTS", "4")
+    from repro.experiments import main
+    out = tmp_path / "results"
+    main(["export", str(out)])
+    names = sorted(p.name for p in out.iterdir())
+    assert names == [
+        "dielectric_runs.csv", "dielectric_summary.json",
+        "vacuum_runs.csv", "vacuum_summary.json",
+    ]
+    assert "model_kind" in (out / "vacuum_runs.csv").read_text()
+
+
+def test_bh_time_resolution_script_compiles():
+    import pathlib
+    import py_compile
+    path = pathlib.Path(__file__).parent.parent / "scripts" / "bh_time_resolution_study.py"
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_api_docs_generator_runs():
+    """The API-docs generator covers every package without errors."""
+    import pathlib
+    script = pathlib.Path(__file__).parent.parent / "scripts" / "generate_api_docs.py"
+    proc = subprocess.run([sys.executable, str(script)], capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    api = pathlib.Path(__file__).parent.parent / "docs" / "API.md"
+    text = api.read_text()
+    for token in ("repro.autodiff", "repro.torq", "QuantumLayer", "MaxwellLoss"):
+        assert token in text

@@ -1,0 +1,253 @@
+"""Optimiser and scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, backward
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, ConstantLR, ExponentialDecay, StepDecay
+
+
+def quadratic_step(opt, p, target):
+    opt.zero_grad()
+    diff = p - Tensor(target)
+    backward((diff * diff).sum(), [p])
+    opt.step()
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |first step| == lr for any gradient scale.
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.05)
+        quadratic_step(opt, p, np.array([0.0]))
+        np.testing.assert_allclose(abs(10.0 - p.data[0]), 0.05, rtol=1e-6)
+
+    def test_skips_params_without_grad(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([2.0]))
+        opt = Adam([p1, p2], lr=0.1)
+        opt.zero_grad()
+        backward((p1 * p1).sum(), [p1])
+        opt.step()
+        np.testing.assert_allclose(p2.data, [2.0])
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=0.5)
+        opt.zero_grad()
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_state_dict_roundtrip(self):
+        p = Parameter(np.array([3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(5):
+            quadratic_step(opt, p, np.array([0.0]))
+        state = opt.state_dict()
+        opt2 = Adam([p], lr=0.1)
+        opt2.load_state_dict(state)
+        assert opt2.step_count == 5
+        np.testing.assert_allclose(opt2._m[0], opt._m[0])
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.ones(1)
+        Adam([p]).zero_grad()
+        assert p.grad is None
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.9])
+
+    def test_momentum_accelerates(self):
+        steps = {}
+        for mom in (0.0, 0.9):
+            p = Parameter(np.array([1.0]))
+            opt = SGD([p], lr=0.01, momentum=mom)
+            for _ in range(10):
+                opt.zero_grad()
+                p.grad = np.array([1.0])
+                opt.step()
+            steps[mom] = 1.0 - p.data[0]
+        assert steps[0.9] > 2 * steps[0.0]
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([4.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            quadratic_step(opt, p, np.array([1.5]))
+        np.testing.assert_allclose(p.data, [1.5], atol=1e-4)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        p.grad = np.zeros(1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+
+class TestSchedulers:
+    def _opt(self):
+        return Adam([Parameter(np.array([1.0]))], lr=1e-3)
+
+    def test_step_decay_paper_schedule(self):
+        opt = self._opt()
+        sched = StepDecay(opt, step_size=2000, gamma=0.85)
+        for _ in range(2000):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 1e-3 * 0.85)
+        for _ in range(2000):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 1e-3 * 0.85 ** 2)
+
+    def test_step_decay_constant_within_window(self):
+        opt = self._opt()
+        sched = StepDecay(opt, step_size=100, gamma=0.5)
+        for _ in range(99):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 1e-3)
+
+    def test_step_decay_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepDecay(self._opt(), step_size=0)
+
+    def test_exponential_decay(self):
+        opt = self._opt()
+        sched = ExponentialDecay(opt, gamma=0.9)
+        for _ in range(3):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 1e-3 * 0.9 ** 3)
+
+    def test_constant_lr(self):
+        opt = self._opt()
+        sched = ConstantLR(opt)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 1e-3)
+
+    def test_current_lr_reporting(self):
+        opt = self._opt()
+        sched = StepDecay(opt, step_size=1, gamma=0.5)
+        sched.step()
+        np.testing.assert_allclose(sched.current_lr(), 5e-4)
+
+
+class TestLBFGS:
+    def _rosenbrock_setup(self):
+        from repro.optim import LBFGS
+        from repro.autodiff import backward
+        p = Parameter(np.array([-1.2, 1.0]))
+        opt = LBFGS([p], history=10)
+
+        def closure():
+            opt.zero_grad()
+            x = p[0]
+            y = p[1]
+            loss = (1.0 - x) ** 2 + 100.0 * (y - x * x) ** 2
+            backward(loss, [p])
+            return float(loss.data)
+
+        return p, opt, closure
+
+    def test_rosenbrock_convergence(self):
+        p, opt, closure = self._rosenbrock_setup()
+        for _ in range(120):
+            loss = opt.step(closure)
+        np.testing.assert_allclose(p.data, [1.0, 1.0], atol=1e-3)
+
+    def test_quadratic_few_steps(self):
+        from repro.optim import LBFGS
+        from repro.autodiff import backward
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(4, 4))
+        hessian = a.T @ a + 0.5 * np.eye(4)
+        target = rng.normal(size=4)
+        p = Parameter(np.zeros(4))
+        opt = LBFGS([p])
+
+        def closure():
+            opt.zero_grad()
+            diff = p - Tensor(target)
+            quad = (diff.reshape(1, 4) @ Tensor(hessian) @ diff.reshape(4, 1)).sum()
+            backward(quad, [p])
+            return float(quad.data)
+
+        for _ in range(25):
+            opt.step(closure)
+        np.testing.assert_allclose(p.data, target, atol=1e-6)
+
+    def test_monotone_nonincreasing_loss(self):
+        _, opt, closure = self._rosenbrock_setup()
+        losses = [opt.step(closure) for _ in range(30)]
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_empty_params_rejected(self):
+        from repro.optim import LBFGS
+        with pytest.raises(ValueError):
+            LBFGS([])
+
+    def test_invalid_history(self):
+        from repro.optim import LBFGS
+        with pytest.raises(ValueError):
+            LBFGS([Parameter(np.zeros(1))], history=0)
+
+    def test_beats_adam_on_quadratic_budget(self):
+        """Quasi-Newton should crush a mildly conditioned quadratic in far
+        fewer iterations than Adam."""
+        from repro.optim import LBFGS
+        from repro.autodiff import backward
+        rng = np.random.default_rng(1)
+        scales = np.linspace(1.0, 30.0, 6)
+        target = rng.normal(size=6)
+
+        def make_closure(p, opt):
+            def closure():
+                opt.zero_grad()
+                diff = p - Tensor(target)
+                loss = (diff * diff * Tensor(scales)).sum()
+                backward(loss, [p])
+                return float(loss.data)
+            return closure
+
+        p1 = Parameter(np.zeros(6))
+        lbfgs = LBFGS([p1])
+        closure = make_closure(p1, lbfgs)
+        for _ in range(20):
+            lbfgs.step(closure)
+        lbfgs_err = np.abs(p1.data - target).max()
+
+        p2 = Parameter(np.zeros(6))
+        adam = Adam([p2], lr=0.05)
+        for _ in range(20):
+            adam.zero_grad()
+            diff = p2 - Tensor(target)
+            from repro.autodiff import backward as bw
+            bw((diff * diff * Tensor(scales)).sum(), [p2])
+            adam.step()
+        adam_err = np.abs(p2.data - target).max()
+        assert lbfgs_err < adam_err

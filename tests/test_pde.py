@@ -1,0 +1,171 @@
+"""Generic-PDE extension tests: problems, references, model, trainer."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad, no_grad
+from repro.pde import (
+    BurgersProblem,
+    GenericPINN,
+    PDETrainer,
+    PDETrainerConfig,
+    PoissonProblem,
+    SchrodingerProblem,
+)
+
+
+class TestGenericPINN:
+    def test_classical_shape(self, rng):
+        model = GenericPINN(2, 3, hidden=8, n_hidden=2, rng=rng)
+        assert model(Tensor(np.zeros((5, 2)))).shape == (5, 3)
+
+    def test_quantum_variant_shape(self, rng):
+        model = GenericPINN(2, 1, hidden=8, quantum="basic_entangling",
+                            n_qubits=3, n_layers=1, rng=rng)
+        assert model(Tensor(np.zeros((4, 2)))).shape == (4, 1)
+
+    def test_quantum_params_registered(self, rng):
+        model = GenericPINN(1, 1, hidden=8, quantum="cross_mesh",
+                            n_qubits=3, n_layers=1, rng=rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert any("quantum" in n for n in names)
+
+    def test_rff_front_end(self, rng):
+        model = GenericPINN(2, 1, hidden=8, rff_features=4, rng=rng)
+        assert model.rff is not None
+        assert model(Tensor(np.zeros((3, 2)))).shape == (3, 1)
+
+    def test_gradients_to_inputs(self, rng):
+        model = GenericPINN(2, 1, hidden=8, rng=rng)
+        coords = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (g,) = grad(model(coords).sum(), [coords])
+        assert g.shape == (4, 2)
+
+
+class TestPoisson:
+    def test_manufactured_consistency(self, rng):
+        # -laplacian(u*) equals the source everywhere.
+        prob = PoissonProblem()
+        x, y = rng.uniform(0.1, 0.9, (2, 20))
+        h = 1e-5
+        lap = (
+            prob.exact(x + h, y) + prob.exact(x - h, y)
+            + prob.exact(x, y + h) + prob.exact(x, y - h)
+            - 4 * prob.exact(x, y)
+        ) / h ** 2
+        np.testing.assert_allclose(-lap, prob.source(x, y), atol=1e-4)
+
+    def test_exact_solution_satisfies_bc(self):
+        prob = PoissonProblem()
+        s = np.linspace(0, 1, 10)
+        np.testing.assert_allclose(prob.exact(np.zeros(10), s), 0.0, atol=1e-12)
+        np.testing.assert_allclose(prob.exact(s, np.ones(10)), 0.0, atol=1e-12)
+
+    def test_residual_loss_zero_for_exact_model(self, rng):
+        from repro import autodiff as ad
+
+        class Exact:
+            def __call__(self, coords):
+                x = coords[:, 0:1]
+                y = coords[:, 1:2]
+                return ad.sin(x * np.pi) * ad.sin(y * np.pi)
+
+            def parameters(self):
+                return []
+
+        prob = PoissonProblem()
+        x, y = prob.sample(30, rng)
+        loss = prob.residual_loss(Exact(), x, y)
+        np.testing.assert_allclose(float(loss.data), 0.0, atol=1e-18)
+
+    def test_l2_error_of_zero_model(self, rng):
+        class Zero:
+            def __call__(self, coords):
+                return coords[:, 0:1] * 0.0
+
+        np.testing.assert_allclose(PoissonProblem().l2_error(Zero()), 1.0)
+
+    def test_training_reduces_error(self):
+        prob = PoissonProblem()
+        model = GenericPINN(2, 1, hidden=16, n_hidden=2, rng=np.random.default_rng(0))
+        cfg = PDETrainerConfig(epochs=80, n_collocation=128, eval_every=79, lr=5e-3)
+        result = PDETrainer(model, prob, cfg).train()
+        assert result.loss[-1] < result.loss[0] * 0.5
+
+
+class TestBurgers:
+    def test_reference_preserves_odd_symmetry(self):
+        x, times, frames = BurgersProblem().reference(n_modes=128, n_steps=100)
+        final = frames[-1]
+        mirrored = -np.roll(final[::-1], 1)
+        np.testing.assert_allclose(final, mirrored, atol=1e-8)
+
+    def test_reference_dissipates_energy(self):
+        _, _, frames = BurgersProblem().reference(n_modes=128, n_steps=200)
+        assert (frames[-1] ** 2).sum() < (frames[0] ** 2).sum()
+
+    def test_reference_initial_condition(self):
+        x, _, frames = BurgersProblem().reference(n_modes=64, n_steps=50)
+        np.testing.assert_allclose(frames[0], -np.sin(np.pi * x), atol=1e-12)
+
+    def test_reference_boundary_stays_zero(self):
+        x, _, frames = BurgersProblem().reference(n_modes=128, n_steps=100)
+        boundary = np.argmin(np.abs(x + 1.0))
+        np.testing.assert_allclose(frames[:, boundary], 0.0, atol=1e-8)
+
+    def test_residual_and_data_losses_finite(self, rng):
+        prob = BurgersProblem()
+        model = GenericPINN(2, 1, hidden=8, rng=rng)
+        x, t = prob.sample(16, rng)
+        assert np.isfinite(float(prob.residual_loss(model, x, t).data))
+        assert np.isfinite(float(prob.data_loss(model, 16, rng).data))
+
+
+class TestSchrodinger:
+    def test_reference_conserves_norm(self):
+        _, _, frames = SchrodingerProblem().reference(n_modes=128, n_steps=100)
+        norms = (np.abs(frames) ** 2).sum(axis=1)
+        np.testing.assert_allclose(norms / norms[0], 1.0, atol=1e-10)
+
+    def test_soliton_peak_stays_bounded(self):
+        _, _, frames = SchrodingerProblem().reference(n_modes=128, n_steps=200)
+        peaks = np.abs(frames).max(axis=1)
+        assert peaks.max() < 4.5 and peaks.min() > 1.0
+
+    def test_initial_condition(self):
+        x, _, frames = SchrodingerProblem().reference(n_modes=64, n_steps=50)
+        np.testing.assert_allclose(frames[0], 2.0 / np.cosh(x), atol=1e-12)
+
+    def test_residual_loss_finite_and_differentiable(self, rng):
+        prob = SchrodingerProblem()
+        model = GenericPINN(2, 2, hidden=8, rng=rng)
+        x, t = prob.sample(12, rng)
+        loss = prob.residual_loss(model, x, t)
+        grads = grad(loss, model.parameters(), allow_unused=True)
+        assert all(np.all(np.isfinite(g.data)) for g in grads)
+
+    def test_l2_error_sane_for_untrained(self, rng):
+        prob = SchrodingerProblem()
+        model = GenericPINN(2, 2, hidden=8, rng=rng)
+        err = prob.l2_error(model, prob.reference(n_modes=64, n_steps=50))
+        assert 0.0 < err < 5.0
+
+
+class TestPDETrainer:
+    def test_histories(self, rng):
+        prob = PoissonProblem()
+        model = GenericPINN(2, 1, hidden=8, rng=rng)
+        cfg = PDETrainerConfig(epochs=5, n_collocation=32, eval_every=2)
+        result = PDETrainer(model, prob, cfg).train()
+        assert len(result.loss) == 5
+        assert result.l2_epochs == [0, 2, 4]
+        assert result.final_l2 is not None
+
+    def test_quantum_model_trains(self, rng):
+        prob = PoissonProblem()
+        model = GenericPINN(2, 1, hidden=8, quantum="no_entanglement",
+                            n_qubits=3, n_layers=1, rng=rng)
+        cfg = PDETrainerConfig(epochs=3, n_collocation=32, eval_every=0)
+        result = PDETrainer(model, prob, cfg).train()
+        assert len(result.loss) == 3
+        assert all(np.isfinite(v) for v in result.loss)

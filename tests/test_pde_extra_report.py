@@ -1,0 +1,220 @@
+"""Tests for the extra PDE problems and the reporting module."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor
+from repro.pde import GenericPINN, HeatProblem, HelmholtzProblem, PDETrainer, PDETrainerConfig, WaveProblem
+from repro.report import (
+    ablation_to_csv,
+    ascii_contour,
+    format_table,
+    history_to_csv,
+    summary_json,
+)
+
+
+class _ExactModel:
+    """Wrap a closed-form function as a model (zero-residual oracle)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, coords):
+        return self.fn(coords)
+
+    def parameters(self):
+        return []
+
+
+class TestHeat:
+    def test_exact_solution_zero_residual(self, rng):
+        prob = HeatProblem(alpha=0.1)
+        model = _ExactModel(
+            lambda c: ad.exp(c[:, 1:2] * (-prob.alpha * np.pi ** 2))
+            * ad.sin(c[:, 0:1] * np.pi)
+        )
+        x, t = prob.sample(25, rng)
+        loss = prob.residual_loss(model, x, t)
+        np.testing.assert_allclose(float(loss.data), 0.0, atol=1e-18)
+
+    def test_exact_solution_zero_l2(self):
+        prob = HeatProblem()
+        model = _ExactModel(
+            lambda c: ad.exp(c[:, 1:2] * (-prob.alpha * np.pi ** 2))
+            * ad.sin(c[:, 0:1] * np.pi)
+        )
+        assert prob.l2_error(model) < 1e-12
+
+    def test_wrong_alpha_nonzero_residual(self, rng):
+        prob = HeatProblem(alpha=0.1)
+        wrong = _ExactModel(
+            lambda c: ad.exp(c[:, 1:2] * (-0.5 * np.pi ** 2))
+            * ad.sin(c[:, 0:1] * np.pi)
+        )
+        x, t = prob.sample(25, rng)
+        assert float(prob.residual_loss(wrong, x, t).data) > 1e-4
+
+    def test_training_descends(self, rng):
+        prob = HeatProblem()
+        model = GenericPINN(2, 1, hidden=12, n_hidden=2, rng=rng)
+        result = PDETrainer(model, prob, PDETrainerConfig(
+            epochs=25, n_collocation=64, eval_every=24, lr=5e-3)).train()
+        assert result.loss[-1] < result.loss[0]
+
+
+class TestWave:
+    def test_exact_solution_zero_residual(self, rng):
+        prob = WaveProblem(c=1.0)
+        model = _ExactModel(
+            lambda coords: ad.cos(coords[:, 1:2] * np.pi)
+            * ad.sin(coords[:, 0:1] * np.pi)
+        )
+        x, t = prob.sample(20, rng)
+        np.testing.assert_allclose(
+            float(prob.residual_loss(model, x, t).data), 0.0, atol=1e-16
+        )
+
+    def test_second_time_derivative_used(self, rng):
+        """A function linear in t has u_tt = 0 but u_xx != 0 — residual
+        must detect it."""
+        prob = WaveProblem()
+        model = _ExactModel(lambda c: ad.sin(c[:, 0:1] * np.pi) * (1.0 + c[:, 1:2]))
+        x, t = prob.sample(20, rng)
+        assert float(prob.residual_loss(model, x, t).data) > 1e-3
+
+    def test_velocity_term_in_data_loss(self, rng):
+        prob = WaveProblem()
+        # correct displacement but wrong initial velocity
+        model = _ExactModel(
+            lambda c: ad.sin(c[:, 0:1] * np.pi) * ad.cos(c[:, 1:2] * np.pi)
+            + c[:, 1:2] * 0.5
+        )
+        loss = float(prob.data_loss(model, 32, rng).data)
+        assert loss > 0.01
+
+    def test_exact_l2_zero(self):
+        prob = WaveProblem()
+        model = _ExactModel(
+            lambda c: ad.cos(c[:, 1:2] * np.pi) * ad.sin(c[:, 0:1] * np.pi)
+        )
+        assert prob.l2_error(model) < 1e-12
+
+
+class TestHelmholtz:
+    def test_manufactured_solution_zero_residual(self, rng):
+        prob = HelmholtzProblem(k=1.0, a1=1, a2=2)
+        model = _ExactModel(
+            lambda c: ad.sin(c[:, 0:1] * np.pi) * ad.sin(c[:, 1:2] * 2 * np.pi)
+        )
+        x, y = prob.sample(20, rng)
+        np.testing.assert_allclose(
+            float(prob.residual_loss(model, x, y).data), 0.0, atol=1e-14
+        )
+
+    def test_boundary_loss_zero_for_exact(self, rng):
+        prob = HelmholtzProblem()
+        model = _ExactModel(
+            lambda c: ad.sin(c[:, 0:1] * np.pi) * ad.sin(c[:, 1:2] * 2 * np.pi)
+        )
+        np.testing.assert_allclose(
+            float(prob.data_loss(model, 32, rng).data), 0.0, atol=1e-12
+        )
+
+    def test_source_consistency(self, rng):
+        prob = HelmholtzProblem(k=2.0, a1=1, a2=1)
+        x, y = rng.uniform(0.1, 0.9, (2, 10))
+        h = 1e-5
+        lap = (
+            prob.exact(x + h, y) + prob.exact(x - h, y)
+            + prob.exact(x, y + h) + prob.exact(x, y - h)
+            - 4 * prob.exact(x, y)
+        ) / h ** 2
+        np.testing.assert_allclose(
+            lap + prob.k ** 2 * prob.exact(x, y), prob.source(x, y), atol=1e-4
+        )
+
+
+class TestReportTable:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bbbb", 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_ascii_contour_shape(self):
+        field = np.zeros((40, 40))
+        field[20, 20] = 1.0
+        art = ascii_contour(field, width=20)
+        assert len(art.splitlines()) == 20
+        assert "@" in art
+
+    def test_ascii_contour_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_contour(np.zeros(5))
+
+
+class TestCsvJsonArtifacts:
+    def _history(self):
+        from repro.core.trainer import TrainingHistory
+        h = TrainingHistory()
+        for i in range(3):
+            h.loss.append(1.0 / (i + 1))
+            h.grad_norm.append(0.1)
+            h.grad_variance.append(0.01)
+            h.learning_rate.append(1e-3)
+            h.components.setdefault("phys", []).append(0.5)
+        return h
+
+    def test_history_csv(self, tmp_path):
+        path = history_to_csv(self._history(), tmp_path / "hist.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("epoch,loss")
+        assert len(lines) == 4
+
+    def test_ablation_csv_and_json(self, tmp_path):
+        from repro.experiments.ablation import AblationResult, CellResult, RunSummary
+        run = RunSummary(
+            model_kind="a", scaling="none", use_energy=True, seed=0,
+            final_l2=0.5, i_bh=0.1, collapsed=False, converged=True,
+            loss_curve=(1.0,), l2_curve=(0.5,), l2_epochs=(0,),
+        )
+        result = AblationResult(
+            case="vacuum",
+            cells=[CellResult("a", "none", True, runs=[run])],
+            classical_baseline=CellResult("regular", "none", False, runs=[run]),
+        )
+        csv_path = ablation_to_csv(result, tmp_path / "abl.csv")
+        assert "vacuum,a,none,True,0,0.5" in csv_path.read_text()
+        json_path = summary_json(result, tmp_path / "abl.json")
+        payload = json.loads(json_path.read_text())
+        assert payload["best_cell"] == "a/none/+E"
+        assert payload["cells"][0]["mean_l2"] == 0.5
+
+
+class TestReportSummaryJsonEdgeCases:
+    def test_all_failed_cells_serialise(self, tmp_path):
+        from repro.experiments.ablation import AblationResult, CellResult, RunSummary
+        failed = RunSummary(
+            model_kind="a", scaling="pi", use_energy=False, seed=0,
+            final_l2=None, i_bh=0.99, collapsed=True, converged=False,
+            loss_curve=(1.0,), l2_curve=(), l2_epochs=(),
+        )
+        result = AblationResult(case="vacuum",
+                                cells=[CellResult("a", "pi", False, runs=[failed])])
+        path = summary_json(result, tmp_path / "s.json")
+        payload = json.loads(path.read_text())
+        assert payload["best_cell"] is None
+        assert payload["cells"][0]["mean_l2"] is None
+        assert payload["baseline_l2"] is None

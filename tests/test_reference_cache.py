@@ -1,0 +1,55 @@
+"""Reference-solution persistence and caching tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import _REFERENCE_CACHE, get_case, make_reference
+from repro.solvers import MaxwellPadeSolver, ReferenceSolution
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        sol = MaxwellPadeSolver(n=16).solve(0.2, n_snapshots=3)
+        path = tmp_path / "ref.npz"
+        sol.save(path)
+        loaded = ReferenceSolution.load(path)
+        np.testing.assert_allclose(loaded.ez, sol.ez)
+        np.testing.assert_allclose(loaded.times, sol.times)
+        np.testing.assert_allclose(loaded.eps, sol.eps)
+
+    def test_loaded_solution_is_usable(self, tmp_path):
+        sol = MaxwellPadeSolver(n=16).solve(0.2, n_snapshots=3)
+        path = tmp_path / "ref.npz"
+        sol.save(path)
+        loaded = ReferenceSolution.load(path)
+        ez, _, _ = loaded.interpolate(
+            np.array([0.1]), np.array([0.1]), np.array([0.1])
+        )
+        assert np.isfinite(ez[0])
+        assert loaded.energies().shape == (3,)
+
+
+class TestMakeReferenceCaching:
+    def test_memory_cache_hit(self):
+        case = get_case("vacuum")
+        a = make_reference(case, n=16, n_snapshots=3)
+        b = make_reference(case, n=16, n_snapshots=3)
+        assert a is b
+
+    def test_disk_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        case = get_case("vacuum")
+        key = (case.name, 18, 3, "pade")
+        _REFERENCE_CACHE.pop(key, None)
+        a = make_reference(case, n=18, n_snapshots=3)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        # Drop the memory cache: the next call must come from disk.
+        _REFERENCE_CACHE.pop(key, None)
+        b = make_reference(case, n=18, n_snapshots=3)
+        np.testing.assert_allclose(a.ez, b.ez)
+
+    def test_fdtd_solver_selectable(self):
+        case = get_case("vacuum")
+        ref = make_reference(case, n=16, n_snapshots=3, solver="fdtd")
+        assert ref.ez.shape[0] == 3

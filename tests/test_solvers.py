@@ -1,0 +1,282 @@
+"""Reference-solver tests: tridiagonal algebra, compact derivatives, RK4,
+and the three Maxwell solvers cross-validated against each other."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.maxwell import DielectricSlab, GaussianPulse
+from repro.solvers import (
+    CompactFirstDerivative,
+    CyclicTridiagonalSolver,
+    MaxwellPadeSolver,
+    SpectralVacuumSolver,
+    YeeFDTDSolver,
+    integrate,
+    make_grid,
+    pade_first_derivative,
+    rk4_step,
+    solve_cyclic_tridiagonal,
+    solve_tridiagonal,
+)
+
+
+class TestTridiagonal:
+    def _dense(self, lower, diag, upper, cl=0.0, cu=0.0):
+        n = diag.size
+        a = np.diag(diag)
+        for i in range(1, n):
+            a[i, i - 1] = lower[i]
+            a[i - 1, i] = upper[i - 1]
+        a[0, n - 1] += cu
+        a[n - 1, 0] += cl
+        return a
+
+    def test_matches_dense_solve(self, rng):
+        n = 12
+        lower = rng.normal(size=n) * 0.3
+        upper = rng.normal(size=n) * 0.3
+        diag = rng.uniform(2.0, 3.0, n)
+        lower[0] = upper[-1] = 0.0
+        rhs = rng.normal(size=n)
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        np.testing.assert_allclose(self._dense(lower, diag, upper) @ x, rhs, atol=1e-10)
+
+    def test_batched_rhs(self, rng):
+        n = 8
+        lower = np.full(n, 0.25); lower[0] = 0
+        upper = np.full(n, 0.25); upper[-1] = 0
+        diag = np.ones(n)
+        rhs = rng.normal(size=(n, 5))
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        np.testing.assert_allclose(self._dense(lower, diag, upper) @ x, rhs, atol=1e-10)
+
+    def test_cyclic_matches_dense(self, rng):
+        n = 10
+        lower = np.full(n, 0.25)
+        upper = np.full(n, 0.25)
+        diag = np.ones(n)
+        rhs = rng.normal(size=n)
+        x = solve_cyclic_tridiagonal(lower, diag, upper, 0.25, 0.25, rhs)
+        dense = self._dense(lower, diag, upper, cl=0.25, cu=0.25)
+        np.testing.assert_allclose(dense @ x, rhs, atol=1e-10)
+
+    def test_cyclic_solver_class_matches_function(self, rng):
+        n = 16
+        rhs = rng.normal(size=(n, 3))
+        solver = CyclicTridiagonalSolver(0.25, 1.0, 0.25, n)
+        x1 = solver.solve(rhs)
+        x2 = solve_cyclic_tridiagonal(
+            np.full(n, 0.25), np.ones(n), np.full(n, 0.25), 0.25, 0.25, rhs
+        )
+        np.testing.assert_allclose(x1, x2, atol=1e-12)
+
+    def test_cyclic_identity_matrix(self, rng):
+        n = 8
+        solver = CyclicTridiagonalSolver(0.0, 2.0, 0.0, n)
+        rhs = rng.normal(size=n)
+        np.testing.assert_allclose(solver.solve(rhs), rhs / 2.0)
+
+    def test_cyclic_requires_min_size(self):
+        with pytest.raises(ValueError):
+            CyclicTridiagonalSolver(0.25, 1.0, 0.25, 2)
+
+    def test_rhs_size_mismatch(self):
+        solver = CyclicTridiagonalSolver(0.25, 1.0, 0.25, 8)
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(7))
+
+    @given(st.integers(4, 30))
+    def test_cyclic_random_sizes(self, n):
+        rng = np.random.default_rng(n)
+        solver = CyclicTridiagonalSolver(0.25, 1.0, 0.25, n)
+        rhs = rng.normal(size=n)
+        x = solver.solve(rhs)
+        reconstructed = (
+            x + 0.25 * np.roll(x, 1) + 0.25 * np.roll(x, -1)
+        )
+        np.testing.assert_allclose(reconstructed, rhs, atol=1e-9)
+
+
+class TestCompactDerivative:
+    def test_exact_on_low_fourier_mode(self):
+        n = 32
+        x, h = np.linspace(0, 2 * np.pi, n, endpoint=False), 2 * np.pi / 32
+        d = pade_first_derivative(np.sin(x), h)
+        np.testing.assert_allclose(d, np.cos(x), atol=1e-4)
+
+    def test_fourth_order_convergence(self):
+        errors = []
+        for n in (32, 64):
+            x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+            h = 2 * np.pi / n
+            d = pade_first_derivative(np.sin(3 * x), h)
+            errors.append(np.abs(d - 3 * np.cos(3 * x)).max())
+        order = np.log2(errors[0] / errors[1])
+        assert order > 3.7, f"observed order {order}"
+
+    def test_derivative_of_constant_is_zero(self):
+        d = pade_first_derivative(np.ones(16), 0.1)
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_axis_argument(self):
+        n = 16
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        h = 2 * np.pi / n
+        f = np.tile(np.sin(x), (3, 1))  # vary along axis 1
+        d = CompactFirstDerivative(n, h)(f, axis=1)
+        np.testing.assert_allclose(d, np.tile(np.cos(x), (3, 1)), atol=1e-3)
+
+    def test_linearity(self, rng):
+        n = 32
+        h = 0.1
+        deriv = CompactFirstDerivative(n, h)
+        f, g = rng.normal(size=n), rng.normal(size=n)
+        np.testing.assert_allclose(
+            deriv(2.0 * f + 3.0 * g), 2.0 * deriv(f) + 3.0 * deriv(g), atol=1e-10
+        )
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            CompactFirstDerivative(16, 0.1)(np.zeros(8))
+
+    def test_min_points(self):
+        with pytest.raises(ValueError):
+            CompactFirstDerivative(3, 0.1)
+
+
+class TestRK4:
+    def test_fourth_order_on_exponential(self):
+        rhs = lambda s, t: (s[0],)
+        errors = []
+        for dt in (0.1, 0.05):
+            state = (np.array(1.0),)
+            final, _ = integrate(rhs, state, 0.0, 1.0, dt)
+            errors.append(abs(final[0] - np.e))
+        order = np.log2(errors[0] / errors[1])
+        assert order > 3.8
+
+    def test_harmonic_oscillator_energy(self):
+        rhs = lambda s, t: (s[1], -s[0])
+        state = (np.array(1.0), np.array(0.0))
+        final, _ = integrate(rhs, state, 0.0, 10.0, 0.01)
+        energy = final[0] ** 2 + final[1] ** 2
+        np.testing.assert_allclose(energy, 1.0, atol=1e-8)
+
+    def test_single_step_accuracy(self):
+        rhs = lambda s, t: (s[0],)
+        out = rk4_step(rhs, (np.array(1.0),), 0.0, 0.1)
+        np.testing.assert_allclose(out[0], np.exp(0.1), atol=1e-8)
+
+    def test_snapshots_recorded_at_requested_times(self):
+        rhs = lambda s, t: (np.zeros_like(s[0]),)
+        _, snaps = integrate(rhs, (np.zeros(2),), 0.0, 1.0, 0.1,
+                             snapshot_times=[0.0, 0.5, 1.0])
+        assert [t for t, _ in snaps] == [0.0, 0.5, 1.0]
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            integrate(lambda s, t: s, (np.zeros(1),), 0.0, 1.0, -0.1)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            integrate(lambda s, t: s, (np.zeros(1),), 1.0, 0.0, 0.1)
+
+
+class TestMakeGrid:
+    def test_excludes_right_endpoint(self):
+        x, h = make_grid(8)
+        assert x[0] == -1.0
+        assert x[-1] == pytest.approx(1.0 - h)
+
+    def test_spacing(self):
+        x, h = make_grid(10)
+        np.testing.assert_allclose(np.diff(x), h)
+
+    def test_min_points(self):
+        with pytest.raises(ValueError):
+            make_grid(3)
+
+
+class TestMaxwellSolvers:
+    def test_pade_matches_spectral_vacuum(self):
+        pade = MaxwellPadeSolver(n=64).solve(0.4, n_snapshots=3)
+        spec = SpectralVacuumSolver(n=64).solve(0.4, n_snapshots=3)
+        assert np.abs(pade.ez[-1] - spec.ez[-1]).max() < 5e-4
+        assert np.abs(pade.hx[-1] - spec.hx[-1]).max() < 5e-4
+
+    def test_fdtd_matches_spectral_coarsely(self):
+        fdtd = YeeFDTDSolver(n=64).solve(0.4, n_snapshots=3)
+        spec = SpectralVacuumSolver(n=64).solve(0.4, n_snapshots=3)
+        assert np.abs(fdtd.ez[-1] - spec.ez[-1]).max() < 5e-2
+
+    def test_pade_energy_conservation_vacuum(self):
+        sol = MaxwellPadeSolver(n=48).solve(1.0, n_snapshots=5)
+        e = sol.energies()
+        np.testing.assert_allclose(e / e[0], 1.0, atol=1e-4)
+
+    def test_pade_energy_conservation_dielectric(self):
+        sol = MaxwellPadeSolver(n=48, medium=DielectricSlab()).solve(0.5, n_snapshots=4)
+        e = sol.energies()
+        np.testing.assert_allclose(e / e[0], 1.0, atol=1e-4)
+
+    def test_spectral_exact_initial_condition(self):
+        sol = SpectralVacuumSolver(n=32).solve(0.5, n_snapshots=2)
+        xx, yy = np.meshgrid(sol.x, sol.y, indexing="ij")
+        np.testing.assert_allclose(sol.ez[0], np.exp(-25 * (xx**2 + yy**2)), atol=1e-12)
+
+    def test_magnetic_fields_start_zero(self):
+        sol = MaxwellPadeSolver(n=32).solve(0.3, n_snapshots=2)
+        np.testing.assert_allclose(sol.hx[0], 0.0)
+        np.testing.assert_allclose(sol.hy[0], 0.0)
+
+    def test_vacuum_symmetries_preserved(self):
+        """E_z stays even in x and y; H_x odd in y; H_y odd in x (Eq. 20)."""
+        sol = SpectralVacuumSolver(n=32).solve(0.6, n_snapshots=2)
+        ez, hx, hy = sol.ez[-1], sol.hx[-1], sol.hy[-1]
+
+        def mirror_x(f):  # x -> -x on the make_grid lattice
+            return np.roll(f[::-1, :], 1, axis=0)
+
+        def mirror_y(f):
+            return np.roll(f[:, ::-1], 1, axis=1)
+
+        np.testing.assert_allclose(ez, mirror_x(ez), atol=1e-10)
+        np.testing.assert_allclose(ez, mirror_y(ez), atol=1e-10)
+        np.testing.assert_allclose(hx, -mirror_y(hx), atol=1e-10)
+        np.testing.assert_allclose(hy, -mirror_x(hy), atol=1e-10)
+
+    def test_dielectric_slows_wave(self):
+        """The transmitted front inside the ε_r = 4 slab travels at c/2."""
+        slab = DielectricSlab(x_min=0.3, x_max=1.0)
+        sol = MaxwellPadeSolver(n=64, medium=slab).solve(0.6, n_snapshots=3)
+        # The wave front in vacuum reaches x = 0.6; inside the slab the
+        # front beyond the interface is at 0.3 + 0.3/2 = 0.45.
+        deep = np.abs(sol.ez[-1][sol.x > 0.75, :]).max()
+        vacuum_side = np.abs(sol.ez[-1][sol.x < -0.3, :]).max()
+        assert deep < 0.25 * vacuum_side
+
+    def test_asymmetric_pulse_moves_center(self):
+        pulse = GaussianPulse(x0=0.4, y0=0.3, sigma_x=0.85, sigma_y=0.65)
+        sol = MaxwellPadeSolver(n=48, pulse=pulse).solve(0.2, n_snapshots=2)
+        i, j = np.unravel_index(np.abs(sol.ez[0]).argmax(), sol.ez[0].shape)
+        assert sol.x[i] == pytest.approx(0.4, abs=0.05)
+        assert sol.y[j] == pytest.approx(0.3, abs=0.05)
+
+    def test_interpolation_exact_on_nodes(self):
+        sol = SpectralVacuumSolver(n=32).solve(0.4, n_snapshots=3)
+        ez, hx, hy = sol.interpolate(
+            np.array([sol.x[5]]), np.array([sol.y[7]]), np.array([sol.times[-1]])
+        )
+        np.testing.assert_allclose(ez, sol.ez[-1, 5, 7], atol=1e-12)
+
+    def test_interpolation_periodic_wraparound(self):
+        sol = SpectralVacuumSolver(n=32).solve(0.1, n_snapshots=2)
+        a = sol.interpolate(np.array([-1.0]), np.array([0.0]), np.array([0.0]))[0]
+        b = sol.interpolate(np.array([1.0]), np.array([0.0]), np.array([0.0]))[0]
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_invalid_tmax(self):
+        with pytest.raises(ValueError):
+            MaxwellPadeSolver(n=32).solve(-1.0)

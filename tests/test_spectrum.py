@@ -1,0 +1,109 @@
+"""Tests for the frequency-content probes (§6.2 follow-up (a))."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor
+from repro.core import dominant_harmonics, field_spectrum, pqc_output_spectrum
+from repro.torq import QuantumLayer, ReuploadingQuantumLayer
+
+
+class PlaneWaveModel:
+    """E_z = cos(2π k x) — a single radial mode for spectrum checks."""
+
+    def __init__(self, k: int):
+        self.k = k
+
+    def fields(self, x, y, t):
+        ez = ad.cos(x * (np.pi * self.k))  # box length 2 → mode number k
+        zero = x * 0.0
+        return ez, zero, zero
+
+
+class TestFieldSpectrum:
+    def test_single_mode_peaks_at_k(self):
+        model = PlaneWaveModel(k=4)
+        bins, power = field_spectrum(model, t=0.0, n_grid=32)
+        assert bins[np.argmax(power)] == 4
+
+    def test_constant_field_is_dc(self):
+        class Constant:
+            def fields(self, x, y, t):
+                one = x * 0.0 + 1.0
+                zero = x * 0.0
+                return one, zero, zero
+
+        bins, power = field_spectrum(Constant(), t=0.0, n_grid=16)
+        assert np.argmax(power) == 0
+        assert power[1:].sum() < 1e-20
+
+    def test_parseval_scale(self):
+        model = PlaneWaveModel(k=2)
+        _, power = field_spectrum(model, t=0.0, n_grid=32)
+        # mean of cos^2 = 1/2 = total normalised power
+        np.testing.assert_allclose(power.sum(), 0.5, atol=1e-10)
+
+
+class TestPQCSpectrum:
+    def test_single_encoding_is_first_harmonic(self):
+        """Schuld et al. 2021: one RX encoding layer ⇒ degree ≤ 1."""
+        layer = QuantumLayer(n_qubits=3, n_layers=2, ansatz="strongly_entangling",
+                             scaling="none", rng=np.random.default_rng(0))
+        spec = pqc_output_spectrum(layer, channel=0, sweep="angle")
+        assert dominant_harmonics(spec, threshold=1e-10) <= 1
+
+    @pytest.mark.parametrize("cycles", (1, 2, 3))
+    def test_reuploading_degree_equals_cycles(self, cycles):
+        layer = ReuploadingQuantumLayer(
+            n_qubits=3, n_layers=1, n_cycles=cycles,
+            ansatz="basic_entangling", scaling="none",
+            rng=np.random.default_rng(0),
+        )
+        spec = pqc_output_spectrum(layer, channel=0, sweep="angle")
+        assert dominant_harmonics(spec, threshold=1e-10) == cycles
+
+    def test_activation_sweep_spreads_for_arc_scaling(self):
+        """arccos(cos φ) is a triangle wave ⇒ the activation-sweep
+        spectrum extends beyond the single encoding harmonic."""
+        layer = QuantumLayer(n_qubits=3, n_layers=1, ansatz="basic_entangling",
+                             scaling="acos", rng=np.random.default_rng(0))
+        spec = pqc_output_spectrum(layer, channel=0, sweep="activation")
+        assert dominant_harmonics(spec, threshold=1e-4) > 1
+
+    def test_channel_range_checked(self):
+        layer = QuantumLayer(n_qubits=3, n_layers=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            pqc_output_spectrum(layer, channel=5)
+
+    def test_invalid_sweep(self):
+        layer = QuantumLayer(n_qubits=3, n_layers=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            pqc_output_spectrum(layer, sweep="bogus")
+
+    def test_base_activation_shape_checked(self):
+        layer = QuantumLayer(n_qubits=3, n_layers=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            pqc_output_spectrum(layer, sweep="activation",
+                                base_activation=np.zeros(5))
+
+    def test_output_shape(self):
+        layer = QuantumLayer(n_qubits=4, n_layers=1, rng=np.random.default_rng(0))
+        spec = pqc_output_spectrum(layer, n_samples=64, sweep="angle")
+        assert spec.shape == (33, 4)
+
+
+class TestDominantHarmonics:
+    def test_empty_below_threshold(self):
+        assert dominant_harmonics(np.zeros(10), threshold=1e-6) == 0
+
+    def test_picks_highest(self):
+        spec = np.zeros(10)
+        spec[3] = 1.0
+        spec[7] = 0.5
+        assert dominant_harmonics(spec, threshold=0.1) == 7
+
+    def test_2d_input_uses_max_over_outputs(self):
+        spec = np.zeros((10, 2))
+        spec[5, 1] = 1.0
+        assert dominant_harmonics(spec, threshold=0.1) == 5

@@ -1,0 +1,127 @@
+"""Tests for ansatz analysis (expressibility / entangling capability) and
+the quantum natural gradient utilities."""
+
+import numpy as np
+import pytest
+
+from repro.torq import (
+    entangling_capability,
+    expressibility,
+    fubini_study_metric,
+    make_ansatz,
+    qng_direction,
+    random_circuit_states,
+    state_jacobian,
+)
+from repro.torq.ansatz import Ansatz, GateSpec
+
+
+class _SingleRX(Ansatz):
+    """Minimal ansatz: one RX per qubit (analytic metric known)."""
+
+    name = "test_single_rx"
+
+    def _rotation_block(self, counter, layer):
+        for q in range(self.n_qubits):
+            yield GateSpec("rx", (q,), counter.take(1))
+
+    def _entangling_block(self, counter, layer):
+        return iter(())
+
+
+class TestRandomCircuitStates:
+    def test_shape_and_normalisation(self, rng):
+        ansatz = make_ansatz("basic_entangling", n_qubits=3, n_layers=1)
+        states = random_circuit_states(ansatz, 10, rng)
+        assert states.shape == (10, 8)
+        np.testing.assert_allclose(np.linalg.norm(states, axis=1), 1.0, atol=1e-12)
+
+
+class TestEntanglingCapability:
+    def test_no_entanglement_is_zero(self, rng):
+        ansatz = make_ansatz("no_entanglement", n_qubits=3, n_layers=2)
+        np.testing.assert_allclose(
+            entangling_capability(ansatz, n_samples=20, rng=rng), 0.0, atol=1e-10
+        )
+
+    def test_entangling_ansatz_positive(self, rng):
+        ansatz = make_ansatz("basic_entangling", n_qubits=3, n_layers=2)
+        assert entangling_capability(ansatz, n_samples=20, rng=rng) > 0.2
+
+    def test_cross_mesh_entangles(self, rng):
+        ansatz = make_ansatz("cross_mesh", n_qubits=3, n_layers=1)
+        assert entangling_capability(ansatz, n_samples=20, rng=rng) > 0.05
+
+
+class TestExpressibility:
+    def test_entangling_more_expressive_than_product(self, rng):
+        """Sim et al.'s headline ordering: entangling layered circuits are
+        closer to Haar (lower KL) than single-qubit-only circuits."""
+        product = make_ansatz("no_entanglement", n_qubits=3, n_layers=1)
+        entangling = make_ansatz("strongly_entangling", n_qubits=3, n_layers=2)
+        kl_product = expressibility(product, n_pairs=150, rng=np.random.default_rng(0))
+        kl_ent = expressibility(entangling, n_pairs=150, rng=np.random.default_rng(0))
+        assert kl_ent < kl_product
+
+    def test_nonnegative(self, rng):
+        ansatz = make_ansatz("basic_entangling", n_qubits=2, n_layers=1)
+        assert expressibility(ansatz, n_pairs=100, rng=rng) >= 0.0
+
+
+class TestStateJacobian:
+    def test_single_rx_jacobian_analytic(self):
+        """|ψ(θ)⟩ = (cos θ/2, −i sin θ/2): dψ/dθ known in closed form."""
+        ansatz = _SingleRX(n_qubits=2, n_layers=1)
+        params = np.array([0.7, 0.0])
+        jac = state_jacobian(ansatz, params)
+        half = 0.7 / 2
+        # qubit 0 rotated, qubit 1 idle: amplitudes on |00>, |10>
+        expected_d0 = np.array(
+            [-0.5 * np.sin(half), 0.0, -0.5j * np.cos(half), 0.0]
+        )
+        np.testing.assert_allclose(jac[0], expected_d0, atol=1e-8)
+
+    def test_jacobian_orthogonal_to_norm(self, rng):
+        """d/dθ ⟨ψ|ψ⟩ = 0 ⇒ Re⟨ψ|∂ψ⟩ = 0 for every parameter."""
+        ansatz = make_ansatz("basic_entangling", n_qubits=3, n_layers=1)
+        params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        jac = state_jacobian(ansatz, params)
+        from repro.torq.qng import _statevector
+        psi = _statevector(ansatz, params)
+        overlaps = jac @ psi.conj()
+        np.testing.assert_allclose(overlaps.real, 0.0, atol=1e-6)
+
+
+class TestFubiniStudy:
+    def test_single_rx_metric_is_quarter(self):
+        """For RX(θ)|0⟩ the FS metric is exactly 1/4 (Stokes et al.)."""
+        ansatz = _SingleRX(n_qubits=2, n_layers=1)
+        metric = fubini_study_metric(ansatz, np.array([0.9, 0.3]))
+        np.testing.assert_allclose(np.diag(metric), [0.25, 0.25], atol=1e-6)
+        np.testing.assert_allclose(metric[0, 1], 0.0, atol=1e-6)
+
+    def test_metric_symmetric_psd(self, rng):
+        ansatz = make_ansatz("basic_entangling", n_qubits=2, n_layers=1)
+        params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        metric = fubini_study_metric(ansatz, params)
+        np.testing.assert_allclose(metric, metric.T, atol=1e-10)
+        eigenvalues = np.linalg.eigvalsh(metric)
+        assert eigenvalues.min() > -1e-6
+
+
+class TestQngDirection:
+    def test_reduces_to_scaled_gradient_for_isotropic_metric(self):
+        ansatz = _SingleRX(n_qubits=2, n_layers=1)
+        gradient = np.array([0.4, -0.2])
+        direction = qng_direction(ansatz, np.array([0.5, 1.1]), gradient, damping=0.0)
+        # metric = I/4 -> direction = 4 * gradient
+        np.testing.assert_allclose(direction, 4.0 * gradient, atol=1e-5)
+
+    def test_damping_regularises(self, rng):
+        ansatz = make_ansatz("no_entanglement", n_qubits=2, n_layers=1)
+        params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        gradient = rng.normal(size=ansatz.param_count)
+        # Rot-based circuits have degenerate directions; with damping the
+        # solve must still be finite.
+        direction = qng_direction(ansatz, params, gradient, damping=1e-2)
+        assert np.all(np.isfinite(direction))

@@ -1,0 +1,134 @@
+"""Ansatz construction, parameter counting, and cross-backend equivalence."""
+
+import numpy as np
+import pytest
+
+from repro import torq
+from repro.autodiff import Tensor
+from repro.torq import ANSATZ_NAMES, NaiveSimulator, QuantumLayer, apply_ansatz, make_ansatz
+from repro.torq.state import zero_state
+
+
+class TestRegistry:
+    def test_all_six_ansatze_registered(self):
+        assert set(ANSATZ_NAMES) == {
+            "basic_entangling", "strongly_entangling", "cross_mesh",
+            "cross_mesh_2rot", "cross_mesh_cnot", "no_entanglement",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_ansatz("does_not_exist")
+
+    def test_repr_mentions_params(self):
+        assert "84" in repr(make_ansatz("basic_entangling"))
+
+
+class TestParameterCounts:
+    """Paper Table 1 at 7 qubits × 4 layers."""
+
+    @pytest.mark.parametrize(
+        "name,count",
+        [
+            ("basic_entangling", 84),
+            ("strongly_entangling", 84),
+            ("cross_mesh", 196),
+            ("cross_mesh_2rot", 224),
+            ("cross_mesh_cnot", 84),
+            ("no_entanglement", 84),
+        ],
+    )
+    def test_paper_counts(self, name, count):
+        assert make_ansatz(name, n_qubits=7, n_layers=4).param_count == count
+
+    def test_counts_scale_with_layers(self):
+        a2 = make_ansatz("basic_entangling", n_qubits=7, n_layers=2)
+        a4 = make_ansatz("basic_entangling", n_qubits=7, n_layers=4)
+        assert a4.param_count == 2 * a2.param_count
+
+    def test_cross_mesh_formula(self):
+        # per layer: n RX + n(n-1) CRZ parameters
+        for n in (3, 5):
+            a = make_ansatz("cross_mesh", n_qubits=n, n_layers=3)
+            assert a.param_count == 3 * (n + n * (n - 1))
+
+    def test_min_qubits(self):
+        with pytest.raises(ValueError):
+            make_ansatz("basic_entangling", n_qubits=1)
+
+    def test_min_layers(self):
+        with pytest.raises(ValueError):
+            make_ansatz("basic_entangling", n_layers=0)
+
+
+class TestGateSequences:
+    def test_basic_entangling_structure(self):
+        gates = make_ansatz("basic_entangling", n_qubits=3, n_layers=1).gate_sequence()
+        names = [g.name for g in gates]
+        assert names == ["rot"] * 3 + ["cnot"] * 3
+
+    def test_basic_cnot_is_cyclic_chain(self):
+        gates = make_ansatz("basic_entangling", n_qubits=3, n_layers=1).gate_sequence()
+        cnots = [g.qubits for g in gates if g.name == "cnot"]
+        assert cnots == [(0, 1), (1, 2), (2, 0)]
+
+    def test_strongly_entangling_range_grows(self):
+        gates = make_ansatz("strongly_entangling", n_qubits=4, n_layers=2).gate_sequence()
+        cnots = [g.qubits for g in gates if g.name == "cnot"]
+        assert cnots[:4] == [(0, 1), (1, 2), (2, 3), (3, 0)]   # layer 0: range 1
+        assert cnots[4:] == [(0, 2), (1, 3), (2, 0), (3, 1)]   # layer 1: range 2
+
+    def test_strongly_first_layer_matches_basic(self):
+        basic = make_ansatz("basic_entangling", n_qubits=5, n_layers=1).gate_sequence()
+        strong = make_ansatz("strongly_entangling", n_qubits=5, n_layers=1).gate_sequence()
+        assert [g.qubits for g in basic] == [g.qubits for g in strong]
+
+    def test_cross_mesh_covers_all_ordered_pairs(self):
+        gates = make_ansatz("cross_mesh", n_qubits=4, n_layers=1).gate_sequence()
+        pairs = {g.qubits for g in gates if g.name == "crz"}
+        assert pairs == {(i, j) for i in range(4) for j in range(4) if i != j}
+
+    def test_no_entanglement_has_no_two_qubit_gates(self):
+        gates = make_ansatz("no_entanglement", n_qubits=5, n_layers=3).gate_sequence()
+        assert all(len(g.qubits) == 1 for g in gates)
+
+    def test_cross_mesh_cnot_unparametrised_mesh(self):
+        gates = make_ansatz("cross_mesh_cnot", n_qubits=3, n_layers=1).gate_sequence()
+        assert all(g.params == () for g in gates if g.name == "cnot")
+
+    def test_param_indices_are_consecutive(self):
+        a = make_ansatz("cross_mesh_2rot", n_qubits=3, n_layers=2)
+        seen = [i for g in a.gate_sequence() for i in g.params]
+        assert seen == list(range(a.param_count))
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name", ANSATZ_NAMES)
+    @pytest.mark.parametrize("scaling", ("none", "acos"))
+    def test_torq_matches_dense_simulator(self, name, scaling, rng):
+        ansatz = make_ansatz(name, n_qubits=4, n_layers=2)
+        params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        acts = rng.uniform(-0.9, 0.9, (6, 4))
+        layer = QuantumLayer(ansatz=ansatz, scaling=scaling)
+        layer.params.data = params.copy()
+        fast = layer(Tensor(acts)).data
+        slow = NaiveSimulator(ansatz, scaling=scaling).forward(acts, params)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    @pytest.mark.parametrize("name", ANSATZ_NAMES)
+    def test_unitarity(self, name, rng):
+        ansatz = make_ansatz(name, n_qubits=4, n_layers=2)
+        params = Tensor(rng.uniform(0, 2 * np.pi, ansatz.param_count))
+        state = zero_state(3, 4)
+        state = apply_ansatz(state, ansatz, params)
+        np.testing.assert_allclose(state.norm2().data, 1.0, atol=1e-12)
+
+    def test_wrong_param_shape_rejected(self):
+        ansatz = make_ansatz("basic_entangling", n_qubits=3, n_layers=1)
+        with pytest.raises(ValueError):
+            apply_ansatz(zero_state(1, 3), ansatz, Tensor(np.zeros(5)))
+
+    def test_zero_params_no_entanglement_is_identity(self):
+        ansatz = make_ansatz("no_entanglement", n_qubits=3, n_layers=2)
+        state = apply_ansatz(zero_state(1, 3), ansatz, Tensor(np.zeros(ansatz.param_count)))
+        np.testing.assert_allclose(state.numpy()[0, 0], 1.0, atol=1e-14)

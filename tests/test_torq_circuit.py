@@ -1,0 +1,111 @@
+"""Tests for the user-facing Circuit builder."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad
+from repro.torq import Circuit
+
+
+class TestConstruction:
+    def test_fluent_chaining(self):
+        qc = Circuit(2).h(0).cnot(0, 1).rz(1, 0.3)
+        assert qc.n_gates == 3
+
+    def test_qubit_range_checked(self):
+        with pytest.raises(ValueError):
+            Circuit(2).h(2)
+
+    def test_two_qubit_distinct(self):
+        with pytest.raises(ValueError):
+            Circuit(2).cnot(1, 1)
+
+    def test_min_qubits(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_parameter_names_in_order(self):
+        qc = Circuit(2).rx(0, "a").crz(0, 1, "b").ry(1, "a")
+        assert qc.parameter_names() == ("a", "b")
+
+    def test_literal_params_not_listed(self):
+        qc = Circuit(1).rx(0, 0.5)
+        assert qc.parameter_names() == ()
+
+
+class TestExecution:
+    def test_bell_state(self):
+        state = Circuit(2).h(0).cnot(0, 1).run()
+        np.testing.assert_allclose(
+            state.numpy(), [[2 ** -0.5, 0, 0, 2 ** -0.5]], atol=1e-15
+        )
+
+    def test_named_parameter_resolution(self):
+        qc = Circuit(1).rx(0, "theta")
+        z = qc.z_expectations(params={"theta": 0.8})
+        np.testing.assert_allclose(z.data, [[np.cos(0.8)]], atol=1e-14)
+
+    def test_missing_parameter_raises(self):
+        qc = Circuit(1).rx(0, "theta")
+        with pytest.raises(KeyError):
+            qc.run()
+
+    def test_shared_parameter(self):
+        qc = Circuit(1).rx(0, "t").rx(0, "t")
+        z = qc.z_expectations(params={"t": 0.4})
+        np.testing.assert_allclose(z.data, [[np.cos(0.8)]], atol=1e-14)
+
+    def test_batch_execution(self):
+        qc = Circuit(2).h(0)
+        state = qc.run(batch=5)
+        assert state.batch == 5
+
+    def test_per_batch_tensor_parameter(self):
+        thetas = Tensor(np.array([0.0, np.pi]))
+        z = Circuit(1).rx(0, "t").z_expectations(params={"t": thetas}, batch=2)
+        np.testing.assert_allclose(z.data[:, 0], [1.0, -1.0], atol=1e-14)
+
+    def test_initial_state_passthrough(self):
+        from repro.torq import zero_state, apply_x
+        initial = apply_x(zero_state(1, 2), 0)
+        state = Circuit(2).cnot(0, 1).run(initial=initial)
+        np.testing.assert_allclose(state.numpy(), [[0, 0, 0, 1]], atol=1e-15)
+
+    def test_initial_state_qubit_mismatch(self):
+        from repro.torq import zero_state
+        with pytest.raises(ValueError):
+            Circuit(3).run(initial=zero_state(1, 2))
+
+    def test_rot_and_fixed_gates(self):
+        # Rot(0, pi, 0) = RY(pi): |0> -> |1>; then X flips back.
+        state = Circuit(1).rot(0, 0.0, np.pi, 0.0).x(0).run()
+        np.testing.assert_allclose(np.abs(state.numpy()), [[1, 0]], atol=1e-12)
+
+    def test_y_z_gates(self):
+        state = Circuit(1).y(0).z(0).run()
+        np.testing.assert_allclose(state.numpy(), [[0, -1j]], atol=1e-15)
+
+
+class TestDifferentiability:
+    def test_gradient_through_named_parameter(self):
+        theta = Tensor(np.array([0.6]), requires_grad=True)
+        qc = Circuit(2).h(1).rx(0, "t").crz(1, 0, 0.4)
+        z = qc.z_expectations(params={"t": theta})
+        (g,) = grad(z[:, 0].sum(), [theta])
+        np.testing.assert_allclose(g.data, -np.sin(0.6), atol=1e-12)
+
+    def test_norm_preserved_for_random_program(self, rng):
+        qc = Circuit(3)
+        for _ in range(10):
+            kind = rng.integers(4)
+            q = int(rng.integers(3))
+            if kind == 0:
+                qc.rx(q, float(rng.uniform(0, 2 * np.pi)))
+            elif kind == 1:
+                qc.h(q)
+            elif kind == 2:
+                qc.cnot(q, (q + 1) % 3)
+            else:
+                qc.crz(q, (q + 1) % 3, float(rng.uniform(0, 2 * np.pi)))
+        state = qc.run(batch=2)
+        np.testing.assert_allclose(state.norm2().data, 1.0, atol=1e-12)

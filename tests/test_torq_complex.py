@@ -1,0 +1,127 @@
+"""ComplexTensor arithmetic tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad
+from repro.torq.complexnum import ComplexTensor, as_complex, expi, stack
+
+
+class TestConstruction:
+    def test_real_only_defaults_zero_imag(self):
+        z = ComplexTensor(Tensor([1.0, 2.0]))
+        np.testing.assert_allclose(z.im.data, [0.0, 0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ComplexTensor(Tensor([1.0]), Tensor([1.0, 2.0]))
+
+    def test_as_complex_from_complex_ndarray(self):
+        z = as_complex(np.array([1 + 2j, 3 - 1j]))
+        np.testing.assert_allclose(z.re.data, [1.0, 3.0])
+        np.testing.assert_allclose(z.im.data, [2.0, -1.0])
+
+    def test_as_complex_passthrough(self):
+        z = ComplexTensor(Tensor([1.0]))
+        assert as_complex(z) is z
+
+    def test_numpy_roundtrip(self):
+        arr = np.array([1 + 2j, -0.5j])
+        np.testing.assert_allclose(as_complex(arr).numpy(), arr)
+
+
+class TestArithmetic:
+    def _pair(self):
+        a = np.array([1 + 2j, 3 - 1j])
+        b = np.array([-2 + 0.5j, 1 + 1j])
+        return a, b
+
+    def test_add(self):
+        a, b = self._pair()
+        np.testing.assert_allclose((as_complex(a) + as_complex(b)).numpy(), a + b)
+
+    def test_sub(self):
+        a, b = self._pair()
+        np.testing.assert_allclose((as_complex(a) - as_complex(b)).numpy(), a - b)
+
+    def test_mul_complex(self):
+        a, b = self._pair()
+        np.testing.assert_allclose((as_complex(a) * as_complex(b)).numpy(), a * b)
+
+    def test_mul_real_scalar(self):
+        a, _ = self._pair()
+        np.testing.assert_allclose((as_complex(a) * 2.0).numpy(), a * 2.0)
+
+    def test_rmul(self):
+        a, _ = self._pair()
+        np.testing.assert_allclose((2.0 * as_complex(a)).numpy(), 2.0 * a)
+
+    def test_neg(self):
+        a, _ = self._pair()
+        np.testing.assert_allclose((-as_complex(a)).numpy(), -a)
+
+    def test_conj(self):
+        a, _ = self._pair()
+        np.testing.assert_allclose(as_complex(a).conj().numpy(), a.conj())
+
+    def test_abs2(self):
+        a, _ = self._pair()
+        np.testing.assert_allclose(as_complex(a).abs2().data, np.abs(a) ** 2)
+
+    def test_mul_i(self):
+        a, _ = self._pair()
+        np.testing.assert_allclose(as_complex(a).mul_i().numpy(), 1j * a)
+
+    def test_expi(self):
+        theta = np.array([0.0, np.pi / 2, np.pi])
+        np.testing.assert_allclose(
+            expi(Tensor(theta)).numpy(), np.exp(1j * theta), atol=1e-15
+        )
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        z = as_complex(np.arange(6).astype(complex).reshape(2, 3))
+        assert z.reshape((3, 2)).shape == (3, 2)
+
+    def test_getitem(self):
+        z = as_complex(np.array([1 + 1j, 2 + 2j]))
+        np.testing.assert_allclose(z[1].numpy(), 2 + 2j)
+
+    def test_sum(self):
+        arr = np.array([[1 + 1j, 2], [3, 4 - 1j]])
+        np.testing.assert_allclose(as_complex(arr).sum(axis=0).numpy(), arr.sum(axis=0))
+
+    def test_flip(self):
+        arr = np.array([1 + 1j, 2 + 2j])
+        np.testing.assert_allclose(as_complex(arr).flip(0).numpy(), arr[::-1])
+
+    def test_transpose(self):
+        arr = (np.arange(6) + 1j).reshape(2, 3)
+        np.testing.assert_allclose(as_complex(arr).transpose().numpy(), arr.T)
+
+    def test_stack(self):
+        a = as_complex(np.array([1 + 1j]))
+        b = as_complex(np.array([2 - 1j]))
+        np.testing.assert_allclose(
+            stack([a, b], axis=0).numpy(), np.array([[1 + 1j], [2 - 1j]])
+        )
+
+
+class TestDifferentiability:
+    def test_abs2_gradient(self):
+        re = Tensor(np.array([0.6]), requires_grad=True)
+        im = Tensor(np.array([-0.8]), requires_grad=True)
+        z = ComplexTensor(re, im)
+        mag = z.abs2().sum()
+        g_re, g_im = grad(mag, [re, im])
+        np.testing.assert_allclose(g_re.data, [1.2])
+        np.testing.assert_allclose(g_im.data, [-1.6])
+
+    def test_complex_product_gradient(self):
+        re = Tensor(np.array([0.5]), requires_grad=True)
+        z = ComplexTensor(re, Tensor(np.array([0.2])))
+        w = as_complex(np.array([1 - 1j]))
+        out = (z * w).abs2().sum()  # |z|^2 |w|^2 = 2 (re^2 + 0.04)
+        (g,) = grad(out, [re])
+        np.testing.assert_allclose(g.data, [2 * 2 * 0.5])

@@ -1,0 +1,114 @@
+"""Density-matrix noise oracle and OpenQASM export tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.torq import (
+    Circuit,
+    DensityMatrixSimulator,
+    NaiveSimulator,
+    NoiseModel,
+    QuantumLayer,
+    make_ansatz,
+    noisy_z_expectations,
+    to_qasm,
+)
+
+
+class TestDensityMatrix:
+    def _setup(self, p=0.0):
+        ansatz = make_ansatz("basic_entangling", n_qubits=3, n_layers=1)
+        rng = np.random.default_rng(0)
+        params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        acts = rng.uniform(-0.9, 0.9, (3, 3))
+        sim = DensityMatrixSimulator(ansatz, scaling="acos",
+                                     noise=NoiseModel(depolarizing=p))
+        return ansatz, params, acts, sim
+
+    def test_noiseless_matches_statevector(self):
+        ansatz, params, acts, sim = self._setup(p=0.0)
+        dense = NaiveSimulator(ansatz, scaling="acos").forward(acts, params)
+        np.testing.assert_allclose(sim.forward(acts, params), dense, atol=1e-12)
+
+    def test_density_matrix_properties(self):
+        _, params, acts, sim = self._setup(p=0.1)
+        rho = sim.run_point(acts[0], params)
+        np.testing.assert_allclose(np.trace(rho), 1.0, atol=1e-12)
+        np.testing.assert_allclose(rho, rho.conj().T, atol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert eigenvalues.min() > -1e-12
+
+    def test_noise_shrinks_purity(self):
+        _, params, acts, sim0 = self._setup(p=0.0)
+        _, _, _, sim1 = self._setup(p=0.2)
+        pure = np.trace(sim0.run_point(acts[0], params) @ sim0.run_point(acts[0], params)).real
+        mixed = np.trace(sim1.run_point(acts[0], params) @ sim1.run_point(acts[0], params)).real
+        np.testing.assert_allclose(pure, 1.0, atol=1e-10)
+        assert mixed < 0.9
+
+    def test_trajectory_sampler_is_unbiased(self):
+        """The Pauli-twirl trajectory estimate converges to the exact
+        density-matrix expectation — the key validation of torq.noise."""
+        ansatz, params, acts, sim = self._setup(p=0.15)
+        exact = sim.forward(acts, params)
+        layer = QuantumLayer(ansatz=ansatz, scaling="acos")
+        layer.params.data = params.copy()
+        sampled = noisy_z_expectations(
+            layer, acts, NoiseModel(depolarizing=0.15),
+            n_trajectories=600, rng=np.random.default_rng(1),
+        )
+        np.testing.assert_allclose(sampled, exact, atol=0.08)
+
+    def test_full_depolarizing_gives_zero_expectations(self):
+        # p = 3/4 per error slot is the completely-depolarizing channel for
+        # a single qubit; repeated application drives <Z> toward 0.
+        ansatz, params, acts, _ = self._setup()
+        sim = DensityMatrixSimulator(ansatz, scaling="acos",
+                                     noise=NoiseModel(depolarizing=0.75))
+        z = sim.forward(acts[:1], params)
+        assert np.abs(z).max() < 0.05
+
+    def test_rejects_angle_noise(self):
+        ansatz = make_ansatz("basic_entangling", n_qubits=2, n_layers=1)
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator(ansatz, noise=NoiseModel(angle_sigma=0.1))
+
+
+class TestQasmExport:
+    def test_header_and_register(self):
+        qasm = to_qasm(Circuit(3).h(0))
+        assert qasm.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in qasm
+        assert "h q[0];" in qasm
+
+    def test_all_gates_serialise(self):
+        qc = (Circuit(2).h(0).x(1).y(0).z(1)
+              .rx(0, 0.5).ry(1, 0.25).rz(0, 0.125)
+              .rot(1, 0.1, 0.2, 0.3).cnot(0, 1).crz(1, 0, 0.7))
+        qasm = to_qasm(qc)
+        for token in ("rx(0.5)", "ry(0.25)", "rz(0.125)", "cx q[0],q[1];",
+                      "crz(0.7) q[1],q[0];", "rz(0.1) q[1];", "ry(0.2) q[1];",
+                      "rz(0.3) q[1];"):
+            assert token in qasm, token
+
+    def test_named_parameters_bound(self):
+        qc = Circuit(1).rx(0, "theta")
+        qasm = to_qasm(qc, params={"theta": 1.5})
+        assert "rx(1.5) q[0];" in qasm
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(KeyError):
+            to_qasm(Circuit(1).rx(0, "theta"))
+
+    def test_batched_parameter_rejected(self):
+        qc = Circuit(1).rx(0, "t")
+        with pytest.raises(TypeError):
+            to_qasm(qc, params={"t": Tensor(np.array([0.1, 0.2]))})
+
+    def test_rot_decomposition_matches_circuit(self):
+        """The emitted rz/ry/rz sequence equals TorQ's rot gate."""
+        a, b, g = 0.3, 1.1, -0.4
+        direct = Circuit(1).rot(0, a, b, g).run().numpy()
+        sequence = Circuit(1).rz(0, a).ry(0, b).rz(0, g).run().numpy()
+        np.testing.assert_allclose(direct, sequence, atol=1e-14)

@@ -1,0 +1,163 @@
+"""Meyer–Wallach measure, parameter-shift rule, and QuantumLayer tests."""
+
+import numpy as np
+import pytest
+
+from repro import torq
+from repro.autodiff import Tensor, backward, grad
+from repro.torq import (
+    INIT_STRATEGIES,
+    NaiveSimulator,
+    QuantumLayer,
+    classify_parameters,
+    initial_circuit_params,
+    make_ansatz,
+    meyer_wallach,
+    parameter_shift_grad,
+    single_qubit_purities,
+)
+from repro.torq.state import apply_cnot, apply_hadamard, apply_ry, zero_state
+
+
+class TestMeyerWallach:
+    def test_product_state_zero(self):
+        state = apply_ry(apply_ry(zero_state(1, 2), 0, 0.7), 1, 1.9)
+        np.testing.assert_allclose(meyer_wallach(state), 0.0, atol=1e-12)
+
+    def test_bell_state_is_one(self):
+        bell = apply_cnot(apply_hadamard(zero_state(1, 2), 0), 0, 1)
+        np.testing.assert_allclose(meyer_wallach(bell), 1.0, atol=1e-12)
+
+    def test_ghz_state_is_one(self):
+        ghz = apply_cnot(
+            apply_cnot(apply_hadamard(zero_state(1, 3), 0), 0, 1), 1, 2
+        )
+        np.testing.assert_allclose(meyer_wallach(ghz), 1.0, atol=1e-12)
+
+    def test_w_state_value(self):
+        # W = (|100> + |010> + |001>)/sqrt(3): purity per qubit = 5/9,
+        # Q = 2(1 - 5/9) = 8/9.
+        amps = np.zeros((1, 8), dtype=complex)
+        amps[0, [4, 2, 1]] = 1 / np.sqrt(3)
+        np.testing.assert_allclose(meyer_wallach(amps, 3), 8.0 / 9.0, atol=1e-12)
+
+    def test_partial_entanglement_between_zero_and_one(self):
+        state = apply_cnot(apply_ry(zero_state(1, 2), 0, 0.5), 0, 1)
+        q = meyer_wallach(state)
+        assert 0.0 < q[0] < 1.0
+
+    def test_batched(self):
+        state = apply_cnot(apply_hadamard(zero_state(4, 2), 0), 0, 1)
+        assert meyer_wallach(state).shape == (4,)
+
+    def test_raw_amplitudes_need_n_qubits(self):
+        with pytest.raises(ValueError):
+            meyer_wallach(np.zeros((1, 4), dtype=complex))
+
+    def test_purities_shape_and_bounds(self, rng):
+        amps = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        amps /= np.linalg.norm(amps, axis=1, keepdims=True)
+        p = single_qubit_purities(amps, 3)
+        assert p.shape == (3, 3)
+        assert np.all(p <= 1.0 + 1e-12) and np.all(p >= 0.5 - 1e-12)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            single_qubit_purities(np.zeros((1, 6), dtype=complex), 3)
+
+
+class TestParameterShift:
+    @pytest.mark.parametrize("name", ("basic_entangling", "cross_mesh", "cross_mesh_2rot"))
+    def test_matches_autodiff(self, name, rng):
+        ansatz = make_ansatz(name, n_qubits=3, n_layers=1)
+        params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        acts = rng.uniform(-0.9, 0.9, (1, 3))
+        naive = NaiveSimulator(ansatz, scaling="none")
+        forward = lambda p: naive.forward(acts, p).sum()
+        g_shift = parameter_shift_grad(forward, params, ansatz)
+
+        layer = QuantumLayer(ansatz=ansatz, scaling="none")
+        layer.params.data = params.copy()
+        (g_ad,) = grad(layer(Tensor(acts)).sum(), [layer.params])
+        np.testing.assert_allclose(g_shift, g_ad.data, atol=1e-9)
+
+    def test_classify_two_vs_four_term(self):
+        ansatz = make_ansatz("cross_mesh", n_qubits=3, n_layers=1)
+        rules = classify_parameters(ansatz.gate_sequence(), ansatz.param_count)
+        assert rules[:3] == ["two"] * 3          # RX rotations
+        assert set(rules[3:]) == {"four"}        # CRZ mesh
+
+    def test_unowned_parameter_rejected(self):
+        ansatz = make_ansatz("basic_entangling", n_qubits=3, n_layers=1)
+        with pytest.raises(ValueError):
+            classify_parameters(ansatz.gate_sequence(), ansatz.param_count + 1)
+
+
+class TestInitStrategies:
+    def test_all_strategies(self):
+        for strategy in INIT_STRATEGIES:
+            params = initial_circuit_params(strategy, 10, rng=np.random.default_rng(0))
+            assert params.shape == (10,)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(initial_circuit_params("zeros", 5), 0.0)
+
+    def test_pi(self):
+        np.testing.assert_allclose(initial_circuit_params("pi", 5), np.pi)
+
+    def test_half_pi(self):
+        np.testing.assert_allclose(initial_circuit_params("half_pi", 5), np.pi / 2)
+
+    def test_reg_range(self):
+        params = initial_circuit_params("reg", 500, rng=np.random.default_rng(0))
+        assert params.min() >= 0.0 and params.max() < 2 * np.pi
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            initial_circuit_params("bogus", 3)
+
+
+class TestQuantumLayer:
+    def test_forward_shape(self, rng):
+        layer = QuantumLayer(n_qubits=4, n_layers=2, rng=rng)
+        out = layer(Tensor(rng.uniform(-0.9, 0.9, (6, 4))))
+        assert out.shape == (6, 4)
+
+    def test_outputs_bounded(self, rng):
+        layer = QuantumLayer(n_qubits=4, n_layers=2, ansatz="cross_mesh", rng=rng)
+        out = layer(Tensor(rng.uniform(-0.9, 0.9, (10, 4)))).data
+        assert np.all(np.abs(out) <= 1.0 + 1e-10)
+
+    def test_zero_init_no_entanglement_identity_readout(self, rng):
+        # With zero circuit params and acos scaling, <Z_q> = a_q exactly.
+        layer = QuantumLayer(
+            n_qubits=3, n_layers=2, ansatz="no_entanglement",
+            scaling="acos", init="zeros",
+        )
+        a = rng.uniform(-0.9, 0.9, (5, 3))
+        np.testing.assert_allclose(layer(Tensor(a)).data, a, atol=1e-8)
+
+    def test_gradients_reach_params_and_inputs(self, rng):
+        layer = QuantumLayer(n_qubits=3, n_layers=1, ansatz="basic_entangling", rng=rng)
+        a = Tensor(rng.uniform(-0.9, 0.9, (4, 3)), requires_grad=True)
+        out = layer(a).sum()
+        ga, gp = grad(out, [a, layer.params])
+        assert np.abs(ga.data).sum() > 0
+        assert np.abs(gp.data).sum() > 0
+
+    def test_wrong_input_width_rejected(self, rng):
+        layer = QuantumLayer(n_qubits=3, rng=rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 5))))
+
+    def test_param_count_registered_as_module(self, rng):
+        layer = QuantumLayer(n_qubits=7, n_layers=4, ansatz="cross_mesh", rng=rng)
+        assert layer.num_parameters() == 196
+
+    def test_double_backward(self, rng):
+        layer = QuantumLayer(n_qubits=3, n_layers=1, ansatz="strongly_entangling", rng=rng)
+        a = Tensor(rng.uniform(-0.9, 0.9, (4, 3)), requires_grad=True)
+        out = layer(a)
+        (ga,) = grad(out.sum(), [a], create_graph=True)
+        (gp,) = grad((ga * ga).sum(), [layer.params], allow_unused=True)
+        assert np.all(np.isfinite(gp.data))

@@ -1,0 +1,90 @@
+"""Direct tests of the dense reference simulator (the Table 2 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.torq import NaiveSimulator, gate_matrix, make_ansatz
+from repro.torq.ansatz import GateSpec
+
+
+class TestGateMatrices:
+    def test_matrices_are_unitary(self, rng):
+        n = 3
+        specs = [
+            GateSpec("rx", (1,), (0,)),
+            GateSpec("rz", (0,), (0,)),
+            GateSpec("rot", (2,), (0, 1, 2)),
+            GateSpec("cnot", (0, 2)),
+            GateSpec("crz", (1, 0), (0,)),
+        ]
+        params = rng.uniform(0, 2 * np.pi, 3)
+        for spec in specs:
+            u = gate_matrix(spec, params, n)
+            np.testing.assert_allclose(
+                u @ u.conj().T, np.eye(2 ** n), atol=1e-12,
+                err_msg=f"{spec.name} not unitary",
+            )
+
+    def test_cnot_matrix_two_qubits(self):
+        u = gate_matrix(GateSpec("cnot", (0, 1)), np.array([]), 2)
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+        np.testing.assert_allclose(u, expected)
+
+    def test_crz_matrix_two_qubits(self):
+        theta = 0.9
+        u = gate_matrix(GateSpec("crz", (0, 1), (0,)), np.array([theta]), 2)
+        expected = np.diag(
+            [1, 1, np.exp(-1j * theta / 2), np.exp(1j * theta / 2)]
+        )
+        np.testing.assert_allclose(u, expected, atol=1e-14)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            gate_matrix(GateSpec("toffoli", (0, 1)), np.array([]), 2)
+
+    def test_single_qubit_embedding_position(self):
+        # X on qubit 0 of 2 must map |00> -> |10> (big-endian qubit 0).
+        rx_pi = gate_matrix(GateSpec("rx", (0,), (0,)), np.array([np.pi]), 2)
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0
+        out = rx_pi @ state
+        np.testing.assert_allclose(np.abs(out), [0, 0, 1, 0], atol=1e-12)
+
+
+class TestNaiveSimulatorAPI:
+    def test_run_point_returns_normalised_state(self, rng):
+        ansatz = make_ansatz("basic_entangling", n_qubits=3, n_layers=1)
+        sim = NaiveSimulator(ansatz, scaling="acos")
+        state = sim.run_point(
+            rng.uniform(-0.9, 0.9, 3), rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        )
+        np.testing.assert_allclose(np.linalg.norm(state), 1.0, atol=1e-12)
+
+    def test_z_expectations_bounded(self, rng):
+        ansatz = make_ansatz("cross_mesh", n_qubits=3, n_layers=1)
+        sim = NaiveSimulator(ansatz, scaling="none")
+        z = sim.z_expectations_point(
+            rng.uniform(-0.9, 0.9, 3), rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        )
+        assert np.all(np.abs(z) <= 1.0 + 1e-12)
+
+    def test_batched_forward_matches_pointwise(self, rng):
+        ansatz = make_ansatz("no_entanglement", n_qubits=3, n_layers=1)
+        sim = NaiveSimulator(ansatz, scaling="acos")
+        params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
+        acts = rng.uniform(-0.9, 0.9, (4, 3))
+        batched = sim.forward(acts, params)
+        for i in range(4):
+            np.testing.assert_allclose(
+                batched[i], sim.z_expectations_point(acts[i], params)
+            )
+
+    def test_identity_circuit_readout(self):
+        """Zero params + zero activations with 'none' scaling = |0…0⟩."""
+        ansatz = make_ansatz("no_entanglement", n_qubits=3, n_layers=1)
+        sim = NaiveSimulator(ansatz, scaling="none")
+        z = sim.z_expectations_point(np.zeros(3), np.zeros(ansatz.param_count))
+        np.testing.assert_allclose(z, 1.0, atol=1e-12)

@@ -1,0 +1,227 @@
+"""Quantum state and gate tests: known actions, unitarity, algebraic
+identities, and differentiability."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import torq
+from repro.autodiff import Tensor, grad
+from repro.torq.state import (
+    QuantumState,
+    apply_cnot,
+    apply_crz,
+    apply_hadamard,
+    apply_rot,
+    apply_rx,
+    apply_ry,
+    apply_rz,
+    apply_x,
+    apply_y,
+    apply_z,
+    zero_state,
+)
+
+
+def amplitudes(state: QuantumState) -> np.ndarray:
+    return state.numpy()
+
+
+class TestZeroState:
+    def test_shape_and_value(self):
+        s = zero_state(3, 2)
+        amps = amplitudes(s)
+        assert amps.shape == (3, 4)
+        np.testing.assert_allclose(amps[:, 0], 1.0)
+        np.testing.assert_allclose(amps[:, 1:], 0.0)
+
+    def test_normalised(self):
+        np.testing.assert_allclose(zero_state(2, 3).norm2().data, 1.0)
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            zero_state(1, 0)
+
+
+class TestSingleQubitGates:
+    def test_x_flips_zero(self):
+        s = apply_x(zero_state(1, 1), 0)
+        np.testing.assert_allclose(amplitudes(s), [[0.0, 1.0]])
+
+    def test_y_on_zero(self):
+        s = apply_y(zero_state(1, 1), 0)
+        np.testing.assert_allclose(amplitudes(s), [[0.0, 1j]])
+
+    def test_z_phases_one(self):
+        s = apply_z(apply_x(zero_state(1, 1), 0), 0)
+        np.testing.assert_allclose(amplitudes(s), [[0.0, -1.0]])
+
+    def test_hadamard_superposition(self):
+        s = apply_hadamard(zero_state(1, 1), 0)
+        np.testing.assert_allclose(amplitudes(s), [[2 ** -0.5, 2 ** -0.5]])
+
+    def test_hh_is_identity(self):
+        s = apply_hadamard(apply_hadamard(zero_state(1, 2), 1), 1)
+        np.testing.assert_allclose(amplitudes(s), amplitudes(zero_state(1, 2)), atol=1e-15)
+
+    def test_rx_pi_is_minus_i_x(self):
+        s = apply_rx(zero_state(1, 1), 0, np.pi)
+        np.testing.assert_allclose(amplitudes(s), [[0.0, -1j]], atol=1e-15)
+
+    def test_ry_pi_half(self):
+        s = apply_ry(zero_state(1, 1), 0, np.pi / 2)
+        np.testing.assert_allclose(
+            amplitudes(s), [[np.cos(np.pi / 4), np.sin(np.pi / 4)]], atol=1e-15
+        )
+
+    def test_rz_on_basis_is_phase(self):
+        s = apply_rz(zero_state(1, 1), 0, 0.7)
+        np.testing.assert_allclose(amplitudes(s), [[np.exp(-0.35j), 0.0]], atol=1e-15)
+
+    def test_rot_matches_rz_ry_rz(self):
+        a, b, g = 0.3, 1.1, -0.6
+        s1 = apply_rot(apply_hadamard(zero_state(1, 2), 0), 0, a, b, g)
+        s2 = apply_rz(
+            apply_ry(apply_rz(apply_hadamard(zero_state(1, 2), 0), 0, a), 0, b), 0, g
+        )
+        np.testing.assert_allclose(amplitudes(s1), amplitudes(s2), atol=1e-14)
+
+    @given(st.floats(-2 * np.pi, 2 * np.pi))
+    def test_rx_preserves_norm(self, theta):
+        s = apply_rx(apply_hadamard(zero_state(2, 2), 0), 1, theta)
+        np.testing.assert_allclose(s.norm2().data, 1.0, atol=1e-12)
+
+    @given(st.floats(-np.pi, np.pi), st.floats(-np.pi, np.pi), st.floats(-np.pi, np.pi))
+    def test_rot_preserves_norm(self, a, b, g):
+        s = apply_rot(apply_hadamard(zero_state(1, 3), 1), 1, a, b, g)
+        np.testing.assert_allclose(s.norm2().data, 1.0, atol=1e-12)
+
+    def test_per_batch_angles(self):
+        thetas = np.array([0.0, np.pi])
+        s = apply_rx(zero_state(2, 1), 0, Tensor(thetas))
+        amps = amplitudes(s)
+        np.testing.assert_allclose(amps[0], [1.0, 0.0], atol=1e-15)
+        np.testing.assert_allclose(amps[1], [0.0, -1j], atol=1e-15)
+
+    def test_rx_composition_adds_angles(self):
+        s1 = apply_rx(apply_rx(zero_state(1, 1), 0, 0.4), 0, 0.8)
+        s2 = apply_rx(zero_state(1, 1), 0, 1.2)
+        np.testing.assert_allclose(amplitudes(s1), amplitudes(s2), atol=1e-14)
+
+    def test_invalid_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            apply_x(zero_state(1, 2), 5)
+
+
+class TestTwoQubitGates:
+    def test_cnot_on_00_is_identity(self):
+        s = apply_cnot(zero_state(1, 2), 0, 1)
+        np.testing.assert_allclose(amplitudes(s), [[1, 0, 0, 0]])
+
+    def test_cnot_flips_target_when_control_set(self):
+        s = apply_cnot(apply_x(zero_state(1, 2), 0), 0, 1)
+        # |10> -> |11>  (qubit 0 is the most significant bit)
+        np.testing.assert_allclose(amplitudes(s), [[0, 0, 0, 1]])
+
+    def test_cnot_reversed_control(self):
+        s = apply_cnot(apply_x(zero_state(1, 2), 1), 1, 0)
+        # |01> with control=qubit1 -> |11>
+        np.testing.assert_allclose(amplitudes(s), [[0, 0, 0, 1]])
+
+    def test_bell_state(self):
+        s = apply_cnot(apply_hadamard(zero_state(1, 2), 0), 0, 1)
+        np.testing.assert_allclose(
+            amplitudes(s), [[2 ** -0.5, 0, 0, 2 ** -0.5]], atol=1e-15
+        )
+
+    def test_cnot_self_inverse(self):
+        base = apply_ry(apply_hadamard(zero_state(1, 3), 0), 2, 0.9)
+        twice = apply_cnot(apply_cnot(base, 0, 2), 0, 2)
+        np.testing.assert_allclose(amplitudes(twice), amplitudes(base), atol=1e-14)
+
+    def test_cnot_same_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            apply_cnot(zero_state(1, 2), 1, 1)
+
+    def test_crz_inactive_on_zero_control(self):
+        base = apply_hadamard(zero_state(1, 2), 1)
+        s = apply_crz(base, 0, 1, 1.3)
+        np.testing.assert_allclose(amplitudes(s), amplitudes(base), atol=1e-15)
+
+    def test_crz_phases_control_one_subspace(self):
+        base = apply_hadamard(apply_x(zero_state(1, 2), 0), 1)  # |1>(|0>+|1>)/√2
+        s = apply_crz(base, 0, 1, 0.8)
+        expected = np.array([[0, 0, np.exp(-0.4j) * 2 ** -0.5, np.exp(0.4j) * 2 ** -0.5]])
+        np.testing.assert_allclose(amplitudes(s), expected, atol=1e-15)
+
+    def test_crz_matches_dense_matrix(self):
+        rng = np.random.default_rng(3)
+        n = 3
+        base = zero_state(1, n)
+        for q in range(n):
+            base = apply_ry(base, q, rng.uniform(0, np.pi))
+        theta = 1.234
+        fast = amplitudes(apply_crz(base, 2, 0, theta))[0]
+        from repro.torq.ansatz import GateSpec
+        from repro.torq.reference import gate_matrix
+        dense = gate_matrix(GateSpec("crz", (2, 0), (0,)), np.array([theta]), n)
+        np.testing.assert_allclose(fast, dense @ amplitudes(base)[0], atol=1e-14)
+
+    @given(st.floats(-np.pi, np.pi))
+    def test_crz_preserves_norm(self, theta):
+        base = apply_hadamard(apply_hadamard(zero_state(2, 2), 0), 1)
+        s = apply_crz(base, 0, 1, theta)
+        np.testing.assert_allclose(s.norm2().data, 1.0, atol=1e-12)
+
+
+class TestDifferentiability:
+    def test_rx_angle_gradient(self):
+        theta = Tensor(np.array([0.6]), requires_grad=True)
+        s = apply_rx(zero_state(1, 1), 0, theta)
+        z = torq.pauli_z_expectations(s)  # <Z> = cos(theta)
+        (g,) = grad(z.sum(), [theta])
+        np.testing.assert_allclose(g.data, -np.sin(0.6), atol=1e-12)
+
+    def test_rot_angle_gradients(self):
+        angles = Tensor(np.array([0.2, 0.9, -0.4]), requires_grad=True)
+        s = apply_rot(zero_state(1, 1), 0, angles[0], angles[1], angles[2])
+        z = torq.pauli_z_expectations(s).sum()  # <Z> = cos(beta)
+        (g,) = grad(z, [angles])
+        np.testing.assert_allclose(g.data, [0.0, -np.sin(0.9), 0.0], atol=1e-12)
+
+    def test_crz_angle_gradient_matches_fd(self):
+        def expect(theta_val: float) -> float:
+            base = apply_ry(apply_ry(zero_state(1, 2), 0, 0.8), 1, 0.5)
+            s = apply_crz(base, 0, 1, Tensor(np.array([theta_val])))
+            probs = s.probabilities().data[0]
+            return float(probs[1] - probs[3])
+
+        theta = Tensor(np.array([0.7]), requires_grad=True)
+        base = apply_ry(apply_ry(zero_state(1, 2), 0, 0.8), 1, 0.5)
+        s = apply_crz(base, 0, 1, theta)
+        probs = s.probabilities()
+        out = probs[:, 1].sum() - probs[:, 3].sum()
+        (g,) = grad(out, [theta], allow_unused=True)
+        eps = 1e-6
+        fd = (expect(0.7 + eps) - expect(0.7 - eps)) / (2 * eps)
+        np.testing.assert_allclose(g.data, fd, atol=1e-6)
+
+    def test_double_backward_through_gate(self):
+        theta = Tensor(np.array([0.3]), requires_grad=True)
+        s = apply_rx(zero_state(1, 1), 0, theta)
+        z = torq.pauli_z_expectations(s).sum()
+        (g,) = grad(z, [theta], create_graph=True)
+        (h,) = grad(g.sum(), [theta])
+        np.testing.assert_allclose(h.data, -np.cos(0.3), atol=1e-12)
+
+
+class TestQuantumStateAPI:
+    def test_probabilities_sum_to_one(self):
+        s = apply_hadamard(apply_hadamard(zero_state(3, 2), 0), 1)
+        np.testing.assert_allclose(s.probabilities().data.sum(axis=1), 1.0)
+
+    def test_shape_validation(self):
+        from repro.torq.complexnum import ComplexTensor
+        with pytest.raises(ValueError):
+            QuantumState(ComplexTensor(Tensor(np.zeros((2, 4)))), 2)

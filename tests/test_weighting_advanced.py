@@ -1,0 +1,135 @@
+"""Tests for causal temporal weighting and residual-based attention."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollocationGrid,
+    MaxwellLoss,
+    ResidualAttentionWeights,
+    TemporalCurriculum,
+)
+from repro.core.models import MaxwellPINN
+
+
+def tiny_model(seed=0):
+    return MaxwellPINN(depth=2, hidden=12, rff_features=6,
+                       rng=np.random.default_rng(seed))
+
+
+class TestCausalCurriculum:
+    def test_zero_losses_give_full_weights(self):
+        c = TemporalCurriculum(n_bins=4, mode="causal", min_weight=0.0)
+        np.testing.assert_allclose(c.weights(), 1.0)
+
+    def test_weights_follow_wang_formula(self):
+        c = TemporalCurriculum(n_bins=3, mode="causal", min_weight=0.0,
+                               causal_epsilon=2.0)
+        c.update_bin_losses(np.array([0.5, 0.2, 0.1]))
+        expected = np.exp(-2.0 * np.array([0.0, 0.5, 0.7]))
+        np.testing.assert_allclose(c.weights(), expected)
+
+    def test_first_bin_always_fully_weighted(self):
+        c = TemporalCurriculum(n_bins=3, mode="causal")
+        c.update_bin_losses(np.array([10.0, 10.0, 10.0]))
+        assert c.weights()[0] == 1.0
+
+    def test_weights_monotone_nonincreasing(self):
+        c = TemporalCurriculum(n_bins=5, mode="causal", min_weight=0.0)
+        c.update_bin_losses(np.abs(np.random.default_rng(0).normal(size=5)))
+        assert np.all(np.diff(c.weights()) <= 1e-12)
+
+    def test_min_weight_floor(self):
+        c = TemporalCurriculum(n_bins=3, mode="causal", min_weight=0.1,
+                               causal_epsilon=100.0)
+        c.update_bin_losses(np.array([5.0, 5.0, 5.0]))
+        assert c.weights().min() == pytest.approx(0.1)
+
+    def test_bin_losses_shape_check(self):
+        c = TemporalCurriculum(n_bins=3, mode="causal")
+        with pytest.raises(ValueError):
+            c.update_bin_losses(np.zeros(4))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            TemporalCurriculum(mode="causal", causal_epsilon=0.0)
+
+    def test_integration_with_maxwell_loss(self):
+        model = tiny_model()
+        grid = CollocationGrid(n=4, t_max=1.5)
+        curriculum = TemporalCurriculum(n_bins=5, mode="causal", min_weight=0.0)
+        loss = MaxwellLoss(use_energy=False, curriculum=curriculum)
+        loss(model, grid, 0)
+        w = curriculum.weights()
+        # untrained network: residuals nonzero, so later bins are damped
+        assert w[0] == 1.0
+        assert w[-1] < 1.0
+
+
+class TestResidualAttention:
+    def test_initial_fixed_point(self):
+        rba = ResidualAttentionWeights(10, gamma=0.9, eta=0.01)
+        np.testing.assert_allclose(rba.values, 0.01 / 0.1)
+
+    def test_update_moves_towards_high_residual_points(self):
+        rba = ResidualAttentionWeights(3, gamma=0.5, eta=1.0)
+        for _ in range(30):
+            rba.update(np.array([[4.0], [1.0], [0.0]]))
+        values = rba.values[:, 0]
+        assert values[0] > values[1] > values[2]
+
+    def test_fixed_point_of_constant_residual(self):
+        rba = ResidualAttentionWeights(2, gamma=0.9, eta=0.1)
+        for _ in range(200):
+            rba.update(np.array([[1.0], [1.0]]))
+        # λ* = η/(1−γ) for |r|/max|r| = 1
+        np.testing.assert_allclose(rba.values, 1.0, atol=1e-6)
+
+    def test_zero_residual_decays(self):
+        rba = ResidualAttentionWeights(2, gamma=0.5, eta=0.1)
+        before = rba.values.copy()
+        rba.update(np.zeros((2, 1)))
+        assert np.all(rba.values < before)
+
+    def test_shape_check(self):
+        rba = ResidualAttentionWeights(3)
+        with pytest.raises(ValueError):
+            rba.update(np.zeros((4, 1)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ResidualAttentionWeights(0)
+        with pytest.raises(ValueError):
+            ResidualAttentionWeights(3, gamma=1.0)
+        with pytest.raises(ValueError):
+            ResidualAttentionWeights(3, eta=0.0)
+
+    def test_auto_rba_in_maxwell_loss(self):
+        model = tiny_model()
+        grid = CollocationGrid(n=4, t_max=1.5)
+        loss = MaxwellLoss(use_energy=False, rba="auto")
+        loss(model, grid, 0)
+        assert isinstance(loss.rba, ResidualAttentionWeights)
+        assert loss.rba.values.shape == (grid.n_points, 1)
+
+    def test_rba_training_still_descends(self):
+        from repro.core import Trainer, TrainerConfig, get_case
+        model = tiny_model()
+        case = get_case("vacuum")
+        loss = case.make_loss(use_energy=False)
+        loss.rba = "auto"
+        trainer = Trainer(model, loss, CollocationGrid(n=4, t_max=1.5),
+                          config=TrainerConfig(epochs=10, eval_every=0,
+                                               bh_n_space=8, bh_n_times=4))
+        result = trainer.train()
+        assert result.history.loss[-1] < result.history.loss[0]
+
+    def test_rba_combines_with_curriculum(self):
+        model = tiny_model()
+        grid = CollocationGrid(n=4, t_max=1.5)
+        loss = MaxwellLoss(
+            use_energy=False, rba="auto",
+            curriculum=TemporalCurriculum(n_bins=5, ramp_epochs=10),
+        )
+        total, comps = loss(model, grid, 0)
+        assert np.isfinite(comps["total"])
