@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 
+from repro import obs
 from repro.core import get_case, make_reference
 from repro.core.config import env_int
 
@@ -53,7 +54,12 @@ def reference_for(case_name: str):
 
 def run_once(case: str, model_kind: str, scaling: str, use_energy: bool,
              epochs: int | None = None, seed: int = 0, **kw):
-    """One training run at bench scale (convenience wrapper)."""
+    """One training run at bench scale (convenience wrapper).
+
+    Wall time per configuration lands in the global ``repro.obs`` registry
+    (scope ``bench.run_once``), so a profiled bench session can be dumped
+    and compared with ``python -m repro.obs summarize``.
+    """
     from repro.core import RunConfig, run_single
 
     config = RunConfig(
@@ -63,4 +69,5 @@ def run_once(case: str, model_kind: str, scaling: str, use_energy: bool,
         epochs=epochs if epochs is not None else bench_epochs(),
         **kw,
     )
-    return run_single(config, reference=reference_for(case))
+    with obs.scope("bench.run_once", case=case, model=model_kind, scaling=scaling):
+        return run_single(config, reference=reference_for(case))

@@ -28,6 +28,11 @@ __all__ = [
     "scatter_add", "tensor_sum", "mean", "amax", "amin", "dot_last",
 ]
 
+#: operations the profiler (:mod:`repro.obs.profile`) wraps when enabled.
+#: Internal calls resolve these names in this module's globals at call
+#: time, so rebinding the attributes instruments the whole engine.
+PROFILED_OPS = tuple(__all__)
+
 
 # ----------------------------------------------------------------------
 # Broadcasting helpers

@@ -46,6 +46,21 @@ __all__ = [
 
 _state = threading.local()
 
+# Optional observability hook around backward VJP evaluation, installed by
+# :mod:`repro.obs.profile`.  ``None`` (the default) keeps the backward loop
+# on a branch-predicted fast path with no callbacks.
+_backward_hook: Callable | None = None
+
+
+def set_backward_hook(hook: Callable | None) -> None:
+    """Install (or clear, with ``None``) the profiler's VJP dispatch hook.
+
+    The hook is invoked as ``hook(node, vjp, cotangent)`` in place of the
+    plain ``vjp(cotangent)`` call and must return the parent cotangent.
+    """
+    global _backward_hook
+    _backward_hook = hook
+
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autodiff graph."""
@@ -293,6 +308,7 @@ def grad(
     order = _topo_order(output)
     input_ids = _ids(input_list)
 
+    hook = _backward_hook
     ctx = enable_grad() if create_graph else no_grad()
     with ctx:
         for node in reversed(order):
@@ -300,7 +316,7 @@ def grad(
             if ct is None:
                 continue
             for parent, vjp in node._parents:
-                contribution = vjp(ct)
+                contribution = vjp(ct) if hook is None else hook(node, vjp, ct)
                 pid = id(parent)
                 existing = cotangents.get(pid)
                 if existing is None:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..autodiff import Tensor, backward, no_grad
 from ..optim import Adam, StepDecay
 from ..solvers.maxwell_ref import ReferenceSolution
@@ -149,12 +150,20 @@ class Trainer:
         # graph, so it is paused for the duration of the loop.
         gc_was_enabled = gc.isenabled()
         gc.disable()
+        # Observability is opt-in: outside obs.observe()/obs.profile() the
+        # epoch loop takes the plain path and performs no obs work at all.
+        recorder = obs.get_recorder()
+        run_ctx = obs.scope("train") if recorder is not None else None
         try:
+            if run_ctx is not None:
+                run_ctx.__enter__()
             for epoch in range(cfg.epochs):
-                self._train_epoch(epoch, hist)
+                self._train_epoch(epoch, hist, recorder)
             if cfg.lbfgs_epochs > 0:
                 self._finetune_lbfgs(hist)
         finally:
+            if run_ctx is not None:
+                run_ctx.__exit__(None, None, None)
             if gc_was_enabled:
                 gc.enable()
         elapsed = time.perf_counter() - start
@@ -214,11 +223,18 @@ class Trainer:
                 if p.grad is not None:
                     p.grad *= scale
 
-    def _train_epoch(self, epoch: int, hist: TrainingHistory) -> None:
+    def _train_epoch(self, epoch: int, hist: TrainingHistory,
+                     recorder=None) -> None:
         cfg = self.config
         self.optimizer.zero_grad()
-        total, comps = self.loss(self.model, self._epoch_grid(), epoch)
-        backward(total, self.params)
+        if recorder is None:
+            total, comps = self.loss(self.model, self._epoch_grid(), epoch)
+            backward(total, self.params)
+        else:
+            with obs.scope("forward"):
+                total, comps = self.loss(self.model, self._epoch_grid(), epoch)
+            with obs.scope("backward"):
+                backward(total, self.params)
         loss_value = float(total.data)
         del total  # release the graph before the diagnostics run
         self._clip_gradients()
@@ -248,6 +264,20 @@ class Trainer:
                 if mw is not None:
                     hist.mw_epochs.append(epoch)
                     hist.mw_entropy.append(mw)
+        if recorder is not None:
+            recorder.emit(
+                "epoch",
+                epoch=epoch,
+                loss=loss_value,
+                components=comps,
+                grad_norm=norm,
+                grad_variance=var,
+                param_drift=hist.param_drift[-1],
+                learning_rate=hist.learning_rate[-1],
+                l2_error=hist.l2_error[-1] if (
+                    hist.l2_epochs and hist.l2_epochs[-1] == epoch
+                ) else None,
+            )
         if cfg.log_every and epoch % cfg.log_every == 0:  # pragma: no cover
             print(f"epoch {epoch:5d}  loss {hist.loss[-1]:.4e}")
 

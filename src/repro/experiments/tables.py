@@ -11,11 +11,11 @@ at 40³ is ≈53×; the batched-vs-looped gap is what the benchmark checks.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..autodiff import Tensor, backward, grad
 from ..core.models import CLASSICAL_DEPTHS, MaxwellPINN, MaxwellQPINN
 from ..torq import ANSATZ_NAMES, NaiveSimulator, QuantumLayer, make_ansatz
@@ -103,10 +103,12 @@ def _torq_epoch_seconds(batch: int, n_qubits: int, n_layers: int, repeats: int) 
         backward((out * out).mean(), params)
 
     run()  # warm-up (allocator, caches)
-    start = time.perf_counter()
+    timer = obs.metrics().timer("table2.epoch", backend="torq", batch=batch)
+    n0, t0 = timer.count, timer.total  # timers accumulate across calls
     for _ in range(repeats):
-        run()
-    return (time.perf_counter() - start) / repeats
+        with timer.time():
+            run()
+    return (timer.total - t0) / (timer.count - n0)
 
 
 def _naive_epoch_seconds(batch: int, n_qubits: int, n_layers: int, repeats: int) -> float:
@@ -122,10 +124,12 @@ def _naive_epoch_seconds(batch: int, n_qubits: int, n_layers: int, repeats: int)
     params = rng.uniform(0, 2 * np.pi, ansatz.param_count)
     acts = rng.uniform(-0.9, 0.9, (batch, n_qubits))
     sim.forward(acts[: min(4, batch)], params)  # warm-up
-    start = time.perf_counter()
+    timer = obs.metrics().timer("table2.epoch", backend="naive", batch=batch)
+    n0, t0 = timer.count, timer.total  # timers accumulate across calls
     for _ in range(repeats):
-        sim.forward(acts, params)
-    return (time.perf_counter() - start) / repeats
+        with timer.time():
+            sim.forward(acts, params)
+    return (timer.total - t0) / (timer.count - n0)
 
 
 def table2_rows(

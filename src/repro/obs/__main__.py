@@ -1,0 +1,35 @@
+"""CLI entry point: ``python -m repro.obs summarize <run.jsonl> [--top K]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .summarize import summarize_path
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and print the requested report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro.obs JSONL run traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="print a per-scope/per-op summary")
+    p_sum.add_argument("path", help="path to a recorded run.jsonl trace")
+    p_sum.add_argument(
+        "--top", type=int, default=10,
+        help="number of hottest autodiff ops to show (default 10)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        try:
+            print(summarize_path(args.path, top=args.top))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,264 @@
+"""Process-global metrics registry: counters, gauges, timers, histograms.
+
+The registry is a passive, dependency-free store.  Instruments are created
+lazily via get-or-create accessors keyed by ``(name, labels)``, so call
+sites never need setup code::
+
+    from repro import obs
+
+    reg = obs.metrics()
+    reg.counter("torq.gates", gate="cnot").inc()
+    with reg.timer("solve", case="vacuum").time():
+        ...
+
+Nested, labeled wall-time measurement uses :func:`MetricsRegistry.scope`,
+which maintains a per-thread stack of scope names and records one timer per
+``/``-joined path::
+
+    with obs.scope("train"):
+        with obs.scope("forward"):   # recorded as "train/forward"
+            ...
+
+Everything here is plain Python bookkeeping — no NumPy, no I/O — so a
+snapshot can be serialised into a run trace by :mod:`repro.obs.recorder`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "scope",
+]
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-able state of this instrument."""
+        return {
+            "kind": "counter", "name": self.name, "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        """JSON-able state of this instrument."""
+        return {
+            "kind": "gauge", "name": self.name, "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Timer:
+    """Accumulated wall time over repeated observations.
+
+    ``kind`` distinguishes plain timers from scope timers (created by
+    :func:`MetricsRegistry.scope`) and the autodiff profiler's per-op
+    forward/backward timers, so downstream summaries can group them.
+    """
+
+    __slots__ = ("name", "labels", "kind", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: dict, kind: str = "timer"):
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one measured duration."""
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per observation (0 when never observed)."""
+        return self.total / self.count if self.count else 0.0
+
+    @contextlib.contextmanager
+    def time(self) -> Iterator["Timer"]:
+        """Context manager measuring the enclosed block."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    def snapshot(self) -> dict:
+        """JSON-able state of this instrument."""
+        return {
+            "kind": self.kind, "name": self.name, "labels": self.labels,
+            "count": self.count, "total": self.total,
+            "min": self.min if self.count else 0.0, "max": self.max,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets, +inf implicit)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum")
+
+    #: default buckets suit batch sizes / point counts
+    DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+
+    def __init__(self, name: str, labels: dict, buckets: Sequence[float] | None = None):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets)) if buckets else self.DEFAULT_BUCKETS
+        self.counts = [0] * (len(self.buckets) + 1)  # last bucket is +inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its bucket."""
+        self.count += 1
+        self.sum += value
+        for i, ub in enumerate(self.buckets):
+            if value <= ub:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-able state of this instrument."""
+        return {
+            "kind": "histogram", "name": self.name, "labels": self.labels,
+            "buckets": list(self.buckets), "counts": list(self.counts),
+            "count": self.count, "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by ``(name, labels)``.
+
+    Instruments with the same name but different labels are fully isolated;
+    requesting an existing key returns the same object.  ``reset()`` drops
+    every instrument (used between runs and by tests).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, object] = {}
+        self._scope_stack = threading.local()
+
+    # -- get-or-create accessors ----------------------------------------
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (cls.__name__, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.setdefault(key, cls(name, labels, **kwargs))
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter ``name`` with the given labels."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create the gauge ``name`` with the given labels."""
+        return self._get(Gauge, name, labels)
+
+    def timer(self, name: str, _kind: str = "timer", **labels) -> Timer:
+        """Get or create the timer ``name`` with the given labels."""
+        return self._get(Timer, name, labels, kind=_kind)
+
+    def histogram(self, name: str, buckets: Sequence[float] | None = None, **labels) -> Histogram:
+        """Get or create the histogram ``name`` with the given labels."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- nested scopes ---------------------------------------------------
+    @contextlib.contextmanager
+    def scope(self, name: str, **labels) -> Iterator[Timer]:
+        """Time a block under a ``/``-joined nested path.
+
+        Entering ``scope("epoch")`` inside ``scope("train")`` records into
+        the scope timer named ``"train/epoch"``.  The stack is per-thread.
+        """
+        stack = getattr(self._scope_stack, "stack", None)
+        if stack is None:
+            stack = []
+            self._scope_stack.stack = stack
+        stack.append(name)
+        timer = self.timer("/".join(stack), _kind="scope", **labels)
+        start = time.perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.observe(time.perf_counter() - start)
+            stack.pop()
+
+    # -- introspection ---------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """JSON-able list of every instrument's state."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return [inst.snapshot() for inst in instruments]
+
+    def reset(self) -> None:
+        """Drop every instrument (fresh registry state)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+#: the process-global registry used by all built-in instrumentation
+_GLOBAL = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return _GLOBAL
+
+
+def scope(name: str, **labels):
+    """Shorthand for ``metrics().scope(name, **labels)``."""
+    return _GLOBAL.scope(name, **labels)

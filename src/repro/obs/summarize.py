@@ -1,0 +1,174 @@
+"""Render a recorded JSONL run trace as a human-readable summary.
+
+Three sections, each derived from the trace produced by
+:func:`repro.obs.observe`:
+
+* **Scopes** — per-scope wall time, share of its root scope, and call
+  count, indented by nesting depth.
+* **Autodiff ops** — the top-k hottest operations by inclusive forward
+  time, with forward/backward call counts and times (present when the run
+  was profiled).
+* **Training telemetry** — compact per-epoch series statistics for loss,
+  gradient norm, and the gradient-variance (black-hole) indicator.
+
+Used by the CLI: ``python -m repro.obs summarize run.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["load_events", "summarize_events", "summarize_path"]
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts.
+
+    A malformed *final* line is tolerated (a run killed mid-write leaves a
+    truncated record); corruption anywhere else raises ``ValueError`` with
+    the offending line number.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [(i, line.strip()) for i, line in enumerate(fh, 1)]
+    lines = [(i, line) for i, line in lines if line]
+    events = []
+    for pos, (lineno, line) in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if pos == len(lines) - 1:
+                break  # truncated tail record from an interrupted run
+            raise ValueError(f"{path}:{lineno}: malformed trace line") from exc
+    return events
+
+
+def _series_stats(values: list[float]) -> str:
+    if not values:
+        return "(empty)"
+    first, last = values[0], values[-1]
+    lo, hi = min(values), max(values)
+    return f"first {first:.4e}  last {last:.4e}  min {lo:.4e}  max {hi:.4e}"
+
+
+def _fmt_labels(labels: dict, skip: tuple = ()) -> str:
+    items = [f"{k}={v}" for k, v in sorted(labels.items()) if k not in skip]
+    return f" [{', '.join(items)}]" if items else ""
+
+
+def _scope_section(snapshot: list[dict], lines: list[str]) -> None:
+    scopes = [e for e in snapshot if e.get("kind") == "scope"]
+    if not scopes:
+        lines.append("no scope timings recorded")
+        return
+    scopes.sort(key=lambda e: e["name"])
+    # Percentages are relative to each scope's root ("train" for
+    # "train/forward"), so sibling scopes show where the root's time went.
+    root_total = {
+        e["name"]: e["total"] for e in scopes if "/" not in e["name"]
+    }
+    lines.append(f"{'scope':40s} {'calls':>8s} {'total s':>10s} {'% root':>7s}")
+    for e in scopes:
+        root = e["name"].split("/", 1)[0]
+        base = root_total.get(root, 0.0)
+        pct = 100.0 * e["total"] / base if base > 0 else 100.0
+        depth = e["name"].count("/")
+        label = "  " * depth + e["name"].rsplit("/", 1)[-1] + _fmt_labels(e["labels"])
+        lines.append(f"{label:40s} {e['count']:8d} {e['total']:10.4f} {pct:6.1f}%")
+
+
+def _ops_section(snapshot: list[dict], lines: list[str], top: int) -> None:
+    ops: dict[str, dict] = {}
+    for e in snapshot:
+        if e.get("kind") != "op" or e.get("name") != "autodiff.op":
+            continue
+        op = e["labels"].get("op", "?")
+        which = e["labels"].get("pass", "forward")
+        ops.setdefault(op, {})[which] = e
+    if not ops:
+        lines.append("no autodiff op profile recorded (run was not profiled)")
+        return
+    ranked = sorted(
+        ops.items(),
+        key=lambda kv: kv[1].get("forward", kv[1].get("backward", {})).get("total", 0.0),
+        reverse=True,
+    )[:top]
+    lines.append(
+        f"{'op':14s} {'fwd calls':>10s} {'fwd s':>10s} {'bwd calls':>10s} {'bwd s':>10s}"
+    )
+    for op, passes in ranked:
+        fwd = passes.get("forward", {})
+        bwd = passes.get("backward", {})
+        lines.append(
+            f"{op:14s} {fwd.get('count', 0):10d} {fwd.get('total', 0.0):10.4f} "
+            f"{bwd.get('count', 0):10d} {bwd.get('total', 0.0):10.4f}"
+        )
+
+
+def _other_metrics_section(snapshot: list[dict], lines: list[str]) -> None:
+    rows = [
+        e for e in snapshot
+        if e.get("kind") in ("counter", "gauge", "timer", "histogram")
+    ]
+    if not rows:
+        return
+    lines.append("")
+    lines.append("== other metrics ==")
+    for e in sorted(rows, key=lambda e: (e["name"], str(e["labels"]))):
+        label = e["name"] + _fmt_labels(e["labels"])
+        if e["kind"] == "counter":
+            lines.append(f"{label:44s} count {e['value']:g}")
+        elif e["kind"] == "gauge":
+            lines.append(f"{label:44s} value {e['value']:g}")
+        elif e["kind"] == "timer":
+            lines.append(
+                f"{label:44s} calls {e['count']}  total {e['total']:.4f}s  "
+                f"mean {e['total'] / e['count'] if e['count'] else 0.0:.6f}s"
+            )
+        else:  # histogram
+            lines.append(
+                f"{label:44s} n {e['count']}  sum {e['sum']:g}  "
+                f"mean {e['sum'] / e['count'] if e['count'] else 0.0:g}"
+            )
+
+
+def summarize_events(events: list[dict], top: int = 10) -> str:
+    """Build the full text summary for a list of trace events."""
+    lines: list[str] = []
+    meta = next((e for e in events if e.get("kind") == "meta"), None)
+    if meta is not None:
+        extras = {k: v for k, v in meta.items() if k not in ("kind", "schema")}
+        lines.append(f"run trace (schema {meta.get('schema', '?')})"
+                     + (f"  {extras}" if extras else ""))
+        lines.append("")
+
+    snapshots = [e for e in events if e.get("kind") == "metrics"]
+    snapshot = snapshots[-1]["snapshot"] if snapshots else []
+
+    lines.append("== scopes ==")
+    _scope_section(snapshot, lines)
+    lines.append("")
+    lines.append(f"== hottest autodiff ops (top {top}) ==")
+    _ops_section(snapshot, lines, top)
+
+    epochs = [e for e in events if e.get("kind") == "epoch"]
+    lines.append("")
+    lines.append("== training telemetry ==")
+    if epochs:
+        lines.append(f"epochs recorded: {len(epochs)}")
+        for field, title in (
+            ("loss", "loss"),
+            ("grad_norm", "grad norm"),
+            ("grad_variance", "grad variance (black-hole stat)"),
+        ):
+            series = [e[field] for e in epochs if field in e]
+            lines.append(f"{title:32s} {_series_stats(series)}")
+    else:
+        lines.append("no epoch events recorded")
+
+    _other_metrics_section(snapshot, lines)
+    return "\n".join(lines)
+
+
+def summarize_path(path: str, top: int = 10) -> str:
+    """Load a JSONL trace and render its summary."""
+    return summarize_events(load_events(path), top=top)

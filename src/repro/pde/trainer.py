@@ -3,6 +3,11 @@
 A slimmed-down counterpart of :class:`repro.core.trainer.Trainer` for the
 Schrödinger/Burgers/Poisson extensions: random collocation resampling,
 Adam, residual + data losses, and relative-L2 tracking.
+
+When an :func:`repro.obs.observe` recorder is active the epoch loop emits
+per-epoch telemetry (loss components, gradient norm, and the
+gradient-variance black-hole statistic) and times its phases under nested
+obs scopes; otherwise it runs the plain, uninstrumented path.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..autodiff import backward
 from ..optim import Adam
 
@@ -66,30 +72,86 @@ class PDETrainer:
             return self.problem.l2_error(self.model, self._reference_solution())
         return self.problem.l2_error(self.model)
 
+    def _grad_stats(self) -> tuple[float, float]:
+        flat = [p.grad.ravel() for p in self.params if p.grad is not None]
+        if not flat:
+            return 0.0, 0.0
+        g = np.concatenate(flat)
+        return float(np.linalg.norm(g)), float(g.var())
+
+    def _epoch(self, epoch: int, result: PDETrainingResult) -> None:
+        """One uninstrumented training epoch (the default fast path)."""
+        cfg = self.config
+        if self._points is None or epoch % cfg.resample_every == 0:
+            self._points = self.problem.sample(cfg.n_collocation, self.rng)
+        self.optimizer.zero_grad()
+        loss = self.problem.residual_loss(self.model, *self._points)
+        loss = loss + cfg.data_weight * self.problem.data_loss(
+            self.model, cfg.n_data, self.rng
+        )
+        backward(loss, self.params)
+        self.optimizer.step()
+        result.loss.append(float(loss.data))
+        loss = None
+        if cfg.eval_every and (
+            epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1
+        ):
+            result.l2_epochs.append(epoch)
+            result.l2_error.append(self._evaluate())
+
+    def _epoch_observed(self, epoch: int, result: PDETrainingResult,
+                        recorder) -> None:
+        """One instrumented epoch: identical math, plus scopes/telemetry."""
+        cfg = self.config
+        if self._points is None or epoch % cfg.resample_every == 0:
+            self._points = self.problem.sample(cfg.n_collocation, self.rng)
+        self.optimizer.zero_grad()
+        with obs.scope("forward"):
+            residual = self.problem.residual_loss(self.model, *self._points)
+            data = self.problem.data_loss(self.model, cfg.n_data, self.rng)
+            loss = residual + cfg.data_weight * data
+        with obs.scope("backward"):
+            backward(loss, self.params)
+        self.optimizer.step()
+        result.loss.append(float(loss.data))
+        loss = None
+        norm, var = self._grad_stats()
+        l2 = None
+        if cfg.eval_every and (
+            epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1
+        ):
+            with obs.scope("evaluate"):
+                l2 = self._evaluate()
+            result.l2_epochs.append(epoch)
+            result.l2_error.append(l2)
+        recorder.emit(
+            "epoch",
+            epoch=epoch,
+            loss=result.loss[-1],
+            components={
+                "residual": float(residual.data),
+                "data": float(data.data),
+            },
+            grad_norm=norm,
+            grad_variance=var,
+            l2_error=l2,
+        )
+
     def train(self) -> PDETrainingResult:
         """Run the training loop and return the result record."""
         cfg = self.config
         result = PDETrainingResult(model=self.model)
         gc_was_enabled = gc.isenabled()
         gc.disable()
+        recorder = obs.get_recorder()
         try:
-            for epoch in range(cfg.epochs):
-                if self._points is None or epoch % cfg.resample_every == 0:
-                    self._points = self.problem.sample(cfg.n_collocation, self.rng)
-                self.optimizer.zero_grad()
-                loss = self.problem.residual_loss(self.model, *self._points)
-                loss = loss + cfg.data_weight * self.problem.data_loss(
-                    self.model, cfg.n_data, self.rng
-                )
-                backward(loss, self.params)
-                self.optimizer.step()
-                result.loss.append(float(loss.data))
-                loss = None
-                if cfg.eval_every and (
-                    epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1
-                ):
-                    result.l2_epochs.append(epoch)
-                    result.l2_error.append(self._evaluate())
+            if recorder is None:
+                for epoch in range(cfg.epochs):
+                    self._epoch(epoch, result)
+            else:
+                with obs.scope("train", problem=getattr(self.problem, "name", "?")):
+                    for epoch in range(cfg.epochs):
+                        self._epoch_observed(epoch, result, recorder)
         finally:
             if gc_was_enabled:
                 gc.enable()

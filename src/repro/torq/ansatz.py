@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from .. import obs
 from ..autodiff import Tensor
 from .state import (
     QuantumState,
@@ -222,24 +223,36 @@ def make_ansatz(name: str, n_qubits: int = 7, n_layers: int = 4) -> Ansatz:
     return cls(n_qubits=n_qubits, n_layers=n_layers)
 
 
+def _apply_gate(state: QuantumState, gate: GateSpec, params: Tensor) -> QuantumState:
+    if gate.name == "rot":
+        a, b, g = (params[i] for i in gate.params)
+        return apply_rot(state, gate.qubits[0], a, b, g)
+    if gate.name == "rx":
+        return apply_rx(state, gate.qubits[0], params[gate.params[0]])
+    if gate.name == "rz":
+        return apply_rz(state, gate.qubits[0], params[gate.params[0]])
+    if gate.name == "cnot":
+        return apply_cnot(state, gate.qubits[0], gate.qubits[1])
+    if gate.name == "crz":
+        return apply_crz(state, gate.qubits[0], gate.qubits[1], params[gate.params[0]])
+    raise ValueError(f"unknown gate {gate.name!r}")  # pragma: no cover
+
+
 def apply_ansatz(state: QuantumState, ansatz: Ansatz, params: Tensor) -> QuantumState:
     """Run the ansatz on the TorQ backend with a flat parameter tensor."""
     if params.shape != (ansatz.param_count,):
         raise ValueError(
             f"expected {ansatz.param_count} parameters, got shape {params.shape}"
         )
+    if obs.is_profiling():
+        reg = obs.metrics()
+        reg.histogram("torq.circuit.batch").observe(state.batch)
+        with reg.scope("torq.ansatz.run", ansatz=type(ansatz).__name__):
+            for gate in ansatz.gate_sequence():
+                reg.counter("torq.gates", gate=gate.name).inc()
+                with reg.timer("torq.apply", gate=gate.name).time():
+                    state = _apply_gate(state, gate, params)
+        return state
     for gate in ansatz.gate_sequence():
-        if gate.name == "rot":
-            a, b, g = (params[i] for i in gate.params)
-            state = apply_rot(state, gate.qubits[0], a, b, g)
-        elif gate.name == "rx":
-            state = apply_rx(state, gate.qubits[0], params[gate.params[0]])
-        elif gate.name == "rz":
-            state = apply_rz(state, gate.qubits[0], params[gate.params[0]])
-        elif gate.name == "cnot":
-            state = apply_cnot(state, gate.qubits[0], gate.qubits[1])
-        elif gate.name == "crz":
-            state = apply_crz(state, gate.qubits[0], gate.qubits[1], params[gate.params[0]])
-        else:  # pragma: no cover - registry is closed
-            raise ValueError(f"unknown gate {gate.name!r}")
+        state = _apply_gate(state, gate, params)
     return state

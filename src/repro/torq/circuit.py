@@ -22,6 +22,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..autodiff import Tensor, as_tensor
 from .measure import pauli_z_expectations
 from .state import (
@@ -139,6 +140,29 @@ class Circuit:
             return params[value]
         return value
 
+    def _apply_op(
+        self, state: QuantumState, op: _Op, params: Mapping[str, object] | None
+    ) -> QuantumState:
+        if op.name in _FIXED:
+            return _FIXED[op.name](state, op.qubits[0])
+        if op.name == "rx":
+            return apply_rx(state, op.qubits[0], self._resolve(op.params[0], params))
+        if op.name == "ry":
+            return apply_ry(state, op.qubits[0], self._resolve(op.params[0], params))
+        if op.name == "rz":
+            return apply_rz(state, op.qubits[0], self._resolve(op.params[0], params))
+        if op.name == "rot":
+            a, b, g = (self._resolve(p, params) for p in op.params)
+            return apply_rot(state, op.qubits[0], a, b, g)
+        if op.name == "cnot":
+            return apply_cnot(state, op.qubits[0], op.qubits[1])
+        if op.name == "crz":
+            return apply_crz(
+                state, op.qubits[0], op.qubits[1],
+                self._resolve(op.params[0], params),
+            )
+        raise ValueError(f"unknown op {op.name!r}")  # pragma: no cover
+
     def run(
         self,
         params: Mapping[str, object] | None = None,
@@ -149,27 +173,23 @@ class Circuit:
         state = initial if initial is not None else zero_state(batch, self.n_qubits)
         if state.n_qubits != self.n_qubits:
             raise ValueError("initial state has the wrong qubit count")
+        if obs.is_profiling():
+            return self._run_profiled(state, params)
         for op in self._ops:
-            if op.name in _FIXED:
-                state = _FIXED[op.name](state, op.qubits[0])
-            elif op.name == "rx":
-                state = apply_rx(state, op.qubits[0], self._resolve(op.params[0], params))
-            elif op.name == "ry":
-                state = apply_ry(state, op.qubits[0], self._resolve(op.params[0], params))
-            elif op.name == "rz":
-                state = apply_rz(state, op.qubits[0], self._resolve(op.params[0], params))
-            elif op.name == "rot":
-                a, b, g = (self._resolve(p, params) for p in op.params)
-                state = apply_rot(state, op.qubits[0], a, b, g)
-            elif op.name == "cnot":
-                state = apply_cnot(state, op.qubits[0], op.qubits[1])
-            elif op.name == "crz":
-                state = apply_crz(
-                    state, op.qubits[0], op.qubits[1],
-                    self._resolve(op.params[0], params),
-                )
-            else:  # pragma: no cover - closed op set
-                raise ValueError(f"unknown op {op.name!r}")
+            state = self._apply_op(state, op, params)
+        return state
+
+    def _run_profiled(
+        self, state: QuantumState, params: Mapping[str, object] | None
+    ) -> QuantumState:
+        """Execution with gate counts, batch-size, and state-apply timing."""
+        reg = obs.metrics()
+        reg.histogram("torq.circuit.batch").observe(state.batch)
+        with reg.scope("torq.circuit.run", n_qubits=self.n_qubits):
+            for op in self._ops:
+                reg.counter("torq.gates", gate=op.name).inc()
+                with reg.timer("torq.apply", gate=op.name).time():
+                    state = self._apply_op(state, op, params)
         return state
 
     def z_expectations(

@@ -20,11 +20,14 @@ from .ansatz import Ansatz, GateSpec
 from .embedding import scaling_fn
 from ..autodiff import Tensor, no_grad
 
-__all__ = ["NaiveSimulator", "gate_matrix"]
+__all__ = ["NaiveSimulator", "gate_matrix", "run_circuit", "z_expectations_dense"]
 
 
 _I2 = np.eye(2, dtype=np.complex128)
 _X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+_Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+_H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2.0)
 
 
 def _rx(theta: float) -> np.ndarray:
@@ -138,3 +141,84 @@ class NaiveSimulator:
         for i in range(activations.shape[0]):
             out[i] = self.z_expectations_point(activations[i], params)
         return out
+
+
+# ----------------------------------------------------------------------
+# Dense per-point execution of user-facing :class:`repro.torq.Circuit`
+# objects — the oracle for the randomized cross-simulator test harness.
+# ----------------------------------------------------------------------
+
+_FIXED_1Q = {"h": _H, "x": _X, "y": _Y, "z": _Z}
+
+
+def _resolve_point(value, params, point: int) -> float:
+    """Resolve one gate parameter to a scalar for batch element ``point``.
+
+    Accepts literal floats, per-batch 1-D arrays/Tensors, and parameter
+    names looked up in ``params`` (matching :meth:`Circuit.run` semantics).
+    """
+    if isinstance(value, str):
+        if params is None or value not in params:
+            raise KeyError(f"missing value for parameter {value!r}")
+        value = params[value]
+    if isinstance(value, Tensor):
+        value = value.data
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        return float(arr)
+    if arr.ndim == 1:
+        return float(arr[point])
+    raise ValueError("angles must be scalar or per-batch 1-D")
+
+
+def run_circuit(circuit, params=None, batch: int = 1) -> np.ndarray:
+    """Execute a :class:`~repro.torq.circuit.Circuit` densely, per point.
+
+    Reproduces the naive backend's cost model (one dense matrix–vector
+    product per gate per batch element) for arbitrary user circuits and
+    returns the complex amplitudes, shape ``(batch, 2**n_qubits)``, in the
+    same qubit-0-is-most-significant convention as
+    :meth:`QuantumState.amplitudes`.
+    """
+    n = circuit.n_qubits
+    dim = 2 ** n
+    out = np.empty((batch, dim), dtype=np.complex128)
+    for point in range(batch):
+        state = np.zeros(dim, dtype=np.complex128)
+        state[0] = 1.0
+        for op in circuit._ops:
+            if op.name in _FIXED_1Q:
+                u = _embed_single(_FIXED_1Q[op.name], op.qubits[0], n)
+            elif op.name == "rx":
+                theta = _resolve_point(op.params[0], params, point)
+                u = _embed_single(_rx(theta), op.qubits[0], n)
+            elif op.name == "ry":
+                theta = _resolve_point(op.params[0], params, point)
+                u = _embed_single(_ry(theta), op.qubits[0], n)
+            elif op.name == "rz":
+                theta = _resolve_point(op.params[0], params, point)
+                u = _embed_single(_rz(theta), op.qubits[0], n)
+            elif op.name == "rot":
+                a, b, g = (_resolve_point(p, params, point) for p in op.params)
+                u = _embed_single(_rot(a, b, g), op.qubits[0], n)
+            elif op.name == "cnot":
+                u = _embed_controlled(_X, op.qubits[0], op.qubits[1], n)
+            elif op.name == "crz":
+                theta = _resolve_point(op.params[0], params, point)
+                u = _embed_controlled(_rz(theta), op.qubits[0], op.qubits[1], n)
+            else:  # pragma: no cover - closed op set
+                raise ValueError(f"unknown op {op.name!r}")
+            state = u @ state
+        out[point] = state
+    return out
+
+
+def z_expectations_dense(amplitudes: np.ndarray, n_qubits: int) -> np.ndarray:
+    """Per-qubit ⟨Z⟩ from dense amplitudes of shape ``(batch, 2**n)``."""
+    probs = np.abs(amplitudes) ** 2
+    indices = np.arange(2 ** n_qubits)
+    z = np.empty((amplitudes.shape[0], n_qubits))
+    for q in range(n_qubits):
+        sign = 1.0 - 2.0 * ((indices >> (n_qubits - 1 - q)) & 1)
+        z[:, q] = probs @ sign
+    return z

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import autodiff as ad
+from .. import obs
 from ..autodiff import Tensor, as_tensor
 from . import complexnum as cplx
 from .complexnum import ComplexTensor
@@ -78,6 +79,9 @@ def zero_state(batch: int, n_qubits: int) -> QuantumState:
     """|0...0⟩ replicated over the batch."""
     if n_qubits < 1:
         raise ValueError("need at least one qubit")
+    if obs.is_profiling():
+        obs.metrics().counter("torq.state.alloc", n_qubits=n_qubits).inc()
+        obs.metrics().histogram("torq.state.batch").observe(batch)
     re = np.zeros((batch,) + (2,) * n_qubits)
     re[(slice(None),) + (0,) * n_qubits] = 1.0
     return QuantumState(ComplexTensor(Tensor(re)), n_qubits)

@@ -1,0 +1,115 @@
+"""Second-order gradchecks: phase-carrying gates and the PDE composite loss.
+
+``check_double_grad`` certifies the differentiate-the-gradient path for the
+gate primitives whose derivatives live purely in complex phases
+(``apply_crz``, ``apply_phase_on``, ``apply_rot``) and for the
+residual + data composite loss PDETrainer optimises.
+"""
+
+import numpy as np
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor
+from repro.autodiff.gradcheck import check_double_grad, check_grad
+from repro.pde.problems import PoissonProblem
+from repro.torq.state import (
+    apply_crz,
+    apply_hadamard,
+    apply_phase_on,
+    apply_rot,
+    zero_state,
+)
+
+BATCH = 2
+
+
+def _plus_state(n_qubits, batch=BATCH):
+    """Uniform superposition so every amplitude feels the gate."""
+    state = zero_state(batch, n_qubits)
+    for q in range(n_qubits):
+        state = apply_hadamard(state, q)
+    return state
+
+
+def _readout(state):
+    """Fixed linear functional of the amplitudes.
+
+    A probability readout would be blind to the diagonal gates' phases;
+    weighting re/im separately makes every angle observable.
+    """
+    amps = state.tensor.reshape((state.batch, 2 ** state.n_qubits))
+    rng = np.random.default_rng(7)
+    w_re = Tensor(rng.normal(size=amps.shape))
+    w_im = Tensor(rng.normal(size=amps.shape))
+    return (amps.re * w_re).sum() + (amps.im * w_im).sum()
+
+
+def test_apply_crz_double_grad():
+    def fn(theta):
+        return _readout(apply_crz(_plus_state(2), 0, 1, theta))
+
+    check_double_grad(fn, [np.array([0.4, -1.3])])
+
+
+def test_apply_phase_on_double_grad():
+    def fn(theta):
+        state = apply_phase_on(_plus_state(2), 0, 1, theta)
+        return _readout(apply_phase_on(state, 1, 0, theta * 0.5))
+
+    check_double_grad(fn, [np.array([0.9, 2.1])])
+
+
+def test_apply_rot_double_grad():
+    def fn(alpha, beta, gamma):
+        return _readout(apply_rot(_plus_state(2), 1, alpha, beta, gamma))
+
+    check_double_grad(
+        fn,
+        [np.array([0.3, -0.8]), np.array([1.1, 0.2]), np.array([-0.5, 1.7])],
+    )
+
+
+def test_gate_composition_double_grad():
+    """Angles threaded through several gates at once (shared-parameter case)."""
+
+    def fn(theta):
+        state = _plus_state(2)
+        state = apply_crz(state, 0, 1, theta)
+        state = apply_rot(state, 0, theta, theta * 0.5, theta)
+        return _readout(apply_phase_on(state, 1, 1, theta))
+
+    check_double_grad(fn, [np.array([0.6, -0.4])])
+
+
+# ----------------------------------------------------------------------
+# PDETrainer's composite loss (residual + data), gradchecked w.r.t. the
+# network weights. The Poisson residual already contains second
+# derivatives w.r.t. the inputs, so check_grad exercises third-order
+# mixed derivatives and check_double_grad fourth-order ones.
+# ----------------------------------------------------------------------
+
+_PROBLEM = PoissonProblem()
+_POINTS = np.random.default_rng(3).uniform(0.05, 0.95, (3, 1)), \
+    np.random.default_rng(4).uniform(0.05, 0.95, (3, 1))
+
+
+def _composite_loss(w1, w2):
+    def model(coords):
+        return ad.tanh(coords @ w1) @ w2
+
+    x_np, y_np = _POINTS
+    residual = _PROBLEM.residual_loss(model, x_np, y_np)
+    data = _PROBLEM.data_loss(model, 4, np.random.default_rng(5))
+    return residual + data * 10.0
+
+
+_W1 = np.random.default_rng(1).normal(scale=0.7, size=(2, 3))
+_W2 = np.random.default_rng(2).normal(scale=0.7, size=(3, 1))
+
+
+def test_pde_composite_loss_grad():
+    check_grad(_composite_loss, [_W1, _W2])
+
+
+def test_pde_composite_loss_double_grad():
+    check_double_grad(_composite_loss, [_W1, _W2])

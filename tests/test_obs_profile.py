@@ -1,0 +1,190 @@
+"""Op-level profiling: counts/attribution, trainer traces, zero overhead."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro import obs
+from repro.autodiff import ops as ops_mod
+from repro.autodiff import tensor as tensor_mod
+from repro.obs.registry import MetricsRegistry
+from repro.pde import GenericPINN, PDETrainer, PDETrainerConfig
+from repro.pde.problems import PoissonProblem
+
+
+def _op_entries(reg, which):
+    return {
+        e["labels"]["op"]: e
+        for e in reg.snapshot()
+        if e["kind"] == "op" and e["labels"].get("pass") == which
+    }
+
+
+def test_forward_and_backward_op_counts():
+    reg = MetricsRegistry()
+    with obs.profile(reg):
+        x = ad.Tensor(np.ones(4), requires_grad=True)
+        y = (ad.sin(x) * x).sum()
+        ad.grad(y, [x])
+    fwd = _op_entries(reg, "forward")
+    bwd = _op_entries(reg, "backward")
+    # the forward expression executes exactly one sin, one mul, one sum
+    assert fwd["sin"]["count"] == 1
+    assert fwd["tensor_sum"]["count"] == 1
+    # backward VJPs are attributed to the node-creating op
+    assert bwd["sin"]["count"] == 1
+    assert bwd["mul"]["count"] == 2  # two parents of the mul node
+    assert bwd["tensor_sum"]["count"] == 1
+    assert all(e["total"] >= 0.0 for e in fwd.values())
+
+
+def test_profile_times_accumulate():
+    reg = MetricsRegistry()
+    with obs.profile(reg):
+        x = ad.Tensor(np.ones((64, 64)), requires_grad=True)
+        (x @ x).sum()
+    fwd = _op_entries(reg, "forward")
+    assert fwd["matmul"]["count"] == 1
+    assert fwd["matmul"]["total"] > 0.0
+
+
+def test_profile_restores_originals_and_is_reentrant():
+    original_add = ops_mod.add
+    original_sin = ad.sin
+    with obs.profile():
+        assert ops_mod.add is not original_add
+        assert hasattr(ops_mod.add, "__wrapped__")
+        with obs.profile():  # nested use is reference-counted
+            assert hasattr(ops_mod.add, "__wrapped__")
+        assert hasattr(ops_mod.add, "__wrapped__")  # still installed
+    assert ops_mod.add is original_add
+    assert ad.sin is original_sin
+    assert not obs.is_profiling()
+
+
+def test_profile_restores_on_exception():
+    original_add = ops_mod.add
+    with pytest.raises(RuntimeError):
+        with obs.profile():
+            raise RuntimeError("boom")
+    assert ops_mod.add is original_add
+    assert tensor_mod._backward_hook is None
+
+
+def test_profiled_gradients_identical():
+    x_data = np.linspace(-1.0, 1.0, 8)
+
+    def compute():
+        x = ad.Tensor(x_data.copy(), requires_grad=True)
+        y = (ad.tanh(x) * ad.exp(x) + x ** 2).sum()
+        (g,) = ad.grad(y, [x])
+        return g.data
+
+    plain = compute()
+    with obs.profile(MetricsRegistry()):
+        profiled = compute()
+    np.testing.assert_array_equal(plain, profiled)
+
+
+def test_torq_circuit_instrumentation():
+    from repro.torq import Circuit
+
+    reg = obs.metrics()
+    reg.reset()
+    qc = Circuit(2).h(0).cnot(0, 1).rx(1, "theta")
+    with obs.profile():
+        qc.run(params={"theta": 0.3}, batch=8)
+    snap = reg.snapshot()
+    gates = {
+        e["labels"]["gate"]: e["value"]
+        for e in snap if e["kind"] == "counter" and e["name"] == "torq.gates"
+    }
+    assert gates == {"h": 1, "cnot": 1, "rx": 1}
+    batches = [e for e in snap if e["kind"] == "histogram"
+               and e["name"] == "torq.circuit.batch"]
+    assert batches and batches[0]["sum"] == 8
+    applies = [e for e in snap if e["kind"] == "timer" and e["name"] == "torq.apply"]
+    assert {e["labels"]["gate"] for e in applies} == {"h", "cnot", "rx"}
+    reg.reset()
+
+
+# ----------------------------------------------------------------------
+# End-to-end: an observed PDETrainer run renders a full summary
+# ----------------------------------------------------------------------
+
+def _tiny_pde_run(tmp_path, profile):
+    path = tmp_path / "run.jsonl"
+    model = GenericPINN(2, 1, hidden=6, n_hidden=1,
+                        rng=np.random.default_rng(0))
+    cfg = PDETrainerConfig(epochs=3, n_collocation=8, n_data=4,
+                           eval_every=2, seed=1)
+    with obs.observe(str(path), profile=profile):
+        PDETrainer(model, PoissonProblem(), cfg).train()
+    return path
+
+
+def test_observed_pde_run_summary(tmp_path):
+    path = _tiny_pde_run(tmp_path, profile=True)
+    events = obs.load_events(str(path))
+    epochs = [e for e in events if e["kind"] == "epoch"]
+    assert len(epochs) == 3
+    for e in epochs:
+        assert {"loss", "grad_norm", "grad_variance", "components"} <= set(e)
+        assert e["grad_norm"] > 0.0
+    text = obs.summarize_path(str(path))
+    assert "train" in text and "forward" in text and "backward" in text
+    assert "matmul" in text  # per-op autodiff counts present
+    assert "grad variance (black-hole stat)" in text
+
+
+def test_core_trainer_emits_epoch_events(tmp_path):
+    from repro.core import CollocationGrid, Trainer, TrainerConfig, get_case
+    from repro.core.models import MaxwellPINN
+
+    case = get_case("vacuum")
+    model = MaxwellPINN(depth=2, hidden=8, rff_features=4,
+                        rng=np.random.default_rng(0))
+    cfg = TrainerConfig(epochs=2, eval_every=0, bh_n_space=4, bh_n_times=3)
+    path = tmp_path / "core.jsonl"
+    with obs.observe(str(path)):
+        Trainer(model, case.make_loss(use_energy=False),
+                CollocationGrid(n=3, t_max=1.0), config=cfg).train()
+    events = obs.load_events(str(path))
+    epochs = [e for e in events if e["kind"] == "epoch"]
+    assert len(epochs) == 2
+    assert {"loss", "components", "grad_norm", "grad_variance",
+            "param_drift", "learning_rate"} <= set(epochs[0])
+    scopes = {e["name"] for e in events[-1]["snapshot"] if e["kind"] == "scope"}
+    assert {"train", "train/forward", "train/backward"} <= scopes
+
+
+# ----------------------------------------------------------------------
+# Zero-overhead guard: no obs callbacks when observability is disabled
+# ----------------------------------------------------------------------
+
+def test_zero_overhead_when_disabled(tmp_path, monkeypatch):
+    """With no recorder/profiler, the trainer loop runs no obs callbacks."""
+    assert obs.get_recorder() is None
+    assert not obs.is_profiling()
+    # ops are the pristine functions, not profiling shims
+    assert not hasattr(ops_mod.add, "__wrapped__")
+    assert tensor_mod._backward_hook is None
+
+    def forbidden(self, *args, **kwargs):  # pragma: no cover - should not run
+        raise AssertionError("obs callback fired while observability disabled")
+
+    for method in ("counter", "gauge", "timer", "histogram", "scope"):
+        monkeypatch.setattr(MetricsRegistry, method, forbidden)
+    monkeypatch.setattr(obs.RunRecorder, "emit", forbidden)
+
+    model = GenericPINN(2, 1, hidden=6, n_hidden=1,
+                        rng=np.random.default_rng(0))
+    cfg = PDETrainerConfig(epochs=2, n_collocation=8, n_data=4,
+                           eval_every=0, seed=1)
+    result = PDETrainer(model, PoissonProblem(), cfg).train()
+    assert len(result.loss) == 2
+
+    # torq circuit execution likewise stays on the uninstrumented path
+    from repro.torq import Circuit
+
+    Circuit(2).h(0).cnot(0, 1).rx(1, 0.4).run(batch=4)

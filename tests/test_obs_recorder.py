@@ -1,0 +1,113 @@
+"""Recorder round-trip: emit → JSONL → load → summarize."""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import obs
+
+
+def test_emit_round_trip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.RunRecorder(str(path), meta={"case": "vacuum"}) as rec:
+        rec.emit("epoch", epoch=0, loss=1.25, grad_norm=0.5)
+        rec.emit("custom", payload={"nested": [1, 2, 3]})
+    events = obs.load_events(str(path))
+    assert [e["kind"] for e in events] == ["meta", "epoch", "custom"]
+    assert events[0]["schema"] == 1
+    assert events[0]["case"] == "vacuum"
+    assert events[1]["loss"] == 1.25
+    assert events[2]["payload"] == {"nested": [1, 2, 3]}
+
+
+def test_emit_serialises_numpy_types(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.RunRecorder(str(path)) as rec:
+        rec.emit("epoch", loss=np.float64(0.5), n=np.int64(3),
+                 series=np.arange(3.0))
+    event = obs.load_events(str(path))[1]
+    assert event["loss"] == 0.5
+    assert event["n"] == 3
+    assert event["series"] == [0.0, 1.0, 2.0]
+
+
+def test_emit_after_close_raises(tmp_path):
+    rec = obs.RunRecorder(str(tmp_path / "run.jsonl"))
+    rec.close()
+    rec.close()  # idempotent
+    with pytest.raises(ValueError):
+        rec.emit("late")
+
+
+def test_observe_installs_and_restores_active_recorder(tmp_path):
+    path = tmp_path / "run.jsonl"
+    assert obs.get_recorder() is None
+    with obs.observe(str(path)) as rec:
+        assert obs.get_recorder() is rec
+        rec.emit("epoch", epoch=0, loss=1.0)
+    assert obs.get_recorder() is None
+    kinds = [e["kind"] for e in obs.load_events(str(path))]
+    # a final registry snapshot is appended automatically
+    assert kinds == ["meta", "epoch", "metrics"]
+
+
+def test_observe_records_scopes_into_snapshot(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.observe(str(path)):
+        with obs.scope("work"):
+            pass
+    events = obs.load_events(str(path))
+    snapshot = events[-1]["snapshot"]
+    scopes = [e for e in snapshot if e["kind"] == "scope"]
+    assert any(e["name"] == "work" for e in scopes)
+
+
+def test_summarize_renders_sections(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.observe(str(path), case="demo") as rec:
+        with obs.scope("train"):
+            with obs.scope("forward"):
+                pass
+        for epoch in range(3):
+            rec.emit("epoch", epoch=epoch, loss=1.0 / (epoch + 1),
+                     grad_norm=0.1 * (epoch + 1), grad_variance=0.01)
+    text = obs.summarize_path(str(path))
+    assert "== scopes ==" in text
+    assert "train" in text and "forward" in text
+    assert "== training telemetry ==" in text
+    assert "epochs recorded: 3" in text
+    assert "grad variance (black-hole stat)" in text
+    # not profiled: the op section explains rather than fabricating data
+    assert "not profiled" in text
+
+
+def test_summarize_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    text = obs.summarize_path(str(path))
+    assert "no scope timings recorded" in text
+    assert "no epoch events recorded" in text
+
+
+def test_cli_summarize(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.observe(str(path)) as rec:
+        rec.emit("epoch", epoch=0, loss=2.0, grad_norm=1.0, grad_variance=0.5)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs", "summarize", str(path), "--top", "3"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "== scopes ==" in proc.stdout
+    assert "epochs recorded: 1" in proc.stdout
+
+
+def test_trace_lines_are_valid_json(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.observe(str(path)) as rec:
+        rec.emit("epoch", epoch=0, loss=0.0)
+    for line in path.read_text().splitlines():
+        json.loads(line)

@@ -1,0 +1,131 @@
+"""Registry semantics: counter/timer/histogram math, label isolation, reset."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+def test_counter_math_and_identity(reg):
+    c = reg.counter("hits")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    assert reg.counter("hits") is c  # get-or-create returns same object
+    snap = c.snapshot()
+    assert snap == {"kind": "counter", "name": "hits", "labels": {}, "value": 3.5}
+
+
+def test_label_isolation(reg):
+    a = reg.counter("gates", gate="cnot")
+    b = reg.counter("gates", gate="rx")
+    a.inc(5)
+    b.inc(1)
+    assert a is not b
+    assert (a.value, b.value) == (5, 1)
+    # label ordering does not matter for identity
+    t1 = reg.timer("t", x="1", y="2")
+    t2 = reg.timer("t", y="2", x="1")
+    assert t1 is t2
+    # same name, different instrument kinds are separate keys
+    assert reg.counter("overloaded") is not reg.gauge("overloaded")
+
+
+def test_gauge_last_write_wins(reg):
+    g = reg.gauge("lr")
+    g.set(0.1)
+    g.set(0.05)
+    assert g.value == 0.05
+
+
+def test_timer_math(reg):
+    t = reg.timer("step")
+    t.observe(0.5)
+    t.observe(1.5)
+    assert t.count == 2
+    assert t.total == 2.0
+    assert t.mean == 1.0
+    assert (t.min, t.max) == (0.5, 1.5)
+    with t.time():
+        pass
+    assert t.count == 3
+    snap = t.snapshot()
+    assert snap["kind"] == "timer"
+    assert snap["count"] == 3
+
+
+def test_timer_mean_when_empty(reg):
+    assert reg.timer("never").mean == 0.0
+    assert reg.timer("never").snapshot()["min"] == 0.0
+
+
+def test_histogram_buckets(reg):
+    h = reg.histogram("batch", buckets=(1, 10, 100))
+    for v in (1, 5, 50, 500, 0.5):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == 556.5
+    # buckets are upper bounds; last slot is the +inf overflow
+    assert h.counts == [2, 1, 1, 1]
+    snap = h.snapshot()
+    assert snap["buckets"] == [1, 10, 100]
+
+
+def test_scope_nesting_and_paths(reg):
+    with reg.scope("train"):
+        with reg.scope("forward"):
+            pass
+        with reg.scope("forward"):
+            pass
+        with reg.scope("backward"):
+            pass
+    names = {e["name"]: e for e in reg.snapshot() if e["kind"] == "scope"}
+    assert set(names) == {"train", "train/forward", "train/backward"}
+    assert names["train/forward"]["count"] == 2
+    assert names["train"]["total"] >= (
+        names["train/forward"]["total"] + names["train/backward"]["total"]
+    )
+
+
+def test_scope_stack_unwinds_on_exception(reg):
+    with pytest.raises(RuntimeError):
+        with reg.scope("outer"):
+            raise RuntimeError("boom")
+    with reg.scope("after"):
+        pass
+    names = {e["name"] for e in reg.snapshot() if e["kind"] == "scope"}
+    assert "after" in names  # not "outer/after": stack popped on error
+    assert "outer/after" not in names
+
+
+def test_scope_stack_is_per_thread(reg):
+    seen = []
+
+    def worker():
+        with reg.scope("threaded"):
+            seen.append(True)
+
+    with reg.scope("main"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    names = {e["name"] for e in reg.snapshot() if e["kind"] == "scope"}
+    assert "threaded" in names  # not nested under "main"
+    assert "main/threaded" not in names
+
+
+def test_reset_drops_everything(reg):
+    reg.counter("a").inc()
+    reg.timer("b").observe(1.0)
+    assert len(reg) == 2
+    reg.reset()
+    assert len(reg) == 0
+    assert reg.snapshot() == []
+    # instruments recreate cleanly after reset
+    assert reg.counter("a").value == 0

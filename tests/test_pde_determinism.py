@@ -1,0 +1,36 @@
+"""Determinism regression: same seeds → bit-identical training histories."""
+
+import numpy as np
+
+from repro import obs
+from repro.pde import GenericPINN, PDETrainer, PDETrainerConfig
+from repro.pde.problems import PoissonProblem
+
+
+def _run(epochs=5, observe_path=None):
+    model = GenericPINN(2, 1, hidden=8, n_hidden=1,
+                        rng=np.random.default_rng(42))
+    cfg = PDETrainerConfig(epochs=epochs, n_collocation=16, n_data=8,
+                           resample_every=2, eval_every=4, seed=7)
+    trainer = PDETrainer(model, PoissonProblem(), cfg)
+    if observe_path is None:
+        return trainer.train()
+    with obs.observe(str(observe_path)):
+        return trainer.train()
+
+
+def test_training_is_bit_deterministic():
+    a = _run()
+    b = _run()
+    # float equality on purpose: the runs must be bit-identical, not close
+    assert a.loss == b.loss
+    assert a.l2_epochs == b.l2_epochs
+    assert a.l2_error == b.l2_error
+
+
+def test_observed_run_matches_plain_run(tmp_path):
+    """Instrumentation must not perturb the numerics it observes."""
+    plain = _run()
+    observed = _run(observe_path=tmp_path / "run.jsonl")
+    assert plain.loss == observed.loss
+    assert plain.l2_error == observed.l2_error
