@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""TorQ compiler benchmark — emits ``BENCH_torq.json``.
+
+Measures the three executors on the Table 2 workload (7-qubit × 4-layer
+``basic_entangling`` quantum layer, forward + backward per "epoch"):
+
+* ``naive``      — per-point dense simulation (forward only; the
+                   ``default.qubit``-like baseline, so its row is a lower
+                   bound on baseline cost),
+* ``uncompiled`` — batched TorQ with interpreted per-gate dispatch,
+* ``compiled``   — batched TorQ replaying the fused execution plan,
+
+plus serial vs. batched parameter-shift gradients (one circuit execution
+per shifted parameter vector vs. ONE batched execution for the whole shift
+table), and the structural fusion counts (gates vs. kernel steps) for all
+six paper ansätze.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_torq.py              # full bench
+    PYTHONPATH=src python scripts/bench_torq.py --toy        # CI smoke
+    PYTHONPATH=src python scripts/bench_torq.py --check-structure
+
+``--check-structure`` exits non-zero unless every fusing ansatz's compiled
+plan executes fewer kernel steps than gates — a deterministic assertion
+suitable for CI, unlike wall-clock thresholds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import autodiff as ad  # noqa: E402
+from repro.autodiff import backward  # noqa: E402
+from repro.torq import (  # noqa: E402
+    ANSATZ_NAMES,
+    NaiveSimulator,
+    QuantumLayer,
+    batched_parameter_shift_grad,
+    make_ansatz,
+    make_batched_ansatz_forward,
+    parameter_shift_grad,
+)
+
+N_QUBITS = 7
+N_LAYERS = 4
+ANSATZ = "basic_entangling"
+
+
+def _min_time(fn, reps: int) -> float:
+    """Best-of-``reps`` wall time of ``fn`` (after one warm-up call)."""
+    fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _layer_step(compiled: bool, batch: int, n_qubits: int, n_layers: int):
+    """One training step (forward + backward) of the Table 2 quantum layer."""
+    layer = QuantumLayer(
+        n_qubits=n_qubits, n_layers=n_layers, ansatz=ANSATZ,
+        scaling="acos", rng=np.random.default_rng(0), compiled=compiled,
+    )
+    acts = ad.Tensor(
+        np.random.default_rng(1).uniform(-0.9, 0.9, (batch, n_qubits))
+    )
+    params = layer.parameters()
+
+    def run() -> None:
+        layer.zero_grad()
+        out = layer(acts)
+        backward((out * out).mean(), params)
+
+    return run
+
+
+def bench_table2_step(
+    batches, n_qubits: int, n_layers: int, reps: int, naive_cap: int
+) -> list[dict]:
+    rows = []
+    for batch in batches:
+        uncompiled = _min_time(_layer_step(False, batch, n_qubits, n_layers), reps)
+        compiled = _min_time(_layer_step(True, batch, n_qubits, n_layers), reps)
+        row = {
+            "batch": batch,
+            "uncompiled_s": uncompiled,
+            "compiled_s": compiled,
+            "speedup_compiled_vs_uncompiled": uncompiled / compiled,
+        }
+        if batch <= naive_cap:
+            ansatz = make_ansatz(ANSATZ, n_qubits=n_qubits, n_layers=n_layers)
+            sim = NaiveSimulator(ansatz, scaling="acos")
+            p = np.random.default_rng(0).uniform(0, 2 * np.pi, ansatz.param_count)
+            acts = np.random.default_rng(1).uniform(-0.9, 0.9, (batch, n_qubits))
+            row["naive_forward_s"] = _min_time(
+                lambda: sim.forward(acts, p), max(1, reps - 1)
+            )
+            row["speedup_compiled_vs_naive"] = row["naive_forward_s"] / compiled
+        rows.append(row)
+        print(f"  batch {batch}: uncompiled {uncompiled*1e3:.1f} ms, "
+              f"compiled {compiled*1e3:.1f} ms "
+              f"({row['speedup_compiled_vs_uncompiled']:.2f}x)")
+    return rows
+
+
+def bench_parameter_shift(n_qubits: int, n_layers: int, reps: int) -> dict:
+    # cross_mesh gives n(n-1) CRZ params per layer — ≥50 parameters even at
+    # toy sizes, and exercises the four-term shift rule.
+    ansatz = make_ansatz("cross_mesh", n_qubits=n_qubits, n_layers=n_layers)
+    params = np.random.default_rng(2).uniform(0, 2 * np.pi, ansatz.param_count)
+    forward = make_batched_ansatz_forward(ansatz)
+    serial = _min_time(lambda: parameter_shift_grad(forward, params, ansatz), reps)
+    batched = _min_time(
+        lambda: batched_parameter_shift_grad(forward, params, ansatz), reps
+    )
+    diff = float(np.abs(
+        parameter_shift_grad(forward, params, ansatz)
+        - batched_parameter_shift_grad(forward, params, ansatz)
+    ).max())
+    result = {
+        "ansatz": "cross_mesh",
+        "n_qubits": n_qubits,
+        "n_layers": n_layers,
+        "n_params": ansatz.param_count,
+        "serial_s": serial,
+        "batched_s": batched,
+        "speedup_batched_vs_serial": serial / batched,
+        "max_abs_grad_diff": diff,
+    }
+    print(f"  shift @ {ansatz.param_count} params: serial {serial*1e3:.0f} ms, "
+          f"batched {batched*1e3:.0f} ms "
+          f"({result['speedup_batched_vs_serial']:.1f}x, Δ={diff:.1e})")
+    return result
+
+
+def plan_structure(n_qubits: int, n_layers: int) -> list[dict]:
+    rows = []
+    for name in ANSATZ_NAMES:
+        plan = make_ansatz(name, n_qubits=n_qubits, n_layers=n_layers).execution_plan()
+        rows.append({
+            "ansatz": name,
+            "n_gates": plan.n_gates,
+            "n_steps": plan.num_steps,
+            "fused_gates": plan.fused_gates,
+        })
+        print(f"  {name}: {plan.n_gates} gates -> {plan.num_steps} kernel steps")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--toy", action="store_true",
+                        help="tiny sizes for CI smoke runs")
+    parser.add_argument("--check-structure", action="store_true",
+                        help="assert compiled plans fuse (steps < gates)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_torq.json")
+    args = parser.parse_args(argv)
+
+    if args.toy:
+        n_qubits, n_layers, batches, reps, naive_cap = 4, 2, (16,), 2, 16
+    else:
+        # Table 2 grids (8^3 and 12^3 collocation points) at paper size.
+        n_qubits, n_layers, batches, reps, naive_cap = N_QUBITS, N_LAYERS, (512, 1728), 5, 512
+
+    print(f"TorQ bench: {n_qubits} qubits x {n_layers} layers ({ANSATZ})")
+    print("plan structure:")
+    structure = plan_structure(n_qubits, n_layers)
+    print("training step (forward+backward):")
+    step_rows = bench_table2_step(batches, n_qubits, n_layers, reps, naive_cap)
+    print("parameter-shift gradient:")
+    shift = bench_parameter_shift(
+        n_qubits, max(1, n_layers // 2) if not args.toy else n_layers, reps
+    )
+
+    report = {
+        "workload": {
+            "description": "Table 2 QuantumLayer epoch (forward+backward)",
+            "ansatz": ANSATZ,
+            "n_qubits": n_qubits,
+            "n_layers": n_layers,
+            "toy": bool(args.toy),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "table2_step": step_rows,
+        "parameter_shift": shift,
+        "plan_structure": structure,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check_structure:
+        failures = [r for r in structure if r["n_steps"] >= r["n_gates"]]
+        if failures:
+            print(f"STRUCTURE CHECK FAILED: {failures}")
+            return 1
+        print("structure check passed: compiled plans execute fewer kernels")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ from .ops import (
     moveaxis,
     mul,
     neg,
+    permute_last,
     pow,
     relu,
     reshape,
@@ -92,5 +93,5 @@ __all__ = [
     "maximum", "minimum", "clip", "where",
     "reshape", "transpose", "moveaxis", "expand_dims", "squeeze",
     "broadcast_to", "concatenate", "stack", "flip", "roll", "getitem",
-    "scatter_add", "tensor_sum", "mean", "amax", "amin",
+    "permute_last", "scatter_add", "tensor_sum", "mean", "amax", "amin",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "maximum", "minimum", "clip", "where",
     "reshape", "transpose", "moveaxis", "expand_dims", "squeeze",
     "broadcast_to", "concatenate", "stack", "flip", "roll", "getitem",
+    "permute_last",
     "scatter_add", "tensor_sum", "mean", "amax", "amin", "dot_last",
 ]
 
@@ -451,6 +452,29 @@ def roll(a, shift: int, axis: int) -> Tensor:
     return make_node(
         np.roll(a.data, shift, axis=axis),
         [(a, lambda ct: roll(ct, -shift, axis))],
+    )
+
+
+def permute_last(a, indices) -> Tensor:
+    """Reorder the last axis by a permutation index array (gather).
+
+    ``indices`` must visit every position of the last axis exactly once;
+    the VJP is then a gather by the inverse permutation, avoiding the
+    buffered ``np.add.at`` scatter that general fancy indexing needs, and
+    double backward is exact.  Used by the TorQ circuit compiler to replay
+    fused CNOT/X runs as a single basis relabeling.
+    """
+    a = as_tensor(a)
+    idx = np.asarray(indices, dtype=np.intp)
+    if idx.ndim != 1 or idx.shape[0] != a.shape[-1]:
+        raise ValueError(
+            f"permutation length {idx.shape} does not match last axis of {a.shape}"
+        )
+    inverse = np.empty_like(idx)
+    inverse[idx] = np.arange(idx.shape[0], dtype=np.intp)
+    return make_node(
+        np.array(a.data[..., idx], copy=True),
+        [(a, lambda ct: permute_last(ct, inverse))],
     )
 
 

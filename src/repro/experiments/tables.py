@@ -87,12 +87,18 @@ class Table2Row:
         return (self.package, self.grid_points, self.seconds_per_epoch)
 
 
-def _torq_epoch_seconds(batch: int, n_qubits: int, n_layers: int, repeats: int) -> float:
-    """One 'epoch' of the quantum layer: batched forward + backward."""
+def _torq_epoch_seconds(
+    batch: int, n_qubits: int, n_layers: int, repeats: int, compiled: bool = True
+) -> float:
+    """One 'epoch' of the quantum layer: batched forward + backward.
+
+    ``compiled`` selects between the fused execution plan (the default,
+    and what training uses) and the interpreted per-gate dispatch path.
+    """
     rng = np.random.default_rng(0)
     layer = QuantumLayer(
         n_qubits=n_qubits, n_layers=n_layers, ansatz="basic_entangling",
-        scaling="acos", rng=rng,
+        scaling="acos", rng=rng, compiled=compiled,
     )
     acts = Tensor(rng.uniform(-0.9, 0.9, (batch, n_qubits)))
     params = layer.parameters()
@@ -102,8 +108,9 @@ def _torq_epoch_seconds(batch: int, n_qubits: int, n_layers: int, repeats: int) 
         out = layer(acts)
         backward((out * out).mean(), params)
 
-    run()  # warm-up (allocator, caches)
-    timer = obs.metrics().timer("table2.epoch", backend="torq", batch=batch)
+    run()  # warm-up (allocator, caches, plan compilation)
+    backend = "torq-compiled" if compiled else "torq"
+    timer = obs.metrics().timer("table2.epoch", backend=backend, batch=batch)
     n0, t0 = timer.count, timer.total  # timers accumulate across calls
     for _ in range(repeats):
         with timer.time():
@@ -152,7 +159,14 @@ def table2_rows(
         )
     for g in torq_grids:
         rows.append(
-            Table2Row("TorQ (batched)", g ** 3,
-                      _torq_epoch_seconds(g ** 3, n_qubits, n_layers, repeats))
+            Table2Row("TorQ (batched, interpreted)", g ** 3,
+                      _torq_epoch_seconds(g ** 3, n_qubits, n_layers, repeats,
+                                          compiled=False))
+        )
+    for g in torq_grids:
+        rows.append(
+            Table2Row("TorQ (batched, compiled plan)", g ** 3,
+                      _torq_epoch_seconds(g ** 3, n_qubits, n_layers, repeats,
+                                          compiled=True))
         )
     return rows

@@ -49,8 +49,20 @@ from .analysis import (
 from .noise import NoiseModel, noisy_z_expectations
 from .qng import fubini_study_metric, qng_direction, state_jacobian
 from .reupload import ReuploadingQuantumLayer
-from .reference import NaiveSimulator, gate_matrix
-from .shift import classify_parameters, parameter_shift_grad
+from .compile import (
+    ExecutionPlan,
+    clear_plan_cache,
+    compile_gates,
+    plan_cache_info,
+)
+from .reference import NaiveSimulator, gate_matrix, run_gates
+from .shift import (
+    batched_parameter_shift_grad,
+    classify_parameters,
+    make_batched_ansatz_forward,
+    parameter_shift_grad,
+    shift_table,
+)
 from .state import (
     QuantumState,
     apply_cnot,
@@ -84,8 +96,10 @@ __all__ = [
     "pauli_string_expectation",
     "meyer_wallach", "single_qubit_purities",
     "QuantumLayer", "INIT_STRATEGIES", "initial_circuit_params",
-    "NaiveSimulator", "gate_matrix",
-    "parameter_shift_grad", "classify_parameters",
+    "ExecutionPlan", "compile_gates", "clear_plan_cache", "plan_cache_info",
+    "NaiveSimulator", "gate_matrix", "run_gates",
+    "parameter_shift_grad", "batched_parameter_shift_grad",
+    "classify_parameters", "shift_table", "make_batched_ansatz_forward",
     "ReuploadingQuantumLayer", "NoiseModel", "noisy_z_expectations",
     "expressibility", "entangling_capability", "random_circuit_states",
     "gradient_variance_scan",

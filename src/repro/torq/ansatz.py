@@ -24,7 +24,8 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from .. import obs
-from ..autodiff import Tensor
+from ..autodiff import Tensor, as_tensor
+from .compile import ExecutionPlan, compile_gates
 from .state import (
     QuantumState,
     apply_cnot,
@@ -92,6 +93,19 @@ class Ansatz:
     def gate_sequence(self) -> tuple[GateSpec, ...]:
         """The circuit as an ordered tuple of gate specs."""
         return self._gates
+
+    def execution_plan(self) -> ExecutionPlan:
+        """The compiled (fused, index-precomputed) plan for this ansatz.
+
+        Compiled lazily on first use and cached — both on the instance and
+        in the process-wide structural plan cache, so every same-shape
+        ansatz replays one plan.
+        """
+        plan = getattr(self, "_plan", None)
+        if plan is None:
+            plan = compile_gates(self._gates, self.n_qubits)
+            self._plan = plan
+        return plan
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -223,27 +237,55 @@ def make_ansatz(name: str, n_qubits: int = 7, n_layers: int = 4) -> Ansatz:
     return cls(n_qubits=n_qubits, n_layers=n_layers)
 
 
-def _apply_gate(state: QuantumState, gate: GateSpec, params: Tensor) -> QuantumState:
+def _apply_gate(state: QuantumState, gate: GateSpec, resolve) -> QuantumState:
     if gate.name == "rot":
-        a, b, g = (params[i] for i in gate.params)
+        a, b, g = (resolve(i) for i in gate.params)
         return apply_rot(state, gate.qubits[0], a, b, g)
     if gate.name == "rx":
-        return apply_rx(state, gate.qubits[0], params[gate.params[0]])
+        return apply_rx(state, gate.qubits[0], resolve(gate.params[0]))
     if gate.name == "rz":
-        return apply_rz(state, gate.qubits[0], params[gate.params[0]])
+        return apply_rz(state, gate.qubits[0], resolve(gate.params[0]))
     if gate.name == "cnot":
         return apply_cnot(state, gate.qubits[0], gate.qubits[1])
     if gate.name == "crz":
-        return apply_crz(state, gate.qubits[0], gate.qubits[1], params[gate.params[0]])
+        return apply_crz(state, gate.qubits[0], gate.qubits[1], resolve(gate.params[0]))
     raise ValueError(f"unknown gate {gate.name!r}")  # pragma: no cover
 
 
-def apply_ansatz(state: QuantumState, ansatz: Ansatz, params: Tensor) -> QuantumState:
-    """Run the ansatz on the TorQ backend with a flat parameter tensor."""
-    if params.shape != (ansatz.param_count,):
+def _param_resolver(params: Tensor):
+    """Flat-index accessor for 1-D (shared) or 2-D (per-batch) parameters."""
+    if params.ndim == 1:
+        return lambda i: params[i]
+    return lambda i: params[:, i]
+
+
+def apply_ansatz(
+    state: QuantumState,
+    ansatz: Ansatz,
+    params: Tensor,
+    compiled: bool = True,
+) -> QuantumState:
+    """Run the ansatz on the TorQ backend with a flat parameter tensor.
+
+    ``params`` has shape ``(param_count,)`` for one shared parameter set,
+    or ``(batch, param_count)`` to give every batch element its own
+    parameters — the layout batched parameter-shift gradients execute.
+    By default the circuit runs through its cached
+    :class:`~repro.torq.compile.ExecutionPlan`; pass ``compiled=False``
+    for the interpreted per-gate path.
+    """
+    params = as_tensor(params)
+    if params.ndim == 2:
+        expected = (state.batch, ansatz.param_count)
+    else:
+        expected = (ansatz.param_count,)
+    if params.shape != expected:
         raise ValueError(
             f"expected {ansatz.param_count} parameters, got shape {params.shape}"
         )
+    resolve = _param_resolver(params)
+    if compiled:
+        return ansatz.execution_plan().run(state, resolve)
     if obs.is_profiling():
         reg = obs.metrics()
         reg.histogram("torq.circuit.batch").observe(state.batch)
@@ -251,8 +293,8 @@ def apply_ansatz(state: QuantumState, ansatz: Ansatz, params: Tensor) -> Quantum
             for gate in ansatz.gate_sequence():
                 reg.counter("torq.gates", gate=gate.name).inc()
                 with reg.timer("torq.apply", gate=gate.name).time():
-                    state = _apply_gate(state, gate, params)
+                    state = _apply_gate(state, gate, resolve)
         return state
     for gate in ansatz.gate_sequence():
-        state = _apply_gate(state, gate, params)
+        state = _apply_gate(state, gate, resolve)
     return state

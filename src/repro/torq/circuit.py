@@ -24,6 +24,8 @@ import numpy as np
 
 from .. import obs
 from ..autodiff import Tensor, as_tensor
+from .ansatz import GateSpec
+from .compile import ExecutionPlan, compile_gates
 from .measure import pauli_z_expectations
 from .state import (
     QuantumState,
@@ -66,6 +68,10 @@ class Circuit:
             raise ValueError("need at least one qubit")
         self.n_qubits = int(n_qubits)
         self._ops: list[_Op] = []
+        self._param_names: tuple[str, ...] | None = None
+        self._gate_seq: tuple[GateSpec, ...] | None = None
+        self._literals: tuple = ()
+        self._plan: ExecutionPlan | None = None
 
     # -- construction (fluent) ------------------------------------------
     def _append(self, name: str, qubits: tuple[int, ...], params: tuple = ()) -> "Circuit":
@@ -75,6 +81,11 @@ class Circuit:
         if len(qubits) == 2 and qubits[0] == qubits[1]:
             raise ValueError("control and target must differ")
         self._ops.append(_Op(name, qubits, params))
+        # Appending invalidates every structure-derived cache.
+        self._param_names = None
+        self._gate_seq = None
+        self._literals = ()
+        self._plan = None
         return self
 
     def h(self, q: int) -> "Circuit":
@@ -124,13 +135,64 @@ class Circuit:
         return len(self._ops)
 
     def parameter_names(self) -> tuple[str, ...]:
-        """Free (string-named) parameters in first-appearance order."""
-        seen: list[str] = []
-        for op in self._ops:
-            for p in op.params:
-                if isinstance(p, str) and p not in seen:
-                    seen.append(p)
-        return tuple(seen)
+        """Free (string-named) parameters in first-appearance order.
+
+        Cached after the first scan; :meth:`_append` invalidates it, so
+        repeated calls inside a training loop do not rescan the ops.
+        """
+        if self._param_names is None:
+            seen: list[str] = []
+            for op in self._ops:
+                for p in op.params:
+                    if isinstance(p, str) and p not in seen:
+                        seen.append(p)
+            self._param_names = tuple(seen)
+        return self._param_names
+
+    def gate_sequence(self) -> tuple[GateSpec, ...]:
+        """The circuit as :class:`GateSpec` records with flat parameter
+        indices — the same interface :meth:`Ansatz.gate_sequence` exposes,
+        so the compiler, the parameter-shift rules, and the dense
+        reference oracle all consume one circuit description.
+
+        Named parameters map to indices ``0..n_named-1`` in
+        :meth:`parameter_names` order (shared names share an index);
+        literal values (floats, arrays, tensors) get fresh trailing
+        indices in appearance order, with their values recoverable via
+        :meth:`flat_parameter_values`.
+        """
+        if self._gate_seq is None:
+            names = self.parameter_names()
+            index = {name: i for i, name in enumerate(names)}
+            literals: list = []
+            specs: list[GateSpec] = []
+            for op in self._ops:
+                refs = []
+                for p in op.params:
+                    if isinstance(p, str):
+                        refs.append(index[p])
+                    else:
+                        refs.append(len(names) + len(literals))
+                        literals.append(p)
+                specs.append(GateSpec(op.name, op.qubits, tuple(refs)))
+            self._gate_seq = tuple(specs)
+            self._literals = tuple(literals)
+        return self._gate_seq
+
+    def flat_parameter_values(self, params: Mapping[str, object] | None = None) -> list:
+        """Parameter values aligned with :meth:`gate_sequence` indices:
+        named values (resolved through ``params``) first, literals after."""
+        self.gate_sequence()
+        values = [self._resolve(name, params) for name in self.parameter_names()]
+        values.extend(self._literals)
+        return values
+
+    def execution_plan(self) -> ExecutionPlan:
+        """The compiled plan for the current gate sequence (cached until
+        the next append, and shared structurally across circuits)."""
+        if self._plan is None:
+            self._plan = compile_gates(self.gate_sequence(), self.n_qubits)
+        return self._plan
 
     # -- execution --------------------------------------------------------
     def _resolve(self, value, params: Mapping[str, object] | None):
@@ -168,11 +230,20 @@ class Circuit:
         params: Mapping[str, object] | None = None,
         batch: int = 1,
         initial: QuantumState | None = None,
+        compiled: bool = True,
     ) -> QuantumState:
-        """Execute the circuit; returns the final batched state."""
+        """Execute the circuit; returns the final batched state.
+
+        By default execution replays the cached compiled plan
+        (:meth:`execution_plan`); pass ``compiled=False`` for the
+        interpreted per-gate path.
+        """
         state = initial if initial is not None else zero_state(batch, self.n_qubits)
         if state.n_qubits != self.n_qubits:
             raise ValueError("initial state has the wrong qubit count")
+        if compiled:
+            values = self.flat_parameter_values(params)
+            return self.execution_plan().run(state, values.__getitem__)
         if obs.is_profiling():
             return self._run_profiled(state, params)
         for op in self._ops:
@@ -193,10 +264,15 @@ class Circuit:
         return state
 
     def z_expectations(
-        self, params: Mapping[str, object] | None = None, batch: int = 1
+        self,
+        params: Mapping[str, object] | None = None,
+        batch: int = 1,
+        compiled: bool = True,
     ) -> Tensor:
         """Per-qubit ⟨Z⟩ of the final state, shape ``(batch, n_qubits)``."""
-        return pauli_z_expectations(self.run(params=params, batch=batch))
+        return pauli_z_expectations(
+            self.run(params=params, batch=batch, compiled=compiled)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Circuit(n_qubits={self.n_qubits}, gates={self.n_gates})"

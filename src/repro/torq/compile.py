@@ -1,0 +1,738 @@
+"""Circuit compilation: fused, cached execution plans for TorQ.
+
+The interpreted executors (:meth:`Circuit.run`, :func:`apply_ansatz`) pay
+Python-level per-gate dispatch on every training step: an if-chain per op,
+slice tuples rebuilt per call, and one whole-array kernel per gate.  This
+module compiles a gate sequence *once* into an :class:`ExecutionPlan` — a
+flat list of prepared closures with every index precomputed — and applies
+three fusion passes along the way:
+
+* **single-qubit fusion** — runs of single-qubit gates on the same qubit
+  (allowing exact commutation past gates on disjoint qubits) collapse into
+  one 2×2 unitary.  Constant gates (H/X/Y/Z) are folded numerically at
+  compile time; parameterized gates (RX/RY/RZ/Rot) contribute symbolic
+  matrix entries that are composed with zero-term pruning at call time, so
+  the state-sized work is a single general gate application;
+
+* **diagonal fusion** — runs of diagonal gates (Z/RZ/CRZ, which all
+  commute) collapse into one phase mask: the shift angles accumulate into
+  a single broadcast tensor and the state is multiplied by ``e^{iθ}`` once
+  — the full CRZ mesh of the cross-mesh ansätze becomes *one* kernel;
+
+* **permutation fusion** — runs of X/CNOT gates compose into a single
+  relabeling of the computational basis, replayed as one gather
+  (:func:`repro.autodiff.ops.permute_last`) whose VJP is the inverse
+  gather, with no scatter-add buffering.
+
+Everything else becomes a specialized step that reproduces the
+uncompiled backend's arithmetic bit-for-bit with precomputed indices.
+
+Plans are cached process-wide on circuit *structure* (the gate tuple), so
+a training loop compiles once and replays every step.  Parameter values
+are late-bound through a ``resolve(flat_index) -> angle`` callable, which
+is also what makes batched parameter-shift gradients possible: resolving
+to per-batch angle vectors executes all shifted parameter sets in one run.
+
+Compilation is on by default (``compiled=True`` on :meth:`Circuit.run`,
+:func:`apply_ansatz`, and :class:`QuantumLayer`); pass ``compiled=False``
+to fall back to interpreted per-gate dispatch.  A :class:`Circuit`'s
+cached plan (like its cached ``gate_sequence()``/``parameter_names()``)
+is invalidated automatically when a gate is appended.  Inspect what a
+plan does with :meth:`ExecutionPlan.describe` (one record per step: kind,
+member gates, qubits) and the cache with :func:`plan_cache_info` /
+:func:`clear_plan_cache`.
+
+Observability: plan execution is silent unless :func:`repro.obs.profile`
+is active, in which case per-step timers, fused-gate counters, and
+plan-cache hit/miss counters are recorded.  Step closures call autodiff
+ops through the module namespace at run time (never captured at compile
+time), so the profiler's rebinding shims keep attributing op-level time
+inside compiled plans.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+from .. import obs
+from ..autodiff import Tensor, as_tensor
+from . import complexnum as cplx
+from .complexnum import ComplexTensor
+
+__all__ = [
+    "ExecutionPlan",
+    "compile_gates",
+    "clear_plan_cache",
+    "plan_cache_info",
+]
+
+
+_SINGLE_QUBIT = {"h", "x", "y", "z", "rx", "ry", "rz", "rot"}
+_DIAGONAL = {"z", "rz", "crz"}
+_PERMUTATION = {"x", "cnot"}
+
+_INV_SQRT2 = 1.0 / np.sqrt(2.0)
+
+_CONST_MATS = {
+    "h": np.array([[1.0, 1.0], [1.0, -1.0]], dtype=np.complex128) * _INV_SQRT2,
+    "x": np.array([[0.0, 1.0], [1.0, 0.0]], dtype=np.complex128),
+    "y": np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=np.complex128),
+    "z": np.array([[1.0, 0.0], [0.0, -1.0]], dtype=np.complex128),
+}
+
+
+# ----------------------------------------------------------------------
+# Symbolic 2×2 matrix entries
+#
+# An entry is a ``(re, im)`` pair whose components are ``None`` (an exact
+# structural zero), a Python float (compile-time constant), or a Tensor
+# (parameter-dependent, possibly per-batch).  Products and sums prune
+# zero terms, so composing rotation matrices — which are mostly zeros —
+# emits only the graph nodes that carry information.
+# ----------------------------------------------------------------------
+
+def _r_mul(a, b):
+    if a is None or b is None:
+        return None
+    if isinstance(a, float) and isinstance(b, float):
+        return a * b
+    return a * b
+
+
+def _r_add(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a + b
+
+
+def _r_neg(a):
+    return None if a is None else -a
+
+
+def _e_mul(x, y):
+    xr, xi = x
+    yr, yi = y
+    return (
+        _r_add(_r_mul(xr, yr), _r_neg(_r_mul(xi, yi))),
+        _r_add(_r_mul(xr, yi), _r_mul(xi, yr)),
+    )
+
+
+def _e_add(x, y):
+    return (_r_add(x[0], y[0]), _r_add(x[1], y[1]))
+
+
+def _mat_mul(a, b):
+    """2×2 product A·B of entry 4-tuples ``(e00, e01, e10, e11)``."""
+    a00, a01, a10, a11 = a
+    b00, b01, b10, b11 = b
+    return (
+        _e_add(_e_mul(a00, b00), _e_mul(a01, b10)),
+        _e_add(_e_mul(a00, b01), _e_mul(a01, b11)),
+        _e_add(_e_mul(a10, b00), _e_mul(a11, b10)),
+        _e_add(_e_mul(a10, b01), _e_mul(a11, b11)),
+    )
+
+
+def _const_entries(mat: np.ndarray):
+    """Entry 4-tuple for a constant complex 2×2 matrix (zeros → None)."""
+    def entry(z):
+        re, im = float(z.real), float(z.imag)
+        return (re if re != 0.0 else None, im if im != 0.0 else None)
+
+    return (entry(mat[0, 0]), entry(mat[0, 1]), entry(mat[1, 0]), entry(mat[1, 1]))
+
+
+def _e_amp(e, a: ComplexTensor):
+    """``e * a`` for an entry against a complex amplitude block (or None)."""
+    er, ei = e
+    if er is None and ei is None:
+        return None
+    if ei is None:
+        if isinstance(er, float):
+            if er == 1.0:
+                return a
+            if er == -1.0:
+                return -a
+        return ComplexTensor(a.re * er, a.im * er)
+    if er is None:
+        if isinstance(ei, float):
+            if ei == 1.0:
+                return a.mul_i()
+            if ei == -1.0:
+                return ComplexTensor(a.im, -a.re)
+        return ComplexTensor(-(a.im * ei), a.re * ei)
+    return ComplexTensor(a.re * er - a.im * ei, a.re * ei + a.im * er)
+
+
+def _row_apply(ea, eb, a: ComplexTensor, b: ComplexTensor) -> ComplexTensor:
+    """``ea*a + eb*b`` — one output row of a 2×2 gate application."""
+    x = _e_amp(ea, a)
+    y = _e_amp(eb, b)
+    if x is None:
+        if y is None:  # pragma: no cover - impossible for a unitary row
+            return ComplexTensor(a.re * 0.0, a.im * 0.0)
+        return y
+    if y is None:
+        return x
+    return x + y
+
+
+def _angle(resolve: Callable, ref: int, bshape: tuple) -> Tensor:
+    """Resolve one flat parameter to a broadcast-ready angle tensor.
+
+    Scalars pass through; per-batch 1-D angles gain trailing singleton
+    axes (``bshape``) so they broadcast over the qubit axes of the state.
+    """
+    theta = as_tensor(resolve(ref))
+    if theta.ndim == 0:
+        return theta
+    if theta.ndim != 1:
+        raise ValueError("angles must be scalar or per-batch 1-D")
+    return ad.reshape(theta, (theta.shape[0],) + bshape)
+
+
+# -- symbolic matrix builders for parameterized single-qubit gates -------
+
+def _builder_rx(ref: int, bshape: tuple):
+    def build(resolve):
+        half = _angle(resolve, ref, bshape) * 0.5
+        c, ns = ad.cos(half), -ad.sin(half)
+        return ((c, None), (None, ns), (None, ns), (c, None))
+
+    return build
+
+
+def _builder_ry(ref: int, bshape: tuple):
+    def build(resolve):
+        half = _angle(resolve, ref, bshape) * 0.5
+        c, s = ad.cos(half), ad.sin(half)
+        return ((c, None), (-s, None), (s, None), (c, None))
+
+    return build
+
+
+def _builder_rz(ref: int, bshape: tuple):
+    def build(resolve):
+        half = _angle(resolve, ref, bshape) * 0.5
+        c, s = ad.cos(half), ad.sin(half)
+        return ((c, -s), (None, None), (None, None), (c, s))
+
+    return build
+
+
+def _builder_rot(refs: tuple, bshape: tuple):
+    a_ref, b_ref, g_ref = refs
+
+    def build(resolve):
+        alpha = _angle(resolve, a_ref, bshape)
+        beta = _angle(resolve, b_ref, bshape)
+        gamma = _angle(resolve, g_ref, bshape)
+        plus = (alpha + gamma) * 0.5
+        minus = (alpha - gamma) * 0.5
+        c, s = ad.cos(beta * 0.5), ad.sin(beta * 0.5)
+        cp, sp = ad.cos(plus), ad.sin(plus)
+        cm, sm = ad.cos(minus), ad.sin(minus)
+        return (
+            (cp * c, -(sp * c)),
+            (-(cm * s), -(sm * s)),
+            (cm * s, -(sm * s)),
+            (cp * c, sp * c),
+        )
+
+    return build
+
+
+_PARAM_BUILDERS = {"rx": _builder_rx, "ry": _builder_ry, "rz": _builder_rz}
+
+
+# ----------------------------------------------------------------------
+# Plan steps.  Each step maps ``(state_tensor, resolve) -> state_tensor``
+# on the raw ComplexTensor with every index precomputed at compile time.
+# ----------------------------------------------------------------------
+
+def _half_indices(n_qubits: int, qubit: int) -> tuple[tuple, tuple, int]:
+    axis = qubit + 1
+    idx0 = [slice(None)] * (n_qubits + 1)
+    idx1 = [slice(None)] * (n_qubits + 1)
+    idx0[axis] = 0
+    idx1[axis] = 1
+    return tuple(idx0), tuple(idx1), axis
+
+
+def _block_matrix(u):
+    """Real 4×4 block form ``[[Ur, −Ui], [Ui, Ur]]`` of 2×2 entry tuple ``u``.
+
+    Acting on the packed real vector ``(a0re, a1re, a0im, a1im)`` this
+    reproduces the complex 2×2 application as ONE matrix product.  Returns
+    a constant ndarray when every entry is known at compile time, else a
+    stacked tensor of shape ``(4, 4)`` (scalar params) or ``(batch, 1, 4,
+    4)`` (per-batch params) ready to broadcast through ``matmul``.
+    """
+    e00, e01, e10, e11 = u
+    r = (e00[0], e01[0], e10[0], e11[0])
+    i = (e00[1], e01[1], e10[1], e11[1])
+    slots = (
+        (r[0], r[1], _r_neg(i[0]), _r_neg(i[1])),
+        (r[2], r[3], _r_neg(i[2]), _r_neg(i[3])),
+        (i[0], i[1], r[0], r[1]),
+        (i[2], i[3], r[2], r[3]),
+    )
+    tensors = [v for row in slots for v in row if isinstance(v, Tensor)]
+    if not tensors:
+        return np.array(
+            [[0.0 if v is None else v for v in row] for row in slots]
+        )
+    batch = next((t.shape[0] for t in tensors if t.ndim == 1), None)
+
+    def lift(v):
+        t = as_tensor(0.0 if v is None else v)
+        if batch is not None and t.ndim == 0:
+            return ad.broadcast_to(t, (batch,))
+        return t
+
+    rows = [ad.stack([lift(v) for v in row], axis=-1) for row in slots]
+    mat = ad.stack(rows, axis=-2)
+    if batch is not None:
+        return ad.reshape(mat, (-1, 1, 4, 4))
+    return mat
+
+
+class _FusedSingleQubitStep:
+    """A run of same-qubit single-qubit gates as one block-matrix product.
+
+    The composed 2×2 complex unitary is applied through its real 4×4 block
+    form with a single :func:`~repro.autodiff.ops.matmul` over the packed
+    ``(batch, pre, 4, post)`` state — one BLAS kernel (and one backward
+    node) instead of a dozen elementwise operations.
+    """
+
+    kind = "fused_1q"
+
+    def __init__(self, gates, qubit: int, n_qubits: int):
+        self.gates = tuple(g.name for g in gates)
+        self.n_gates = len(gates)
+        pre = 2 ** qubit
+        post = 2 ** (n_qubits - 1 - qubit)
+        self._pack_shape = (-1, pre, 2, post)
+        self._full_shape = (-1,) + (2,) * n_qubits
+        # Consecutive constant gates fold numerically at compile time;
+        # parameterized gates contribute call-time symbolic builders.
+        parts: list = []
+        pending: np.ndarray | None = None
+        for g in gates:
+            if g.name in _CONST_MATS:
+                mat = _CONST_MATS[g.name]
+                pending = mat if pending is None else mat @ pending
+                continue
+            if pending is not None:
+                parts.append(_const_entries(pending))
+                pending = None
+            if g.name == "rot":
+                parts.append(_builder_rot(g.params, ()))
+            else:
+                parts.append(_PARAM_BUILDERS[g.name](g.params[0], ()))
+        if pending is not None:
+            parts.append(_const_entries(pending))
+        self._parts = tuple(parts)
+        self._const_m = (
+            _block_matrix(parts[0])
+            if len(parts) == 1 and not callable(parts[0])
+            else None
+        )
+
+    def __call__(self, tensor: ComplexTensor, resolve) -> ComplexTensor:
+        if self._const_m is not None:
+            m = self._const_m
+        else:
+            mats = [p(resolve) if callable(p) else p for p in self._parts]
+            u = mats[0]
+            for um in mats[1:]:
+                u = _mat_mul(um, u)
+            m = _block_matrix(u)
+        packed = ad.concatenate(
+            [
+                ad.reshape(tensor.re, self._pack_shape),
+                ad.reshape(tensor.im, self._pack_shape),
+            ],
+            axis=2,
+        )
+        out = ad.matmul(m, packed)
+        return ComplexTensor(
+            ad.reshape(out[:, :, 0:2], self._full_shape),
+            ad.reshape(out[:, :, 2:4], self._full_shape),
+        )
+
+
+class _PhaseMaskStep:
+    """A run of diagonal gates (Z/RZ/CRZ) as one phase-mask multiply."""
+
+    kind = "phase_mask"
+
+    def __init__(self, gates, n_qubits: int):
+        self.gates = tuple(g.name for g in gates)
+        self.n_gates = len(gates)
+        self._bshape = (1,) * n_qubits
+        terms: list[tuple[np.ndarray, int]] = []
+        const_mask: np.ndarray | None = None
+        for g in gates:
+            if g.name == "z":
+                coeff = self._axis_values(n_qubits, g.qubits[0], [1.0, -1.0])
+                const_mask = coeff if const_mask is None else const_mask * coeff
+            elif g.name == "rz":
+                terms.append(
+                    (self._axis_values(n_qubits, g.qubits[0], [-0.5, 0.5]),
+                     g.params[0])
+                )
+            else:  # crz: phase only where the control bit is 1
+                control, target = g.qubits
+                bit_c = self._axis_values(n_qubits, control, [0.0, 1.0])
+                sign_t = self._axis_values(n_qubits, target, [-0.5, 0.5])
+                terms.append((bit_c * sign_t, g.params[0]))
+        self._terms = tuple(terms)
+        self._const = const_mask
+
+    @staticmethod
+    def _axis_values(n_qubits: int, qubit: int, values) -> np.ndarray:
+        shape = [1] * (n_qubits + 1)
+        shape[qubit + 1] = 2
+        return np.asarray(values, dtype=np.float64).reshape(shape)
+
+    def __call__(self, tensor: ComplexTensor, resolve) -> ComplexTensor:
+        total = None
+        for coeff, ref in self._terms:
+            theta = as_tensor(resolve(ref))
+            if theta.ndim == 1:
+                theta = ad.reshape(theta, (theta.shape[0],) + self._bshape)
+            elif theta.ndim != 0:
+                raise ValueError("angles must be scalar or per-batch 1-D")
+            term = theta * coeff
+            total = term if total is None else total + term
+        if total is None:
+            return tensor * self._const
+        mask = cplx.expi(total)
+        if self._const is not None:
+            mask = mask * self._const
+        return tensor * mask
+
+
+class _PermutationStep:
+    """A run of X/CNOT gates as one relabeling of the basis axis."""
+
+    kind = "permutation"
+
+    def __init__(self, gates, n_qubits: int):
+        self.gates = tuple(g.name for g in gates)
+        self.n_gates = len(gates)
+        n = n_qubits
+        dim = 2 ** n
+        self._flat_shape = (-1, dim)
+        self._full_shape = (-1,) + (2,) * n
+        idx = np.arange(dim)
+        src = idx
+        for g in gates:
+            if g.name == "x":
+                gmap = idx ^ (1 << (n - 1 - g.qubits[0]))
+            else:
+                control, target = g.qubits
+                cmask = 1 << (n - 1 - control)
+                tmask = 1 << (n - 1 - target)
+                gmap = np.where(idx & cmask, idx ^ tmask, idx)
+            src = src[gmap]
+        self._src = src
+
+    def __call__(self, tensor: ComplexTensor, resolve) -> ComplexTensor:
+        flat = tensor.reshape(self._flat_shape)
+        out = ComplexTensor(
+            ad.permute_last(flat.re, self._src),
+            ad.permute_last(flat.im, self._src),
+        )
+        return out.reshape(self._full_shape)
+
+
+class _SingleGateStep:
+    """One unfused gate, replaying the interpreted arithmetic with
+    precomputed indices (bit-compatible with the uncompiled path)."""
+
+    kind = "gate"
+
+    def __init__(self, gate, n_qubits: int):
+        self.gates = (gate.name,)
+        self.n_gates = 1
+        self._name = gate.name
+        self._params = gate.params
+        n = n_qubits
+        if len(gate.qubits) == 1:
+            self._idx0, self._idx1, self._axis = _half_indices(n, gate.qubits[0])
+            self._bshape = (1,) * (n - 1)
+        else:
+            control, target = gate.qubits
+            self._idx0, self._idx1, self._axis = _half_indices(n, control)
+            taxis = target + 1
+            self._taxis = taxis - 1 if taxis > control + 1 else taxis
+            tidx0 = [slice(None)] * n
+            tidx1 = [slice(None)] * n
+            tidx0[self._taxis] = 0
+            tidx1[self._taxis] = 1
+            self._tidx0, self._tidx1 = tuple(tidx0), tuple(tidx1)
+            self._bshape = (1,) * (n - 2)
+
+    def __call__(self, tensor: ComplexTensor, resolve) -> ComplexTensor:
+        name = self._name
+        if name == "cnot":
+            c0 = tensor[self._idx0]
+            c1 = tensor[self._idx1].flip(self._taxis)
+            return cplx.stack([c0, c1], axis=self._axis)
+        if name == "crz":
+            c0 = tensor[self._idx0]
+            c1 = tensor[self._idx1]
+            t0 = c1[self._tidx0]
+            t1 = c1[self._tidx1]
+            half = _angle(resolve, self._params[0], self._bshape) * 0.5
+            t0 = t0 * cplx.expi(-half)
+            t1 = t1 * cplx.expi(half)
+            c1 = cplx.stack([t0, t1], axis=self._taxis)
+            return cplx.stack([c0, c1], axis=self._axis)
+        if name == "x":
+            return tensor.flip(self._axis)
+        a0 = tensor[self._idx0]
+        a1 = tensor[self._idx1]
+        if name == "h":
+            n0 = (a0 + a1) * _INV_SQRT2
+            n1 = (a0 - a1) * _INV_SQRT2
+        elif name == "y":
+            n0 = ComplexTensor(a1.im, -a1.re)
+            n1 = ComplexTensor(-a0.im, a0.re)
+        elif name == "z":
+            n0, n1 = a0, -a1
+        elif name == "rx":
+            half = _angle(resolve, self._params[0], self._bshape) * 0.5
+            c, s = ad.cos(half), ad.sin(half)
+            n0 = ComplexTensor(a0.re * c + a1.im * s, a0.im * c - a1.re * s)
+            n1 = ComplexTensor(a1.re * c + a0.im * s, a1.im * c - a0.re * s)
+        elif name == "ry":
+            half = _angle(resolve, self._params[0], self._bshape) * 0.5
+            c, s = ad.cos(half), ad.sin(half)
+            n0 = ComplexTensor(a0.re * c - a1.re * s, a0.im * c - a1.im * s)
+            n1 = ComplexTensor(a0.re * s + a1.re * c, a0.im * s + a1.im * c)
+        elif name == "rz":
+            half = _angle(resolve, self._params[0], self._bshape) * 0.5
+            c, s = ad.cos(half), ad.sin(half)
+            n0 = ComplexTensor(a0.re * c + a0.im * s, a0.im * c - a0.re * s)
+            n1 = ComplexTensor(a1.re * c - a1.im * s, a1.im * c + a1.re * s)
+        elif name == "rot":
+            u = _builder_rot(self._params, self._bshape)(resolve)
+            n0 = _row_apply(u[0], u[1], a0, a1)
+            n1 = _row_apply(u[2], u[3], a0, a1)
+        else:  # pragma: no cover - closed gate set
+            raise ValueError(f"unknown gate {name!r}")
+        return cplx.stack([n0, n1], axis=self._axis)
+
+
+# ----------------------------------------------------------------------
+# Segmentation: greedy grouping with exact commutation
+# ----------------------------------------------------------------------
+
+class _Group:
+    __slots__ = ("kind", "qubit", "gates", "support")
+
+    def __init__(self, kind: str, qubit, gate, support):
+        self.kind = kind
+        self.qubit = qubit
+        self.gates = [gate]
+        self.support = set(support)
+
+
+def _join_kind(gate, group: _Group) -> str | None:
+    """Kind the group takes if ``gate`` joins it, or None if incompatible."""
+    name = gate.name
+    if (
+        name in _SINGLE_QUBIT
+        and group.kind == "1q"
+        and group.qubit == gate.qubits[0]
+    ):
+        return "1q"
+    if name in _DIAGONAL:
+        if group.kind == "diag":
+            return "diag"
+        if group.kind == "1q" and all(g.name in _DIAGONAL for g in group.gates):
+            return "diag"
+    if name in _PERMUTATION:
+        if group.kind == "perm":
+            return "perm"
+        if group.kind == "1q" and all(g.name in _PERMUTATION for g in group.gates):
+            return "perm"
+    return None
+
+
+def _segment(gates) -> list[_Group]:
+    """Group gates greedily, commuting each gate left past groups whose
+    qubit support is disjoint (an exact identity on tensor products)."""
+    groups: list[_Group] = []
+    for gate in gates:
+        support = set(gate.qubits)
+        joined = None
+        new_kind = None
+        for group in reversed(groups):
+            kind = _join_kind(gate, group)
+            if kind is not None:
+                joined, new_kind = group, kind
+                break
+            if group.support & support:
+                break
+        if joined is not None:
+            joined.kind = new_kind
+            if new_kind != "1q":
+                joined.qubit = None
+            joined.gates.append(gate)
+            joined.support |= support
+        elif gate.name in _SINGLE_QUBIT:
+            groups.append(_Group("1q", gate.qubits[0], gate, support))
+        elif gate.name == "crz":
+            groups.append(_Group("diag", None, gate, support))
+        elif gate.name == "cnot":
+            groups.append(_Group("perm", None, gate, support))
+        else:  # pragma: no cover - closed gate set
+            raise ValueError(f"unknown gate {gate.name!r}")
+    return groups
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+
+class ExecutionPlan:
+    """A compiled gate sequence: prepared steps replayed per execution."""
+
+    def __init__(self, steps: tuple, n_qubits: int, n_gates: int):
+        self.steps = steps
+        self.n_qubits = n_qubits
+        self.n_gates = n_gates
+
+    @property
+    def num_steps(self) -> int:
+        """Number of kernel launches per execution (≤ ``n_gates``)."""
+        return len(self.steps)
+
+    @property
+    def fused_gates(self) -> int:
+        """How many gate applications fusion eliminated."""
+        return self.n_gates - len(self.steps)
+
+    def describe(self) -> list[dict]:
+        """Human-readable step list (kind + member gates) for inspection."""
+        return [
+            {"kind": s.kind, "gates": list(s.gates)} for s in self.steps
+        ]
+
+    def run(self, state, resolve: Callable[[int], object]):
+        """Execute the plan on a :class:`QuantumState`.
+
+        ``resolve`` maps a flat parameter index to its value: a float, a
+        0-d tensor, or a per-batch 1-D tensor (which is how batched
+        parameter-shift executes every shifted parameter set at once).
+        """
+        from .state import QuantumState  # deferred: state does not import us
+
+        tensor = state.tensor
+        if obs.is_profiling():
+            # Same metric families as the interpreted path (torq.gates /
+            # torq.circuit.batch / torq.apply) so dashboards and tests see
+            # one vocabulary; fused steps are timed under their step kind.
+            reg = obs.metrics()
+            reg.counter("torq.plan.replay").inc()
+            reg.histogram("torq.circuit.batch").observe(state.batch)
+            with reg.scope("torq.plan.run", n_qubits=self.n_qubits):
+                for step in self.steps:
+                    for name in step.gates:
+                        reg.counter("torq.gates", gate=name).inc()
+                    reg.counter("torq.plan.steps", kind=step.kind).inc()
+                    label = step.gates[0] if step.n_gates == 1 else step.kind
+                    with reg.timer("torq.apply", gate=label).time():
+                        tensor = step(tensor, resolve)
+        else:
+            for step in self.steps:
+                tensor = step(tensor, resolve)
+        return QuantumState(tensor, self.n_qubits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionPlan(n_qubits={self.n_qubits}, gates={self.n_gates}, "
+            f"steps={self.num_steps})"
+        )
+
+
+def _compile(gates, n_qubits: int) -> ExecutionPlan:
+    steps = []
+    for group in _segment(gates):
+        if len(group.gates) == 1 and group.gates[0].name == "rot":
+            # A lone Rot is the hot path of the paper's ansätze; the
+            # block-matrix application beats the elementwise arithmetic.
+            steps.append(
+                _FusedSingleQubitStep(group.gates, group.qubit, n_qubits)
+            )
+        elif len(group.gates) == 1 and group.kind in ("1q", "diag", "perm"):
+            steps.append(_SingleGateStep(group.gates[0], n_qubits))
+        elif group.kind == "1q":
+            steps.append(_FusedSingleQubitStep(group.gates, group.qubit, n_qubits))
+        elif group.kind == "diag":
+            steps.append(_PhaseMaskStep(group.gates, n_qubits))
+        else:
+            steps.append(_PermutationStep(group.gates, n_qubits))
+    return ExecutionPlan(tuple(steps), n_qubits, sum(1 for _ in gates))
+
+
+_PLAN_CACHE: dict[tuple, ExecutionPlan] = {}
+_PLAN_CACHE_MAX = 512
+_cache_hits = 0
+_cache_misses = 0
+
+
+def compile_gates(gates: Sequence, n_qubits: int, cache: bool = True) -> ExecutionPlan:
+    """Compile a gate sequence (``GateSpec``-like records with flat integer
+    parameter indices) into a cached :class:`ExecutionPlan`.
+
+    Plans are keyed on circuit *structure* — gate names, qubits, and
+    parameter indices — so circuits that differ only in parameter values
+    share one plan and replay it every training step.
+    """
+    global _cache_hits, _cache_misses
+    gates = tuple(gates)
+    if not cache:
+        return _compile(gates, n_qubits)
+    key = (n_qubits, tuple((g.name, g.qubits, g.params) for g in gates))
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _cache_hits += 1
+        if obs.is_profiling():
+            obs.metrics().counter("torq.plan.cache", outcome="hit").inc()
+        return plan
+    _cache_misses += 1
+    if obs.is_profiling():
+        obs.metrics().counter("torq.plan.cache", outcome="miss").inc()
+    plan = _compile(gates, n_qubits)
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+        _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+    _PLAN_CACHE[key] = plan
+    if obs.is_profiling():
+        obs.metrics().counter("torq.plan.compiled").inc()
+        obs.metrics().counter("torq.plan.fused_gates").inc(plan.fused_gates)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (and reset hit/miss statistics)."""
+    global _cache_hits, _cache_misses
+    _PLAN_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def plan_cache_info() -> dict:
+    """Cache statistics: ``{"size", "hits", "misses"}``."""
+    return {"size": len(_PLAN_CACHE), "hits": _cache_hits, "misses": _cache_misses}

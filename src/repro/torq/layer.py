@@ -66,6 +66,7 @@ class QuantumLayer(Module):
         scaling: str = "acos",
         init: str = "reg",
         rng: np.random.Generator | None = None,
+        compiled: bool = True,
     ):
         super().__init__()
         self.ansatz = ansatz if isinstance(ansatz, Ansatz) else make_ansatz(
@@ -75,6 +76,7 @@ class QuantumLayer(Module):
         self.n_layers = self.ansatz.n_layers
         self.scaling = str(scaling)
         self.init_strategy = str(init)
+        self.compiled = bool(compiled)
         self.params = Parameter(
             initial_circuit_params(init, self.ansatz.param_count, rng=rng),
             name="quantum_params",
@@ -100,7 +102,7 @@ class QuantumLayer(Module):
         angles = scale_input(self.scaling, activations)
         state = zero_state(activations.shape[0], self.n_qubits)
         state = angle_embedding(state, angles)
-        return apply_ansatz(state, self.ansatz, self.params)
+        return apply_ansatz(state, self.ansatz, self.params, compiled=self.compiled)
 
     def forward(self, activations: Tensor) -> Tensor:
         """Per-qubit ⟨Z⟩ readout, shape ``(batch, n_qubits)``."""

@@ -20,7 +20,13 @@ from .ansatz import Ansatz, GateSpec
 from .embedding import scaling_fn
 from ..autodiff import Tensor, no_grad
 
-__all__ = ["NaiveSimulator", "gate_matrix", "run_circuit", "z_expectations_dense"]
+__all__ = [
+    "NaiveSimulator",
+    "gate_matrix",
+    "run_gates",
+    "run_circuit",
+    "z_expectations_dense",
+]
 
 
 _I2 = np.eye(2, dtype=np.complex128)
@@ -79,13 +85,22 @@ def _embed_controlled(
     return out
 
 
-def gate_matrix(gate: GateSpec, params: np.ndarray, n_qubits: int) -> np.ndarray:
-    """Dense ``2^n × 2^n`` unitary for one gate spec."""
+def gate_matrix(gate: GateSpec, params, n_qubits: int) -> np.ndarray:
+    """Dense ``2^n × 2^n`` unitary for one gate spec.
+
+    ``params`` is any flat-indexable of scalar angles — a NumPy array for
+    ansatz circuits, or :meth:`Circuit.flat_parameter_values` output for
+    user circuits (resolved per point by :func:`run_gates`).
+    """
+    if gate.name in _FIXED_1Q:
+        return _embed_single(_FIXED_1Q[gate.name], gate.qubits[0], n_qubits)
     if gate.name == "rot":
         a, b, g = (params[i] for i in gate.params)
         return _embed_single(_rot(a, b, g), gate.qubits[0], n_qubits)
     if gate.name == "rx":
         return _embed_single(_rx(params[gate.params[0]]), gate.qubits[0], n_qubits)
+    if gate.name == "ry":
+        return _embed_single(_ry(params[gate.params[0]]), gate.qubits[0], n_qubits)
     if gate.name == "rz":
         return _embed_single(_rz(params[gate.params[0]]), gate.qubits[0], n_qubits)
     if gate.name == "cnot":
@@ -171,46 +186,58 @@ def _resolve_point(value, params, point: int) -> float:
     raise ValueError("angles must be scalar or per-batch 1-D")
 
 
+def run_gates(
+    gates: "Sequence[GateSpec]", values, n_qubits: int, batch: int = 1
+) -> np.ndarray:
+    """Execute any :class:`GateSpec` sequence densely, per point.
+
+    One interface for every circuit description in the library — the
+    compiler, the parameter-shift rules, and this oracle all consume the
+    same gate records.  ``values`` maps flat parameter indices to angles;
+    entries may be scalars, per-batch 1-D arrays, or Tensors (resolved per
+    point, matching TorQ's batched-angle semantics).  Reproduces the naive
+    backend's cost model (one dense matrix–vector product per gate per
+    batch element) and returns complex amplitudes ``(batch, 2**n_qubits)``
+    in the qubit-0-is-most-significant convention of
+    :meth:`QuantumState.amplitudes`.
+    """
+    dim = 2 ** n_qubits
+    out = np.empty((batch, dim), dtype=np.complex128)
+    for point in range(batch):
+        resolved = _PointView(values, point)
+        state = np.zeros(dim, dtype=np.complex128)
+        state[0] = 1.0
+        for gate in gates:
+            state = gate_matrix(gate, resolved, n_qubits) @ state
+        out[point] = state
+    return out
+
+
+class _PointView:
+    """Flat-indexable view resolving each parameter for one batch element."""
+
+    def __init__(self, values, point: int):
+        self._values = values
+        self._point = point
+
+    def __getitem__(self, index: int) -> float:
+        return _resolve_point(self._values[index], None, self._point)
+
+
 def run_circuit(circuit, params=None, batch: int = 1) -> np.ndarray:
     """Execute a :class:`~repro.torq.circuit.Circuit` densely, per point.
 
-    Reproduces the naive backend's cost model (one dense matrix–vector
-    product per gate per batch element) for arbitrary user circuits and
-    returns the complex amplitudes, shape ``(batch, 2**n_qubits)``, in the
-    same qubit-0-is-most-significant convention as
-    :meth:`QuantumState.amplitudes`.
+    Thin wrapper over :func:`run_gates` driven by the circuit's
+    :meth:`~repro.torq.circuit.Circuit.gate_sequence` — the same flat-index
+    description the compiled TorQ path executes, so cross-simulator tests
+    compare genuinely independent executions of one circuit record.
     """
-    n = circuit.n_qubits
-    dim = 2 ** n
-    out = np.empty((batch, dim), dtype=np.complex128)
-    for point in range(batch):
-        state = np.zeros(dim, dtype=np.complex128)
-        state[0] = 1.0
-        for op in circuit._ops:
-            if op.name in _FIXED_1Q:
-                u = _embed_single(_FIXED_1Q[op.name], op.qubits[0], n)
-            elif op.name == "rx":
-                theta = _resolve_point(op.params[0], params, point)
-                u = _embed_single(_rx(theta), op.qubits[0], n)
-            elif op.name == "ry":
-                theta = _resolve_point(op.params[0], params, point)
-                u = _embed_single(_ry(theta), op.qubits[0], n)
-            elif op.name == "rz":
-                theta = _resolve_point(op.params[0], params, point)
-                u = _embed_single(_rz(theta), op.qubits[0], n)
-            elif op.name == "rot":
-                a, b, g = (_resolve_point(p, params, point) for p in op.params)
-                u = _embed_single(_rot(a, b, g), op.qubits[0], n)
-            elif op.name == "cnot":
-                u = _embed_controlled(_X, op.qubits[0], op.qubits[1], n)
-            elif op.name == "crz":
-                theta = _resolve_point(op.params[0], params, point)
-                u = _embed_controlled(_rz(theta), op.qubits[0], op.qubits[1], n)
-            else:  # pragma: no cover - closed op set
-                raise ValueError(f"unknown op {op.name!r}")
-            state = u @ state
-        out[point] = state
-    return out
+    return run_gates(
+        circuit.gate_sequence(),
+        circuit.flat_parameter_values(params),
+        circuit.n_qubits,
+        batch=batch,
+    )
 
 
 def z_expectations_dense(amplitudes: np.ndarray, n_qubits: int) -> np.ndarray:

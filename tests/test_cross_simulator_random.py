@@ -2,13 +2,15 @@
 
 ~50 seeded random :class:`repro.torq.Circuit` programs (mixed
 h/x/y/z/rx/ry/rz/rot/cnot/crz on 2–5 qubits with batch > 1) must produce
-identical amplitudes and Z-expectations on the batched ``torq.state``
-backend and the dense per-point ``torq.reference`` oracle, to 1e-10.
+identical amplitudes and Z-expectations on three independent executors, to
+1e-10: the compiled plan (fused kernels), the interpreted per-gate batched
+backend, and the dense per-point ``torq.reference`` oracle.
 """
 
 import numpy as np
 import pytest
 
+from repro import autodiff as ad
 from repro.autodiff import Tensor, no_grad
 from repro.torq import Circuit
 from repro.torq.reference import run_circuit, z_expectations_dense
@@ -65,19 +67,45 @@ def test_random_circuit_equivalence(seed):
     qc, named = _random_circuit(rng, batch)
 
     with no_grad():
-        state = qc.run(params=named, batch=batch)
-        fast_amps = state.numpy()
-        fast_z = qc.z_expectations(params=named, batch=batch).data
+        compiled_amps = qc.run(params=named, batch=batch, compiled=True).numpy()
+        compiled_z = qc.z_expectations(params=named, batch=batch, compiled=True).data
+        interp_amps = qc.run(params=named, batch=batch, compiled=False).numpy()
+        interp_z = qc.z_expectations(params=named, batch=batch, compiled=False).data
     dense_amps = run_circuit(qc, params=named, batch=batch)
     dense_z = z_expectations_dense(dense_amps, qc.n_qubits)
 
-    assert fast_amps.shape == (batch, 2 ** qc.n_qubits)
-    np.testing.assert_allclose(fast_amps, dense_amps, atol=1e-10, rtol=0)
-    np.testing.assert_allclose(fast_z, dense_z, atol=1e-10, rtol=0)
-    # both backends must preserve normalisation
-    np.testing.assert_allclose(
-        np.sum(np.abs(fast_amps) ** 2, axis=1), 1.0, atol=1e-10, rtol=0
+    assert compiled_amps.shape == (batch, 2 ** qc.n_qubits)
+    # all three executors agree pairwise
+    np.testing.assert_allclose(compiled_amps, interp_amps, atol=1e-10, rtol=0)
+    np.testing.assert_allclose(compiled_amps, dense_amps, atol=1e-10, rtol=0)
+    np.testing.assert_allclose(interp_amps, dense_amps, atol=1e-10, rtol=0)
+    np.testing.assert_allclose(compiled_z, dense_z, atol=1e-10, rtol=0)
+    np.testing.assert_allclose(interp_z, dense_z, atol=1e-10, rtol=0)
+    # every backend must preserve normalisation
+    for amps in (compiled_amps, interp_amps):
+        np.testing.assert_allclose(
+            np.sum(np.abs(amps) ** 2, axis=1), 1.0, atol=1e-10, rtol=0
+        )
+
+
+def test_second_order_gradcheck_through_fused_plan():
+    """d²/dθ² through a compiled plan exercising every fused step kind."""
+    from repro.autodiff import check_double_grad, check_grad
+
+    qc = (
+        Circuit(3)
+        .h(0).rz(0, "t").ry(0, "t")   # same-qubit run -> fused 2x2
+        .x(1).cnot(1, 2)              # X/CNOT run -> basis permutation
+        .crz(0, 2, "t").rz(2, 0.7)    # diagonal run -> phase mask
     )
+    kinds = {s["kind"] for s in qc.execution_plan().describe()}
+    assert {"fused_1q", "permutation", "phase_mask"} <= kinds
+
+    def f(t):
+        return ad.mean(qc.z_expectations(params={"t": t}, batch=1))
+
+    check_grad(f, [np.array([0.37])])
+    check_double_grad(f, [np.array([0.37])])
 
 
 def test_equivalence_with_shared_named_parameter():
