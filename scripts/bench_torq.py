@@ -12,18 +12,24 @@ Measures the three executors on the Table 2 workload (7-qubit × 4-layer
 
 plus serial vs. batched parameter-shift gradients (one circuit execution
 per shifted parameter vector vs. ONE batched execution for the whole shift
-table), and the structural fusion counts (gates vs. kernel steps) for all
-six paper ansätze.
+table), the adjoint-method gradient (one forward + one reverse sweep for
+ALL parameters), and the structural fusion counts (gates vs. kernel steps)
+for all six paper ansätze.  Wall times are the median of ``--repeats``
+timed runs after a warm-up call.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_torq.py              # full bench
     PYTHONPATH=src python scripts/bench_torq.py --toy        # CI smoke
     PYTHONPATH=src python scripts/bench_torq.py --check-structure
+    PYTHONPATH=src python scripts/bench_torq.py --toy --check-adjoint
 
 ``--check-structure`` exits non-zero unless every fusing ansatz's compiled
-plan executes fewer kernel steps than gates — a deterministic assertion
-suitable for CI, unlike wall-clock thresholds.
+plan executes fewer kernel steps than gates; ``--check-adjoint`` exits
+non-zero unless an adjoint gradient performs exactly 2 plan sweeps
+(forward + reverse) where parameter-shift needs 2P+1 circuit columns.
+Both are deterministic assertions suitable for CI, unlike wall-clock
+thresholds.
 """
 
 from __future__ import annotations
@@ -41,15 +47,19 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import autodiff as ad  # noqa: E402
+from repro import obs  # noqa: E402
 from repro.autodiff import backward  # noqa: E402
 from repro.torq import (  # noqa: E402
     ANSATZ_NAMES,
     NaiveSimulator,
     QuantumLayer,
+    adjoint_grad,
     batched_parameter_shift_grad,
+    classify_parameters,
     make_ansatz,
     make_batched_ansatz_forward,
     parameter_shift_grad,
+    shift_table,
 )
 
 N_QUBITS = 7
@@ -57,25 +67,26 @@ N_LAYERS = 4
 ANSATZ = "basic_entangling"
 
 
-def _min_time(fn, reps: int) -> float:
-    """Best-of-``reps`` wall time of ``fn`` (after one warm-up call)."""
+def _median_time(fn, reps: int) -> float:
+    """Median-of-``reps`` wall time of ``fn`` (after one warm-up call)."""
     fn()
-    best = float("inf")
-    for _ in range(reps):
+    times = []
+    for _ in range(max(1, reps)):
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
 
 
-def _layer_step(compiled: bool, batch: int, n_qubits: int, n_layers: int):
+def _layer_step(compiled: bool, batch: int, n_qubits: int, n_layers: int,
+                seed: int = 0):
     """One training step (forward + backward) of the Table 2 quantum layer."""
     layer = QuantumLayer(
         n_qubits=n_qubits, n_layers=n_layers, ansatz=ANSATZ,
-        scaling="acos", rng=np.random.default_rng(0), compiled=compiled,
+        scaling="acos", rng=np.random.default_rng(seed), compiled=compiled,
     )
     acts = ad.Tensor(
-        np.random.default_rng(1).uniform(-0.9, 0.9, (batch, n_qubits))
+        np.random.default_rng(seed + 1).uniform(-0.9, 0.9, (batch, n_qubits))
     )
     params = layer.parameters()
 
@@ -88,12 +99,17 @@ def _layer_step(compiled: bool, batch: int, n_qubits: int, n_layers: int):
 
 
 def bench_table2_step(
-    batches, n_qubits: int, n_layers: int, reps: int, naive_cap: int
+    batches, n_qubits: int, n_layers: int, reps: int, naive_cap: int,
+    seed: int = 0,
 ) -> list[dict]:
     rows = []
     for batch in batches:
-        uncompiled = _min_time(_layer_step(False, batch, n_qubits, n_layers), reps)
-        compiled = _min_time(_layer_step(True, batch, n_qubits, n_layers), reps)
+        uncompiled = _median_time(
+            _layer_step(False, batch, n_qubits, n_layers, seed), reps
+        )
+        compiled = _median_time(
+            _layer_step(True, batch, n_qubits, n_layers, seed), reps
+        )
         row = {
             "batch": batch,
             "uncompiled_s": uncompiled,
@@ -103,9 +119,9 @@ def bench_table2_step(
         if batch <= naive_cap:
             ansatz = make_ansatz(ANSATZ, n_qubits=n_qubits, n_layers=n_layers)
             sim = NaiveSimulator(ansatz, scaling="acos")
-            p = np.random.default_rng(0).uniform(0, 2 * np.pi, ansatz.param_count)
-            acts = np.random.default_rng(1).uniform(-0.9, 0.9, (batch, n_qubits))
-            row["naive_forward_s"] = _min_time(
+            p = np.random.default_rng(seed).uniform(0, 2 * np.pi, ansatz.param_count)
+            acts = np.random.default_rng(seed + 1).uniform(-0.9, 0.9, (batch, n_qubits))
+            row["naive_forward_s"] = _median_time(
                 lambda: sim.forward(acts, p), max(1, reps - 1)
             )
             row["speedup_compiled_vs_naive"] = row["naive_forward_s"] / compiled
@@ -116,14 +132,16 @@ def bench_table2_step(
     return rows
 
 
-def bench_parameter_shift(n_qubits: int, n_layers: int, reps: int) -> dict:
+def bench_parameter_shift(
+    n_qubits: int, n_layers: int, reps: int, seed: int = 2
+) -> dict:
     # cross_mesh gives n(n-1) CRZ params per layer — ≥50 parameters even at
     # toy sizes, and exercises the four-term shift rule.
     ansatz = make_ansatz("cross_mesh", n_qubits=n_qubits, n_layers=n_layers)
-    params = np.random.default_rng(2).uniform(0, 2 * np.pi, ansatz.param_count)
+    params = np.random.default_rng(seed).uniform(0, 2 * np.pi, ansatz.param_count)
     forward = make_batched_ansatz_forward(ansatz)
-    serial = _min_time(lambda: parameter_shift_grad(forward, params, ansatz), reps)
-    batched = _min_time(
+    serial = _median_time(lambda: parameter_shift_grad(forward, params, ansatz), reps)
+    batched = _median_time(
         lambda: batched_parameter_shift_grad(forward, params, ansatz), reps
     )
     diff = float(np.abs(
@@ -146,6 +164,72 @@ def bench_parameter_shift(n_qubits: int, n_layers: int, reps: int) -> dict:
     return result
 
 
+def bench_adjoint(shift_result: dict, reps: int, seed: int = 2) -> dict:
+    """Adjoint gradient on the same workload :func:`bench_parameter_shift`
+    measured — one forward + one reverse sweep for all parameters, vs the
+    shift table's 2P+1 circuit columns."""
+    ansatz = make_ansatz(
+        "cross_mesh",
+        n_qubits=shift_result["n_qubits"],
+        n_layers=shift_result["n_layers"],
+    )
+    params = np.random.default_rng(seed).uniform(0, 2 * np.pi, ansatz.param_count)
+    adjoint_s = _median_time(lambda: adjoint_grad(ansatz, params), reps)
+    forward = make_batched_ansatz_forward(ansatz)
+    diff = float(np.abs(
+        adjoint_grad(ansatz, params)
+        - batched_parameter_shift_grad(forward, params, ansatz)
+    ).max())
+    rules = classify_parameters(ansatz.gate_sequence(), ansatz.param_count)
+    result = {
+        "ansatz": "cross_mesh",
+        "n_qubits": shift_result["n_qubits"],
+        "n_layers": shift_result["n_layers"],
+        "n_params": ansatz.param_count,
+        "adjoint_s": adjoint_s,
+        "speedup_adjoint_vs_serial": shift_result["serial_s"] / adjoint_s,
+        "speedup_adjoint_vs_batched": shift_result["batched_s"] / adjoint_s,
+        "max_abs_grad_diff_vs_batched": diff,
+        "plan_sweeps": 2,
+        "shift_columns": len(shift_table(rules)) + 1,  # + unshifted forward
+    }
+    print(f"  adjoint @ {ansatz.param_count} params: {adjoint_s*1e3:.1f} ms "
+          f"({result['speedup_adjoint_vs_batched']:.1f}x vs batched shift, "
+          f"{result['speedup_adjoint_vs_serial']:.0f}x vs serial, "
+          f"Δ={diff:.1e}; 2 sweeps vs "
+          f"{result['shift_columns']} shift columns)")
+    return result
+
+
+def check_adjoint_sweeps(report_adjoint: dict) -> int:
+    """Deterministic CI assertion: one adjoint gradient = exactly 2 plan
+    sweeps (forward + reverse), however many parameters the circuit has."""
+    ansatz = make_ansatz("cross_mesh", n_qubits=4, n_layers=2)
+    params = np.random.default_rng(0).uniform(0, 2 * np.pi, ansatz.param_count)
+    forward = make_batched_ansatz_forward(ansatz)
+    # Instrumented counters land in the process-global registry; diff
+    # before/after so earlier profiled runs don't pollute the assertion.
+    reg = obs.metrics()
+    fwd_counter = reg.counter("torq.adjoint.sweep", direction="forward")
+    rev_counter = reg.counter("torq.adjoint.sweep", direction="reverse")
+    f0, r0 = fwd_counter.value, rev_counter.value
+    with obs.profile():
+        g_adj = adjoint_grad(ansatz, params)
+    fwd = fwd_counter.value - f0
+    rev = rev_counter.value - r0
+    rules = classify_parameters(ansatz.gate_sequence(), ansatz.param_count)
+    columns = len(shift_table(rules)) + 1
+    diff = float(np.abs(
+        g_adj - batched_parameter_shift_grad(forward, params, ansatz)
+    ).max())
+    ok = fwd == 1 and rev == 1 and diff < 1e-8
+    status = "passed" if ok else "FAILED"
+    print(f"adjoint check {status}: {int(fwd)} forward + {int(rev)} reverse "
+          f"sweep(s) for {ansatz.param_count} params "
+          f"(parameter-shift needs {columns} columns); Δ={diff:.1e}")
+    return 0 if ok else 1
+
+
 def plan_structure(n_qubits: int, n_layers: int) -> list[dict]:
     rows = []
     for name in ANSATZ_NAMES:
@@ -166,6 +250,13 @@ def main(argv=None) -> int:
                         help="tiny sizes for CI smoke runs")
     parser.add_argument("--check-structure", action="store_true",
                         help="assert compiled plans fuse (steps < gates)")
+    parser.add_argument("--check-adjoint", action="store_true",
+                        help="assert an adjoint gradient = exactly 2 sweeps")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per measurement (median reported; "
+                             "default 2 with --toy, 5 otherwise)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for parameters and activations")
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_torq.json")
     args = parser.parse_args(argv)
@@ -175,16 +266,26 @@ def main(argv=None) -> int:
     else:
         # Table 2 grids (8^3 and 12^3 collocation points) at paper size.
         n_qubits, n_layers, batches, reps, naive_cap = N_QUBITS, N_LAYERS, (512, 1728), 5, 512
+    if args.repeats is not None:
+        if args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        reps = args.repeats
 
-    print(f"TorQ bench: {n_qubits} qubits x {n_layers} layers ({ANSATZ})")
+    print(f"TorQ bench: {n_qubits} qubits x {n_layers} layers ({ANSATZ}), "
+          f"median of {reps} run(s), seed {args.seed}")
     print("plan structure:")
     structure = plan_structure(n_qubits, n_layers)
     print("training step (forward+backward):")
-    step_rows = bench_table2_step(batches, n_qubits, n_layers, reps, naive_cap)
+    step_rows = bench_table2_step(
+        batches, n_qubits, n_layers, reps, naive_cap, seed=args.seed
+    )
     print("parameter-shift gradient:")
     shift = bench_parameter_shift(
-        n_qubits, max(1, n_layers // 2) if not args.toy else n_layers, reps
+        n_qubits, max(1, n_layers // 2) if not args.toy else n_layers, reps,
+        seed=args.seed + 2,
     )
+    print("adjoint gradient:")
+    adjoint = bench_adjoint(shift, reps, seed=args.seed + 2)
 
     report = {
         "workload": {
@@ -193,6 +294,8 @@ def main(argv=None) -> int:
             "n_qubits": n_qubits,
             "n_layers": n_layers,
             "toy": bool(args.toy),
+            "repeats": reps,
+            "seed": args.seed,
         },
         "environment": {
             "python": platform.python_version(),
@@ -201,6 +304,7 @@ def main(argv=None) -> int:
         },
         "table2_step": step_rows,
         "parameter_shift": shift,
+        "adjoint": adjoint,
         "plan_structure": structure,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
@@ -212,6 +316,9 @@ def main(argv=None) -> int:
             print(f"STRUCTURE CHECK FAILED: {failures}")
             return 1
         print("structure check passed: compiled plans execute fewer kernels")
+    if args.check_adjoint:
+        if check_adjoint_sweeps(adjoint) != 0:
+            return 1
     return 0
 
 

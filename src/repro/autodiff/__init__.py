@@ -76,6 +76,7 @@ from .tensor import (
     grad,
     is_grad_enabled,
     linspace,
+    make_node,
     no_grad,
     ones,
     zeros,
@@ -83,7 +84,8 @@ from .tensor import (
 
 __all__ = [
     "Tensor", "as_tensor", "grad", "backward", "no_grad", "enable_grad",
-    "is_grad_enabled", "zeros", "ones", "full", "arange", "linspace",
+    "is_grad_enabled", "make_node",
+    "zeros", "ones", "full", "arange", "linspace",
     "ops", "check_grad", "check_double_grad", "numeric_grad",
     # re-exported ops
     "add", "sub", "mul", "div", "neg", "pow", "matmul", "dot_last",

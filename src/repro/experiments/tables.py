@@ -88,17 +88,20 @@ class Table2Row:
 
 
 def _torq_epoch_seconds(
-    batch: int, n_qubits: int, n_layers: int, repeats: int, compiled: bool = True
+    batch: int, n_qubits: int, n_layers: int, repeats: int,
+    compiled: bool = True, grad_method: str = "backprop",
 ) -> float:
     """One 'epoch' of the quantum layer: batched forward + backward.
 
     ``compiled`` selects between the fused execution plan (the default,
-    and what training uses) and the interpreted per-gate dispatch path.
+    and what training uses) and the interpreted per-gate dispatch path;
+    ``grad_method`` selects the gradient backend (backprop autodiff vs the
+    tape-free adjoint sweep of :mod:`repro.torq.adjoint`).
     """
     rng = np.random.default_rng(0)
     layer = QuantumLayer(
         n_qubits=n_qubits, n_layers=n_layers, ansatz="basic_entangling",
-        scaling="acos", rng=rng, compiled=compiled,
+        scaling="acos", rng=rng, compiled=compiled, grad_method=grad_method,
     )
     acts = Tensor(rng.uniform(-0.9, 0.9, (batch, n_qubits)))
     params = layer.parameters()
@@ -110,6 +113,8 @@ def _torq_epoch_seconds(
 
     run()  # warm-up (allocator, caches, plan compilation)
     backend = "torq-compiled" if compiled else "torq"
+    if grad_method != "backprop":
+        backend = f"{backend}-{grad_method}"
     timer = obs.metrics().timer("table2.epoch", backend=backend, batch=batch)
     n0, t0 = timer.count, timer.total  # timers accumulate across calls
     for _ in range(repeats):
@@ -168,5 +173,12 @@ def table2_rows(
             Table2Row("TorQ (batched, compiled plan)", g ** 3,
                       _torq_epoch_seconds(g ** 3, n_qubits, n_layers, repeats,
                                           compiled=True))
+        )
+    for g in torq_grids:
+        rows.append(
+            Table2Row("TorQ (compiled, adjoint grads)", g ** 3,
+                      _torq_epoch_seconds(g ** 3, n_qubits, n_layers, repeats,
+                                          compiled=True,
+                                          grad_method="adjoint"))
         )
     return rows

@@ -34,6 +34,12 @@ class PDETrainerConfig:
     resample_every: int = 10
     eval_every: int = 50
     seed: int = 0
+    #: Gradient backend for a model's quantum layer ("backprop", "adjoint",
+    #: or "parameter_shift").  Backprop is required when the problem's
+    #: residual loss differentiates the network output with respect to its
+    #: inputs (create_graph) *through the quantum layer*; the analytic
+    #: backends suit data-loss-only training and fully classical residuals.
+    quantum_grad_method: str = "backprop"
 
 
 @dataclass
@@ -56,6 +62,17 @@ class PDETrainer:
         self.model = model
         self.problem = problem
         self.config = config if config is not None else PDETrainerConfig()
+        quantum = getattr(model, "quantum", None)
+        if quantum is not None and hasattr(quantum, "grad_method"):
+            from ..torq.layer import GRAD_METHODS
+
+            method = self.config.quantum_grad_method
+            if method not in GRAD_METHODS:
+                raise ValueError(
+                    f"unknown quantum_grad_method {method!r}; "
+                    f"available: {GRAD_METHODS}"
+                )
+            quantum.grad_method = method
         self.rng = np.random.default_rng(self.config.seed)
         self.params = model.parameters()
         self.optimizer = Adam(self.params, lr=self.config.lr)

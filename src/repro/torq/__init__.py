@@ -33,7 +33,13 @@ from .embedding import (
     single_qubit_z_response,
 )
 from .entanglement import meyer_wallach, single_qubit_purities
-from .layer import INIT_STRATEGIES, QuantumLayer, initial_circuit_params
+from .adjoint import adjoint_grad, adjoint_state_vjp
+from .layer import (
+    GRAD_METHODS,
+    INIT_STRATEGIES,
+    QuantumLayer,
+    initial_circuit_params,
+)
 from .measure import (
     marginal_probability,
     pauli_string_expectation,
@@ -58,6 +64,7 @@ from .compile import (
 from .reference import NaiveSimulator, gate_matrix, run_gates
 from .shift import (
     batched_parameter_shift_grad,
+    batched_state_shift_vjp,
     classify_parameters,
     make_batched_ansatz_forward,
     parameter_shift_grad,
@@ -95,11 +102,13 @@ __all__ = [
     "pauli_z_expectations", "sampled_z_expectations", "marginal_probability",
     "pauli_string_expectation",
     "meyer_wallach", "single_qubit_purities",
-    "QuantumLayer", "INIT_STRATEGIES", "initial_circuit_params",
+    "QuantumLayer", "GRAD_METHODS", "INIT_STRATEGIES", "initial_circuit_params",
     "ExecutionPlan", "compile_gates", "clear_plan_cache", "plan_cache_info",
     "NaiveSimulator", "gate_matrix", "run_gates",
     "parameter_shift_grad", "batched_parameter_shift_grad",
+    "batched_state_shift_vjp",
     "classify_parameters", "shift_table", "make_batched_ansatz_forward",
+    "adjoint_grad", "adjoint_state_vjp",
     "ReuploadingQuantumLayer", "NoiseModel", "noisy_z_expectations",
     "expressibility", "entangling_capability", "random_circuit_states",
     "gradient_variance_scan",

@@ -52,6 +52,7 @@ inside compiled plans.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Sequence
 
 import numpy as np
@@ -252,6 +253,80 @@ _PARAM_BUILDERS = {"rx": _builder_rx, "ry": _builder_ry, "rz": _builder_rz}
 
 
 # ----------------------------------------------------------------------
+# Adjoint-sweep support (numpy-native).
+#
+# The adjoint sweep of :mod:`repro.torq.adjoint` is tape-free by
+# construction — every quantity it needs is a closed-form function of the
+# current carriers — so the ``adjoint_step`` hooks below work on raw
+# ``np.complex128`` statevectors instead of autodiff tensors.  Skipping
+# the Tensor/graph-node wrapping entirely is what makes the sweep
+# O(1)-in-parameters in *wall time* too: on small batches the per-op
+# Python overhead of the graph path would otherwise dominate.
+#
+# Each parameterized single-qubit factor (RX/RY/RZ; Rot decomposes into
+# RZ·RY·RZ) has a closed-form derivative matrix.  The gradient of a
+# weighted ⟨Z⟩ readout w.r.t. one factor angle is 2·Re⟨μ|D|ψ⟩ where D is
+# the derivative of the *whole* fused step's unitary — suffix·dU·prefix —
+# and ⟨μ|·|ψ⟩ reduces to a per-batch 2×2 overlap matrix E computed ONCE
+# per step, so every extra parameter costs only 2×2 numeric algebra.
+# ----------------------------------------------------------------------
+
+def _np_angle(resolve, ref: int) -> np.ndarray:
+    """Resolve one flat parameter to a raw float scalar or ``(batch,)``."""
+    theta = resolve(ref)
+    return np.asarray(getattr(theta, "data", theta), dtype=np.float64)
+
+
+def _np_factor_mats(name: str, theta: np.ndarray):
+    """``(U, dU/dθ)`` complex matrices for one primitive rotation factor.
+
+    Shapes are ``(2, 2)`` for a scalar angle and ``(batch, 2, 2)`` for a
+    per-batch angle vector.
+    """
+    half = theta * 0.5
+    c, s = np.cos(half), np.sin(half)
+    u = np.zeros(theta.shape + (2, 2), dtype=np.complex128)
+    du = np.zeros_like(u)
+    if name == "rx":
+        u[..., 0, 0] = c
+        u[..., 1, 1] = c
+        u[..., 0, 1] = -1j * s
+        u[..., 1, 0] = -1j * s
+        du[..., 0, 0] = -0.5 * s
+        du[..., 1, 1] = -0.5 * s
+        du[..., 0, 1] = -0.5j * c
+        du[..., 1, 0] = -0.5j * c
+    elif name == "ry":
+        u[..., 0, 0] = c
+        u[..., 1, 1] = c
+        u[..., 0, 1] = -s
+        u[..., 1, 0] = s
+        du[..., 0, 0] = -0.5 * s
+        du[..., 1, 1] = -0.5 * s
+        du[..., 0, 1] = -0.5 * c
+        du[..., 1, 0] = 0.5 * c
+    else:  # rz
+        u[..., 0, 0] = c - 1j * s
+        u[..., 1, 1] = c + 1j * s
+        du[..., 0, 0] = -0.5 * s - 0.5j * c
+        du[..., 1, 1] = -0.5 * s + 0.5j * c
+    return u, du
+
+
+def _np_dagger(u: np.ndarray) -> np.ndarray:
+    """Conjugate transpose U† — the exact inverse of a unitary 2×2."""
+    return np.conj(np.swapaxes(u, -1, -2))
+
+
+def _np_apply_packed(packed: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Apply a 2×2 (or per-batch ``(B, 2, 2)``) matrix to a state packed
+    as ``(batch, pre, 2, post)`` on the target qubit axis."""
+    if u.ndim == 2:
+        return np.einsum("ij,bpjq->bpiq", u, packed)
+    return np.einsum("bij,bpjq->bpiq", u, packed)
+
+
+# ----------------------------------------------------------------------
 # Plan steps.  Each step maps ``(state_tensor, resolve) -> state_tensor``
 # on the raw ComplexTensor with every index precomputed at compile time.
 # ----------------------------------------------------------------------
@@ -322,8 +397,12 @@ class _FusedSingleQubitStep:
         self._pack_shape = (-1, pre, 2, post)
         self._full_shape = (-1,) + (2,) * n_qubits
         # Consecutive constant gates fold numerically at compile time;
-        # parameterized gates contribute call-time symbolic builders.
+        # parameterized gates contribute call-time symbolic builders.  The
+        # parallel ``factors`` list carries the same composition at
+        # rotation-primitive granularity (Rot → RZ·RY·RZ) so the adjoint
+        # sweep can differentiate each angle with the prefix/suffix trick.
         parts: list = []
+        factors: list[tuple] = []
         pending: np.ndarray | None = None
         for g in gates:
             if g.name in _CONST_MATS:
@@ -332,29 +411,34 @@ class _FusedSingleQubitStep:
                 continue
             if pending is not None:
                 parts.append(_const_entries(pending))
+                factors.append(("const", pending.copy()))
                 pending = None
             if g.name == "rot":
                 parts.append(_builder_rot(g.params, ()))
+                a_ref, b_ref, g_ref = g.params
+                factors.append(("rz", a_ref))
+                factors.append(("ry", b_ref))
+                factors.append(("rz", g_ref))
             else:
                 parts.append(_PARAM_BUILDERS[g.name](g.params[0], ()))
+                factors.append((g.name, g.params[0]))
         if pending is not None:
             parts.append(_const_entries(pending))
+            factors.append(("const", pending.copy()))
         self._parts = tuple(parts)
+        self._factors = tuple(factors)
         self._const_m = (
             _block_matrix(parts[0])
             if len(parts) == 1 and not callable(parts[0])
             else None
         )
+        self._const_np_dag = (
+            factors[0][1].conj().T.copy()
+            if self._const_m is not None
+            else None
+        )
 
-    def __call__(self, tensor: ComplexTensor, resolve) -> ComplexTensor:
-        if self._const_m is not None:
-            m = self._const_m
-        else:
-            mats = [p(resolve) if callable(p) else p for p in self._parts]
-            u = mats[0]
-            for um in mats[1:]:
-                u = _mat_mul(um, u)
-            m = _block_matrix(u)
+    def _apply_block(self, tensor: ComplexTensor, m) -> ComplexTensor:
         packed = ad.concatenate(
             [
                 ad.reshape(tensor.re, self._pack_shape),
@@ -367,6 +451,64 @@ class _FusedSingleQubitStep:
             ad.reshape(out[:, :, 0:2], self._full_shape),
             ad.reshape(out[:, :, 2:4], self._full_shape),
         )
+
+    def __call__(self, tensor: ComplexTensor, resolve) -> ComplexTensor:
+        if self._const_m is not None:
+            m = self._const_m
+        else:
+            mats = [p(resolve) if callable(p) else p for p in self._parts]
+            u = mats[0]
+            for um in mats[1:]:
+                u = _mat_mul(um, u)
+            m = _block_matrix(u)
+        return self._apply_block(tensor, m)
+
+    def adjoint_step(self, psi, mu, resolve, accumulate):
+        """Un-apply the step from ψ and μ, accumulating per-angle grads.
+
+        ``psi`` is the raw complex state *after* the step (ψ_k) and ``mu``
+        the observable-applied bra carrier (both ``np.complex128``, tape
+        free); returns ``(ψ_{k-1}, μ_{k-1})`` and calls ``accumulate(ref,
+        g)`` with the per-batch contribution ``2·Re⟨μ_k|∂U/∂θ_ref|ψ_{k-1}⟩``
+        for every owned parameter.
+        """
+        shape = psi.shape
+        pp = psi.reshape(self._pack_shape)
+        mp = mu.reshape(self._pack_shape)
+        if self._const_np_dag is not None:
+            return (
+                _np_apply_packed(pp, self._const_np_dag).reshape(shape),
+                _np_apply_packed(mp, self._const_np_dag).reshape(shape),
+            )
+        eye = np.eye(2, dtype=np.complex128)
+        mats = []
+        for kind, payload in self._factors:
+            if kind == "const":
+                mats.append((payload, None, None))
+            else:
+                u, du = _np_factor_mats(kind, _np_angle(resolve, payload))
+                mats.append((u, du, payload))
+        prefixes = [eye]
+        for u, _, _ in mats:
+            prefixes.append(np.matmul(u, prefixes[-1]))
+        udag = _np_dagger(prefixes[-1])
+        psi_prev = _np_apply_packed(pp, udag)
+        mu_prev = _np_apply_packed(mp, udag)
+        # Per-batch 2×2 overlap E_ij = Σ conj(μ_k)_i · (ψ_{k-1})_j, shared
+        # by every angle of the run.
+        e = np.einsum("bpik,bpjk->bij", np.conj(mp), psi_prev)
+        suffix = eye
+        for j in range(len(mats) - 1, -1, -1):
+            u, du, ref = mats[j]
+            if ref is not None:
+                d = np.matmul(suffix, np.matmul(du, prefixes[j]))
+                if d.ndim == 2:
+                    g = 2.0 * np.real(np.einsum("ij,bij->b", d, e))
+                else:
+                    g = 2.0 * np.real(np.einsum("bij,bij->b", d, e))
+                accumulate(ref, g)
+            suffix = np.matmul(suffix, u)
+        return psi_prev.reshape(shape), mu_prev.reshape(shape)
 
 
 class _PhaseMaskStep:
@@ -396,6 +538,23 @@ class _PhaseMaskStep:
                 terms.append((bit_c * sign_t, g.params[0]))
         self._terms = tuple(terms)
         self._const = const_mask
+        # Flattened copies for the numpy-native adjoint sweep: one (T, dim)
+        # coefficient matrix turns all T per-term gradients into a single
+        # matrix product, and the total phase into another.
+        dim = 2 ** n_qubits
+        full = (1,) + (2,) * n_qubits
+        self._flat = (-1, dim)
+        self._term_refs = tuple(ref for _, ref in terms)
+        self._coeff_flat = (
+            np.stack([np.broadcast_to(c, full).reshape(dim) for c, _ in terms])
+            if terms
+            else None
+        )
+        self._const_flat = (
+            np.broadcast_to(const_mask, full).reshape(dim).astype(np.complex128)
+            if const_mask is not None
+            else None
+        )
 
     @staticmethod
     def _axis_values(n_qubits: int, qubit: int, values) -> np.ndarray:
@@ -413,12 +572,40 @@ class _PhaseMaskStep:
                 raise ValueError("angles must be scalar or per-batch 1-D")
             term = theta * coeff
             total = term if total is None else total + term
-        if total is None:
+        if total is None:  # all-Z run: the mask is the constant ±1 pattern
             return tensor * self._const
         mask = cplx.expi(total)
         if self._const is not None:
             mask = mask * self._const
         return tensor * mask
+
+    def adjoint_step(self, psi, mu, resolve, accumulate):
+        """Un-apply the mask; grads follow from ∂U/∂θ_t = i·C_t·U, so ALL
+        terms together cost one ``(B, dim) @ (dim, T)`` product of
+        ``Im⟨μ|ψ_k⟩`` against the precomputed coefficient rows."""
+        shape = psi.shape
+        pf = psi.reshape(self._flat)
+        mf = mu.reshape(self._flat)
+        if self._term_refs:
+            w = (np.conj(pf) * mf).imag
+            g = 2.0 * (w @ self._coeff_flat.T)
+            for t, ref in enumerate(self._term_refs):
+                accumulate(ref, g[:, t])
+            vals = [_np_angle(resolve, ref) for ref in self._term_refs]
+            if any(v.ndim for v in vals):
+                batch = pf.shape[0]
+                thetas = np.stack(
+                    [np.broadcast_to(v, (batch,)) for v in vals], axis=1
+                )
+                total = thetas @ self._coeff_flat
+            else:
+                total = np.asarray(vals) @ self._coeff_flat
+            mask = np.exp(-1j * total)
+            if self._const_flat is not None:
+                mask = mask * self._const_flat
+        else:  # all-Z run: the constant ±1 pattern is its own inverse
+            mask = self._const_flat
+        return (pf * mask).reshape(shape), (mf * mask).reshape(shape)
 
 
 class _PermutationStep:
@@ -445,14 +632,26 @@ class _PermutationStep:
                 gmap = np.where(idx & cmask, idx ^ tmask, idx)
             src = src[gmap]
         self._src = src
+        self._inv_src = np.argsort(src)
 
-    def __call__(self, tensor: ComplexTensor, resolve) -> ComplexTensor:
+    def _gather(self, tensor: ComplexTensor, idx: np.ndarray) -> ComplexTensor:
         flat = tensor.reshape(self._flat_shape)
         out = ComplexTensor(
-            ad.permute_last(flat.re, self._src),
-            ad.permute_last(flat.im, self._src),
+            ad.permute_last(flat.re, idx),
+            ad.permute_last(flat.im, idx),
         )
         return out.reshape(self._full_shape)
+
+    def __call__(self, tensor: ComplexTensor, resolve) -> ComplexTensor:
+        return self._gather(tensor, self._src)
+
+    def adjoint_step(self, psi, mu, resolve, accumulate):
+        """Parameter-free: un-relabel both states with the inverse gather."""
+        shape = psi.shape
+        return (
+            psi.reshape(self._flat_shape)[:, self._inv_src].reshape(shape),
+            mu.reshape(self._flat_shape)[:, self._inv_src].reshape(shape),
+        )
 
 
 class _SingleGateStep:
@@ -532,6 +731,90 @@ class _SingleGateStep:
         else:  # pragma: no cover - closed gate set
             raise ValueError(f"unknown gate {name!r}")
         return cplx.stack([n0, n1], axis=self._axis)
+
+    def _np_apply(self, t: np.ndarray) -> np.ndarray:
+        """Replay a constant (self-adjoint) gate on a raw complex state."""
+        name = self._name
+        if name == "x":
+            return np.flip(t, self._axis)
+        if name == "cnot":
+            c0 = t[self._idx0]
+            c1 = np.flip(t[self._idx1], self._taxis)
+            return np.stack([c0, c1], axis=self._axis)
+        a0 = t[self._idx0]
+        a1 = t[self._idx1]
+        if name == "h":
+            return np.stack(
+                [(a0 + a1) * _INV_SQRT2, (a0 - a1) * _INV_SQRT2],
+                axis=self._axis,
+            )
+        if name == "y":
+            return np.stack([-1j * a1, 1j * a0], axis=self._axis)
+        return np.stack([a0, -a1], axis=self._axis)  # z
+
+    def _np_apply_2x2(self, t: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Apply a 2×2 (or per-batch) complex matrix on this step's qubit."""
+        a0 = t[self._idx0]
+        a1 = t[self._idx1]
+        if u.ndim == 3:
+            shp = (-1,) + self._bshape
+            u00 = u[:, 0, 0].reshape(shp)
+            u01 = u[:, 0, 1].reshape(shp)
+            u10 = u[:, 1, 0].reshape(shp)
+            u11 = u[:, 1, 1].reshape(shp)
+        else:
+            u00, u01, u10, u11 = u[0, 0], u[0, 1], u[1, 0], u[1, 1]
+        return np.stack(
+            [u00 * a0 + u01 * a1, u10 * a0 + u11 * a1], axis=self._axis
+        )
+
+    def adjoint_step(self, psi, mu, resolve, accumulate):
+        """Un-apply one gate; rotation angles get the ⟨μ|dU|ψ⟩ overlap
+        gradient, CRZ the diagonal-generator rule, constants only invert."""
+        name = self._name
+        if name in ("h", "x", "y", "z", "cnot"):
+            # All self-adjoint (Y† = Y), so the forward application IS the
+            # inverse — replay it on both carriers.
+            return self._np_apply(psi), self._np_apply(mu)
+        if name == "crz":
+            # ∂U/∂θ = i·C·U with C = ∓1/2 on the control=1 target halves,
+            # evaluated against ψ_k before un-phasing.
+            p1 = psi[self._idx1]
+            m1 = mu[self._idx1]
+            w = (np.conj(p1) * m1).imag
+            w0 = w[self._tidx0]
+            w1 = w[self._tidx1]
+            axes = tuple(range(1, w0.ndim))
+            accumulate(self._params[0], (w1 - w0).sum(axis=axes))
+            half = _np_angle(resolve, self._params[0]) * 0.5
+            if half.ndim:
+                half = half.reshape((-1,) + self._bshape)
+            e_pos = np.cos(half) + 1j * np.sin(half)
+            out = []
+            for t in (psi, mu):
+                c0 = t[self._idx0]
+                c1 = t[self._idx1]
+                t0 = c1[self._tidx0] * e_pos
+                t1 = c1[self._tidx1] * np.conj(e_pos)
+                c1 = np.stack([t0, t1], axis=self._taxis)
+                out.append(np.stack([c0, c1], axis=self._axis))
+            return out[0], out[1]
+        # rx / ry / rz (lone rot gates compile to the fused step)
+        u, du = _np_factor_mats(name, _np_angle(resolve, self._params[0]))
+        psi_prev = self._np_apply_2x2(psi, _np_dagger(u))
+        mu_prev = self._np_apply_2x2(mu, _np_dagger(u))
+        b = psi.shape[0]
+        m = np.stack([mu[self._idx0], mu[self._idx1]], axis=1).reshape(b, 2, -1)
+        p = np.stack(
+            [psi_prev[self._idx0], psi_prev[self._idx1]], axis=1
+        ).reshape(b, 2, -1)
+        e = np.einsum("bik,bjk->bij", np.conj(m), p)
+        if du.ndim == 2:
+            g = 2.0 * np.real(np.einsum("ij,bij->b", du, e))
+        else:
+            g = 2.0 * np.real(np.einsum("bij,bij->b", du, e))
+        accumulate(self._params[0], g)
+        return psi_prev, mu_prev
 
 
 # ----------------------------------------------------------------------
@@ -687,10 +970,11 @@ def _compile(gates, n_qubits: int) -> ExecutionPlan:
     return ExecutionPlan(tuple(steps), n_qubits, sum(1 for _ in gates))
 
 
-_PLAN_CACHE: dict[tuple, ExecutionPlan] = {}
+_PLAN_CACHE: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
 _PLAN_CACHE_MAX = 512
 _cache_hits = 0
 _cache_misses = 0
+_cache_evictions = 0
 
 
 def compile_gates(gates: Sequence, n_qubits: int, cache: bool = True) -> ExecutionPlan:
@@ -699,15 +983,19 @@ def compile_gates(gates: Sequence, n_qubits: int, cache: bool = True) -> Executi
 
     Plans are keyed on circuit *structure* — gate names, qubits, and
     parameter indices — so circuits that differ only in parameter values
-    share one plan and replay it every training step.
+    share one plan and replay it every training step.  The cache evicts
+    least-recently-used plans once full; hit/miss/eviction counts surface
+    through :func:`plan_cache_info` and (when profiling is active) the
+    ``torq.plan.cache`` counters of the :mod:`repro.obs` registry.
     """
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     gates = tuple(gates)
     if not cache:
         return _compile(gates, n_qubits)
     key = (n_qubits, tuple((g.name, g.qubits, g.params) for g in gates))
     plan = _PLAN_CACHE.get(key)
     if plan is not None:
+        _PLAN_CACHE.move_to_end(key)
         _cache_hits += 1
         if obs.is_profiling():
             obs.metrics().counter("torq.plan.cache", outcome="hit").inc()
@@ -717,7 +1005,10 @@ def compile_gates(gates: Sequence, n_qubits: int, cache: bool = True) -> Executi
         obs.metrics().counter("torq.plan.cache", outcome="miss").inc()
     plan = _compile(gates, n_qubits)
     if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-        _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _PLAN_CACHE.popitem(last=False)  # least recently used
+        _cache_evictions += 1
+        if obs.is_profiling():
+            obs.metrics().counter("torq.plan.cache", outcome="eviction").inc()
     _PLAN_CACHE[key] = plan
     if obs.is_profiling():
         obs.metrics().counter("torq.plan.compiled").inc()
@@ -726,13 +1017,21 @@ def compile_gates(gates: Sequence, n_qubits: int, cache: bool = True) -> Executi
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (and reset hit/miss statistics)."""
-    global _cache_hits, _cache_misses
+    """Drop every cached plan (and reset hit/miss/eviction statistics)."""
+    global _cache_hits, _cache_misses, _cache_evictions
     _PLAN_CACHE.clear()
     _cache_hits = 0
     _cache_misses = 0
+    _cache_evictions = 0
 
 
 def plan_cache_info() -> dict:
-    """Cache statistics: ``{"size", "hits", "misses"}``."""
-    return {"size": len(_PLAN_CACHE), "hits": _cache_hits, "misses": _cache_misses}
+    """Cache statistics: ``{"size", "capacity", "hits", "misses",
+    "evictions"}``."""
+    return {
+        "size": len(_PLAN_CACHE),
+        "capacity": _PLAN_CACHE_MAX,
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "evictions": _cache_evictions,
+    }

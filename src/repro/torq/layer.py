@@ -16,17 +16,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor
+from .. import autodiff as ad
+from ..autodiff import Tensor, make_node, no_grad
 from ..nn.module import Module, Parameter
-from .ansatz import Ansatz, apply_ansatz, make_ansatz
+from .ansatz import Ansatz, GateSpec, apply_ansatz, make_ansatz
+from .compile import compile_gates
 from .embedding import angle_embedding, scale_input
 from .measure import pauli_z_expectations
 from .state import QuantumState, zero_state
 
-__all__ = ["QuantumLayer", "INIT_STRATEGIES", "initial_circuit_params"]
+__all__ = [
+    "QuantumLayer",
+    "GRAD_METHODS",
+    "INIT_STRATEGIES",
+    "initial_circuit_params",
+]
 
 # §5.2 parameter-initialisation strategies.
 INIT_STRATEGIES: tuple[str, ...] = ("reg", "zeros", "pi", "half_pi")
+
+#: Selectable gradient backends (see :mod:`repro.torq.adjoint` for the
+#: trade-offs between them).
+GRAD_METHODS: tuple[str, ...] = ("backprop", "adjoint", "parameter_shift")
 
 
 def initial_circuit_params(
@@ -67,8 +78,14 @@ class QuantumLayer(Module):
         init: str = "reg",
         rng: np.random.Generator | None = None,
         compiled: bool = True,
+        grad_method: str = "backprop",
     ):
         super().__init__()
+        if grad_method not in GRAD_METHODS:
+            raise ValueError(
+                f"unknown grad_method {grad_method!r}; "
+                f"available: {GRAD_METHODS}"
+            )
         self.ansatz = ansatz if isinstance(ansatz, Ansatz) else make_ansatz(
             ansatz, n_qubits=n_qubits, n_layers=n_layers
         )
@@ -77,10 +94,12 @@ class QuantumLayer(Module):
         self.scaling = str(scaling)
         self.init_strategy = str(init)
         self.compiled = bool(compiled)
+        self.grad_method = str(grad_method)
         self.params = Parameter(
             initial_circuit_params(init, self.ansatz.param_count, rng=rng),
             name="quantum_params",
         )
+        self._embedded_gates: tuple[GateSpec, ...] | None = None
 
     @property
     def in_features(self) -> int:
@@ -104,8 +123,95 @@ class QuantumLayer(Module):
         state = angle_embedding(state, angles)
         return apply_ansatz(state, self.ansatz, self.params, compiled=self.compiled)
 
+    def embedded_gate_sequence(self) -> tuple[GateSpec, ...]:
+        """The full circuit including the RX embedding as explicit gates.
+
+        Flat parameter indices ``0..n_qubits-1`` are the (per-batch)
+        embedding angles; ansatz parameters follow, offset by ``n_qubits``.
+        This is the gate list the adjoint and parameter-shift backends
+        compile, so one plan covers embedding *and* ansatz.
+        """
+        if self._embedded_gates is None:
+            n = self.n_qubits
+            gates = [GateSpec("rx", (q,), (q,)) for q in range(n)]
+            for g in self.ansatz.gate_sequence():
+                gates.append(
+                    GateSpec(g.name, g.qubits, tuple(i + n for i in g.params))
+                )
+            self._embedded_gates = tuple(gates)
+        return self._embedded_gates
+
+    def _forward_measured(self, activations: Tensor) -> Tensor:
+        """Forward with an analytic (adjoint / parameter-shift) backward.
+
+        The forward runs under ``no_grad`` — no tape — and the returned
+        tensor carries custom VJPs: one reverse adjoint sweep (or one
+        mega-batched shift replay) produces the cotangents for both the
+        embedding angles and the circuit parameters.  First-order only:
+        ``create_graph=True`` raises, pointing callers at backprop.
+        """
+        from .adjoint import adjoint_state_vjp
+        from .shift import batched_state_shift_vjp
+
+        if activations.ndim != 2 or activations.shape[1] != self.n_qubits:
+            raise ValueError(
+                f"expected activations of shape (batch, {self.n_qubits}), "
+                f"got {activations.shape}"
+            )
+        n = self.n_qubits
+        batch = activations.shape[0]
+        gates = self.embedded_gate_sequence()
+        plan = compile_gates(gates, n)
+        angles = scale_input(self.scaling, activations)  # graph-recorded
+        method = self.grad_method
+        with no_grad():
+            values = [angles[:, q] for q in range(n)]
+            values += [self.params[i] for i in range(self.ansatz.param_count)]
+            final = plan.run(zero_state(batch, n), lambda i: values[i])
+            z = pauli_z_expectations(final)
+
+        memo: dict[int, list] = {}
+
+        def flat_grads(ct: Tensor) -> list:
+            if ad.is_grad_enabled():
+                raise RuntimeError(
+                    f"grad_method={method!r} produces numeric first-order "
+                    "gradients and cannot be differentiated again; use "
+                    "grad_method='backprop' for create_graph=True (e.g. "
+                    "PDE residual losses with input derivatives)"
+                )
+            key = id(ct)
+            if key not in memo:
+                w = np.asarray(ct.data, dtype=np.float64)
+                if method == "adjoint":
+                    memo[key] = adjoint_state_vjp(
+                        gates, n, values, w, plan=plan, final_state=final
+                    )
+                else:
+                    memo[key] = batched_state_shift_vjp(
+                        gates, n, values, w, plan=plan
+                    )
+            return memo[key]
+
+        def vjp_angles(ct: Tensor) -> Tensor:
+            flat = flat_grads(ct)
+            return Tensor(np.stack(
+                [np.broadcast_to(np.asarray(g), (batch,)) for g in flat[:n]],
+                axis=1,
+            ))
+
+        def vjp_params(ct: Tensor) -> Tensor:
+            flat = flat_grads(ct)
+            return Tensor(np.asarray(flat[n:], dtype=np.float64))
+
+        return make_node(
+            z.data, [(angles, vjp_angles), (self.params, vjp_params)]
+        )
+
     def forward(self, activations: Tensor) -> Tensor:
         """Per-qubit ⟨Z⟩ readout, shape ``(batch, n_qubits)``."""
+        if self.grad_method != "backprop":
+            return self._forward_measured(activations)
         return pauli_z_expectations(self.run_state(activations))
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -13,6 +13,8 @@ any tensors the angles were computed from.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from .. import autodiff as ad
@@ -75,16 +77,49 @@ class QuantumState:
         return self.amplitudes().numpy()
 
 
+#: Frozen |0...0⟩ base arrays keyed on ``(batch, n_qubits)``.  Gate
+#: primitives never write in place (every op allocates its output), so the
+#: same read-only buffers can seed every forward call — copy-on-write in
+#: effect, without the copy.  Small LRU: training loops reuse a handful of
+#: batch shapes, and one stale shape must not pin memory forever.
+_ZERO_CACHE: "OrderedDict[tuple[int, int], tuple[np.ndarray, np.ndarray]]" = (
+    OrderedDict()
+)
+_ZERO_CACHE_MAX = 8
+
+
+def _clear_zero_cache() -> None:
+    """Drop cached zero-state bases (test hook)."""
+    _ZERO_CACHE.clear()
+
+
 def zero_state(batch: int, n_qubits: int) -> QuantumState:
-    """|0...0⟩ replicated over the batch."""
+    """|0...0⟩ replicated over the batch.
+
+    The underlying re/im arrays are cached per ``(batch, n_qubits)`` and
+    marked read-only; repeated calls share one allocation instead of
+    zero-filling a fresh ``batch × 2**n`` buffer every forward pass.
+    """
     if n_qubits < 1:
         raise ValueError("need at least one qubit")
+    key = (int(batch), int(n_qubits))
+    cached = _ZERO_CACHE.get(key)
+    if cached is not None:
+        _ZERO_CACHE.move_to_end(key)
+    else:
+        re = np.zeros((batch,) + (2,) * n_qubits)
+        re[(slice(None),) + (0,) * n_qubits] = 1.0
+        im = np.zeros_like(re)
+        re.flags.writeable = False
+        im.flags.writeable = False
+        if len(_ZERO_CACHE) >= _ZERO_CACHE_MAX:
+            _ZERO_CACHE.popitem(last=False)
+        _ZERO_CACHE[key] = cached = (re, im)
     if obs.is_profiling():
         obs.metrics().counter("torq.state.alloc", n_qubits=n_qubits).inc()
         obs.metrics().histogram("torq.state.batch").observe(batch)
-    re = np.zeros((batch,) + (2,) * n_qubits)
-    re[(slice(None),) + (0,) * n_qubits] = 1.0
-    return QuantumState(ComplexTensor(Tensor(re)), n_qubits)
+    re, im = cached
+    return QuantumState(ComplexTensor(Tensor(re), Tensor(im)), n_qubits)
 
 
 # ----------------------------------------------------------------------
