@@ -1,0 +1,311 @@
+#!/usr/bin/env python
+"""Tape-compiler benchmark for the classical PDE training step — emits
+``BENCH_autodiff.json``.
+
+Measures the define-by-run autodiff engine against the
+:mod:`repro.autodiff.tape` replay executor on the Schrödinger workload at
+the paper's training configuration (hidden=32 x 3 layers, 256 collocation
++ 64 data points — the :class:`repro.pde.PDETrainerConfig` defaults):
+
+* ``step``    — one training step (forward + residual + backward) on a
+                fixed batch: graph construction + topo sort + VJP closures
+                vs. a preplanned kernel replay into preallocated buffers,
+* ``trainer`` — end-to-end :class:`repro.pde.PDETrainer` training runs
+                with ``compile_step`` on vs. off (identical seeds; the
+                loss trajectories are asserted bitwise equal).
+
+Timing interleaves the two variants within every repetition and reports
+the median of ``--repeats`` runs plus the median per-pair speedup (robust
+against machine-load drift).  The step section also reports the max abs difference between
+replayed and define-by-run gradients (the tape's contract is bitwise
+equality, i.e. 0.0) and the executor's schedule statistics (entries
+recorded / after DCE / constant-folded / fused).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_pde.py               # full bench
+    PYTHONPATH=src python scripts/bench_pde.py --toy         # CI smoke
+    PYTHONPATH=src python scripts/bench_pde.py --toy --check-alloc
+
+``--check-alloc`` exits non-zero unless a steady-state tape replay
+constructs exactly zero ``Tensor`` graph nodes — a deterministic
+structural assertion suitable for CI, unlike wall-clock thresholds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.autodiff import backward  # noqa: E402
+from repro.autodiff.tape import compile_step  # noqa: E402
+from repro.pde import (  # noqa: E402
+    GenericPINN,
+    PDETrainer,
+    PDETrainerConfig,
+    SchrodingerProblem,
+)
+
+DATA_WEIGHT = 10.0
+
+
+def _paired_median(fn_a, fn_b, reps: int) -> tuple[float, float, float]:
+    """Interleaved median timing of two functions (after one warm-up each).
+
+    Alternating A/B within every repetition cancels machine-load drift
+    out of the comparison; the returned speedup is the median of the
+    per-pair ratios, which is far more stable than the ratio of two
+    independently measured medians.  Returns ``(median_a, median_b,
+    median(a_i / b_i))``.
+    """
+    fn_a()
+    fn_b()
+    times_a, times_b = [], []
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - t0)
+    ratios = [a / b for a, b in zip(times_a, times_b)]
+    return (
+        float(np.median(times_a)),
+        float(np.median(times_b)),
+        float(np.median(ratios)),
+    )
+
+
+def _build_workload(hidden: int, n_hidden: int, n_col: int, n_data: int,
+                    seed: int):
+    """Problem, model, parameter list, and one fixed batch of arrays."""
+    problem = SchrodingerProblem()
+    model = GenericPINN(
+        problem.in_dim, problem.out_dim, hidden=hidden, n_hidden=n_hidden,
+        rng=np.random.default_rng(seed + 1),
+    )
+    rng = np.random.default_rng(seed)
+    points = problem.sample(n_col, rng)
+    arrays = (*points, *problem.data_arrays(n_data, rng))
+    params = model.parameters()
+
+    res_terms = getattr(problem, "residual_terms", problem.residual_loss)
+
+    def step_fn(*arrs):
+        res = res_terms(model, *arrs[: len(points)])
+        dat = problem.data_terms(model, *arrs[len(points):])
+        return res + DATA_WEIGHT * dat
+
+    return problem, model, params, arrays, step_fn
+
+
+def bench_step(hidden: int, n_hidden: int, n_col: int, n_data: int,
+               reps: int, seed: int) -> dict:
+    """Median per-step wall time, define-by-run vs. tape replay."""
+    _, _, params, arrays, step_fn = _build_workload(
+        hidden, n_hidden, n_col, n_data, seed
+    )
+
+    def direct():
+        for p in params:
+            p.grad = None
+        loss = step_fn(*arrays)
+        backward(loss, params)
+        return float(loss.data), [p.grad for p in params]
+
+    step = compile_step(step_fn, params, name="schrodinger")
+    step(*arrays)  # trace
+    step(*arrays)  # first replay (validated against define-by-run)
+    step(*arrays)  # verifies + engages the frozen straight-line replay
+
+    direct_s, compiled_s, speedup = _paired_median(
+        direct, lambda: step(*arrays), reps
+    )
+
+    loss_c, grads_c, _ = step(*arrays)
+    grads_c = [g.copy() for g in grads_c]  # replay buffers are reused
+    loss_d, grads_d = direct()
+    grad_diff = max(
+        float(np.abs(a - b).max()) for a, b in zip(grads_c, grads_d)
+    )
+    info = step.cache_info()
+    row = {
+        "hidden": hidden,
+        "n_hidden": n_hidden,
+        "n_collocation": n_col,
+        "n_data": n_data,
+        "define_by_run_s": direct_s,
+        "compiled_s": compiled_s,
+        "speedup_compiled_vs_define_by_run": speedup,
+        "max_abs_grad_diff": grad_diff,
+        "abs_loss_diff": abs(loss_c - loss_d),
+        "schedule": info.get("schedule"),
+    }
+    print(f"  step: define-by-run {direct_s*1e3:.1f} ms, "
+          f"compiled {compiled_s*1e3:.1f} ms "
+          f"({row['speedup_compiled_vs_define_by_run']:.2f}x, "
+          f"grad Δ={grad_diff:.1e})")
+    sched = info.get("schedule") or {}
+    if sched:
+        print(f"        schedule: {sched.get('recorded')} recorded -> "
+              f"{sched.get('after_dce')} after DCE, "
+              f"{sched.get('folded')} folded, {sched.get('fused')} fused")
+    return row
+
+
+def bench_trainer(hidden: int, n_hidden: int, n_col: int, n_data: int,
+                  epochs: int, reps: int, seed: int) -> dict:
+    """End-to-end PDETrainer wall time with the compiled step on vs. off."""
+    problem = SchrodingerProblem()
+    losses: dict[bool, list[float]] = {}
+
+    def run(compiled: bool):
+        def once():
+            model = GenericPINN(
+                problem.in_dim, problem.out_dim, hidden=hidden,
+                n_hidden=n_hidden, rng=np.random.default_rng(seed + 1),
+            )
+            cfg = PDETrainerConfig(
+                epochs=epochs, n_collocation=n_col, n_data=n_data,
+                eval_every=0, seed=seed, compile_step=compiled,
+            )
+            result = PDETrainer(model, problem, cfg).train()
+            losses[compiled] = result.loss
+        return once
+
+    direct_s, compiled_s, speedup = _paired_median(run(False), run(True), reps)
+    identical = losses[True] == losses[False]
+    row = {
+        "epochs": epochs,
+        "define_by_run_s": direct_s,
+        "compiled_s": compiled_s,
+        "speedup_compiled_vs_define_by_run": speedup,
+        "loss_trajectories_bitwise_equal": identical,
+        "final_loss": losses[True][-1],
+    }
+    print(f"  trainer ({epochs} epochs): define-by-run {direct_s:.2f} s, "
+          f"compiled {compiled_s:.2f} s "
+          f"({row['speedup_compiled_vs_define_by_run']:.2f}x, "
+          f"trajectories equal: {identical})")
+    return row
+
+
+def check_zero_alloc(hidden: int, n_hidden: int, n_col: int, n_data: int,
+                     seed: int) -> int:
+    """Deterministic CI assertion: a steady-state tape replay constructs
+    ZERO ``Tensor`` graph nodes (the whole point of the compiler)."""
+    from repro.autodiff import tensor as tensor_mod
+
+    _, _, params, arrays, step_fn = _build_workload(
+        hidden, n_hidden, n_col, n_data, seed
+    )
+    step = compile_step(step_fn, params, name="alloc-check")
+    step(*arrays)  # trace
+    step(*arrays)  # first replay runs the validation pass (allocates)
+    step(*arrays)  # steady state
+
+    counter = {"n": 0}
+    orig_init = tensor_mod.Tensor.__init__
+
+    def counting_init(self, *args, **kwargs):
+        counter["n"] += 1
+        orig_init(self, *args, **kwargs)
+
+    tensor_mod.Tensor.__init__ = counting_init
+    try:
+        step(*arrays)
+    finally:
+        tensor_mod.Tensor.__init__ = orig_init
+    ok = counter["n"] == 0 and not step.disabled
+    status = "passed" if ok else "FAILED"
+    print(f"alloc check {status}: {counter['n']} Tensor node(s) constructed "
+          f"during a steady-state replay (expected 0; "
+          f"disabled={bool(step.disabled)})")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--toy", action="store_true",
+                        help="tiny sizes for CI smoke runs")
+    parser.add_argument("--check-alloc", action="store_true",
+                        help="assert a steady-state replay allocates zero "
+                             "Tensor graph nodes")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per measurement (median reported; "
+                             "default 2 with --toy, 5 otherwise)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for parameters and sampling")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_autodiff.json")
+    args = parser.parse_args(argv)
+
+    if args.toy:
+        hidden, n_hidden, n_col, n_data, epochs, reps = 8, 2, 32, 16, 10, 2
+    else:
+        # The PDETrainerConfig defaults: the paper's classical Schrödinger
+        # training configuration.
+        hidden, n_hidden, n_col, n_data, epochs, reps = 32, 3, 256, 64, 100, 5
+    if args.repeats is not None:
+        if args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        reps = args.repeats
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()  # match the trainers' steady-state GC policy
+    try:
+        print(f"autodiff tape bench: Schrödinger, hidden={hidden} x "
+              f"{n_hidden} layers, {n_col} collocation + {n_data} data "
+              f"points, median of {reps} run(s), seed {args.seed}")
+        print("training step (forward+residual+backward):")
+        step_row = bench_step(hidden, n_hidden, n_col, n_data, reps,
+                              args.seed)
+        print("end-to-end trainer:")
+        trainer_row = bench_trainer(hidden, n_hidden, n_col, n_data, epochs,
+                                    reps, args.seed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    report = {
+        "workload": {
+            "description": "Schrödinger PDE training step "
+                           "(forward+residual+backward)",
+            "problem": "schrodinger",
+            "hidden": hidden,
+            "n_hidden": n_hidden,
+            "n_collocation": n_col,
+            "n_data": n_data,
+            "toy": bool(args.toy),
+            "repeats": reps,
+            "seed": args.seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "step": step_row,
+        "trainer": trainer_row,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check_alloc:
+        if check_zero_alloc(hidden, n_hidden, n_col, n_data, args.seed) != 0:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

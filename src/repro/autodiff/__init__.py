@@ -17,6 +17,8 @@ Quick example::
 
 from . import ops
 from .gradcheck import check_double_grad, check_grad, numeric_grad
+from . import tape
+from .tape import CompiledStep, Tape, TapeExecutor, TapeFallback, compile_step
 from .ops import (
     absolute,
     add,
@@ -87,6 +89,8 @@ __all__ = [
     "is_grad_enabled", "make_node",
     "zeros", "ones", "full", "arange", "linspace",
     "ops", "check_grad", "check_double_grad", "numeric_grad",
+    "tape", "compile_step", "CompiledStep", "Tape", "TapeExecutor",
+    "TapeFallback",
     # re-exported ops
     "add", "sub", "mul", "div", "neg", "pow", "matmul", "dot_last",
     "exp", "log", "sin", "cos", "tan", "tanh", "sinh", "cosh",

@@ -34,6 +34,14 @@ __all__ = [
 #: time, so rebinding the attributes instruments the whole engine.
 PROFILED_OPS = tuple(__all__)
 
+#: operations whose VJP closures capture data-dependent constants (masks,
+#: signs, argmax positions) frozen at forward time.  Replaying a recorded
+#: call would reuse stale constants, so :mod:`repro.autodiff.tape` falls
+#: back to define-by-run when a traced step uses one of these.
+DATA_DEPENDENT_OPS = (
+    "absolute", "relu", "maximum", "minimum", "clip", "where", "amax", "amin",
+)
+
 
 # ----------------------------------------------------------------------
 # Broadcasting helpers

@@ -1,0 +1,989 @@
+"""Trace-once/replay-many tape compilation for the autodiff engine.
+
+PINN training runs the *same* computation graph thousands of times: only
+the collocation values (and the parameters) change between epochs, never
+the graph structure.  The define-by-run engine nevertheless re-allocates
+every Tensor node, VJP closure, topological sort, and cotangent dict on
+every step.  This module removes that bookkeeping from the hot loop the
+same way :mod:`repro.torq.compile` removed gate dispatch from the
+simulator: record once, replay many times.
+
+**Lifecycle.**  :func:`trace` executes one training step — forward,
+residual derivatives, and the backward pass — with every public op in
+:mod:`repro.autodiff.ops` temporarily wrapped (the same attribute-rebind
+mechanism :mod:`repro.obs.profile` uses, so VJP closures and ``Tensor``
+operator methods are captured too).  Each op call is appended to a flat
+:class:`Tape` entry list: op kind, input/output *slot* ids, and static
+kwargs.  Because the backward pass itself runs under the recorder, the
+tape already contains the complete backward schedule — double-backward
+residual graphs are derived once and replayed as plain kernel calls.
+
+:class:`TapeExecutor` compiles a tape into a preplanned schedule of raw
+NumPy kernel calls — no Tensor nodes, no closures, no topo sort — after
+three structure-preserving passes:
+
+* **dead-code elimination** — entries whose outputs never reach the loss,
+  the parameter gradients, or an auxiliary output are dropped (e.g.
+  backward work towards non-parameter leaves),
+* **constant folding** — entries depending only on non-parameter leaves
+  (collocation grids, embedding matrices, targets) are evaluated once at
+  compile time and replayed as constants,
+* **elementwise fusion** — single-use ``mul``/``square`` feeding a
+  ``sum`` collapse into one in-place multiply + reduce kernel, chosen so
+  the floating-point operation sequence is *bitwise identical* to the
+  define-by-run result.
+
+Replay reuses preallocated output buffers keyed by schedule position
+(ufunc kernels write with ``out=``), so a steady-state replay performs
+**zero** graph-node allocations — ``scripts/bench_pde.py --check-alloc``
+asserts exactly that in CI.
+
+Once the first replay has allocated every buffer, the executor *freezes*
+the schedule into generated straight-line Python — one kernel call per
+line, with buffers, constants, and parameter tensors bound in the
+function's namespace — removing the interpreter's per-entry dispatch
+(tuple unpacking, argument-list building, mode branching) entirely.  The
+generated function is verified bitwise against the interpreted schedule
+on its first use and dropped permanently on any mismatch, so the freeze
+is an invisible optimisation, never a correctness risk.
+
+**Entry point.**  :func:`compile_step` wraps a step function
+``fn(*arrays) -> loss`` (or ``(loss, {name: Tensor})`` for logged
+components) into a :class:`CompiledStep`.  Calling it returns
+``(loss, grads, aux)`` where ``grads`` holds ``d loss / d p`` for every
+parameter.  Executors are cached per input *structure key* (the tuple of
+input shapes/dtypes, like ``plan_cache_info()`` in TorQ), so a resampled
+collocation size re-traces automatically instead of erroring.
+
+**Correctness contract.**  Inputs that change between calls must be
+passed as ``arrays``; parameters are read live through their ``.data`` on
+every replay, so optimiser updates are picked up; every *other* leaf is
+treated as a constant.  Ops whose VJPs capture data-dependent masks
+(``relu``, ``clip``, ``where``, ``amax`` …; see
+``repro.autodiff.ops.DATA_DEPENDENT_OPS``) and graph nodes created
+outside the recorded op set (e.g. TorQ's analytic-gradient layers) raise
+:class:`TapeFallback` during tracing.
+
+**Fallback semantics.**  A :class:`CompiledStep` never raises on
+unsupported structure: tracing failures, validation mismatches, and any
+replay error permanently revert the step to define-by-run.  The first
+replay after every (re-)trace is additionally validated against a fresh
+define-by-run evaluation to ``tol`` (default ``1e-12``; replays are
+designed to be bitwise identical).
+
+**Observability.**  While :func:`repro.obs.profile` is active, cache
+events are published to the global metrics registry as counters
+``autodiff.tape.hits`` / ``.misses`` / ``.retraces`` / ``.fallbacks``
+(labelled ``step=<name>``; outside profiling the hot loop makes zero obs
+callbacks), and
+:meth:`CompiledStep.cache_info` reports the same numbers together with
+per-executor schedule statistics.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .ops import DATA_DEPENDENT_OPS, PROFILED_OPS, _is_basic_index
+from .tensor import Tensor, as_tensor
+from .tensor import grad as _grad
+
+__all__ = [
+    "TapeFallback",
+    "Tape",
+    "TapeExecutor",
+    "CompiledStep",
+    "compile_step",
+    "trace",
+]
+
+
+class TapeFallback(RuntimeError):
+    """Raised during tracing when a step cannot be tape-compiled."""
+
+
+#: ops whose recorded replay would freeze data-dependent VJP constants
+#: (masks, signs) captured at trace time.
+UNSUPPORTED_OPS = frozenset(DATA_DEPENDENT_OPS)
+
+#: ops whose second positional argument is a tensor operand (everything
+#: else treats position >= 1 as static configuration: axes, shapes,
+#: indices).  Position 0 is a tensor operand for every kernelised op.
+_BINARY_OPS = frozenset({"add", "sub", "mul", "div", "matmul"})
+
+_SEQUENCE_OPS = frozenset({"concatenate", "stack"})
+
+#: composite ops implemented in terms of other primitives; their inner
+#: calls are recorded, so the outer call is skipped (its output tensor is
+#: already bound to a slot).
+_COMPOSITE_OPS = frozenset({"mean", "dot_last"})
+
+
+# ----------------------------------------------------------------------
+# Replay kernels — each mirrors the exact NumPy computation of its op so
+# replayed values are bitwise identical to the define-by-run forward.
+# Mode 0 kernels return fresh arrays/views; mode 1 kernels accept ``out=``
+# and reuse a per-entry buffer; mode 2 are fused pairs (see below).
+# ----------------------------------------------------------------------
+
+def _ufunc(uf):
+    return lambda *vals, out=None: uf(*vals, out=out)
+
+
+def _k_pow(a, p):
+    return a ** p
+
+
+def _k_reshape(a, shape):
+    shape = tuple(shape) if isinstance(shape, (list, tuple)) else (shape,)
+    return a.reshape(shape)
+
+
+def _k_transpose(a, axes=None):
+    if axes is None:
+        axes = tuple(reversed(range(a.ndim)))
+    return a.transpose(tuple(axes))
+
+
+def _k_squeeze(a, axis=None):
+    return np.squeeze(a, axis=axis) if axis is not None else np.squeeze(a)
+
+
+def _k_getitem(a, index, out=None):
+    # The op copies the selection into a fresh contiguous array; mirror
+    # that layout (a strided view would send downstream BLAS calls down a
+    # different code path with different rounding).
+    r = a[index]
+    if np.isscalar(r) or r.ndim == 0:
+        r = np.asarray(r)
+    if out is None:
+        return np.array(r, copy=True)
+    np.copyto(out, r)
+    return out
+
+
+def _k_permute_last(a, indices):
+    return a[..., np.asarray(indices, dtype=np.intp)]
+
+
+def _k_broadcast_to(a, shape, out=None):
+    # The op materialises a contiguous copy; mirror that layout so
+    # downstream BLAS calls see identical strides (bitwise replay).
+    v = np.broadcast_to(a, shape)
+    if out is None:
+        return v.copy()
+    np.copyto(out, v)
+    return out
+
+
+def _k_tensor_sum(a, axis=None, keepdims=False, out=None):
+    return a.sum(axis=axis, keepdims=keepdims, out=out)
+
+
+def _k_scatter_add(ct, index, shape, out=None):
+    if out is None:
+        dtype = ct.dtype if ct.dtype.kind == "f" else np.float64
+        out = np.zeros(shape, dtype=dtype)
+    else:
+        out.fill(0.0)
+    if _is_basic_index(index):
+        out[index] = ct
+    else:
+        np.add.at(out, index, ct)
+    return out
+
+
+def _k_sigmoid(a, out=None):
+    if out is None:
+        return 1.0 / (1.0 + np.exp(-a))
+    np.negative(a, out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.true_divide(1.0, out, out=out)
+    return out
+
+
+def _k_softplus(a, out=None):
+    return np.logaddexp(0.0, a, out=out)
+
+
+def _k_concatenate(*arrays, axis=0, out=None):
+    return np.concatenate(arrays, axis=axis, out=out)
+
+
+def _k_stack(*arrays, axis=0, out=None):
+    return np.stack(arrays, axis=axis, out=out)
+
+
+def _k_fused_mulsum(vals, static, buf):
+    a, b = vals
+    if buf is None:
+        buf = np.multiply(a, b)
+    else:
+        np.multiply(a, b, out=buf)
+    return buf.sum(axis=static["axis"], keepdims=static["keepdims"]), buf
+
+
+def _k_fused_squaresum(vals, static, buf):
+    (a,) = vals
+    if buf is None:
+        buf = np.square(a)
+    else:
+        np.square(a, out=buf)
+    return buf.sum(axis=static["axis"], keepdims=static["keepdims"]), buf
+
+
+#: op name -> (kernel, mode); mode 1 kernels take ``out=`` buffers.
+KERNELS: dict[str, tuple[Callable, int]] = {
+    "add": (_ufunc(np.add), 1),
+    "sub": (_ufunc(np.subtract), 1),
+    "mul": (_ufunc(np.multiply), 1),
+    "div": (_ufunc(np.true_divide), 1),
+    "neg": (_ufunc(np.negative), 1),
+    "matmul": (_ufunc(np.matmul), 1),
+    "exp": (_ufunc(np.exp), 1),
+    "log": (_ufunc(np.log), 1),
+    "sin": (_ufunc(np.sin), 1),
+    "cos": (_ufunc(np.cos), 1),
+    "tan": (_ufunc(np.tan), 1),
+    "tanh": (_ufunc(np.tanh), 1),
+    "sinh": (_ufunc(np.sinh), 1),
+    "cosh": (_ufunc(np.cosh), 1),
+    "arcsin": (_ufunc(np.arcsin), 1),
+    "arccos": (_ufunc(np.arccos), 1),
+    "arctan": (_ufunc(np.arctan), 1),
+    "sqrt": (_ufunc(np.sqrt), 1),
+    "square": (_ufunc(np.square), 1),
+    "sign": (_ufunc(np.sign), 1),
+    "pow": (_k_pow, 0),
+    "sigmoid": (_k_sigmoid, 1),
+    "softplus": (_k_softplus, 1),
+    "reshape": (_k_reshape, 0),
+    "transpose": (_k_transpose, 0),
+    "moveaxis": (lambda a, source, destination: np.moveaxis(a, source, destination), 0),
+    "expand_dims": (lambda a, axis: np.expand_dims(a, axis), 0),
+    "squeeze": (_k_squeeze, 0),
+    "broadcast_to": (_k_broadcast_to, 1),
+    "concatenate": (_k_concatenate, 1),
+    "stack": (_k_stack, 1),
+    "flip": (lambda a, axis: np.flip(a, axis=axis), 0),
+    "roll": (lambda a, shift, axis: np.roll(a, shift, axis=axis), 0),
+    "permute_last": (_k_permute_last, 0),
+    "getitem": (_k_getitem, 1),
+    "scatter_add": (_k_scatter_add, 1),
+    "tensor_sum": (_k_tensor_sum, 1),
+}
+
+_FUSED_KERNELS = {
+    "__fused_mulsum": _k_fused_mulsum,
+    "__fused_squaresum": _k_fused_squaresum,
+}
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+
+class _Entry:
+    """One recorded op: kernel name, arg template, static kwargs, output."""
+
+    __slots__ = ("name", "template", "static", "out_slot")
+
+    def __init__(self, name, template, static, out_slot):
+        self.name = name
+        self.template = template  # tuple[(is_slot, slot_or_value), ...]
+        self.static = static      # dict of static kwargs
+        self.out_slot = out_slot
+
+
+class _Tracer:
+    """Records ops into entries and assigns tensors to value slots.
+
+    Slot binds are ``("input", k)`` (positional input array, matched by
+    array identity), ``("param", t)`` / ``("const", t)`` (captured leaf
+    tensors, read live via ``.data``), ``("value", arr)`` (static
+    literals), or ``("op", None)`` (produced by an entry).
+    """
+
+    def __init__(self, arrays: Sequence[np.ndarray], params: Sequence[Tensor]):
+        self.arrays = list(arrays)
+        self.input_ids = {id(a): k for k, a in enumerate(self.arrays)}
+        self.input_slots: list[int | None] = [None] * len(self.arrays)
+        self.param_ids = {id(p) for p in params}
+        self.slot_of: dict[int, int] = {}
+        self.binds: list[tuple] = []
+        self.entries: list[_Entry] = []
+        # Keeps every tensor seen alive for the duration of the trace so
+        # CPython cannot recycle an id() for a new tensor mid-trace.
+        self.keepalive: list = []
+
+    def _new_slot(self, bind) -> int:
+        slot = len(self.binds)
+        self.binds.append(bind)
+        return slot
+
+    def ref_tensor(self, t: Tensor) -> int:
+        slot = self.slot_of.get(id(t))
+        if slot is not None:
+            return slot
+        k = self.input_ids.get(id(t.data))
+        if k is not None:
+            if self.input_slots[k] is None:
+                self.input_slots[k] = self._new_slot(("input", k))
+            slot = self.input_slots[k]
+        elif t._parents:
+            raise TapeFallback(
+                "graph node created outside the recorded op set "
+                "(custom make_node VJP, e.g. a non-backprop quantum layer)"
+            )
+        else:
+            kind = "param" if id(t) in self.param_ids else "const"
+            slot = self._new_slot((kind, t))
+        self.slot_of[id(t)] = slot
+        self.keepalive.append(t)
+        return slot
+
+    def record(self, name: str, args: tuple, kwargs: dict, out: Tensor) -> None:
+        if id(out) in self.slot_of:
+            return  # composite op: inner primitives already recorded
+        if name in _COMPOSITE_OPS:  # pragma: no cover - defensive
+            raise TapeFallback(f"composite op {name!r} produced a new node")
+        if name in UNSUPPORTED_OPS:
+            raise TapeFallback(
+                f"op {name!r} captures data-dependent constants in its VJP"
+            )
+        if name not in KERNELS:  # pragma: no cover - defensive
+            raise TapeFallback(f"no replay kernel for op {name!r}")
+        template: list[tuple] = []
+        if name in _SEQUENCE_OPS:
+            elements = args[0]
+            for el in elements:
+                if isinstance(el, Tensor):
+                    template.append((True, self.ref_tensor(el)))
+                else:
+                    template.append((False, as_tensor(el).data))
+            axis = args[1] if len(args) > 1 else kwargs.get("axis", 0)
+            static = {"axis": axis}
+        else:
+            for i, a in enumerate(args):
+                if isinstance(a, Tensor):
+                    template.append((True, self.ref_tensor(a)))
+                elif i == 0 or (i == 1 and name in _BINARY_OPS):
+                    # Tensor-operand position: mirror the op's as_tensor
+                    # coercion so kernels see identical dtypes.
+                    template.append((False, as_tensor(a).data))
+                elif i == 1 and name == "pow":
+                    if isinstance(a, (int, float)) and not isinstance(a, bool):
+                        template.append((False, float(a)))
+                    else:
+                        template.append((False, as_tensor(a).data))
+                else:
+                    template.append((False, a))
+            for v in kwargs.values():
+                if isinstance(v, Tensor):  # pragma: no cover - defensive
+                    raise TapeFallback(f"tensor keyword argument to {name!r}")
+            static = dict(kwargs)
+        out_slot = self._new_slot(("op", None))
+        self.slot_of[id(out)] = out_slot
+        self.keepalive.append(out)
+        self.entries.append(_Entry(name, tuple(template), static, out_slot))
+
+    def output_ref(self, t: Tensor) -> tuple:
+        slot = self.slot_of.get(id(t))
+        if slot is not None:
+            return ("slot", slot)
+        if t._parents:  # pragma: no cover - defensive
+            raise TapeFallback("output is an untraced interior node")
+        # Static output (e.g. an allow_unused zero gradient).
+        return ("value", t.data)
+
+
+_tls = threading.local()
+_trace_lock = threading.Lock()
+
+
+def _wrap_for_trace(name: str, fn):
+    @functools.wraps(fn)
+    def traced(*args, **kwargs):
+        tracer = getattr(_tls, "tracer", None)
+        if tracer is None:
+            return fn(*args, **kwargs)
+        out = fn(*args, **kwargs)
+        tracer.record(name, args, kwargs, out)
+        return out
+
+    traced.__tape_original__ = fn
+    return traced
+
+
+def _install_shims() -> dict:
+    from . import ops as ops_mod
+    import repro.autodiff as ad_pkg
+
+    originals: dict[str, object] = {}
+    for name in PROFILED_OPS:
+        fn = getattr(ops_mod, name)
+        originals[name] = fn
+        wrapped = _wrap_for_trace(name, fn)
+        setattr(ops_mod, name, wrapped)
+        if getattr(ad_pkg, name, None) is fn:
+            setattr(ad_pkg, name, wrapped)
+    return originals
+
+
+def _uninstall_shims(originals: dict) -> None:
+    from . import ops as ops_mod
+    import repro.autodiff as ad_pkg
+
+    for name, fn in originals.items():
+        wrapped = getattr(ops_mod, name)
+        setattr(ops_mod, name, fn)
+        if getattr(ad_pkg, name, None) is wrapped:
+            setattr(ad_pkg, name, fn)
+
+
+def _split_output(out):
+    if isinstance(out, Tensor):
+        return out, {}
+    if (
+        isinstance(out, tuple)
+        and len(out) == 2
+        and isinstance(out[0], Tensor)
+        and isinstance(out[1], dict)
+    ):
+        return out[0], out[1]
+    raise TypeError(
+        "step function must return a Tensor loss or (loss, {name: Tensor})"
+    )
+
+
+class Tape:
+    """A recorded step: flat entries plus slot binds and output refs."""
+
+    def __init__(self, entries, binds, loss_ref, grad_refs, aux_refs):
+        self.entries = entries
+        self.binds = binds
+        self.loss_ref = loss_ref
+        self.grad_refs = grad_refs
+        self.aux_refs = aux_refs
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def compile(self) -> "TapeExecutor":
+        """Optimise and preplan the tape into a :class:`TapeExecutor`."""
+        return TapeExecutor(self)
+
+
+def trace(fn, arrays: Sequence[np.ndarray], params: Sequence[Tensor]):
+    """Record one execution of ``fn(*arrays)`` plus its backward pass.
+
+    Returns ``(tape, (loss, grads, aux))`` where the second element holds
+    the results of the traced execution itself (floats/arrays, computed
+    define-by-run while recording).  Raises :class:`TapeFallback` when the
+    step uses an op outside the replayable set.
+    """
+    for a in arrays:
+        if not (isinstance(a, np.ndarray) and a.dtype.kind == "f"):
+            raise TapeFallback("tape inputs must be float NumPy arrays")
+    params = list(params)
+    with _trace_lock:
+        tracer = _Tracer(arrays, params)
+        originals = _install_shims()
+        _tls.tracer = tracer
+        try:
+            loss, aux = _split_output(fn(*arrays))
+            grads = _grad(loss, params, allow_unused=True)
+        finally:
+            _tls.tracer = None
+            _uninstall_shims(originals)
+    loss_ref = tracer.output_ref(loss)
+    if loss_ref[0] != "slot":
+        raise TapeFallback("loss does not depend on any recorded op")
+    grad_refs = [tracer.output_ref(g) for g in grads]
+    aux_refs = {k: tracer.output_ref(v) for k, v in aux.items()}
+    tape = Tape(tracer.entries, tracer.binds, loss_ref, grad_refs, aux_refs)
+    result = (
+        float(loss.data),
+        [g.data for g in grads],
+        {k: v.data for k, v in aux.items()},
+    )
+    return tape, result
+
+
+# ----------------------------------------------------------------------
+# Compilation passes + executor
+# ----------------------------------------------------------------------
+
+def _output_slots(tape: Tape) -> set:
+    refs = [tape.loss_ref, *tape.grad_refs, *tape.aux_refs.values()]
+    return {payload for kind, payload in refs if kind == "slot"}
+
+
+def _dce(entries: list, needed: set) -> list:
+    """Drop entries whose outputs never reach a tape output."""
+    keep: list = []
+    needed = set(needed)
+    for entry in reversed(entries):
+        if entry.out_slot in needed:
+            keep.append(entry)
+            for is_slot, ref in entry.template:
+                if is_slot:
+                    needed.add(ref)
+    keep.reverse()
+    return keep
+
+
+def _run_kernel(name: str, vals: list, static: dict):
+    fn, _mode = KERNELS[name]
+    return fn(*vals, **static)
+
+
+def _fold_constants(entries: list, binds: list) -> tuple[list, int]:
+    """Evaluate entries that depend only on non-parameter leaves."""
+    static_val: dict[int, object] = {}
+    for slot, (kind, payload) in enumerate(binds):
+        if kind == "value":
+            static_val[slot] = payload
+        elif kind == "const":
+            static_val[slot] = payload.data
+    kept: list = []
+    folded = 0
+    for entry in entries:
+        if all((not is_slot) or (ref in static_val)
+               for is_slot, ref in entry.template):
+            vals = [static_val[ref] if is_slot else ref
+                    for is_slot, ref in entry.template]
+            result = _run_kernel(entry.name, vals, entry.static)
+            static_val[entry.out_slot] = result
+            binds[entry.out_slot] = ("value", result)
+            folded += 1
+        else:
+            kept.append(entry)
+    return kept, folded
+
+
+def _sum_params(entry: _Entry) -> tuple:
+    extras = [ref for _is_slot, ref in entry.template[1:]]
+    axis = extras[0] if len(extras) >= 1 else entry.static.get("axis", None)
+    keepdims = extras[1] if len(extras) >= 2 else entry.static.get("keepdims", False)
+    return axis, keepdims
+
+
+def _fuse(entries: list, protected: set) -> tuple[list, int]:
+    """Peephole fusion keeping the FP op sequence bitwise identical.
+
+    * ``mul(x, x)`` -> ``square(x)`` (NumPy's square *is* ``x*x``),
+    * single-use ``mul``/``square`` feeding ``tensor_sum`` -> one fused
+      multiply-into-scratch + pairwise-sum kernel.
+    """
+    for entry in entries:
+        if entry.name == "mul" and len(entry.template) == 2:
+            (a_is, a_ref), (b_is, b_ref) = entry.template
+            if a_is and b_is and a_ref == b_ref:
+                entry.name = "square"
+                entry.template = ((True, a_ref),)
+    use_count: dict[int, int] = {}
+    producer: dict[int, int] = {}
+    for i, entry in enumerate(entries):
+        producer[entry.out_slot] = i
+        for is_slot, ref in entry.template:
+            if is_slot:
+                use_count[ref] = use_count.get(ref, 0) + 1
+    fused_away: set[int] = set()
+    fused = 0
+    for i, entry in enumerate(entries):
+        if entry.name != "tensor_sum" or not entry.template:
+            continue
+        is_slot, src = entry.template[0]
+        if not is_slot:
+            continue
+        j = producer.get(src)
+        if j is None or j in fused_away:
+            continue
+        prod = entries[j]
+        if prod.name not in ("mul", "square"):
+            continue
+        if use_count.get(src, 0) != 1 or src in protected:
+            continue
+        axis, keepdims = _sum_params(entry)
+        entry.name = ("__fused_squaresum" if prod.name == "square"
+                      else "__fused_mulsum")
+        entry.template = prod.template
+        entry.static = {"axis": axis, "keepdims": keepdims}
+        fused_away.add(j)
+        fused += 1
+    if fused_away:
+        entries = [e for j, e in enumerate(entries) if j not in fused_away]
+    return entries, fused
+
+
+class TapeExecutor:
+    """Replays an optimised tape as preplanned raw NumPy kernel calls.
+
+    Buffers are preallocated per schedule entry on the first replay and
+    reused thereafter (``out=`` for ufunc kernels, a zero-filled scratch
+    for ``scatter_add``), so steady-state replays allocate no graph nodes
+    at all.  Returned gradient arrays are owned by the executor and are
+    only valid until the next replay — copy before mutating.
+    """
+
+    def __init__(self, tape: Tape):
+        binds = list(tape.binds)
+        entries = _dce(tape.entries, _output_slots(tape))
+        recorded = len(tape.entries)
+        after_dce = len(entries)
+        entries, folded = _fold_constants(entries, binds)
+        entries, fused = _fuse(entries, _output_slots(tape))
+        self.stats = {
+            "recorded": recorded,
+            "after_dce": after_dce,
+            "folded": folded,
+            "fused": fused,
+            "schedule": len(entries),
+        }
+        self.loss_ref = tape.loss_ref
+        self.grad_refs = tape.grad_refs
+        self.aux_refs = tape.aux_refs
+        self.needs_validation = True
+        self._slots: list = [None] * len(binds)
+        dyn: list[tuple] = []
+        values: list[tuple] = []
+        for slot, (kind, payload) in enumerate(binds):
+            if kind == "value":
+                self._slots[slot] = payload
+                values.append((slot, payload))
+            elif kind == "input":
+                dyn.append((slot, True, payload))
+            elif kind in ("param", "const"):
+                dyn.append((slot, False, payload))
+            # ("op", None) slots are filled by the schedule.
+        self._dyn_binds = tuple(dyn)
+        self._value_binds = tuple(values)
+        schedule = []
+        for entry in entries:
+            if entry.name in _FUSED_KERNELS:
+                fn, mode = _FUSED_KERNELS[entry.name], 2
+            else:
+                fn, mode = KERNELS[entry.name]
+            schedule.append((fn, entry.template, entry.static, entry.out_slot, mode))
+        self._schedule = tuple(schedule)
+        self._bufs: list = [None] * len(schedule)
+        # Frozen straight-line replay function (built after the first
+        # interpreted replay allocates the buffers, then verified bitwise
+        # against the interpreter once before taking over).
+        self._fast = None
+        self._fast_checked = False
+        self._fast_failed = False
+
+    def replay(self, arrays: Sequence[np.ndarray]):
+        """Execute the schedule; returns ``(loss, grads, aux)``."""
+        fast = self._fast
+        if fast is not None:
+            if self._fast_checked:
+                return fast(arrays)
+            return self._check_fast(arrays)
+        result = self._interp(arrays)
+        if not self._fast_failed:
+            try:
+                self._build_fast()
+            except Exception:  # pragma: no cover - codegen is best-effort
+                self._fast_failed = True
+                self._fast = None
+        return result
+
+    def _interp(self, arrays: Sequence[np.ndarray]):
+        """Interpreted schedule walk (first replay and codegen fallback)."""
+        slots = self._slots
+        for slot, is_input, payload in self._dyn_binds:
+            slots[slot] = arrays[payload] if is_input else payload.data
+        bufs = self._bufs
+        for i, (fn, template, static, out_slot, mode) in enumerate(self._schedule):
+            vals = [slots[ref] if is_slot else ref for is_slot, ref in template]
+            if mode == 1:
+                buf = bufs[i]
+                result = fn(*vals, out=buf, **static)
+                if buf is None and type(result) is np.ndarray:
+                    bufs[i] = result
+            elif mode == 0:
+                result = fn(*vals, **static)
+            else:
+                result, bufs[i] = fn(vals, static, bufs[i])
+            slots[out_slot] = result
+        loss = float(self._resolve(self.loss_ref))
+        grads = [self._resolve(ref) for ref in self.grad_refs]
+        aux = {k: self._resolve(ref) for k, ref in self.aux_refs.items()}
+        return loss, grads, aux
+
+    def _resolve(self, ref):
+        kind, payload = ref
+        return self._slots[payload] if kind == "slot" else payload
+
+    def _check_fast(self, arrays: Sequence[np.ndarray]):
+        """First frozen replay: verify it bitwise against the interpreter."""
+        loss_i, grads_i, aux_i = self._interp(arrays)
+        grads_i = [np.array(g, copy=True) for g in grads_i]
+        aux_i = {k: np.array(v, copy=True) for k, v in aux_i.items()}
+        try:
+            loss_f, grads_f, aux_f = self._fast(arrays)
+            ok = (
+                loss_f == loss_i
+                and all(
+                    np.array_equal(a, b, equal_nan=True)
+                    for a, b in zip(grads_f, grads_i)
+                )
+                and all(
+                    np.array_equal(aux_f[k], v, equal_nan=True)
+                    for k, v in aux_i.items()
+                )
+            )
+        except Exception:  # pragma: no cover - codegen is best-effort
+            ok = False
+        if ok:
+            self._fast_checked = True
+            return loss_f, grads_f, aux_f
+        self._fast = None
+        self._fast_failed = True
+        return loss_i, grads_i, aux_i
+
+    def _build_fast(self) -> None:
+        """Freeze the schedule into generated straight-line Python.
+
+        Emits one source line per kernel call — buffers, static values,
+        constants, and parameter tensors are bound in the generated
+        function's global namespace — and compiles it.  The result makes
+        exactly the same NumPy calls as :meth:`_interp`, minus all of the
+        per-entry dispatch work.
+        """
+        ns: dict = {}
+        names: dict[int, str] = {}
+
+        def bind(obj, prefix: str) -> str:
+            key = id(obj)
+            name = names.get(key)
+            if name is None:
+                name = f"{prefix}{len(ns)}"
+                ns[name] = obj
+                names[key] = name
+            return name
+
+        lines = ["def _replay(arrays):"]
+        for slot, is_input, payload in self._dyn_binds:
+            if is_input:
+                lines.append(f"    s{slot} = arrays[{payload}]")
+            else:
+                lines.append(f"    s{slot} = {bind(payload, 't')}.data")
+        for slot, value in self._value_binds:
+            lines.append(f"    s{slot} = {bind(value, 'c')}")
+        for i, (fn, template, static, out_slot, mode) in enumerate(
+            self._schedule
+        ):
+            fname = bind(fn, "f")
+            args = ", ".join(
+                f"s{ref}" if is_slot else bind(ref, "k")
+                for is_slot, ref in template
+            )
+            kw = "".join(
+                f", {key}={bind(value, 'k')}" for key, value in static.items()
+            )
+            if mode == 1:
+                bname = bind(self._bufs[i], "b")
+                lines.append(
+                    f"    s{out_slot} = {fname}({args}, out={bname}{kw})"
+                )
+            elif mode == 0:
+                lines.append(f"    s{out_slot} = {fname}({args}{kw})")
+            else:
+                sname = bind(static, "k")
+                bname = bind(self._bufs[i], "b")
+                lines.append(
+                    f"    s{out_slot} = "
+                    f"{fname}(({args},), {sname}, {bname})[0]"
+                )
+
+        def ref_expr(ref) -> str:
+            kind, payload = ref
+            return f"s{payload}" if kind == "slot" else bind(payload, "c")
+
+        grads = ", ".join(ref_expr(r) for r in self.grad_refs)
+        aux = ", ".join(
+            f"{k!r}: {ref_expr(r)}" for k, r in self.aux_refs.items()
+        )
+        lines.append(
+            f"    return float({ref_expr(self.loss_ref)}), "
+            f"[{grads}], {{{aux}}}"
+        )
+        exec(compile("\n".join(lines), "<tape-codegen>", "exec"), ns)
+        self._fast = ns["_replay"]
+
+
+# ----------------------------------------------------------------------
+# The user-facing compiled step
+# ----------------------------------------------------------------------
+
+class CompiledStep:
+    """A training step compiled on first call and replayed thereafter.
+
+    Calling the step with positional input arrays returns
+    ``(loss, grads, aux)``: the loss as a float, one gradient array per
+    parameter (executor-owned; copy before mutating), and the auxiliary
+    tensors returned by the step function as arrays.  Executors are
+    cached by input structure key; unsupported ops or a failed validation
+    permanently revert to define-by-run (never an exception).
+    """
+
+    def __init__(
+        self,
+        fn,
+        params: Sequence[Tensor],
+        name: str = "step",
+        validate: bool = True,
+        tol: float = 1e-12,
+        cache_size: int = 8,
+    ):
+        self._fn = fn
+        self._params = list(params)
+        self._name = name
+        self._validate = bool(validate)
+        self._tol = float(tol)
+        self._cache_size = int(cache_size)
+        self._cache: OrderedDict[tuple, TapeExecutor] = OrderedDict()
+        self._disabled: str | None = None
+        self._hits = 0
+        self._misses = 0
+        self._retraces = 0
+        self._fallbacks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def disabled(self) -> str | None:
+        """Fallback reason when permanently reverted, else ``None``."""
+        return self._disabled
+
+    def cache_info(self) -> dict:
+        """Cache statistics in the spirit of TorQ's ``plan_cache_info``."""
+        info = {
+            "step": self._name,
+            "size": len(self._cache),
+            "max_size": self._cache_size,
+            "hits": self._hits,
+            "misses": self._misses,
+            "retraces": self._retraces,
+            "fallbacks": self._fallbacks,
+            "disabled": self._disabled,
+        }
+        if self._cache:
+            last = next(reversed(self._cache.values()))
+            info["schedule"] = dict(last.stats)
+        return info
+
+    def clear(self) -> None:
+        """Drop every cached executor (the next call re-traces)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def _count(self, event: str) -> None:
+        setattr(self, f"_{event}", getattr(self, f"_{event}") + 1)
+        # Publish to the metrics registry only while profiling is active —
+        # the trainer hot loop must make zero obs callbacks otherwise.
+        from ..obs.profile import is_profiling
+
+        if is_profiling():
+            from ..obs.registry import metrics
+
+            metrics().counter(
+                f"autodiff.tape.{event}", step=self._name
+            ).inc()
+
+    def _direct(self, arrays):
+        loss, aux = _split_output(self._fn(*arrays))
+        grads = _grad(loss, self._params, allow_unused=True)
+        return (
+            float(loss.data),
+            [g.data for g in grads],
+            {k: v.data for k, v in aux.items()},
+        )
+
+    def _disable(self, reason: str) -> None:
+        self._disabled = reason
+        self._cache.clear()
+        self._count("fallbacks")
+
+    def _check(self, replayed, direct) -> float:
+        r_loss, r_grads, r_aux = replayed
+        d_loss, d_grads, d_aux = direct
+        diff = abs(r_loss - d_loss)
+        for rg, dg in zip(r_grads, d_grads):
+            if np.shape(rg) != np.shape(dg):
+                return float("inf")
+            if np.size(rg):
+                diff = max(diff, float(np.max(np.abs(np.subtract(rg, dg)))))
+        for key, rv in r_aux.items():
+            dv = d_aux.get(key)
+            if dv is None or np.shape(rv) != np.shape(dv):
+                return float("inf")
+            if np.size(rv):
+                diff = max(diff, float(np.max(np.abs(np.subtract(rv, dv)))))
+        return diff
+
+    def __call__(self, *arrays):
+        if self._disabled is not None:
+            return self._direct(arrays)
+        key = tuple((a.shape, a.dtype.str) for a in arrays
+                    if isinstance(a, np.ndarray))
+        if len(key) != len(arrays):
+            self._disable("non-array step input")
+            return self._direct(arrays)
+        executor = self._cache.get(key)
+        if executor is None:
+            self._count("retraces" if self._cache else "misses")
+            try:
+                tape, result = trace(self._fn, arrays, self._params)
+                executor = tape.compile()
+            except TapeFallback as exc:
+                self._disable(str(exc))
+                return self._direct(arrays)
+            executor.needs_validation = self._validate
+            self._cache[key] = executor
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+            return result
+        self._cache.move_to_end(key)
+        self._count("hits")
+        try:
+            replayed = executor.replay(arrays)
+        except Exception as exc:  # correctness first: any replay error reverts
+            self._disable(f"replay error: {exc}")
+            return self._direct(arrays)
+        if executor.needs_validation:
+            executor.needs_validation = False
+            direct = self._direct(arrays)
+            if self._check(replayed, direct) > self._tol:
+                self._disable("replay mismatch vs define-by-run")
+                return direct
+        return replayed
+
+
+def compile_step(
+    fn,
+    params: Sequence[Tensor],
+    name: str = "step",
+    validate: bool = True,
+    tol: float = 1e-12,
+    cache_size: int = 8,
+) -> CompiledStep:
+    """Wrap ``fn(*arrays) -> loss | (loss, aux)`` into a :class:`CompiledStep`.
+
+    ``params`` are the tensors whose gradients the step returns; they are
+    read live on every replay, so optimiser updates between calls are
+    honoured.  All other leaves are captured as constants — anything that
+    changes per call must be one of the positional input arrays.
+    """
+    return CompiledStep(
+        fn, params, name=name, validate=validate, tol=tol, cache_size=cache_size
+    )

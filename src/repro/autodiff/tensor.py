@@ -46,20 +46,18 @@ __all__ = [
 
 _state = threading.local()
 
-# Optional observability hook around backward VJP evaluation, installed by
-# :mod:`repro.obs.profile`.  ``None`` (the default) keeps the backward loop
-# on a branch-predicted fast path with no callbacks.
-_backward_hook: Callable | None = None
-
-
 def set_backward_hook(hook: Callable | None) -> None:
     """Install (or clear, with ``None``) the profiler's VJP dispatch hook.
 
     The hook is invoked as ``hook(node, vjp, cotangent)`` in place of the
     plain ``vjp(cotangent)`` call and must return the parent cotangent.
+    The hook is thread-local: installing it (e.g. via
+    :mod:`repro.obs.profile`) only instruments backward passes running on
+    the installing thread, so concurrent trainers don't race.  ``None``
+    (the default) keeps the backward loop on a branch-predicted fast path
+    with no callbacks.
     """
-    global _backward_hook
-    _backward_hook = hook
+    _state.backward_hook = hook
 
 
 def is_grad_enabled() -> bool:
@@ -126,7 +124,7 @@ class Tensor:
         _parents: tuple = (),
         name: str | None = None,
     ):
-        if type(data) is np.ndarray and data.dtype.kind == "f":
+        if isinstance(data, np.ndarray) and data.dtype.kind == "f":
             arr = data  # fast path: float ndarray used as-is
         else:
             if isinstance(data, Tensor):  # pragma: no cover - defensive
@@ -195,7 +193,7 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=False)
 
     def zero_grad(self) -> None:
-        """Clear accumulated gradients on every parameter."""
+        """Clear this tensor's accumulated gradient (sets ``grad`` to None)."""
         self.grad = None
 
     # Operator methods (``__add__`` etc.) are attached by
@@ -308,7 +306,7 @@ def grad(
     order = _topo_order(output)
     input_ids = _ids(input_list)
 
-    hook = _backward_hook
+    hook = getattr(_state, "backward_hook", None)
     ctx = enable_grad() if create_graph else no_grad()
     with ctx:
         for node in reversed(order):

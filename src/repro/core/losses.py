@@ -162,18 +162,21 @@ class MaxwellLoss:
     # ------------------------------------------------------------------
     # Individual terms (operating on pre-sliced field bundles/tensors)
     # ------------------------------------------------------------------
-    def physics_loss(
+    def _physics_terms(
         self, bundle: FieldBundle, grid: CollocationGrid, weights: np.ndarray | None
-    ) -> tuple[Tensor, dict[str, float]]:
+    ) -> tuple[Tensor, dict[str, Tensor]]:
+        """Variant-appropriate physics loss with tensor-valued parts."""
         d = bundle.derivs
         res2 = residual_faraday_x(d)
         res3 = residual_faraday_y(d)
-        parts: dict[str, float] = {}
+        l2 = weighted_mse(res2, weights)
+        l3 = weighted_mse(res3, weights)
+        parts: dict[str, Tensor] = {}
         if self.phys_variant == "vacuum":
             res1 = residual_ampere(d)
             l1 = weighted_mse(res1, weights)
-            total = l1 + weighted_mse(res2, weights) + weighted_mse(res3, weights)
-            parts["res1"] = float(l1.data)
+            total = l1 + l2 + l3
+            parts["res1"] = l1
         elif self.phys_variant == "split":
             # Eq. 14: vacuum and dielectric points averaged separately so
             # the (fewer) dielectric points are not out-voted.
@@ -182,18 +185,24 @@ class MaxwellLoss:
             res1_diel = residual_ampere_scaled(d, inv_eps)
             l_vac = masked_mse(res1_vac, grid.vacuum_mask, weights)
             l_diel = masked_mse(res1_diel, grid.dielectric_mask, weights)
-            total = l_vac + l_diel + weighted_mse(res2, weights) + weighted_mse(res3, weights)
-            parts["res1_vac"] = float(l_vac.data)
-            parts["res1_diel"] = float(l_diel.data)
+            total = l_vac + l_diel + l2 + l3
+            parts["res1_vac"] = l_vac
+            parts["res1_diel"] = l_diel
         else:  # intuitive (Eq. 37)
             inv_eps = Tensor(1.0 / grid.eps)
             res1 = residual_ampere_scaled(d, inv_eps)
             l1 = weighted_mse(res1, weights)
-            total = l1 + weighted_mse(res2, weights) + weighted_mse(res3, weights)
-            parts["res1"] = float(l1.data)
-        parts["res2"] = float(weighted_mse(res2, weights).data)
-        parts["res3"] = float(weighted_mse(res3, weights).data)
+            total = l1 + l2 + l3
+            parts["res1"] = l1
+        parts["res2"] = l2
+        parts["res3"] = l3
         return total, parts
+
+    def physics_loss(
+        self, bundle: FieldBundle, grid: CollocationGrid, weights: np.ndarray | None
+    ) -> tuple[Tensor, dict[str, float]]:
+        total, parts = self._physics_terms(bundle, grid, weights)
+        return total, {k: float(v.data) for k, v in parts.items()}
 
     def pointwise_physics_sq(
         self, bundle: FieldBundle, grid: CollocationGrid
@@ -347,19 +356,26 @@ class MaxwellLoss:
             self.rba.update(sq)
             rba_weights = self.rba.loss_weights()
             weights = rba_weights if weights is None else weights * rba_weights
+        total, tensors = self._terms_from_bundle(model, main, grid, weights)
+        return total, {k: float(v.data) for k, v in tensors.items()}
+
+    def _terms_from_bundle(
+        self,
+        model,
+        main: FieldBundle,
+        grid: CollocationGrid,
+        weights: np.ndarray | None,
+    ) -> tuple[Tensor, dict[str, Tensor]]:
+        """Assemble every Eq. 26 term from the main bundle, as tensors."""
         # Value-only forward for symmetry mirrors and the IC plane.
         ax, ay, at, slices = self._assemble_aux_points(grid)
         aux_ez, aux_hx, aux_hy = model.fields(ax, ay, at)
 
-        l_phys, parts = self.physics_loss(main, grid, weights)
+        l_phys, parts = self._physics_terms(main, grid, weights)
         ic = slices["ic"]
         l_ic = self.ic_loss_from_fields(aux_ez[ic], aux_hx[ic], aux_hy[ic], grid)
         total = l_phys + self.ic_weight * l_ic
-        components = {
-            "phys": float(l_phys.data),
-            "ic": float(l_ic.data),
-            **parts,
-        }
+        components: dict[str, Tensor] = {"phys": l_phys, "ic": l_ic, **parts}
         if self.use_symmetry and (self.mirror_x or self.mirror_y):
             main_fields = (main.ez, main.hx, main.hy)
             l_sym = None
@@ -375,10 +391,29 @@ class MaxwellLoss:
                 )
                 l_sym = term if l_sym is None else l_sym + term
             total = total + self.sym_weight * l_sym
-            components["sym"] = float(l_sym.data)
+            components["sym"] = l_sym
         if self.use_energy:
             l_energy = self.energy_loss(main, grid, weights)
             total = total + self.energy_weight * l_energy
-            components["energy"] = float(l_energy.data)
-        components["total"] = float(total.data)
+            components["energy"] = l_energy
+        components["total"] = total
         return total, components
+
+    def loss_tensors(
+        self, model, grid: CollocationGrid
+    ) -> tuple[Tensor, dict[str, Tensor]]:
+        """Total loss and tensor-valued components as a *pure* function.
+
+        Skips the stateful curriculum/RBA preamble of :meth:`__call__`
+        (raises when either is configured), so the computation depends
+        only on the model parameters and the fixed grid — the form
+        :mod:`repro.autodiff.tape` can capture and replay.
+        """
+        if self.curriculum is not None or self.rba is not None:
+            raise ValueError(
+                "loss_tensors requires curriculum=None and rba=None; "
+                "use __call__ for the stateful weighting modes"
+            )
+        x, y, t = grid.coords()
+        main = forward_with_derivatives(model, x, y, t)
+        return self._terms_from_bundle(model, main, grid, None)

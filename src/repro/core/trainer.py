@@ -17,6 +17,7 @@ import numpy as np
 
 from .. import obs
 from ..autodiff import Tensor, backward, no_grad
+from ..autodiff.tape import compile_step
 from ..optim import Adam, StepDecay
 from ..solvers.maxwell_ref import ReferenceSolution
 from ..torq.entanglement import meyer_wallach
@@ -51,6 +52,11 @@ class TrainerConfig:
     #: citing Hao et al. [34] that it degrades PINNs — this knob exists to
     #: test that claim (see benchmarks/test_minibatch_ablation.py).
     batch_points: int = 0
+    #: capture the (curriculum/RBA/mini-batch-free) training step with
+    #: :mod:`repro.autodiff.tape` on the first epoch and replay it
+    #: thereafter; bitwise identical to define-by-run, with automatic
+    #: fallback on unsupported ops.
+    compile_step: bool = True
 
 
 @dataclass
@@ -110,6 +116,7 @@ class Trainer:
         self._theta0 = np.concatenate([p.data.ravel().copy() for p in self.params])
         self._theta0_norm = float(np.linalg.norm(self._theta0)) or 1.0
         self._batch_rng = np.random.default_rng(424242)
+        self._compiled = None  # CompiledStep, or False when ineligible
         if self.config.batch_points and loss.rba is not None:
             # RBA weights are indexed by fixed collocation ids; resampled
             # mini-batches would scramble the mapping.
@@ -223,11 +230,46 @@ class Trainer:
                 if p.grad is not None:
                     p.grad *= scale
 
+    def _maybe_compile(self):
+        """Return the tape-compiled step, or ``None`` when ineligible.
+
+        Stateful weighting (curriculum, RBA) and per-epoch mini-batching
+        change the computation between epochs, so only the plain
+        fixed-grid step is captured; everything else stays define-by-run.
+        """
+        if self._compiled is None:
+            cfg = self.config
+            eligible = (
+                cfg.compile_step
+                and self.loss.curriculum is None
+                and self.loss.rba is None
+                and not cfg.batch_points
+            )
+            if not eligible:
+                self._compiled = False
+            else:
+                loss_fn, model, grid = self.loss, self.model, self.grid
+
+                def step_fn():
+                    return loss_fn.loss_tensors(model, grid)
+
+                self._compiled = compile_step(
+                    step_fn, self.params, name="maxwell"
+                )
+        return self._compiled or None
+
     def _train_epoch(self, epoch: int, hist: TrainingHistory,
                      recorder=None) -> None:
         cfg = self.config
         self.optimizer.zero_grad()
-        if recorder is None:
+        step = self._maybe_compile() if recorder is None else None
+        if step is not None:
+            loss_value, grads, aux = step()
+            # Replay buffers are executor-owned: copy before Adam mutates.
+            for p, g in zip(self.params, grads):
+                p.grad = g.copy()
+            comps = {k: float(v) for k, v in aux.items()}
+        elif recorder is None:
             total, comps = self.loss(self.model, self._epoch_grid(), epoch)
             backward(total, self.params)
         else:
@@ -235,8 +277,9 @@ class Trainer:
                 total, comps = self.loss(self.model, self._epoch_grid(), epoch)
             with obs.scope("backward"):
                 backward(total, self.params)
-        loss_value = float(total.data)
-        del total  # release the graph before the diagnostics run
+        if step is None:
+            loss_value = float(total.data)
+            del total  # release the graph before the diagnostics run
         self._clip_gradients()
         norm, var = self._grad_stats()
         self.optimizer.step()

@@ -37,6 +37,11 @@ class Adam:
         self.step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Persistent per-parameter scratch pair: the update runs entirely
+        # in-place, with zero per-step temporary allocations.
+        self._scratch = [
+            (np.empty_like(p.data), np.empty_like(p.data)) for p in self.params
+        ]
 
     def zero_grad(self) -> None:
         """Clear accumulated gradients on every parameter."""
@@ -44,24 +49,44 @@ class Adam:
             p.grad = None
 
     def step(self) -> None:
-        """Apply one Adam update using each parameter's ``.grad``."""
+        """Apply one Adam update using each parameter's ``.grad``.
+
+        The update is fully vectorised and in-place: every ufunc writes
+        into the moment buffers or the persistent scratch pair, so a step
+        allocates nothing.  The operation sequence mirrors the textbook
+        formulation exactly, keeping results bitwise identical to the
+        allocating ``m_hat/v_hat`` form.
+        """
         self.step_count += 1
         t = self.step_count
         bc1 = 1.0 - self.beta1 ** t
         bc2 = 1.0 - self.beta2 ** t
-        for p, m, v in zip(self.params, self._m, self._v):
+        b1, b2 = self.beta1, self.beta2
+        lr, eps, wd = self.lr, self.eps, self.weight_decay
+        for p, m, v, (s1, s2) in zip(
+            self.params, self._m, self._v, self._scratch
+        ):
             if p.grad is None:
                 continue
             g = p.grad
-            if self.weight_decay:
-                g = g + self.weight_decay * p.data
-            m *= self.beta1
-            m += (1.0 - self.beta1) * g
-            v *= self.beta2
-            v += (1.0 - self.beta2) * np.square(g)
-            m_hat = m / bc1
-            v_hat = v / bc2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            if wd:
+                np.multiply(p.data, wd, out=s1)
+                np.add(g, s1, out=s1)
+                g = s1
+            np.multiply(m, b1, out=m)
+            np.multiply(g, 1.0 - b1, out=s2)
+            np.add(m, s2, out=m)
+            np.multiply(v, b2, out=v)
+            np.square(g, out=s2)
+            np.multiply(s2, 1.0 - b2, out=s2)
+            np.add(v, s2, out=v)
+            np.divide(m, bc1, out=s2)  # m_hat (g is no longer needed)
+            np.divide(v, bc2, out=s1)  # v_hat
+            np.sqrt(s1, out=s1)
+            np.add(s1, eps, out=s1)
+            np.multiply(s2, lr, out=s2)
+            np.divide(s2, s1, out=s2)
+            np.subtract(p.data, s2, out=p.data)
 
     def state_dict(self) -> dict:
         """Snapshot all state as plain NumPy arrays."""

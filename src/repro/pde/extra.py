@@ -58,15 +58,26 @@ class HeatProblem:
         res = u_t - self.alpha * u_xx
         return (res * res).mean()
 
-    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
-        """Initial/boundary-condition misfit loss."""
+    def data_arrays(self, n: int, rng: np.random.Generator):
+        """Sample the IC/BC arrays consumed by :meth:`data_terms`."""
         x0 = rng.uniform(0, 1, (n, 1))
-        u0 = model(Tensor(np.concatenate([x0, np.zeros_like(x0)], axis=1)))
-        ic = ((u0 - Tensor(np.sin(np.pi * x0))) ** 2).mean()
+        coords0 = np.concatenate([x0, np.zeros_like(x0)], axis=1)
+        target0 = np.sin(np.pi * x0)
         tb = rng.uniform(0, self.t_max, (n, 1))
         xb = np.where(rng.random((n, 1)) < 0.5, 0.0, 1.0)
-        ub = model(Tensor(np.concatenate([xb, tb], axis=1)))
+        coordsb = np.concatenate([xb, tb], axis=1)
+        return coords0, target0, coordsb
+
+    def data_terms(self, model, coords0, target0, coordsb) -> Tensor:
+        """IC/BC misfit as a pure (tape-traceable) function of arrays."""
+        u0 = model(Tensor(coords0))
+        ic = ((u0 - Tensor(target0)) ** 2).mean()
+        ub = model(Tensor(coordsb))
         return ic + (ub * ub).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        return self.data_terms(model, *self.data_arrays(n, rng))
 
     def l2_error(self, model, n_grid: int = 24) -> float:
         """Relative L2 error against the problem's reference solution."""
@@ -113,20 +124,30 @@ class WaveProblem:
         res = u_tt - (self.c ** 2) * u_xx
         return (res * res).mean()
 
-    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
-        # Initial displacement and initial velocity.
-        """Initial/boundary-condition misfit loss."""
-        x0_np = rng.uniform(0, 1, (n, 1))
-        x0 = Tensor(x0_np)
-        t0 = Tensor(np.zeros((n, 1)), requires_grad=True)
-        u0 = model(ad.concatenate([x0, t0], axis=1))
-        ic = ((u0 - Tensor(np.sin(np.pi * x0_np))) ** 2).mean()
-        (u_t0,) = grad(u0.sum(), [t0], create_graph=True)
-        velocity = (u_t0 * u_t0).mean()
+    def data_arrays(self, n: int, rng: np.random.Generator):
+        """Sample the IC/BC arrays consumed by :meth:`data_terms`."""
+        x0 = rng.uniform(0, 1, (n, 1))
+        target0 = np.sin(np.pi * x0)
         tb = rng.uniform(0, self.t_max, (n, 1))
         xb = np.where(rng.random((n, 1)) < 0.5, 0.0, 1.0)
-        ub = model(Tensor(np.concatenate([xb, tb], axis=1)))
+        coordsb = np.concatenate([xb, tb], axis=1)
+        return x0, target0, coordsb
+
+    def data_terms(self, model, x0_np, target0, coordsb) -> Tensor:
+        # Initial displacement and initial velocity.
+        """IC/BC misfit as a pure (tape-traceable) function of arrays."""
+        x0 = Tensor(x0_np)
+        t0 = Tensor(np.zeros((len(x0_np), 1)), requires_grad=True)
+        u0 = model(ad.concatenate([x0, t0], axis=1))
+        ic = ((u0 - Tensor(target0)) ** 2).mean()
+        (u_t0,) = grad(u0.sum(), [t0], create_graph=True)
+        velocity = (u_t0 * u_t0).mean()
+        ub = model(Tensor(coordsb))
         return ic + velocity + (ub * ub).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        return self.data_terms(model, *self.data_arrays(n, rng))
 
     def l2_error(self, model, n_grid: int = 24) -> float:
         """Relative L2 error against the problem's reference solution."""
@@ -167,19 +188,27 @@ class HelmholtzProblem:
         """Draw random collocation points for this problem."""
         return rng.uniform(0, 1, (n, 1)), rng.uniform(0, 1, (n, 1))
 
-    def residual_loss(self, model, x_np, y_np) -> Tensor:
-        """Mean squared PDE residual at the given points."""
+    def residual_arrays(self, x_np, y_np):
+        """Extend sampled points with the precomputed source array."""
+        return x_np, y_np, self.source(x_np, y_np)
+
+    def residual_terms(self, model, x_np, y_np, f_np) -> Tensor:
+        """PDE residual as a pure (tape-traceable) function of arrays."""
         x = Tensor(x_np, requires_grad=True)
         y = Tensor(y_np, requires_grad=True)
         u = model(ad.concatenate([x, y], axis=1))
         u_x, u_y = grad(u.sum(), [x, y], create_graph=True)
         u_xx = _second(u_x, x)
         u_yy = _second(u_y, y)
-        res = u_xx + u_yy + (self.k ** 2) * u - Tensor(self.source(x_np, y_np))
+        res = u_xx + u_yy + (self.k ** 2) * u - Tensor(f_np)
         return (res * res).mean()
 
-    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
-        """Initial/boundary-condition misfit loss."""
+    def residual_loss(self, model, x_np, y_np) -> Tensor:
+        """Mean squared PDE residual at the given points."""
+        return self.residual_terms(model, *self.residual_arrays(x_np, y_np))
+
+    def data_arrays(self, n: int, rng: np.random.Generator):
+        """Sample the Dirichlet boundary arrays for :meth:`data_terms`."""
         quarter = max(1, n // 4)
         s = rng.uniform(0, 1, (quarter, 1))
         edges = np.concatenate([
@@ -188,8 +217,16 @@ class HelmholtzProblem:
             np.concatenate([np.zeros_like(s), s], axis=1),
             np.concatenate([np.ones_like(s), s], axis=1),
         ], axis=0)
+        return (edges,)
+
+    def data_terms(self, model, edges) -> Tensor:
+        """BC misfit as a pure (tape-traceable) function of arrays."""
         ub = model(Tensor(edges))
         return (ub * ub).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        return self.data_terms(model, *self.data_arrays(n, rng))
 
     def l2_error(self, model, n_grid: int = 24) -> float:
         """Relative L2 error against the problem's reference solution."""

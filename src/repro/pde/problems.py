@@ -64,20 +64,30 @@ class BurgersProblem:
         res = u_t + u * u_x - self.nu * u_xx
         return (res * res).mean()
 
-    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+    def data_arrays(self, n: int, rng: np.random.Generator):
+        """Sample the IC/BC arrays consumed by :meth:`data_terms`."""
         # Initial condition ...
-        """Initial/boundary-condition misfit loss."""
         x0 = rng.uniform(-1.0, 1.0, (n, 1))
-        coords0 = Tensor(np.concatenate([x0, np.zeros_like(x0)], axis=1))
-        u0 = model(coords0)
-        target = Tensor(-np.sin(np.pi * x0))
-        ic = ((u0 - target) * (u0 - target)).mean()
+        coords0 = np.concatenate([x0, np.zeros_like(x0)], axis=1)
+        target0 = -np.sin(np.pi * x0)
         # ... and homogeneous Dirichlet boundaries.
         tb = rng.uniform(0.0, 1.0, (n, 1))
         xb = np.where(rng.random((n, 1)) < 0.5, -1.0, 1.0)
-        ub = model(Tensor(np.concatenate([xb, tb], axis=1)))
+        coordsb = np.concatenate([xb, tb], axis=1)
+        return coords0, target0, coordsb
+
+    def data_terms(self, model, coords0, target0, coordsb) -> Tensor:
+        """IC/BC misfit as a pure (tape-traceable) function of arrays."""
+        u0 = model(Tensor(coords0))
+        target = Tensor(target0)
+        ic = ((u0 - target) * (u0 - target)).mean()
+        ub = model(Tensor(coordsb))
         bc = (ub * ub).mean()
         return ic + bc
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        return self.data_terms(model, *self.data_arrays(n, rng))
 
     def reference(self, n_modes: int = 256, n_steps: int = 400):
         """Pseudo-spectral periodic solver (odd data ⇒ valid for Dirichlet)."""
@@ -158,21 +168,32 @@ class SchrodingerProblem:
         f_v = u_t + 0.5 * v_xx + sq * v   # imaginary part
         return (f_u * f_u).mean() + (f_v * f_v).mean()
 
-    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
-        """Initial/boundary-condition misfit loss."""
+    def data_arrays(self, n: int, rng: np.random.Generator):
+        """Sample the IC/BC arrays consumed by :meth:`data_terms`."""
         x0 = rng.uniform(self.x_lo, self.x_hi, (n, 1))
-        out0 = model(Tensor(np.concatenate([x0, np.zeros_like(x0)], axis=1)))
-        target_u = Tensor(2.0 / np.cosh(x0))
-        du = out0[:, 0:1] - target_u
+        coords0 = np.concatenate([x0, np.zeros_like(x0)], axis=1)
+        target_u = 2.0 / np.cosh(x0)
+        tb = rng.uniform(0.0, self.t_max, (n, 1))
+        coords_lo = np.concatenate([np.full_like(tb, self.x_lo), tb], axis=1)
+        coords_hi = np.concatenate([np.full_like(tb, self.x_hi), tb], axis=1)
+        return coords0, target_u, coords_lo, coords_hi
+
+    def data_terms(self, model, coords0, target_u, coords_lo, coords_hi) -> Tensor:
+        """IC/BC misfit as a pure (tape-traceable) function of arrays."""
+        out0 = model(Tensor(coords0))
+        du = out0[:, 0:1] - Tensor(target_u)
         dv = out0[:, 1:2]
         ic = (du * du + dv * dv).mean()
         # Periodic boundary matching h(−5, t) = h(5, t).
-        tb = rng.uniform(0.0, self.t_max, (n, 1))
-        lo = model(Tensor(np.concatenate([np.full_like(tb, self.x_lo), tb], axis=1)))
-        hi = model(Tensor(np.concatenate([np.full_like(tb, self.x_hi), tb], axis=1)))
+        lo = model(Tensor(coords_lo))
+        hi = model(Tensor(coords_hi))
         diff = lo - hi
         bc = (diff * diff).mean()
         return ic + bc
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        return self.data_terms(model, *self.data_arrays(n, rng))
 
     def reference(self, n_modes: int = 256, n_steps: int = 400):
         """Split-step Fourier integration of the NLS equation."""
@@ -235,21 +256,29 @@ class PoissonProblem:
         y = rng.uniform(0.0, 1.0, (n, 1))
         return x, y
 
-    def residual_loss(self, model, x_np: np.ndarray, y_np: np.ndarray) -> Tensor:
-        """Mean squared PDE residual at the given points."""
+    def residual_arrays(self, x_np: np.ndarray, y_np: np.ndarray):
+        """Extend sampled points with the precomputed source array."""
+        return x_np, y_np, self.source(x_np, y_np)
+
+    def residual_terms(self, model, x_np, y_np, f_np) -> Tensor:
+        """PDE residual as a pure (tape-traceable) function of arrays."""
         x = Tensor(x_np, requires_grad=True)
         y = Tensor(y_np, requires_grad=True)
         u = model(ad.concatenate([x, y], axis=1))
         u_x, u_y = grad(u.sum(), [x, y], create_graph=True)
         u_xx = _second_derivative(u, u_x, x)
         u_yy = _second_derivative(u, u_y, y)
-        f = Tensor(self.source(x_np, y_np))
+        f = Tensor(f_np)
         res = -(u_xx + u_yy) - f
         return (res * res).mean()
 
-    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+    def residual_loss(self, model, x_np: np.ndarray, y_np: np.ndarray) -> Tensor:
+        """Mean squared PDE residual at the given points."""
+        return self.residual_terms(model, *self.residual_arrays(x_np, y_np))
+
+    def data_arrays(self, n: int, rng: np.random.Generator):
+        """Sample the Dirichlet boundary arrays for :meth:`data_terms`."""
         # Dirichlet boundary: sample the four edges.
-        """Initial/boundary-condition misfit loss."""
         edges = []
         quarter = max(1, n // 4)
         s = rng.uniform(0.0, 1.0, (quarter, 1))
@@ -257,9 +286,16 @@ class PoissonProblem:
         edges.append(np.concatenate([s, np.ones_like(s)], axis=1))
         edges.append(np.concatenate([np.zeros_like(s), s], axis=1))
         edges.append(np.concatenate([np.ones_like(s), s], axis=1))
-        coords = Tensor(np.concatenate(edges, axis=0))
-        ub = model(coords)
+        return (np.concatenate(edges, axis=0),)
+
+    def data_terms(self, model, coords) -> Tensor:
+        """BC misfit as a pure (tape-traceable) function of arrays."""
+        ub = model(Tensor(coords))
         return (ub * ub).mean()
+
+    def data_loss(self, model, n: int, rng: np.random.Generator) -> Tensor:
+        """Initial/boundary-condition misfit loss."""
+        return self.data_terms(model, *self.data_arrays(n, rng))
 
     def l2_error(self, model, n_grid: int = 33) -> float:
         """Relative L2 error against the problem's reference solution."""

@@ -19,6 +19,7 @@ import numpy as np
 
 from .. import obs
 from ..autodiff import backward
+from ..autodiff.tape import compile_step
 from ..optim import Adam
 
 __all__ = ["PDETrainerConfig", "PDETrainingResult", "PDETrainer"]
@@ -40,6 +41,12 @@ class PDETrainerConfig:
     #: inputs (create_graph) *through the quantum layer*; the analytic
     #: backends suit data-loss-only training and fully classical residuals.
     quantum_grad_method: str = "backprop"
+    #: Capture the training step with :mod:`repro.autodiff.tape` on the
+    #: first epoch and replay it thereafter (re-tracing on shape changes,
+    #: reverting permanently to define-by-run on unsupported ops).  The
+    #: replayed step is validated against — and bitwise identical to — the
+    #: uncompiled path.
+    compile_step: bool = True
 
 
 @dataclass
@@ -78,6 +85,7 @@ class PDETrainer:
         self.optimizer = Adam(self.params, lr=self.config.lr)
         self._points = None
         self._reference = None
+        self._compiled = None  # CompiledStep, or False when ineligible
 
     def _reference_solution(self):
         if self._reference is None and hasattr(self.problem, "reference"):
@@ -96,20 +104,57 @@ class PDETrainer:
         g = np.concatenate(flat)
         return float(np.linalg.norm(g)), float(g.var())
 
+    def _build_compiled(self):
+        """Lazily build the tape-compiled step (or mark it ineligible)."""
+        cfg = self.config
+        problem = self.problem
+        if not cfg.compile_step or not (
+            hasattr(problem, "data_arrays") and hasattr(problem, "data_terms")
+        ):
+            self._compiled = False
+            return False
+        res_terms = getattr(problem, "residual_terms", problem.residual_loss)
+        expand = getattr(problem, "residual_arrays", None)
+        split = len(self._points) if expand is None else len(expand(*self._points))
+        model, weight = self.model, cfg.data_weight
+
+        def step_fn(*arrays):
+            res = res_terms(model, *arrays[:split])
+            dat = problem.data_terms(model, *arrays[split:])
+            return res + weight * dat
+
+        self._compiled = compile_step(
+            step_fn, self.params, name=getattr(problem, "name", "pde")
+        )
+        return self._compiled
+
     def _epoch(self, epoch: int, result: PDETrainingResult) -> None:
         """One uninstrumented training epoch (the default fast path)."""
         cfg = self.config
         if self._points is None or epoch % cfg.resample_every == 0:
             self._points = self.problem.sample(cfg.n_collocation, self.rng)
+        step = self._compiled
+        if step is None:
+            step = self._build_compiled()
         self.optimizer.zero_grad()
-        loss = self.problem.residual_loss(self.model, *self._points)
-        loss = loss + cfg.data_weight * self.problem.data_loss(
-            self.model, cfg.n_data, self.rng
-        )
-        backward(loss, self.params)
+        if step is not False:
+            expand = getattr(self.problem, "residual_arrays", None)
+            res_arrays = self._points if expand is None else expand(*self._points)
+            data_arrays = self.problem.data_arrays(cfg.n_data, self.rng)
+            loss_value, grads, _aux = step(*res_arrays, *data_arrays)
+            # Replay buffers are executor-owned: copy before Adam mutates.
+            for p, g in zip(self.params, grads):
+                p.grad = g.copy()
+        else:
+            loss = self.problem.residual_loss(self.model, *self._points)
+            loss = loss + cfg.data_weight * self.problem.data_loss(
+                self.model, cfg.n_data, self.rng
+            )
+            backward(loss, self.params)
+            loss_value = float(loss.data)
+            loss = None
         self.optimizer.step()
-        result.loss.append(float(loss.data))
-        loss = None
+        result.loss.append(loss_value)
         if cfg.eval_every and (
             epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1
         ):
@@ -118,7 +163,11 @@ class PDETrainer:
 
     def _epoch_observed(self, epoch: int, result: PDETrainingResult,
                         recorder) -> None:
-        """One instrumented epoch: identical math, plus scopes/telemetry."""
+        """One instrumented epoch: identical math, plus scopes/telemetry.
+
+        Always runs define-by-run (never the tape) so per-op profiling
+        and backward attribution see every operation.
+        """
         cfg = self.config
         if self._points is None or epoch % cfg.resample_every == 0:
             self._points = self.problem.sample(cfg.n_collocation, self.rng)

@@ -68,7 +68,7 @@ def test_profile_restores_on_exception():
         with obs.profile():
             raise RuntimeError("boom")
     assert ops_mod.add is original_add
-    assert tensor_mod._backward_hook is None
+    assert getattr(tensor_mod._state, "backward_hook", None) is None
 
 
 def test_profiled_gradients_identical():
@@ -168,7 +168,7 @@ def test_zero_overhead_when_disabled(tmp_path, monkeypatch):
     assert not obs.is_profiling()
     # ops are the pristine functions, not profiling shims
     assert not hasattr(ops_mod.add, "__wrapped__")
-    assert tensor_mod._backward_hook is None
+    assert getattr(tensor_mod._state, "backward_hook", None) is None
 
     def forbidden(self, *args, **kwargs):  # pragma: no cover - should not run
         raise AssertionError("obs callback fired while observability disabled")
