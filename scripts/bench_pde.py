@@ -12,7 +12,10 @@ the paper's training configuration (hidden=32 x 3 layers, 256 collocation
                 vs. a preplanned kernel replay into preallocated buffers,
 * ``trainer`` — end-to-end :class:`repro.pde.PDETrainer` training runs
                 with ``compile_step`` on vs. off (identical seeds; the
-                loss trajectories are asserted bitwise equal).
+                loss trajectories are asserted bitwise equal),
+* ``sentinel`` — the same end-to-end run with the
+                :mod:`repro.resilience` divergence sentinel on vs. off
+                (acceptance: <= 2% overhead, bitwise-equal trajectory).
 
 Timing interleaves the two variants within every repetition and reports
 the median of ``--repeats`` runs plus the median per-pair speedup (robust
@@ -30,6 +33,9 @@ Usage::
 ``--check-alloc`` exits non-zero unless a steady-state tape replay
 constructs exactly zero ``Tensor`` graph nodes — a deterministic
 structural assertion suitable for CI, unlike wall-clock thresholds.
+``--check-sentinel`` asserts the sentinel's zero-perturbation contract
+the same way: a clean guarded run must be bitwise identical to an
+unguarded one.
 """
 
 from __future__ import annotations
@@ -200,6 +206,86 @@ def bench_trainer(hidden: int, n_hidden: int, n_col: int, n_data: int,
     return row
 
 
+def bench_sentinel(hidden: int, n_hidden: int, n_col: int, n_data: int,
+                   epochs: int, reps: int, seed: int) -> dict:
+    """End-to-end trainer wall time with the divergence sentinel on vs. off.
+
+    The sentinel's per-step cost is a handful of ``isfinite`` reductions,
+    so the acceptance bar is tight: <= 2% median overhead on this
+    workload, and a *bitwise identical* loss trajectory (on a clean run
+    the sentinel must observe, never perturb).
+    """
+    from repro.resilience import SentinelConfig
+
+    problem = SchrodingerProblem()
+    losses: dict[bool, list[float]] = {}
+
+    def run(sentinel: bool):
+        def once():
+            model = GenericPINN(
+                problem.in_dim, problem.out_dim, hidden=hidden,
+                n_hidden=n_hidden, rng=np.random.default_rng(seed + 1),
+            )
+            cfg = PDETrainerConfig(
+                epochs=epochs, n_collocation=n_col, n_data=n_data,
+                eval_every=0, seed=seed,
+                sentinel=SentinelConfig(policy="rollback") if sentinel
+                else None,
+            )
+            result = PDETrainer(model, problem, cfg).train()
+            losses[sentinel] = result.loss
+        return once
+
+    off_s, on_s, _ = _paired_median(run(False), run(True), reps)
+    overhead = on_s / off_s - 1.0
+    identical = losses[True] == losses[False]
+    row = {
+        "epochs": epochs,
+        "sentinel_off_s": off_s,
+        "sentinel_on_s": on_s,
+        "overhead_fraction": overhead,
+        "loss_trajectories_bitwise_equal": identical,
+    }
+    print(f"  sentinel ({epochs} epochs): off {off_s:.2f} s, on {on_s:.2f} s "
+          f"({overhead*100:+.1f}% overhead, trajectories equal: {identical})")
+    return row
+
+
+def check_sentinel(hidden: int, n_hidden: int, n_col: int, n_data: int,
+                   epochs: int, seed: int) -> int:
+    """Deterministic CI assertion for the sentinel's zero-perturbation
+    contract: on a clean run the loss trajectory with the sentinel enabled
+    is bitwise identical to the unguarded one, and a trainer without a
+    sentinel holds no sentinel object at all (the disabled path costs one
+    ``is None`` test, nothing else)."""
+    from repro.resilience import SentinelConfig
+
+    problem = SchrodingerProblem()
+
+    def run(sentinel):
+        model = GenericPINN(
+            problem.in_dim, problem.out_dim, hidden=hidden,
+            n_hidden=n_hidden, rng=np.random.default_rng(seed + 1),
+        )
+        cfg = PDETrainerConfig(
+            epochs=epochs, n_collocation=n_col, n_data=n_data,
+            eval_every=0, seed=seed, sentinel=sentinel,
+        )
+        trainer = PDETrainer(model, problem, cfg)
+        return trainer, trainer.train().loss
+
+    plain_trainer, plain = run(None)
+    guarded_trainer, guarded = run(SentinelConfig(policy="rollback"))
+    zero_path = plain_trainer._sentinel is None
+    clean = guarded_trainer._sentinel.stats["nan_events"] == 0
+    ok = plain == guarded and zero_path and clean
+    status = "passed" if ok else "FAILED"
+    print(f"sentinel check {status}: trajectories equal={plain == guarded}, "
+          f"disabled path holds no sentinel={zero_path}, "
+          f"clean run saw no events={clean}")
+    return 0 if ok else 1
+
+
 def check_zero_alloc(hidden: int, n_hidden: int, n_col: int, n_data: int,
                      seed: int) -> int:
     """Deterministic CI assertion: a steady-state tape replay constructs
@@ -241,6 +327,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check-alloc", action="store_true",
                         help="assert a steady-state replay allocates zero "
                              "Tensor graph nodes")
+    parser.add_argument("--check-sentinel", action="store_true",
+                        help="assert the divergence sentinel never perturbs "
+                             "a clean run (bitwise-equal trajectories)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed runs per measurement (median reported; "
                              "default 2 with --toy, 5 otherwise)")
@@ -273,6 +362,9 @@ def main(argv=None) -> int:
         print("end-to-end trainer:")
         trainer_row = bench_trainer(hidden, n_hidden, n_col, n_data, epochs,
                                     reps, args.seed)
+        print("divergence sentinel overhead:")
+        sentinel_row = bench_sentinel(hidden, n_hidden, n_col, n_data,
+                                      epochs, reps, args.seed)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -297,12 +389,17 @@ def main(argv=None) -> int:
         },
         "step": step_row,
         "trainer": trainer_row,
+        "sentinel": sentinel_row,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 
     if args.check_alloc:
         if check_zero_alloc(hidden, n_hidden, n_col, n_data, args.seed) != 0:
+            return 1
+    if args.check_sentinel:
+        if check_sentinel(hidden, n_hidden, n_col, n_data, epochs,
+                          args.seed) != 0:
             return 1
     return 0
 

@@ -886,6 +886,18 @@ class CompiledStep:
         """Drop every cached executor (the next call re-traces)."""
         self._cache.clear()
 
+    def invalidate(self) -> None:
+        """Drop all compiled state after an external restore.
+
+        Checkpoint restores replace parameter ``.data`` arrays *and*
+        non-trainable leaf buffers; cached executors folded constants
+        derived from those leaves at trace time, so every executor (and
+        any permanent fallback decision) is discarded — the next call
+        re-traces against the restored state.
+        """
+        self._cache.clear()
+        self._disabled = None
+
     # ------------------------------------------------------------------
     def _count(self, event: str) -> None:
         setattr(self, f"_{event}", getattr(self, f"_{event}") + 1)

@@ -2,18 +2,39 @@
 
 Long paper-scale runs (thousands of epochs on a laptop CPU) need resumable
 training; a checkpoint bundles the model's ``state_dict``, the Adam
-moments, the scheduler epoch, and the RNG-free parts of the history into
-one compressed ``.npz`` archive.
+moments, the scheduler state, the trainer's ``np.random.Generator``
+bit-state, and arbitrary extra arrays into one compressed ``.npz``
+archive — everything required to resume a run *bitwise-identically*.
+
+Writes are **atomic**: the archive is serialised to a temporary file in
+the target directory, fsynced, and moved into place with
+:func:`os.replace`, so a crash mid-write can never leave a truncated
+archive under the target name.  Every archive embeds a SHA-256 digest of
+its payload; :func:`load_checkpoint` recomputes and compares it (and
+converts unreadable/truncated archives) into a
+:class:`CheckpointCorruptError` so callers can fall back to an older
+checkpoint instead of crashing on garbage.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["CheckpointCorruptError", "save_checkpoint", "load_checkpoint"]
+
+#: archive key holding the SHA-256 hex digest of every other entry.
+_CHECKSUM_KEY = "__checksum__"
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint archive is unreadable, truncated, or fails its checksum."""
 
 
 def _named_buffers(model):
@@ -36,12 +57,37 @@ def _named_modules(model, prefix: str = ""):
         yield from _named_modules(module, prefix=f"{prefix}{name}.")
 
 
+def _payload_digest(payload: dict) -> str:
+    """SHA-256 over every entry's name, dtype, shape, and raw bytes."""
+    h = hashlib.sha256()
+    for name in sorted(payload):
+        arr = np.ascontiguousarray(payload[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _rng_state_bytes(rng: np.random.Generator) -> np.ndarray:
+    """The generator's full bit-state as a JSON byte array."""
+    state = json.dumps(rng.bit_generator.state)
+    return np.frombuffer(state.encode(), dtype=np.uint8)
+
+
 def save_checkpoint(path, model, optimizer=None, epoch: int = 0,
-                    extra: dict | None = None) -> Path:
-    """Write a training checkpoint.
+                    extra: dict | None = None, scheduler=None,
+                    rng: np.random.Generator | None = None,
+                    extra_arrays: dict | None = None) -> Path:
+    """Atomically write a training checkpoint.
 
     ``extra`` may carry JSON-serialisable metadata (loss history tails,
     configuration echoes); it is stored under the ``meta`` key.
+    ``scheduler`` (any :mod:`repro.optim.schedulers` scheduler) and
+    ``rng`` (a ``np.random.Generator``) are captured so a resumed run
+    replays the exact learning-rate schedule and random draws.
+    ``extra_arrays`` maps names to ndarrays (e.g. a trainer's current
+    collocation sample) returned verbatim by :func:`load_checkpoint`.
     """
     path = Path(path)
     payload: dict[str, np.ndarray] = {}
@@ -57,50 +103,136 @@ def save_checkpoint(path, model, optimizer=None, epoch: int = 0,
             payload[f"optim/m/{i}"] = m
         for i, v in enumerate(state["v"]):
             payload[f"optim/v/{i}"] = v
+    if scheduler is not None:
+        for key, value in scheduler.state_dict().items():
+            payload[f"sched/{key}"] = np.array(value)
+    if rng is not None:
+        payload["rng/state"] = _rng_state_bytes(rng)
+    for name, value in (extra_arrays or {}).items():
+        payload[f"extra/{name}"] = np.asarray(value)
     payload["epoch"] = np.array(epoch)
     meta = json.dumps(extra or {})
     payload["meta"] = np.frombuffer(meta.encode(), dtype=np.uint8)
-    np.savez_compressed(path, **payload)
+    payload[_CHECKSUM_KEY] = np.frombuffer(
+        _payload_digest(payload).encode(), dtype=np.uint8
+    )
+    # Atomic publish: serialise next to the target, fsync, then rename.
+    # np.savez_compressed accepts an open file object, which keeps the
+    # temporary name under our control (no implicit ``.npz`` suffix).
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
     return path
 
 
-def load_checkpoint(path, model, optimizer=None) -> dict:
+def verify_checkpoint(path) -> None:
+    """Raise :class:`CheckpointCorruptError` unless ``path`` is intact."""
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, ValueError, OSError, EOFError,
+            KeyError) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is unreadable (truncated or not an archive): {exc}"
+        ) from exc
+    stored = payload.pop(_CHECKSUM_KEY, None)
+    if stored is None:
+        # Pre-checksum archives: readability is the only verifiable claim.
+        return
+    expected = bytes(stored).decode()
+    actual = _payload_digest(payload)
+    if actual != expected:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} failed checksum validation "
+            f"(stored {expected[:12]}…, recomputed {actual[:12]}…)"
+        )
+
+
+def load_checkpoint(path, model, optimizer=None, scheduler=None,
+                    rng: np.random.Generator | None = None,
+                    verify: bool = True) -> dict:
     """Restore a checkpoint written by :func:`save_checkpoint`.
 
-    Returns ``{"epoch": int, "meta": dict}``.  The model (and optimiser,
-    when given) are updated in place.
+    Returns ``{"epoch": int, "meta": dict, "arrays": dict}`` where
+    ``arrays`` holds any ``extra_arrays`` passed at save time.  The model
+    (and optimiser/scheduler/rng, when given) are updated in place.
+    Raises :class:`CheckpointCorruptError` on a truncated, unreadable, or
+    checksum-failing archive (``verify=False`` skips the digest pass).
     """
     path = Path(path)
-    with np.load(path) as data:
-        model_state = {
-            key[len("model/"):]: data[key]
-            for key in data.files if key.startswith("model/")
+    if verify:
+        verify_checkpoint(path)
+    try:
+        with np.load(path) as data:
+            return _restore(path, data, model, optimizer, scheduler, rng)
+    except CheckpointCorruptError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, ValueError, OSError, EOFError) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is unreadable (truncated or not an archive): {exc}"
+        ) from exc
+
+
+def _restore(path, data, model, optimizer, scheduler, rng) -> dict:
+    model_state = {
+        key[len("model/"):]: data[key]
+        for key in data.files if key.startswith("model/")
+    }
+    model.load_state_dict(model_state)
+    buffers = {name: (module, attr) for name, module, attr, _ in _named_buffers(model)}
+    for key in data.files:
+        if key.startswith("buffer/"):
+            name = key[len("buffer/"):]
+            if name not in buffers:
+                raise KeyError(f"checkpoint buffer {name!r} has no home in the model")
+            module, attr = buffers[name]
+            setattr(module, attr, data[key].copy())
+    if optimizer is not None:
+        if "optim/lr" not in data.files:
+            raise KeyError("checkpoint carries no optimiser state")
+        m_keys = sorted(
+            (k for k in data.files if k.startswith("optim/m/")),
+            key=lambda k: int(k.rsplit("/", 1)[1]),
+        )
+        v_keys = sorted(
+            (k for k in data.files if k.startswith("optim/v/")),
+            key=lambda k: int(k.rsplit("/", 1)[1]),
+        )
+        optimizer.load_state_dict({
+            "lr": float(data["optim/lr"]),
+            "step_count": int(data["optim/step_count"]),
+            "m": [data[k] for k in m_keys],
+            "v": [data[k] for k in v_keys],
+        })
+    if scheduler is not None:
+        sched_state = {
+            key[len("sched/"):]: data[key]
+            for key in data.files if key.startswith("sched/")
         }
-        model.load_state_dict(model_state)
-        buffers = {name: (module, attr) for name, module, attr, _ in _named_buffers(model)}
-        for key in data.files:
-            if key.startswith("buffer/"):
-                name = key[len("buffer/"):]
-                if name not in buffers:
-                    raise KeyError(f"checkpoint buffer {name!r} has no home in the model")
-                module, attr = buffers[name]
-                setattr(module, attr, data[key].copy())
-        if optimizer is not None:
-            if "optim/lr" not in data.files:
-                raise KeyError("checkpoint carries no optimiser state")
-            m_keys = sorted(
-                (k for k in data.files if k.startswith("optim/m/")),
-                key=lambda k: int(k.rsplit("/", 1)[1]),
-            )
-            v_keys = sorted(
-                (k for k in data.files if k.startswith("optim/v/")),
-                key=lambda k: int(k.rsplit("/", 1)[1]),
-            )
-            optimizer.load_state_dict({
-                "lr": float(data["optim/lr"]),
-                "step_count": int(data["optim/step_count"]),
-                "m": [data[k] for k in m_keys],
-                "v": [data[k] for k in v_keys],
-            })
-        meta = json.loads(bytes(data["meta"]).decode() or "{}")
-        return {"epoch": int(data["epoch"]), "meta": meta}
+        if not sched_state:
+            raise KeyError("checkpoint carries no scheduler state")
+        scheduler.load_state_dict(
+            {k: v.item() for k, v in sched_state.items()}
+        )
+    if rng is not None:
+        if "rng/state" not in data.files:
+            raise KeyError("checkpoint carries no RNG state")
+        rng.bit_generator.state = json.loads(bytes(data["rng/state"]).decode())
+    arrays = {
+        key[len("extra/"):]: data[key].copy()
+        for key in data.files if key.startswith("extra/")
+    }
+    meta = json.loads(bytes(data["meta"]).decode() or "{}")
+    return {"epoch": int(data["epoch"]), "meta": meta, "arrays": arrays}

@@ -12,6 +12,7 @@ from __future__ import annotations
 import gc
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -19,6 +20,12 @@ from .. import obs
 from ..autodiff import Tensor, backward, no_grad
 from ..autodiff.tape import compile_step
 from ..optim import Adam, StepDecay
+from ..resilience import (
+    CheckpointManager,
+    DivergenceSentinel,
+    GracefulShutdown,
+    SimulatedPreemption,
+)
 from ..solvers.maxwell_ref import ReferenceSolution
 from ..torq.entanglement import meyer_wallach
 from .blackhole import is_collapsed, model_bh_indicator
@@ -57,6 +64,27 @@ class TrainerConfig:
     #: thereafter; bitwise identical to define-by-run, with automatic
     #: fallback on unsupported ops.
     compile_step: bool = True
+    #: per-step divergence sentinel (:class:`repro.resilience.SentinelConfig`);
+    #: ``None`` keeps the hot loop entirely check-free.
+    sentinel: "object | None" = None
+    #: directory for periodic/best checkpoints (``None`` disables).
+    checkpoint_dir: "str | Path | None" = None
+    #: write a periodic checkpoint every N epochs (0 = only best/final).
+    checkpoint_every: int = 0
+    #: retention: number of periodic checkpoints kept on disk.
+    checkpoint_keep: int = 3
+    #: additionally refresh ``ckpt-best.npz`` whenever the loss improves.
+    checkpoint_best: bool = True
+    #: resume source: a checkpoint path, or ``"auto"`` for the newest
+    #: valid archive in ``checkpoint_dir``.  Restores model, optimiser,
+    #: scheduler, and RNG state bitwise, so the resumed run reproduces
+    #: the uninterrupted one exactly.
+    resume_from: "str | Path | None" = None
+    #: trap SIGINT/SIGTERM while checkpointing is active: finish the
+    #: current step, write a final checkpoint, and return cleanly.
+    handle_signals: bool = True
+    #: test-only fault injection (:class:`repro.resilience.ChaosInjector`).
+    chaos: "object | None" = None
 
 
 @dataclass
@@ -77,6 +105,10 @@ class TrainingHistory:
     #: near-zero drift, BH shows genuine movement followed by collapse.
     param_drift: list[float] = field(default_factory=list)
     seconds_per_epoch: float = 0.0
+    #: set when training stopped early on a non-finite loss (no sentinel
+    #: configured): the offending epoch and an actionable diagnostic.
+    stop_epoch: int | None = None
+    stop_reason: str | None = None
 
 
 @dataclass
@@ -89,6 +121,9 @@ class TrainingResult:
     i_bh: float
     collapsed: bool
     converged: bool
+    #: the run was stopped by SIGINT/SIGTERM or a simulated preemption
+    #: after writing a final checkpoint; resume with ``resume_from=``.
+    interrupted: bool = False
 
 
 class Trainer:
@@ -117,6 +152,15 @@ class Trainer:
         self._theta0_norm = float(np.linalg.norm(self._theta0)) or 1.0
         self._batch_rng = np.random.default_rng(424242)
         self._compiled = None  # CompiledStep, or False when ineligible
+        self._chaos = self.config.chaos
+        self._sentinel = None
+        if self.config.sentinel is not None:
+            self._sentinel = DivergenceSentinel(
+                self.config.sentinel, self.params, self.optimizer,
+                self.scheduler,
+            )
+        self._ckpt = None
+        self._start_epoch = 0
         if self.config.batch_points and loss.rba is not None:
             # RBA weights are indexed by fixed collocation ids; resampled
             # mini-batches would scramble the mapping.
@@ -147,10 +191,84 @@ class Trainer:
         return float(meyer_wallach(state).mean())
 
     # ------------------------------------------------------------------
+    # Resilience wiring
+    # ------------------------------------------------------------------
+    def _checkpoint_arrays(self) -> dict:
+        """Trainer-local state a bitwise resume needs beyond the core."""
+        arrays = {"theta0": self._theta0}
+        cur = self.loss.curriculum
+        if cur is not None:
+            arrays["curriculum/progress"] = np.array(cur._progress)
+            arrays["curriculum/best_loss"] = np.array(cur._best_loss)
+            arrays["curriculum/bin_losses"] = cur._bin_losses
+        if self.loss.rba is not None:
+            arrays["rba/values"] = self.loss.rba.values
+        return arrays
+
+    def _restore_arrays(self, arrays: dict) -> None:
+        if "theta0" in arrays:
+            self._theta0 = arrays["theta0"]
+            self._theta0_norm = float(np.linalg.norm(self._theta0)) or 1.0
+        cur = self.loss.curriculum
+        if cur is not None and "curriculum/progress" in arrays:
+            cur._progress = float(arrays["curriculum/progress"])
+            cur._best_loss = float(arrays["curriculum/best_loss"])
+            cur._bin_losses = arrays["curriculum/bin_losses"].copy()
+        if self.loss.rba is not None and "rba/values" in arrays:
+            self.loss.rba.values = arrays["rba/values"].copy()
+
+    def save_checkpoint(self, path, epochs_done: int = 0) -> Path:
+        """Write a full resumable checkpoint of this trainer's state."""
+        from .checkpoint import save_checkpoint
+
+        return save_checkpoint(
+            path, self.model, self.optimizer, epoch=epochs_done,
+            scheduler=self.scheduler, rng=self._batch_rng,
+            extra_arrays=self._checkpoint_arrays(),
+        )
+
+    def _setup_resilience(self) -> None:
+        """Build the checkpoint manager and apply ``resume_from``."""
+        cfg = self.config
+        self._ckpt = None
+        self._start_epoch = 0
+        if cfg.checkpoint_dir is not None:
+            self._ckpt = CheckpointManager(
+                cfg.checkpoint_dir, self.model, self.optimizer,
+                scheduler=self.scheduler, rng=self._batch_rng,
+                every=cfg.checkpoint_every, keep=cfg.checkpoint_keep,
+                track_best=cfg.checkpoint_best, chaos=self._chaos,
+            )
+        if not cfg.resume_from:
+            return
+        if self._ckpt is not None:
+            pin = (None if str(cfg.resume_from) in ("auto", "latest")
+                   else cfg.resume_from)
+            info = self._ckpt.resume(pin)
+        else:
+            from .checkpoint import load_checkpoint
+
+            info = load_checkpoint(
+                cfg.resume_from, self.model, self.optimizer,
+                scheduler=self.scheduler, rng=self._batch_rng,
+            )
+        if info is None:
+            return  # nothing on disk yet: a fresh run with checkpointing
+        self._restore_arrays(info["arrays"])
+        self._start_epoch = int(info["epoch"])
+        # A restore swaps parameter/buffer arrays behind any compiled
+        # step and any sentinel snapshot: both must drop cached state.
+        if self._compiled:
+            self._compiled.invalidate()
+        if self._sentinel is not None:
+            self._sentinel.refresh()
+
+    # ------------------------------------------------------------------
     def train(self) -> TrainingResult:
         """Run the training loop and return the result record."""
         cfg = self.config
         hist = TrainingHistory()
+        self._setup_resilience()
         start = time.perf_counter()
         # Autodiff graphs are acyclic and freed by reference counting; the
         # cyclic collector only adds multi-second pauses scanning the live
@@ -161,21 +279,54 @@ class Trainer:
         # epoch loop takes the plain path and performs no obs work at all.
         recorder = obs.get_recorder()
         run_ctx = obs.scope("train") if recorder is not None else None
+        shutdown = None
+        if self._ckpt is not None and cfg.handle_signals:
+            shutdown = GracefulShutdown()
+        interrupted = False
+        epochs_run = 0
         try:
             if run_ctx is not None:
                 run_ctx.__enter__()
-            for epoch in range(cfg.epochs):
-                self._train_epoch(epoch, hist, recorder)
-            if cfg.lbfgs_epochs > 0:
+            if shutdown is not None:
+                shutdown.__enter__()
+            try:
+                for epoch in range(self._start_epoch, cfg.epochs):
+                    stop = self._train_epoch(epoch, hist, recorder)
+                    epochs_run += 1
+                    if self._ckpt is not None:
+                        self._ckpt.step(epoch + 1, hist.loss[-1],
+                                        arrays=self._checkpoint_arrays)
+                    if shutdown is not None and shutdown.requested:
+                        interrupted = True
+                        if self._ckpt is not None:
+                            self._ckpt.save(epoch + 1, loss=hist.loss[-1],
+                                            arrays=self._checkpoint_arrays)
+                        break
+                    if stop:
+                        break
+            except SimulatedPreemption:
+                # The chaos injector preempts at a step boundary: the
+                # epoch's state is consistent, so a final checkpoint makes
+                # the run resumable exactly where it died.
+                interrupted = True
+                epochs_run += 1
+                if self._ckpt is not None:
+                    self._ckpt.save(epoch + 1, loss=hist.loss[-1],
+                                    arrays=self._checkpoint_arrays)
+            if cfg.lbfgs_epochs > 0 and not interrupted and (
+                hist.stop_reason is None
+            ):
                 self._finetune_lbfgs(hist)
         finally:
+            if shutdown is not None:
+                shutdown.__exit__(None, None, None)
             if run_ctx is not None:
                 run_ctx.__exit__(None, None, None)
             if gc_was_enabled:
                 gc.enable()
         elapsed = time.perf_counter() - start
-        hist.seconds_per_epoch = elapsed / max(1, cfg.epochs + cfg.lbfgs_epochs)
-        return self._finalize(hist)
+        hist.seconds_per_epoch = elapsed / max(1, epochs_run + cfg.lbfgs_epochs)
+        return self._finalize(hist, interrupted)
 
     def _finetune_lbfgs(self, hist: TrainingHistory) -> None:
         """Quasi-Newton fine-tuning phase after the Adam epochs."""
@@ -280,12 +431,29 @@ class Trainer:
         if step is None:
             loss_value = float(total.data)
             del total  # release the graph before the diagnostics run
+        if self._chaos is not None:
+            self._chaos.grads(epoch, self.params)
         self._clip_gradients()
         norm, var = self._grad_stats()
-        self.optimizer.step()
+        apply_update = True
+        if self._sentinel is not None:
+            apply_update = self._sentinel.observe(epoch, loss_value)
+        elif not np.isfinite(loss_value):
+            # No sentinel: stop immediately instead of silently training
+            # on garbage for the remaining epochs.
+            hist.stop_epoch = epoch
+            hist.stop_reason = (
+                f"loss went non-finite ({loss_value!r}) at epoch {epoch} "
+                f"(grad_norm={norm!r}); configure TrainerConfig.sentinel "
+                f"for skip/rollback recovery, or lower the learning rate"
+            )
+        if apply_update and hist.stop_reason is None:
+            self.optimizer.step()
+            if self.loss.curriculum is not None:
+                self.loss.curriculum.update(loss_value)
         self.scheduler.step()
-        if self.loss.curriculum is not None:
-            self.loss.curriculum.update(loss_value)
+        if self._chaos is not None:
+            self._chaos.params(epoch, self.params)
 
         hist.param_drift.append(self._param_drift())
         hist.loss.append(loss_value)
@@ -323,8 +491,12 @@ class Trainer:
             )
         if cfg.log_every and epoch % cfg.log_every == 0:  # pragma: no cover
             print(f"epoch {epoch:5d}  loss {hist.loss[-1]:.4e}")
+        if self._chaos is not None:
+            self._chaos.end_step(epoch)
+        return hist.stop_reason is not None
 
-    def _finalize(self, hist: TrainingHistory) -> TrainingResult:
+    def _finalize(self, hist: TrainingHistory,
+                  interrupted: bool = False) -> TrainingResult:
         cfg = self.config
         eps_fn = self.grid.medium.permittivity
         i_bh = model_bh_indicator(
@@ -336,9 +508,10 @@ class Trainer:
         )
         final_l2 = hist.l2_error[-1] if hist.l2_error else None
         collapsed = is_collapsed(i_bh)
-        # The paper marks non-converged runs with an "X"; we treat collapse
-        # or a non-finite loss as non-convergence.
-        converged = bool(np.isfinite(hist.loss[-1])) and not collapsed
+        # The paper marks non-converged runs with an "X"; we treat collapse,
+        # a non-finite loss, or a mid-run divergence stop as non-convergence.
+        finite = bool(hist.loss and np.isfinite(hist.loss[-1]))
+        converged = finite and not collapsed and hist.stop_reason is None
         return TrainingResult(
             model=self.model,
             history=hist,
@@ -346,4 +519,5 @@ class Trainer:
             i_bh=i_bh,
             collapsed=collapsed,
             converged=converged,
+            interrupted=interrupted,
         )

@@ -99,7 +99,20 @@ class Adam:
 
     def load_state_dict(self, state: dict) -> None:
         """Restore state from a :meth:`state_dict` snapshot."""
+        m = [np.asarray(x).copy() for x in state["m"]]
+        v = [np.asarray(x).copy() for x in state["v"]]
+        if len(m) != len(self.params) or len(v) != len(self.params):
+            raise ValueError(
+                f"optimiser state holds {len(m)} moment pairs for "
+                f"{len(self.params)} parameters"
+            )
+        for p, mi, vi in zip(self.params, m, v):
+            if mi.shape != p.data.shape or vi.shape != p.data.shape:
+                raise ValueError(
+                    f"moment shape {mi.shape}/{vi.shape} does not match "
+                    f"parameter shape {p.data.shape}"
+                )
         self.lr = float(state["lr"])
         self.step_count = int(state["step_count"])
-        self._m = [np.asarray(m).copy() for m in state["m"]]
-        self._v = [np.asarray(v).copy() for v in state["v"]]
+        self._m = m
+        self._v = v

@@ -29,6 +29,16 @@ class _SchedulerBase:
     def _lr_at(self, epoch: int) -> float:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Snapshot the scheduler's state for checkpointing."""
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore from a :meth:`state_dict` snapshot (sets the lr too)."""
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.optimizer.lr = self._lr_at(self.epoch) if self.epoch else self.base_lr
+
 
 class StepDecay(_SchedulerBase):
     """Multiply the lr by ``gamma`` every ``step_size`` epochs.

@@ -13,7 +13,9 @@ obs scopes; otherwise it runs the plain, uninstrumented path.
 from __future__ import annotations
 
 import gc
+import math
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -21,6 +23,12 @@ from .. import obs
 from ..autodiff import backward
 from ..autodiff.tape import compile_step
 from ..optim import Adam
+from ..resilience import (
+    CheckpointManager,
+    DivergenceSentinel,
+    GracefulShutdown,
+    SimulatedPreemption,
+)
 
 __all__ = ["PDETrainerConfig", "PDETrainingResult", "PDETrainer"]
 
@@ -47,6 +55,27 @@ class PDETrainerConfig:
     #: replayed step is validated against — and bitwise identical to — the
     #: uncompiled path.
     compile_step: bool = True
+    #: per-step divergence sentinel (:class:`repro.resilience.SentinelConfig`);
+    #: ``None`` keeps the hot loop entirely check-free.
+    sentinel: "object | None" = None
+    #: directory for periodic/best checkpoints (``None`` disables).
+    checkpoint_dir: "str | Path | None" = None
+    #: write a periodic checkpoint every N epochs (0 = only best/final).
+    checkpoint_every: int = 0
+    #: retention: number of periodic checkpoints kept on disk.
+    checkpoint_keep: int = 3
+    #: additionally refresh ``ckpt-best.npz`` whenever the loss improves.
+    checkpoint_best: bool = True
+    #: resume source: a checkpoint path, or ``"auto"`` for the newest
+    #: valid archive in ``checkpoint_dir``.  Restores model, optimiser,
+    #: RNG bit-state, and the current collocation sample, so the resumed
+    #: run reproduces the uninterrupted one bitwise.
+    resume_from: "str | Path | None" = None
+    #: trap SIGINT/SIGTERM while checkpointing is active: finish the
+    #: current step, write a final checkpoint, and return cleanly.
+    handle_signals: bool = True
+    #: test-only fault injection (:class:`repro.resilience.ChaosInjector`).
+    chaos: "object | None" = None
 
 
 @dataclass
@@ -55,6 +84,13 @@ class PDETrainingResult:
     loss: list[float] = field(default_factory=list)
     l2_epochs: list[int] = field(default_factory=list)
     l2_error: list[float] = field(default_factory=list)
+    #: the run was stopped by SIGINT/SIGTERM or a simulated preemption
+    #: after writing a final checkpoint; resume with ``resume_from=``.
+    interrupted: bool = False
+    #: set when training stopped early on a non-finite loss (no sentinel
+    #: configured): the offending epoch and an actionable diagnostic.
+    stop_epoch: int | None = None
+    stop_reason: str | None = None
 
     @property
     def final_l2(self) -> float | None:
@@ -86,6 +122,14 @@ class PDETrainer:
         self._points = None
         self._reference = None
         self._compiled = None  # CompiledStep, or False when ineligible
+        self._chaos = self.config.chaos
+        self._sentinel = None
+        if self.config.sentinel is not None:
+            self._sentinel = DivergenceSentinel(
+                self.config.sentinel, self.params, self.optimizer
+            )
+        self._ckpt = None
+        self._start_epoch = 0
 
     def _reference_solution(self):
         if self._reference is None and hasattr(self.problem, "reference"):
@@ -128,7 +172,85 @@ class PDETrainer:
         )
         return self._compiled
 
-    def _epoch(self, epoch: int, result: PDETrainingResult) -> None:
+    # ------------------------------------------------------------------
+    # Resilience wiring
+    # ------------------------------------------------------------------
+    def _guard(self, epoch: int, loss_value: float,
+               result: PDETrainingResult) -> bool:
+        """Sentinel / finiteness guard; says whether to apply the update."""
+        if self._sentinel is not None:
+            return self._sentinel.observe(epoch, loss_value)
+        if not math.isfinite(loss_value):
+            # No sentinel: stop immediately instead of silently training
+            # on garbage for the remaining epochs.
+            result.stop_epoch = epoch
+            result.stop_reason = (
+                f"loss went non-finite ({loss_value!r}) at epoch {epoch}; "
+                f"configure PDETrainerConfig.sentinel for skip/rollback "
+                f"recovery, or lower the learning rate"
+            )
+            return False
+        return True
+
+    def _checkpoint_arrays(self) -> dict:
+        """The live collocation sample (resampled only every N epochs)."""
+        if self._points is None:
+            return {}
+        return {f"points/{i}": a for i, a in enumerate(self._points)}
+
+    def _restore_arrays(self, arrays: dict) -> None:
+        keys = sorted(
+            (k for k in arrays if k.startswith("points/")),
+            key=lambda k: int(k.rsplit("/", 1)[1]),
+        )
+        if keys:
+            self._points = tuple(arrays[k] for k in keys)
+
+    def save_checkpoint(self, path, epochs_done: int = 0) -> Path:
+        """Write a full resumable checkpoint of this trainer's state."""
+        from ..core.checkpoint import save_checkpoint
+
+        return save_checkpoint(
+            path, self.model, self.optimizer, epoch=epochs_done,
+            rng=self.rng, extra_arrays=self._checkpoint_arrays(),
+        )
+
+    def _setup_resilience(self) -> None:
+        """Build the checkpoint manager and apply ``resume_from``."""
+        cfg = self.config
+        self._ckpt = None
+        self._start_epoch = 0
+        if cfg.checkpoint_dir is not None:
+            self._ckpt = CheckpointManager(
+                cfg.checkpoint_dir, self.model, self.optimizer,
+                rng=self.rng, every=cfg.checkpoint_every,
+                keep=cfg.checkpoint_keep, track_best=cfg.checkpoint_best,
+                chaos=self._chaos,
+            )
+        if not cfg.resume_from:
+            return
+        if self._ckpt is not None:
+            pin = (None if str(cfg.resume_from) in ("auto", "latest")
+                   else cfg.resume_from)
+            info = self._ckpt.resume(pin)
+        else:
+            from ..core.checkpoint import load_checkpoint
+
+            info = load_checkpoint(
+                cfg.resume_from, self.model, self.optimizer, rng=self.rng
+            )
+        if info is None:
+            return  # nothing on disk yet: a fresh run with checkpointing
+        self._restore_arrays(info["arrays"])
+        self._start_epoch = int(info["epoch"])
+        # A restore swaps parameter/buffer arrays behind any compiled
+        # step and any sentinel snapshot: both must drop cached state.
+        if self._compiled:
+            self._compiled.invalidate()
+        if self._sentinel is not None:
+            self._sentinel.refresh()
+
+    def _epoch(self, epoch: int, result: PDETrainingResult) -> bool:
         """One uninstrumented training epoch (the default fast path)."""
         cfg = self.config
         if self._points is None or epoch % cfg.resample_every == 0:
@@ -153,16 +275,24 @@ class PDETrainer:
             backward(loss, self.params)
             loss_value = float(loss.data)
             loss = None
-        self.optimizer.step()
+        if self._chaos is not None:
+            self._chaos.grads(epoch, self.params)
+        if self._guard(epoch, loss_value, result):
+            self.optimizer.step()
+        if self._chaos is not None:
+            self._chaos.params(epoch, self.params)
         result.loss.append(loss_value)
         if cfg.eval_every and (
             epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1
         ):
             result.l2_epochs.append(epoch)
             result.l2_error.append(self._evaluate())
+        if self._chaos is not None:
+            self._chaos.end_step(epoch)
+        return result.stop_reason is not None
 
     def _epoch_observed(self, epoch: int, result: PDETrainingResult,
-                        recorder) -> None:
+                        recorder) -> bool:
         """One instrumented epoch: identical math, plus scopes/telemetry.
 
         Always runs define-by-run (never the tape) so per-op profiling
@@ -178,8 +308,14 @@ class PDETrainer:
             loss = residual + cfg.data_weight * data
         with obs.scope("backward"):
             backward(loss, self.params)
-        self.optimizer.step()
-        result.loss.append(float(loss.data))
+        loss_value = float(loss.data)
+        if self._chaos is not None:
+            self._chaos.grads(epoch, self.params)
+        if self._guard(epoch, loss_value, result):
+            self.optimizer.step()
+        if self._chaos is not None:
+            self._chaos.params(epoch, self.params)
+        result.loss.append(loss_value)
         loss = None
         norm, var = self._grad_stats()
         l2 = None
@@ -202,23 +338,60 @@ class PDETrainer:
             grad_variance=var,
             l2_error=l2,
         )
+        if self._chaos is not None:
+            self._chaos.end_step(epoch)
+        return result.stop_reason is not None
 
     def train(self) -> PDETrainingResult:
         """Run the training loop and return the result record."""
         cfg = self.config
         result = PDETrainingResult(model=self.model)
+        self._setup_resilience()
         gc_was_enabled = gc.isenabled()
         gc.disable()
         recorder = obs.get_recorder()
+        epoch_fn = self._epoch if recorder is None else (
+            lambda e, r: self._epoch_observed(e, r, recorder)
+        )
+        run_ctx = (
+            obs.scope("train", problem=getattr(self.problem, "name", "?"))
+            if recorder is not None else None
+        )
+        shutdown = None
+        if self._ckpt is not None and cfg.handle_signals:
+            shutdown = GracefulShutdown()
         try:
-            if recorder is None:
-                for epoch in range(cfg.epochs):
-                    self._epoch(epoch, result)
-            else:
-                with obs.scope("train", problem=getattr(self.problem, "name", "?")):
-                    for epoch in range(cfg.epochs):
-                        self._epoch_observed(epoch, result, recorder)
+            if run_ctx is not None:
+                run_ctx.__enter__()
+            if shutdown is not None:
+                shutdown.__enter__()
+            try:
+                for epoch in range(self._start_epoch, cfg.epochs):
+                    stop = epoch_fn(epoch, result)
+                    if self._ckpt is not None:
+                        self._ckpt.step(epoch + 1, result.loss[-1],
+                                        arrays=self._checkpoint_arrays)
+                    if shutdown is not None and shutdown.requested:
+                        result.interrupted = True
+                        if self._ckpt is not None:
+                            self._ckpt.save(epoch + 1, loss=result.loss[-1],
+                                            arrays=self._checkpoint_arrays)
+                        break
+                    if stop:
+                        break
+            except SimulatedPreemption:
+                # The chaos injector preempts at a step boundary: the
+                # epoch's state is consistent, so a final checkpoint makes
+                # the run resumable exactly where it died.
+                result.interrupted = True
+                if self._ckpt is not None:
+                    self._ckpt.save(epoch + 1, loss=result.loss[-1],
+                                    arrays=self._checkpoint_arrays)
         finally:
+            if shutdown is not None:
+                shutdown.__exit__(None, None, None)
+            if run_ctx is not None:
+                run_ctx.__exit__(None, None, None)
             if gc_was_enabled:
                 gc.enable()
         return result

@@ -1,0 +1,190 @@
+"""Checkpoint lifecycle management: cadence, retention, corruption fallback.
+
+:mod:`repro.core.checkpoint` knows how to write one atomic, checksummed
+archive; this module decides *when* to write, *which* files to keep, and
+*what to trust* when resuming:
+
+* **cadence** — a periodic archive every ``every`` epochs plus a
+  ``<prefix>-best.npz`` refresh whenever the loss improves,
+* **retention** — only the ``keep`` newest periodic archives survive
+  (best is never pruned),
+* **fallback** — :meth:`CheckpointManager.resume` walks the candidates
+  newest-first and silently skips truncated or checksum-failing archives
+  (counting them as ``resilience.checkpoint_corrupt``), so one corrupted
+  file costs at most ``every`` epochs of progress, never the run,
+* **fault tolerance** — a failed periodic write (disk full, injected
+  chaos) is counted and swallowed; training continues and the next
+  cadence point tries again.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from ..obs.registry import metrics
+from .chaos import InjectedIOError
+
+__all__ = ["CheckpointManager"]
+
+
+class CheckpointManager:
+    """Owns the checkpoint directory for one training run.
+
+    The trainer hands over the live objects once; :meth:`step` is then
+    called at every epoch boundary with the epoch count *completed* and
+    the latest loss, and decides internally whether anything is written.
+    """
+
+    def __init__(self, directory, model, optimizer=None, scheduler=None,
+                 rng: np.random.Generator | None = None, every: int = 0,
+                 keep: int = 3, track_best: bool = True,
+                 prefix: str = "ckpt", chaos=None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.rng = rng
+        self.every = int(every)
+        self.keep = max(1, int(keep))
+        self.track_best = bool(track_best)
+        self.prefix = prefix
+        self.chaos = chaos
+        self._best_loss = float("inf")
+        self._pattern = re.compile(
+            rf"^{re.escape(prefix)}-(\d+)\.npz$"
+        )
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, epoch: int) -> Path:
+        """Archive path for a periodic checkpoint at ``epoch``."""
+        return self.directory / f"{self.prefix}-{epoch:08d}.npz"
+
+    @property
+    def best_path(self) -> Path:
+        """Archive path of the best-loss checkpoint."""
+        return self.directory / f"{self.prefix}-best.npz"
+
+    def checkpoints(self) -> list[Path]:
+        """Periodic archives, newest (highest epoch) first."""
+        found = []
+        for path in self.directory.iterdir():
+            match = self._pattern.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return [path for _, path in sorted(found, reverse=True)]
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def step(self, epochs_done: int, loss: float, extra: dict | None = None,
+             arrays=None) -> Path | None:
+        """Cadence hook: maybe write periodic and/or best checkpoints.
+
+        ``arrays`` may be a dict of extra ndarrays or a zero-argument
+        callable producing one (evaluated only when something is
+        actually written).  Returns the periodic path when one was
+        written this call.
+        """
+        written = None
+        if self.every and epochs_done % self.every == 0:
+            written = self.save(epochs_done, loss=loss, extra=extra,
+                                arrays=arrays)
+        if self.track_best and np.isfinite(loss) and loss < self._best_loss:
+            self._best_loss = float(loss)
+            self.save(epochs_done, loss=loss, extra=extra, arrays=arrays,
+                      path=self.best_path)
+        return written
+
+    def save(self, epochs_done: int, loss: float | None = None,
+             extra: dict | None = None, arrays=None,
+             path: Path | None = None) -> Path | None:
+        """Write one checkpoint; a failed write is counted, not fatal."""
+        from ..core.checkpoint import save_checkpoint
+
+        target = self.path_for(epochs_done) if path is None else path
+        meta = dict(extra or {})
+        if loss is not None:
+            meta.setdefault("loss", float(loss))
+        if callable(arrays):
+            arrays = arrays()
+        try:
+            if self.chaos is not None:
+                self.chaos.checkpoint_write(target)
+            save_checkpoint(
+                target, self.model, self.optimizer, epoch=epochs_done,
+                extra=meta, scheduler=self.scheduler, rng=self.rng,
+                extra_arrays=arrays,
+            )
+        except (OSError, InjectedIOError) as exc:
+            metrics().counter("resilience.checkpoint_write_failures").inc()
+            self._last_write_error = exc
+            return None
+        metrics().counter("resilience.checkpoint_writes").inc()
+        if path is None:
+            self._prune()
+        return target
+
+    def _prune(self) -> None:
+        for stale in self.checkpoints()[self.keep:]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    # ------------------------------------------------------------------
+    # Resuming
+    # ------------------------------------------------------------------
+    def resume(self, path=None) -> dict | None:
+        """Restore the newest valid checkpoint into the live objects.
+
+        ``path`` pins a specific archive to try first; corrupt archives
+        (truncated files, checksum failures) are skipped with a counter
+        and the next-newest periodic archive is tried instead.  Returns
+        the :func:`repro.core.checkpoint.load_checkpoint` info dict with
+        the loaded ``path`` added, or ``None`` when the directory holds
+        no checkpoint at all.  Raises
+        :class:`~repro.core.checkpoint.CheckpointCorruptError` when
+        candidates exist but every single one is corrupt.
+        """
+        from ..core.checkpoint import CheckpointCorruptError, load_checkpoint
+
+        candidates = []
+        if path is not None:
+            candidates.append(Path(path))
+        candidates.extend(
+            p for p in self.checkpoints() if Path(path or "") != p
+        )
+        if not candidates:
+            return None
+        errors = []
+        for candidate in candidates:
+            if not candidate.exists():
+                continue
+            try:
+                info = load_checkpoint(
+                    candidate, self.model, self.optimizer,
+                    scheduler=self.scheduler, rng=self.rng,
+                )
+            except CheckpointCorruptError as exc:
+                metrics().counter("resilience.checkpoint_corrupt").inc()
+                errors.append(exc)
+                continue
+            info["path"] = candidate
+            if self.track_best:
+                loss = info["meta"].get("loss")
+                if loss is not None and np.isfinite(loss):
+                    self._best_loss = float(loss)
+            metrics().counter("resilience.checkpoint_resumes").inc()
+            return info
+        if errors:
+            raise CheckpointCorruptError(
+                f"all {len(errors)} checkpoint candidate(s) in "
+                f"{self.directory} are corrupt; first error: {errors[0]}"
+            )
+        return None

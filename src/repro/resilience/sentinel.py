@@ -1,0 +1,241 @@
+"""Divergence sentinel: detect non-finite training state and recover.
+
+The paper's central failure mode is sudden training collapse — the
+"black-hole" barren-plateau events where the QPINN loss diverges mid-run.
+A plain training loop only notices after the final epoch, having spent
+the remaining budget training on garbage.  The sentinel checks the loss,
+gradients, and (optionally) parameters for finiteness *every step* and
+applies a configurable policy the moment anything goes non-finite:
+
+``halt``
+    Raise :class:`DivergenceError` with a diagnostic naming the exact
+    check that failed (loss / which gradient / which parameter).
+
+``skip``
+    Drop the poisoned update (the optimiser step is skipped), keep
+    training from the current parameters.
+
+``rollback``
+    Restore the last known-good in-memory snapshot (parameters, Adam
+    moments, scheduler state), multiply the learning rate by
+    ``lr_backoff``, and continue.  A bounded budget of *consecutive*
+    bad steps (``max_retries``) prevents an unrecoverable run from
+    spinning forever — exceeding it halts with diagnostics.
+
+The check is cheap (a handful of vectorised ``isfinite`` reductions over
+arrays that are already in cache) and entirely absent from the hot loop
+when no sentinel is configured.  Every event increments a
+``resilience.*`` counter in the :mod:`repro.obs` metrics registry —
+events are rare, so unlike per-op profiling these are always emitted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs.registry import metrics
+
+__all__ = ["SentinelConfig", "DivergenceError", "DivergenceSentinel"]
+
+_POLICIES = ("halt", "skip", "rollback")
+
+
+class DivergenceError(RuntimeError):
+    """Training state went non-finite and the policy could not recover."""
+
+
+@dataclass
+class SentinelConfig:
+    """Tuning knobs for :class:`DivergenceSentinel`."""
+
+    #: "halt", "skip", or "rollback" (see module docstring).
+    policy: str = "rollback"
+    #: run the finiteness checks every N steps (1 = every step).
+    check_every: int = 1
+    #: include every parameter array in the check (catches corruption that
+    #: has not yet reached the loss).
+    check_params: bool = True
+    #: include every gradient array in the check.
+    check_grads: bool = True
+    #: consecutive failed steps tolerated before halting.
+    max_retries: int = 5
+    #: learning-rate multiplier applied on every rollback.
+    lr_backoff: float = 0.5
+    #: refresh the in-memory snapshot every N clean steps (1 = every step).
+    snapshot_every: int = 1
+
+    def __post_init__(self):
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {self.policy!r}")
+        if self.check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if not 0.0 < self.lr_backoff <= 1.0:
+            raise ValueError("lr_backoff must lie in (0, 1]")
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+
+
+class DivergenceSentinel:
+    """Per-step finiteness watchdog wrapped around one optimiser run.
+
+    The trainer calls :meth:`observe` once per step, after gradients are
+    accumulated but *before* the optimiser update.  The return value says
+    whether the update may be applied (``False`` means the step was
+    skipped or rolled back).
+    """
+
+    def __init__(self, config: SentinelConfig, params, optimizer,
+                 scheduler=None):
+        self.config = config
+        self.params = list(params)
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self._good = None
+        self._steps_since_snapshot = 0
+        self._consecutive = 0
+        self.stats = {
+            "nan_events": 0,
+            "rollbacks": 0,
+            "skips": 0,
+            "backoffs": 0,
+            "last_event_epoch": None,
+        }
+        # The construction-time state is the first "last known good"
+        # snapshot, so a divergence on the very first step can roll back.
+        self._snapshot()
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-snapshot the current state (call after an external restore).
+
+        A checkpoint resume replaces parameters and optimiser moments
+        behind the sentinel's back; without a refresh, a later rollback
+        would restore the pre-resume state.
+        """
+        self._snapshot()
+        self._consecutive = 0
+
+    def _snapshot(self) -> None:
+        state = {
+            "params": [p.data.copy() for p in self.params],
+            "optim": self.optimizer.state_dict(),
+        }
+        if self.scheduler is not None:
+            state["sched"] = self.scheduler.state_dict()
+        self._good = state
+        self._steps_since_snapshot = 0
+
+    def _restore(self) -> None:
+        for p, data in zip(self.params, self._good["params"]):
+            p.data = data.copy()
+            p.grad = None
+        self.optimizer.load_state_dict(self._good["optim"])
+        if self.scheduler is not None:
+            self.scheduler.load_state_dict(dict(self._good["sched"]))
+
+    def _first_bad(self, loss_value: float) -> str:
+        """Name the first non-finite quantity (diagnostic, cold path)."""
+        if not math.isfinite(loss_value):
+            return f"loss={loss_value!r}"
+        cfg = self.config
+        if cfg.check_grads:
+            for i, p in enumerate(self.params):
+                if p.grad is not None and not np.isfinite(p.grad).all():
+                    bad = int(np.size(p.grad) - np.isfinite(p.grad).sum())
+                    return (f"grad of param #{i} ({p.name or 'unnamed'}, "
+                            f"shape {p.grad.shape}): {bad} non-finite entries")
+        if cfg.check_params:
+            for i, p in enumerate(self.params):
+                if not np.isfinite(p.data).all():
+                    bad = int(np.size(p.data) - np.isfinite(p.data).sum())
+                    return (f"param #{i} ({p.name or 'unnamed'}, "
+                            f"shape {p.data.shape}): {bad} non-finite entries")
+        return "unknown"
+
+    def _finite(self, loss_value: float) -> bool:
+        if not math.isfinite(loss_value):
+            return False
+        cfg = self.config
+        if cfg.check_grads:
+            for p in self.params:
+                g = p.grad
+                if g is not None and not np.isfinite(g).all():
+                    return False
+        if cfg.check_params:
+            for p in self.params:
+                if not np.isfinite(p.data).all():
+                    return False
+        return True
+
+    def _count(self, event: str) -> None:
+        self.stats[event] += 1
+        metrics().counter(f"resilience.{event}", policy=self.config.policy).inc()
+
+    # ------------------------------------------------------------------
+    def observe(self, epoch: int, loss_value: float) -> bool:
+        """Check the step; return ``True`` when the update may proceed.
+
+        ``False`` means the sentinel consumed the step (skip or
+        rollback); the caller must not apply the optimiser update.
+        Raises :class:`DivergenceError` under the ``halt`` policy or when
+        the retry budget is exhausted.
+        """
+        cfg = self.config
+        if epoch % cfg.check_every:
+            return True
+        if self._finite(loss_value):
+            self._consecutive = 0
+            self._steps_since_snapshot += 1
+            if self._steps_since_snapshot >= cfg.snapshot_every:
+                self._snapshot()
+            return True
+        return self._handle(epoch, loss_value)
+
+    def _handle(self, epoch: int, loss_value: float) -> bool:
+        cfg = self.config
+        self._count("nan_events")
+        self.stats["last_event_epoch"] = epoch
+        diagnostic = self._first_bad(loss_value)
+        if cfg.policy == "halt":
+            raise DivergenceError(
+                f"non-finite training state at epoch {epoch}: {diagnostic} "
+                f"(policy=halt)"
+            )
+        self._consecutive += 1
+        if self._consecutive > cfg.max_retries:
+            raise DivergenceError(
+                f"non-finite training state at epoch {epoch} persisted for "
+                f"{self._consecutive} consecutive steps "
+                f"(max_retries={cfg.max_retries}): {diagnostic}"
+            )
+        if cfg.policy == "skip":
+            self._count("skips")
+            for p in self.params:
+                p.grad = None
+            return False
+        # rollback
+        self._restore()
+        self._count("rollbacks")
+        self._backoff()
+        return False
+
+    def _backoff(self) -> None:
+        factor = self.config.lr_backoff
+        if factor >= 1.0:
+            return
+        self.optimizer.lr *= factor
+        # Fold the reduced lr into the snapshot too, so consecutive
+        # rollbacks from the same snapshot compound the backoff instead
+        # of restoring the rate that just diverged.
+        self._good["optim"]["lr"] = self.optimizer.lr
+        if self.scheduler is not None:
+            # The scheduler recomputes the lr from base_lr each step, so
+            # the backoff must land there to survive the next step().
+            self.scheduler.base_lr *= factor
+            self._good["sched"]["base_lr"] = self.scheduler.base_lr
+        self._count("backoffs")

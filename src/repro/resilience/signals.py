@@ -1,0 +1,58 @@
+"""Graceful SIGINT/SIGTERM handling for training loops.
+
+A preempted cloud instance gets SIGTERM, an operator hits Ctrl-C: in
+both cases the run should finish the step it is on, write a final
+checkpoint, and exit cleanly rather than die mid-update with a stale
+archive on disk.  :class:`GracefulShutdown` converts the first delivery
+of each trapped signal into a deferred flag the epoch loop polls at step
+boundaries; a *second* SIGINT falls through to the default handler so an
+insistent operator can still kill a hung run.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+__all__ = ["GracefulShutdown"]
+
+
+class GracefulShutdown:
+    """Context manager deferring SIGINT/SIGTERM to step boundaries.
+
+    Signal handlers can only be installed from the main thread; anywhere
+    else the manager degrades to an inert flag that never fires, so
+    trainers can use it unconditionally (e.g. under pytest-xdist or in a
+    worker thread).
+    """
+
+    def __init__(self, signals=(signal.SIGINT, signal.SIGTERM)):
+        self.signals = tuple(signals)
+        self.requested = False
+        self.signum: int | None = None
+        self._previous: dict[int, object] = {}
+        self._installed = False
+
+    def _handler(self, signum, frame):
+        if self.requested and signum == signal.SIGINT:
+            # Second Ctrl-C: restore the default behaviour immediately.
+            raise KeyboardInterrupt
+        self.requested = True
+        self.signum = signum
+
+    def __enter__(self) -> "GracefulShutdown":
+        if threading.current_thread() is threading.main_thread():
+            try:
+                for signum in self.signals:
+                    self._previous[signum] = signal.signal(signum, self._handler)
+                self._installed = True
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                self._previous.clear()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._installed:
+            for signum, previous in self._previous.items():
+                signal.signal(signum, previous)
+            self._previous.clear()
+            self._installed = False

@@ -1,0 +1,165 @@
+"""Tests for atomic/checksummed checkpoints and the CheckpointManager."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from repro.optim import Adam, StepDecay
+from repro.pde import GenericPINN
+from repro.resilience import ChaosInjector, CheckpointManager, flip_bytes, truncate_file
+
+
+def make_model(seed=0):
+    return GenericPINN(2, 2, hidden=8, n_hidden=2, rng=np.random.default_rng(seed))
+
+
+def make_state(seed=0, lr=1e-3):
+    model = make_model(seed)
+    opt = Adam(model.parameters(), lr=lr)
+    sched = StepDecay(opt, step_size=10, gamma=0.5)
+    rng = np.random.default_rng(seed + 100)
+    return model, opt, sched, rng
+
+
+class TestRoundTrip:
+    def test_full_state_round_trips(self, tmp_path):
+        model, opt, sched, rng = make_state()
+        # Give the optimiser/scheduler/rng non-trivial state first.
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        opt.step()
+        for _ in range(25):
+            sched.step()
+        rng.standard_normal(17)
+        extra_arrays = {"points": np.arange(12.0).reshape(3, 4)}
+        path = save_checkpoint(
+            tmp_path / "ck.npz", model, opt, epoch=25,
+            extra={"note": "hi"}, scheduler=sched, rng=rng,
+            extra_arrays=extra_arrays,
+        )
+
+        model2, opt2, sched2, rng2 = make_state(seed=1, lr=0.7)
+        info = load_checkpoint(path, model2, opt2, scheduler=sched2, rng=rng2)
+
+        assert info["epoch"] == 25
+        assert info["meta"]["note"] == "hi"
+        np.testing.assert_array_equal(info["arrays"]["points"], extra_arrays["points"])
+        for a, b in zip(model.parameters(), model2.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+        assert opt2.lr == opt.lr and opt2.step_count == opt.step_count
+        for a, b in zip(opt.state_dict()["m"], opt2.state_dict()["m"]):
+            np.testing.assert_array_equal(a, b)
+        assert sched2.epoch == 25 and sched2.base_lr == sched.base_lr
+        # RNG bit-state restored => identical future draws.
+        np.testing.assert_array_equal(rng.standard_normal(5), rng2.standard_normal(5))
+
+    def test_scheduler_restore_recomputes_lr(self, tmp_path):
+        model, opt, sched, _ = make_state(lr=0.1)
+        for _ in range(10):
+            sched.step()  # one decay boundary crossed: lr = 0.05
+        path = save_checkpoint(tmp_path / "ck.npz", model, opt, scheduler=sched)
+        model2, opt2, sched2, _ = make_state(seed=3, lr=0.9)
+        load_checkpoint(path, model2, opt2, scheduler=sched2)
+        assert opt2.lr == pytest.approx(0.05)
+
+    def test_missing_state_sections_raise(self, tmp_path):
+        model, *_ = make_state()
+        path = save_checkpoint(tmp_path / "bare.npz", model)
+        model2, opt2, sched2, rng2 = make_state(seed=1)
+        with pytest.raises(KeyError, match="no optimiser state"):
+            load_checkpoint(path, model2, opt2)
+        with pytest.raises(KeyError, match="no scheduler state"):
+            load_checkpoint(path, model2, scheduler=sched2)
+        with pytest.raises(KeyError, match="no RNG state"):
+            load_checkpoint(path, model2, rng=rng2)
+
+
+class TestAtomicityAndCorruption:
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        model, *_ = make_state()
+        save_checkpoint(tmp_path / "ck.npz", model)
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]
+
+    def test_truncated_archive_detected(self, tmp_path):
+        model, *_ = make_state()
+        path = save_checkpoint(tmp_path / "ck.npz", model)
+        truncate_file(path, keep_bytes=100)
+        with pytest.raises(CheckpointCorruptError):
+            verify_checkpoint(path)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, make_model())
+
+    def test_flipped_bytes_detected(self, tmp_path):
+        model, *_ = make_state()
+        path = save_checkpoint(tmp_path / "ck.npz", model)
+        flip_bytes(path, offset=200, count=16)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, make_model())
+
+    def test_garbage_file_detected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an archive")
+        with pytest.raises(CheckpointCorruptError):
+            verify_checkpoint(path)
+
+    def test_missing_file_is_not_corrupt(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            verify_checkpoint(tmp_path / "nope.npz")
+
+
+class TestCheckpointManager:
+    def run_manager(self, tmp_path, losses, every=2, keep=2, chaos=None):
+        model, opt, sched, rng = make_state()
+        mgr = CheckpointManager(tmp_path, model, opt, scheduler=sched, rng=rng,
+                                every=every, keep=keep, chaos=chaos)
+        for epoch, loss in enumerate(losses, start=1):
+            mgr.step(epoch, loss)
+        return mgr
+
+    def test_cadence_and_retention(self, tmp_path):
+        mgr = self.run_manager(tmp_path, [9, 8, 7, 6, 5, 4], every=2, keep=2)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        # keep=2 periodic (epochs 4, 6) + best.
+        assert names == ["ckpt-00000004.npz", "ckpt-00000006.npz", "ckpt-best.npz"]
+        assert mgr.checkpoints()[0].name == "ckpt-00000006.npz"
+
+    def test_best_tracks_minimum_loss(self, tmp_path):
+        mgr = self.run_manager(tmp_path, [5, 2, 4, 3], every=0)
+        info = load_checkpoint(mgr.best_path, make_model())
+        assert info["meta"]["loss"] == 2
+
+    def test_resume_prefers_newest(self, tmp_path):
+        mgr = self.run_manager(tmp_path, [5, 4, 3, 2], every=2)
+        info = mgr.resume()
+        assert info["epoch"] == 4
+        assert info["path"].name == "ckpt-00000004.npz"
+
+    def test_resume_falls_back_past_corrupt_newest(self, tmp_path):
+        mgr = self.run_manager(tmp_path, [5, 4, 3, 2], every=2)
+        truncate_file(mgr.path_for(4))
+        info = mgr.resume()
+        assert info["epoch"] == 2
+
+    def test_resume_raises_when_all_corrupt(self, tmp_path):
+        mgr = self.run_manager(tmp_path, [5, 4], every=2, keep=1)
+        truncate_file(mgr.path_for(2))
+        truncate_file(mgr.best_path)
+        with pytest.raises(CheckpointCorruptError, match="all .* corrupt"):
+            mgr.resume(mgr.path_for(2))
+
+    def test_resume_empty_directory_returns_none(self, tmp_path):
+        model, opt, sched, rng = make_state()
+        mgr = CheckpointManager(tmp_path, model, opt, every=2)
+        assert mgr.resume() is None
+
+    def test_failed_write_is_swallowed(self, tmp_path):
+        chaos = ChaosInjector(fail_writes=(0,))
+        mgr = self.run_manager(tmp_path, [5, 4], every=2, chaos=chaos)
+        # First write (best at epoch 1) was killed; later writes succeed.
+        assert chaos.counts["failed_writes"] == 1
+        assert mgr.resume() is not None

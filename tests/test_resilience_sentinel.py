@@ -1,0 +1,160 @@
+"""Unit tests for the divergence sentinel (policies, backoff, budget)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import Adam, StepDecay
+from repro.resilience import DivergenceError, DivergenceSentinel, SentinelConfig
+
+
+def setup(policy="rollback", scheduler=False, **kw):
+    params = [Parameter(np.ones(4), name="w"), Parameter(np.zeros((2, 2)))]
+    opt = Adam(params, lr=0.1)
+    sched = StepDecay(opt, step_size=100, gamma=0.5) if scheduler else None
+    cfg = SentinelConfig(policy=policy, **kw)
+    return params, opt, sched, DivergenceSentinel(cfg, params, opt, sched)
+
+
+def set_grads(params, value=1.0):
+    for p in params:
+        p.grad = np.full_like(p.data, value)
+
+
+class TestConfig:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            SentinelConfig(policy="pray")
+
+    @pytest.mark.parametrize("field,value", [
+        ("check_every", 0), ("max_retries", 0),
+        ("lr_backoff", 0.0), ("lr_backoff", 1.5), ("snapshot_every", 0),
+    ])
+    def test_bad_numbers_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SentinelConfig(**{field: value})
+
+
+class TestObserve:
+    def test_clean_step_proceeds(self):
+        params, opt, _, sentinel = setup()
+        set_grads(params)
+        assert sentinel.observe(0, 1.0) is True
+        assert sentinel.stats["nan_events"] == 0
+
+    def test_nonfinite_loss_detected(self):
+        params, opt, _, sentinel = setup()
+        set_grads(params)
+        assert sentinel.observe(0, float("nan")) is False
+        assert sentinel.stats["nan_events"] == 1
+
+    def test_nan_grad_detected(self):
+        params, opt, _, sentinel = setup()
+        set_grads(params)
+        params[1].grad[0, 0] = np.nan
+        assert sentinel.observe(0, 1.0) is False
+
+    def test_nan_param_detected(self):
+        params, opt, _, sentinel = setup()
+        set_grads(params)
+        params[0].data[2] = np.inf
+        assert sentinel.observe(0, 1.0) is False
+
+    def test_checks_can_be_disabled(self):
+        params, opt, _, sentinel = setup(check_grads=False, check_params=False)
+        set_grads(params, np.nan)
+        params[0].data[0] = np.nan
+        # Only the loss is checked now.
+        assert sentinel.observe(0, 1.0) is True
+
+    def test_check_every_skips_steps(self):
+        params, opt, _, sentinel = setup(check_every=4)
+        set_grads(params, np.nan)
+        assert sentinel.observe(1, 1.0) is True   # 1 % 4 != 0: unchecked
+        assert sentinel.observe(4, 1.0) is False  # checked
+
+
+class TestHalt:
+    def test_halt_raises_with_diagnostic(self):
+        params, opt, _, sentinel = setup(policy="halt")
+        set_grads(params)
+        params[0].grad[1] = np.nan
+        with pytest.raises(DivergenceError, match=r"grad of param #0 \(w"):
+            sentinel.observe(3, 1.0)
+
+    def test_halt_names_loss(self):
+        params, opt, _, sentinel = setup(policy="halt")
+        set_grads(params)
+        with pytest.raises(DivergenceError, match="loss=inf"):
+            sentinel.observe(0, float("inf"))
+
+
+class TestSkip:
+    def test_skip_drops_grads(self):
+        params, opt, _, sentinel = setup(policy="skip")
+        set_grads(params, np.nan)
+        assert sentinel.observe(0, 1.0) is False
+        assert all(p.grad is None for p in params)
+        assert sentinel.stats["skips"] == 1
+
+
+class TestRollback:
+    def test_restores_last_good_state(self):
+        params, opt, _, sentinel = setup()
+        set_grads(params)
+        sentinel.observe(0, 1.0)          # snapshot of the all-ones state
+        good = [p.data.copy() for p in params]
+        opt.step()                         # mutate params
+        params[0].data[0] = np.nan         # then corrupt
+        assert sentinel.observe(1, 1.0) is False
+        for p, g in zip(params, good):
+            np.testing.assert_array_equal(p.data, g)
+        assert sentinel.stats["rollbacks"] == 1
+
+    def test_backoff_shrinks_lr_and_compounds(self):
+        params, opt, _, sentinel = setup(lr_backoff=0.5, max_retries=10)
+        set_grads(params)
+        sentinel.observe(0, 1.0)
+        for k in range(1, 4):
+            set_grads(params, np.nan)
+            sentinel.observe(k, 1.0)
+            assert opt.lr == pytest.approx(0.1 * 0.5 ** k)
+        assert sentinel.stats["backoffs"] == 3
+
+    def test_backoff_lands_in_scheduler_base_lr(self):
+        params, opt, sched, sentinel = setup(scheduler=True)
+        set_grads(params)
+        sentinel.observe(0, 1.0)
+        set_grads(params, np.nan)
+        sentinel.observe(1, 1.0)
+        assert sched.base_lr == pytest.approx(0.05)
+        sched.step()  # the schedule must not undo the backoff
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_retry_budget_exhaustion_raises(self):
+        params, opt, _, sentinel = setup(max_retries=2)
+        set_grads(params)
+        sentinel.observe(0, 1.0)
+        for k in range(1, 3):
+            set_grads(params, np.nan)
+            assert sentinel.observe(k, 1.0) is False
+        set_grads(params, np.nan)
+        with pytest.raises(DivergenceError, match="max_retries=2"):
+            sentinel.observe(3, 1.0)
+
+    def test_clean_step_resets_budget(self):
+        params, opt, _, sentinel = setup(max_retries=2)
+        for k in range(10):
+            set_grads(params, np.nan if k % 2 else 1.0)
+            sentinel.observe(k, 1.0)  # alternating: never exhausts
+        assert sentinel.stats["rollbacks"] == 5
+
+    def test_refresh_resnapshots_current_state(self):
+        params, opt, _, sentinel = setup()
+        set_grads(params)
+        sentinel.observe(0, 1.0)
+        params[0].data[:] = 7.0   # external restore (e.g. checkpoint)
+        sentinel.refresh()
+        params[0].data[0] = np.nan
+        sentinel.observe(1, 1.0)
+        np.testing.assert_array_equal(params[0].data, np.full(4, 7.0))
