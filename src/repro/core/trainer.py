@@ -19,6 +19,8 @@ import numpy as np
 from .. import obs
 from ..autodiff import Tensor, backward, no_grad
 from ..autodiff.tape import compile_step
+from ..dist.bucket import ParamBucket, shard_slice
+from ..dist.shm import DistInterrupt
 from ..optim import Adam, StepDecay
 from ..resilience import (
     CheckpointManager,
@@ -85,6 +87,12 @@ class TrainerConfig:
     handle_signals: bool = True
     #: test-only fault injection (:class:`repro.resilience.ChaosInjector`).
     chaos: "object | None" = None
+    #: data-parallel sharding (:class:`repro.dist.DistConfig`).  ``None``
+    #: or ``workers=1`` is the unchanged single-process path;
+    #: ``backend="serial"`` runs all shards in-process (the bitwise
+    #: reference); ``backend="shm"`` must be launched through
+    #: :func:`repro.dist.train_distributed`.
+    dist: "object | None" = None
 
 
 @dataclass
@@ -161,6 +169,11 @@ class Trainer:
             )
         self._ckpt = None
         self._start_epoch = 0
+        self._dist_ctx = None
+        self._dist_bucket = None
+        self._dist_grids = {}
+        self._dist_compiled = {}
+        self._dist_comp_keys = None
         if self.config.batch_points and loss.rba is not None:
             # RBA weights are indexed by fixed collocation ids; resampled
             # mini-batches would scramble the mapping.
@@ -260,6 +273,9 @@ class Trainer:
         # step and any sentinel snapshot: both must drop cached state.
         if self._compiled:
             self._compiled.invalidate()
+        for step in self._dist_compiled.values():
+            if step:
+                step.invalidate()
         if self._sentinel is not None:
             self._sentinel.refresh()
 
@@ -268,6 +284,8 @@ class Trainer:
         """Run the training loop and return the result record."""
         cfg = self.config
         hist = TrainingHistory()
+        dist_ctx = self._resolve_dist()
+        ckpt_write = dist_ctx is None or dist_ctx.writes_checkpoints
         self._setup_resilience()
         start = time.perf_counter()
         # Autodiff graphs are acyclic and freed by reference counting; the
@@ -291,16 +309,21 @@ class Trainer:
                 shutdown.__enter__()
             try:
                 for epoch in range(self._start_epoch, cfg.epochs):
-                    stop = self._train_epoch(epoch, hist, recorder)
+                    if dist_ctx is not None:
+                        stop = self._dist_epoch(epoch, hist)
+                    else:
+                        stop = self._train_epoch(epoch, hist, recorder)
                     epochs_run += 1
-                    if self._ckpt is not None:
+                    if self._ckpt is not None and ckpt_write:
                         self._ckpt.step(epoch + 1, hist.loss[-1],
                                         arrays=self._checkpoint_arrays)
                     if shutdown is not None and shutdown.requested:
                         interrupted = True
-                        if self._ckpt is not None:
+                        if self._ckpt is not None and ckpt_write:
                             self._ckpt.save(epoch + 1, loss=hist.loss[-1],
                                             arrays=self._checkpoint_arrays)
+                        if dist_ctx is not None:
+                            dist_ctx.announce_interrupt()
                         break
                     if stop:
                         break
@@ -310,9 +333,17 @@ class Trainer:
                 # the run resumable exactly where it died.
                 interrupted = True
                 epochs_run += 1
-                if self._ckpt is not None:
+                if self._ckpt is not None and ckpt_write:
                     self._ckpt.save(epoch + 1, loss=hist.loss[-1],
                                     arrays=self._checkpoint_arrays)
+                if dist_ctx is not None:
+                    dist_ctx.announce_interrupt()
+            except DistInterrupt:
+                # A peer rank shut down cleanly while this rank was
+                # already mid-epoch: its RNG/schedule advanced past the
+                # last consistent boundary, so it must NOT checkpoint —
+                # resume rewinds to rank 0's newest boundary archive.
+                interrupted = True
             if cfg.lbfgs_epochs > 0 and not interrupted and (
                 hist.stop_reason is None
             ):
@@ -408,6 +439,177 @@ class Trainer:
                     step_fn, self.params, name="maxwell"
                 )
         return self._compiled or None
+
+    # ------------------------------------------------------------------
+    # Data-parallel sharding (repro.dist)
+    # ------------------------------------------------------------------
+    def _dist_validate(self, world: int) -> None:
+        cfg = self.config
+        if cfg.batch_points:
+            raise ValueError(
+                "dist training shards the full collocation grid; it "
+                "cannot be combined with batch_points mini-batching"
+            )
+        if cfg.lbfgs_epochs:
+            raise ValueError(
+                "dist training does not support the L-BFGS fine-tuning "
+                "phase (its line search is inherently full-batch serial); "
+                "set lbfgs_epochs=0"
+            )
+        if self.loss.curriculum is not None or self.loss.rba is not None:
+            raise ValueError(
+                "dist training cannot shard stateful loss weighting "
+                "(curriculum / RBA): their state depends on full-batch "
+                "point identities; disable them for distributed runs"
+            )
+        shard_slice(self.grid.n_points, 0, world,
+                    "CollocationGrid.n_points")
+
+    def attach_dist(self, ctx) -> None:
+        """Attach a distribution context (worker entrypoint / serial)."""
+        self._dist_validate(ctx.world)
+        self._dist_ctx = ctx
+
+    def _resolve_dist(self):
+        if self._dist_ctx is not None:
+            return self._dist_ctx
+        dist = self.config.dist
+        if dist is None or int(dist.workers) <= 1:
+            return None
+        if dist.backend == "serial":
+            from ..dist import SerialDistContext
+
+            self.attach_dist(SerialDistContext(dist.workers))
+            return self._dist_ctx
+        if dist.backend == "shm":
+            raise RuntimeError(
+                "backend='shm' needs worker processes and shared memory: "
+                "launch through repro.dist.train_distributed(factory, "
+                "dist); call trainer.train() directly only with "
+                "backend='serial' or workers=1"
+            )
+        raise ValueError(f"unknown dist backend {dist.backend!r}")
+
+    def _dist_grid(self, rank: int, world: int) -> CollocationGrid:
+        grid = self._dist_grids.get(rank)
+        if grid is None:
+            sl = shard_slice(self.grid.n_points, rank, world,
+                             "CollocationGrid.n_points")
+            grid = self.grid.subsample(np.arange(sl.start, sl.stop))
+            self._dist_grids[rank] = grid
+        return grid
+
+    def _dist_step(self, rank: int, grid: CollocationGrid):
+        """Per-rank compiled step: the tape folds the shard grid at
+        trace time, so each shard needs its own capture."""
+        step = self._dist_compiled.get(rank)
+        if step is None:
+            if self.config.compile_step:
+                loss_fn, model = self.loss, self.model
+
+                def step_fn():
+                    return loss_fn.loss_tensors(model, grid)
+
+                step = compile_step(step_fn, self.params,
+                                    name=f"maxwell-r{rank}")
+            else:
+                step = False
+            self._dist_compiled[rank] = step
+        return step or None
+
+    def _dist_shard(self, epoch: int, rank: int, ctx) -> None:
+        """Compute one rank's shard loss/gradients and ship them."""
+        grid = self._dist_grid(rank, ctx.world)
+        step = self._dist_step(rank, grid)
+        self.optimizer.zero_grad()
+        if step is not None:
+            loss_value, grads, aux = step()
+            comps = {k: float(v) for k, v in aux.items()}
+            ctx.put_shard(rank, self._dist_bucket, loss_value, grads=grads,
+                          aux_vals=list(comps.values()))
+        else:
+            total, comps_t = self.loss.loss_tensors(self.model, grid)
+            backward(total, self.params)
+            loss_value = float(total.data)
+            comps = {k: float(v.data) for k, v in comps_t.items()}
+            ctx.put_shard(rank, self._dist_bucket, loss_value,
+                          aux_vals=list(comps.values()))
+        self._dist_comp_keys = list(comps)
+
+    def _dist_epoch(self, epoch: int, hist: TrainingHistory) -> bool:
+        """One sharded epoch; bitwise-identical across dist backends."""
+        cfg = self.config
+        ctx = self._dist_ctx
+        if self._dist_bucket is None:
+            self._dist_bucket = ParamBucket(self.params)
+        self.optimizer.zero_grad()
+        for rank in ctx.local_ranks:
+            self._dist_shard(epoch, rank, ctx)
+        if self._chaos is not None:
+            ctx.shard_chaos(self._chaos, epoch)
+        ctx.gather(epoch)
+        n_aux = len(self._dist_comp_keys)
+        if ctx.is_root:
+            loss_value, aux = ctx.reduce(self._dist_bucket, n_aux)
+            if self._chaos is not None:
+                self._chaos.grads(epoch, self.params)
+            self._clip_gradients()
+            norm, var = self._grad_stats()
+            apply_update = True
+            if self._sentinel is not None:
+                apply_update = self._sentinel.observe(epoch, loss_value)
+            elif not np.isfinite(loss_value):
+                hist.stop_epoch = epoch
+                hist.stop_reason = (
+                    f"loss went non-finite ({loss_value!r}) at epoch "
+                    f"{epoch} (grad_norm={norm!r}); configure "
+                    f"TrainerConfig.sentinel for skip/rollback recovery, "
+                    f"or lower the learning rate"
+                )
+            if apply_update and hist.stop_reason is None:
+                self.optimizer.step()
+            self.scheduler.step()
+            if self._chaos is not None:
+                self._chaos.params(epoch, self.params)
+            ctx.publish(self._dist_bucket, loss_value, aux, epoch,
+                        stop=hist.stop_reason is not None)
+        else:
+            loss_value, aux, stopped = ctx.read_update(
+                self._dist_bucket, epoch, n_aux
+            )
+            self.scheduler.step()
+            norm, var = self._grad_stats()  # rank-local shard gradients
+            if stopped and hist.stop_reason is None:
+                hist.stop_epoch = epoch
+                hist.stop_reason = (
+                    f"rank 0 stopped training at epoch {epoch} "
+                    f"(non-finite loss; see the rank-0 result for details)"
+                )
+        comps = dict(zip(self._dist_comp_keys, (float(v) for v in aux)))
+
+        hist.param_drift.append(self._param_drift())
+        hist.loss.append(loss_value)
+        for key, value in comps.items():
+            hist.components.setdefault(key, []).append(value)
+        hist.grad_norm.append(norm)
+        hist.grad_variance.append(var)
+        hist.learning_rate.append(self.scheduler.current_lr())
+
+        last = epoch == cfg.epochs - 1
+        if cfg.eval_every and (epoch % cfg.eval_every == 0 or last):
+            if self.reference is not None:
+                hist.l2_epochs.append(epoch)
+                hist.l2_error.append(
+                    l2_relative_error(self.model, self.reference)
+                )
+            if cfg.track_entanglement:
+                mw = self._entanglement()
+                if mw is not None:
+                    hist.mw_epochs.append(epoch)
+                    hist.mw_entropy.append(mw)
+        if self._chaos is not None:
+            self._chaos.end_step(epoch)
+        return hist.stop_reason is not None
 
     def _train_epoch(self, epoch: int, hist: TrainingHistory,
                      recorder=None) -> None:

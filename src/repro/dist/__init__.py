@@ -1,0 +1,45 @@
+"""Data-parallel distributed training with bitwise single-process parity.
+
+``repro.dist`` shards collocation/data batches across N worker processes
+and keeps every rank bitwise in lockstep: shard gradients meet in a
+fixed-reduction-order allreduce over shared memory, rank 0 applies the
+optimizer update, and the flat parameter vector is broadcast back.
+
+The correctness story is layered:
+
+* ``workers=1`` (or ``dist=None``) is the untouched original code path,
+* ``backend="serial"`` runs the identical shard/reduce/update sequence
+  in one process — the reference semantics of sharded training,
+* ``backend="shm"`` (via :func:`train_distributed`) reproduces the
+  serial run bitwise, survives killed ranks by restarting the group from
+  the newest checkpoint, and never leaks a SharedMemory segment.
+"""
+
+from .bucket import ParamBucket, fixed_order_mean, shard_slice
+from .context import SerialDistContext, ShmWorkerContext, reduce_buffers
+from .runtime import DistConfig, train_distributed
+from .shm import (
+    AUX_SLOTS,
+    BarrierTimeoutError,
+    DistInterrupt,
+    ShmArena,
+    ShmBarrier,
+    WorkerAbortedError,
+)
+
+__all__ = [
+    "AUX_SLOTS",
+    "BarrierTimeoutError",
+    "DistConfig",
+    "DistInterrupt",
+    "ParamBucket",
+    "SerialDistContext",
+    "ShmArena",
+    "ShmBarrier",
+    "ShmWorkerContext",
+    "WorkerAbortedError",
+    "fixed_order_mean",
+    "reduce_buffers",
+    "shard_slice",
+    "train_distributed",
+]

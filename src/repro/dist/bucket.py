@@ -1,0 +1,134 @@
+"""Flat parameter/gradient buffers and the fixed-order reduction.
+
+Data-parallel lockstep needs two things from the parameter set of an
+``nn.Module``: a *flat view* (one contiguous float64 vector that can live
+in a ``multiprocessing.shared_memory`` segment) and a *deterministic
+reduction* (the same floating-point operation sequence no matter which
+process executes it).  :class:`ParamBucket` provides the first;
+:func:`fixed_order_mean` the second.
+
+The reduction contract is the heart of the bitwise-parity guarantee:
+
+* every rank's shard gradient is flattened into row ``r`` of an
+  ``(world, n_params)`` buffer,
+* the combined gradient is ``((row_0 + row_1) + ... + row_{W-1}) * (1/W)``
+  — a strict left-to-right accumulation followed by one scale,
+* the *serial* backend (``DistConfig(backend="serial")``) runs the
+  identical accumulation over an in-process scratch buffer.
+
+Identical operands through an identical operation sequence produce
+identical IEEE-754 results, so an N-worker shared-memory run is bitwise
+equal to the single-process serial run of the same sharded configuration
+— the property ``tests/test_dist_parity.py`` asserts end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ParamBucket", "fixed_order_mean", "shard_slice"]
+
+
+def fixed_order_mean(rows) -> np.ndarray:
+    """Left-to-right sum of ``rows`` scaled by ``1/len(rows)``.
+
+    ``rows`` is any sequence of equally-shaped float64 arrays (typically
+    the rows of an ``(world, n)`` buffer, or an ``(world,)`` vector of
+    scalar losses).  The accumulation order is fixed by construction, so
+    the result is a pure function of the operand values — independent of
+    memory layout, process count, or which rank runs it.
+    """
+    acc = np.array(rows[0], dtype=np.float64, copy=True)
+    for r in range(1, len(rows)):
+        acc += rows[r]
+    if len(rows) > 1:
+        acc *= 1.0 / len(rows)
+    return acc
+
+
+def shard_slice(n: int, rank: int, world: int, what: str = "points") -> slice:
+    """Contiguous equal shard of ``n`` rows owned by ``rank``.
+
+    Equal shard sizes are a hard requirement, not a convenience: bitwise
+    parity needs every rank to trace/replay the same computation shapes,
+    and the fixed-order mean assumes uniform ``1/world`` weighting.
+    """
+    if world <= 0 or not 0 <= rank < world:
+        raise ValueError(f"invalid rank {rank} for world size {world}")
+    if n % world:
+        raise ValueError(
+            f"{what} count {n} is not divisible by the {world}-worker world "
+            f"size; distributed shards must be equal for bitwise parity — "
+            f"adjust the config so {what} is a multiple of {world}"
+        )
+    k = n // world
+    return slice(rank * k, (rank + 1) * k)
+
+
+class ParamBucket:
+    """Flat float64 addressing over a trainer's parameter list.
+
+    The bucket never owns the parameters; it records shapes/offsets once
+    and then copies between the live :class:`~repro.nn.module.Parameter`
+    tensors and caller-provided flat buffers (shared-memory views or
+    in-process scratch rows).
+    """
+
+    def __init__(self, params):
+        self.params = list(params)
+        self.shapes = [tuple(p.data.shape) for p in self.params]
+        self.sizes = [int(p.data.size) for p in self.params]
+        self.offsets = []
+        total = 0
+        for size in self.sizes:
+            self.offsets.append(total)
+            total += size
+        self.size = total
+
+    # ------------------------------------------------------------------
+    # Gradients
+    # ------------------------------------------------------------------
+    def write_grads(self, out: np.ndarray, grads=None) -> None:
+        """Flatten per-parameter gradient arrays into ``out`` (length P).
+
+        ``grads`` defaults to each parameter's ``.grad``; a missing
+        gradient writes zeros (matching the optimiser's no-op on it).
+        """
+        if grads is None:
+            grads = [p.grad for p in self.params]
+        for g, off, size, shape in zip(
+            grads, self.offsets, self.sizes, self.shapes
+        ):
+            dst = out[off:off + size]
+            if g is None:
+                dst[:] = 0.0
+            else:
+                dst[:] = np.asarray(g, dtype=np.float64).reshape(-1)
+
+    def load_grads(self, flat: np.ndarray) -> None:
+        """Unpack a flat gradient vector into fresh ``.grad`` arrays."""
+        for p, off, size, shape in zip(
+            self.params, self.offsets, self.sizes, self.shapes
+        ):
+            p.grad = flat[off:off + size].reshape(shape).copy()
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def write_params(self, out: np.ndarray) -> None:
+        """Flatten the live parameter values into ``out`` (length P)."""
+        for p, off, size in zip(self.params, self.offsets, self.sizes):
+            out[off:off + size] = p.data.reshape(-1)
+
+    def load_params(self, flat: np.ndarray) -> None:
+        """Copy a flat parameter vector into the live tensors *in place*.
+
+        ``np.copyto`` keeps each ``p.data`` array object identity intact,
+        which matters: compiled tape executors and the optimiser's
+        scratch buffers bind the array objects at trace/init time, so a
+        broadcast must never swap them out from underneath.
+        """
+        for p, off, size, shape in zip(
+            self.params, self.offsets, self.sizes, self.shapes
+        ):
+            np.copyto(p.data, flat[off:off + size].reshape(shape))

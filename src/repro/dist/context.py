@@ -1,0 +1,237 @@
+"""Distribution contexts: the trainer-facing side of the dist runtime.
+
+A *context* is what a trainer's distributed epoch talks to.  Two
+implementations share one protocol:
+
+:class:`SerialDistContext`
+    Runs every shard in the calling process, back to back, over plain
+    in-process buffers.  This is the **reference semantics** of sharded
+    training: ``DistConfig(backend="serial")`` costs one process and
+    defines, op for op, what an N-worker run must produce.
+
+:class:`ShmWorkerContext`
+    One per worker process, bound to a :class:`~repro.dist.shm.ShmArena`.
+    The rank computes only its own shard; rank 0 performs the reduction
+    and the optimizer update, then broadcasts the flat parameter vector.
+
+Both funnel through :func:`reduce_buffers`, so the gradient/loss/aux
+reduction is literally the same code path — identical operands through an
+identical floating-point operation sequence — which is why an N-worker
+shared-memory run is bitwise equal to the serial run of the same sharded
+configuration.
+
+Epoch protocol (shm), two barriers per epoch:
+
+1. every rank writes its flat shard gradient, shard loss, and aux values
+   (``put_shard``), then arrives at the *gather* barrier,
+2. rank 0 reduces (``reduce``), applies chaos/clip/guard/optimizer/
+   scheduler exactly like a single-process step, publishes the flat
+   updated parameters + reduced loss/aux + stop flag, and arrives at the
+   *update* barrier (``publish``),
+3. every other rank leaves the update barrier and copies the published
+   parameters into its live tensors in place (``read_update``).
+
+Memory safety needs no third barrier: a slot written before a barrier is
+only read after it, and the next overwrite of any reduced slot happens
+after the *next* epoch's gather barrier — which a peer can only have
+passed after finishing its reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import obs
+from .bucket import ParamBucket, fixed_order_mean
+from .shm import AUX_SLOTS, ShmArena, ShmBarrier
+
+__all__ = ["SerialDistContext", "ShmWorkerContext", "reduce_buffers"]
+
+
+def _check_aux(aux_vals) -> None:
+    if len(aux_vals) > AUX_SLOTS:
+        raise ValueError(
+            f"{len(aux_vals)} auxiliary loss components exceed the "
+            f"{AUX_SLOTS} reserved shared-memory slots per rank; raise "
+            f"repro.dist.shm.AUX_SLOTS to transport them"
+        )
+
+
+def reduce_buffers(bucket: ParamBucket, grads: np.ndarray,
+                   losses: np.ndarray, aux: np.ndarray,
+                   n_aux: int = 0) -> tuple[float, np.ndarray]:
+    """Fixed-order reduction shared by the serial and shm backends.
+
+    Loads the mean gradient into the live ``.grad`` slots and returns
+    ``(mean_loss, mean_aux[:n_aux])``.  Every backend calls this exact
+    function over buffers of the same dtype and shape, so the IEEE-754
+    result is backend-independent by construction.
+    """
+    bucket.load_grads(fixed_order_mean(grads))
+    world = len(losses)
+    loss = float(fixed_order_mean([losses[r] for r in range(world)]))
+    if n_aux:
+        aux_red = fixed_order_mean(aux)[:n_aux].copy()
+    else:
+        aux_red = np.zeros(0)
+    return loss, aux_red
+
+
+class SerialDistContext:
+    """All shards computed in one process: the parity reference backend."""
+
+    backend = "serial"
+
+    def __init__(self, world: int):
+        self.world = int(world)
+        self.rank = 0
+        self.is_root = True
+        self.writes_checkpoints = True
+        self.local_ranks = range(self.world)
+        self._grads = None
+        self._losses = np.zeros(self.world)
+        self._aux = np.zeros((self.world, AUX_SLOTS))
+        self.stats = {
+            "backend": "serial", "rank": 0, "world": self.world,
+            "allreduce_bytes": 0, "barriers": 0, "barrier_wait_s": 0.0,
+            "stragglers": 0, "epochs": 0,
+        }
+
+    def _ensure(self, bucket: ParamBucket) -> None:
+        if self._grads is None:
+            self._grads = np.zeros((self.world, bucket.size))
+
+    def put_shard(self, rank: int, bucket: ParamBucket, loss: float,
+                  grads=None, aux_vals=()) -> None:
+        _check_aux(aux_vals)
+        self._ensure(bucket)
+        bucket.write_grads(self._grads[rank], grads)
+        self._losses[rank] = loss
+        if len(aux_vals):
+            self._aux[rank, :len(aux_vals)] = aux_vals
+        self.stats["allreduce_bytes"] += (bucket.size + 1 + len(aux_vals)) * 8
+        obs.metrics().counter("dist.allreduce.bytes", backend="serial").inc(
+            (bucket.size + 1 + len(aux_vals)) * 8
+        )
+
+    def gather(self, epoch: int) -> float:
+        self.stats["epochs"] += 1
+        return 0.0
+
+    def reduce(self, bucket: ParamBucket,
+               n_aux: int = 0) -> tuple[float, np.ndarray]:
+        return reduce_buffers(bucket, self._grads, self._losses, self._aux,
+                              n_aux)
+
+    def publish(self, bucket: ParamBucket, loss: float, aux, epoch: int,
+                stop: bool = False) -> None:
+        pass  # same process: the live tensors already hold the update
+
+    def read_update(self, bucket: ParamBucket, epoch: int,
+                    n_aux: int = 0):  # pragma: no cover - root-only backend
+        raise RuntimeError("the serial backend has no non-root ranks")
+
+    def announce_interrupt(self) -> None:
+        pass
+
+    def shard_chaos(self, chaos, epoch: int) -> None:
+        """Per-rank process chaos (kills) is meaningless in one process."""
+
+
+class ShmWorkerContext:
+    """One rank's view of the shared-memory transport."""
+
+    backend = "shm"
+
+    def __init__(self, arena: ShmArena, lock, rank: int, world: int,
+                 timeout: float = 60.0, poll: float = 5e-5):
+        self.arena = arena
+        self.rank = int(rank)
+        self.world = int(world)
+        self.is_root = self.rank == 0
+        self.writes_checkpoints = self.is_root
+        self.local_ranks = (self.rank,)
+        self.barrier = ShmBarrier(arena, lock, rank, world,
+                                  timeout=timeout, poll=poll)
+        self.stats = {
+            "backend": "shm", "rank": self.rank, "world": self.world,
+            "allreduce_bytes": 0, "barriers": 0, "barrier_wait_s": 0.0,
+            "stragglers": 0, "epochs": 0,
+        }
+        self._obs_bytes = obs.metrics().counter(
+            "dist.allreduce.bytes", backend="shm", rank=str(self.rank)
+        )
+        self._obs_wait = obs.metrics().timer(
+            "dist.barrier.wait", rank=str(self.rank)
+        )
+        self._obs_straggle = obs.metrics().counter(
+            "dist.stragglers", rank=str(self.rank)
+        )
+
+    # ------------------------------------------------------------------
+    def _wait(self, phase: str, epoch: int) -> float:
+        waited = self.barrier.wait(phase, epoch)
+        self.stats["barriers"] += 1
+        self.stats["barrier_wait_s"] += waited
+        self._obs_wait.observe(waited)
+        if self.world > 1 and waited < self.barrier.poll:
+            # This rank released the barrier, i.e. it arrived last: every
+            # peer was already parked waiting on it — the straggler.
+            self.stats["stragglers"] += 1
+            self._obs_straggle.inc()
+        return waited
+
+    def put_shard(self, rank: int, bucket: ParamBucket, loss: float,
+                  grads=None, aux_vals=()) -> None:
+        if rank != self.rank:  # pragma: no cover - misuse guard
+            raise ValueError(
+                f"rank {self.rank} cannot write shard {rank}; each shm "
+                f"worker owns exactly its own gradient row"
+            )
+        _check_aux(aux_vals)
+        bucket.write_grads(self.arena.grads[rank], grads)
+        self.arena.losses[rank] = loss
+        if len(aux_vals):
+            self.arena.aux[rank, :len(aux_vals)] = aux_vals
+        nbytes = (bucket.size + 1 + len(aux_vals)) * 8
+        self.stats["allreduce_bytes"] += nbytes
+        self._obs_bytes.inc(nbytes)
+
+    def gather(self, epoch: int) -> float:
+        self.stats["epochs"] += 1
+        return self._wait("gather", epoch)
+
+    def reduce(self, bucket: ParamBucket,
+               n_aux: int = 0) -> tuple[float, np.ndarray]:
+        return reduce_buffers(bucket, self.arena.grads, self.arena.losses,
+                              self.arena.aux, n_aux)
+
+    def publish(self, bucket: ParamBucket, loss: float, aux, epoch: int,
+                stop: bool = False) -> None:
+        bucket.write_params(self.arena.params)
+        self.arena.reduced_loss[0] = loss
+        if len(aux):
+            self.arena.reduced_aux[:len(aux)] = aux
+        self.arena.set_stop(stop)
+        self.arena.set_epoch(epoch + 1)
+        self._wait("update", epoch)
+
+    def read_update(self, bucket: ParamBucket, epoch: int,
+                    n_aux: int = 0) -> tuple[float, np.ndarray, bool]:
+        self._wait("update", epoch)
+        bucket.load_params(self.arena.params)
+        loss = float(self.arena.reduced_loss[0])
+        aux = self.arena.reduced_aux[:n_aux].copy()
+        return loss, aux, self.arena.stopped
+
+    def announce_interrupt(self) -> None:
+        self.arena.set_interrupt()
+
+    def shard_chaos(self, chaos, epoch: int) -> None:
+        """Fire per-rank process chaos after the shard is shipped.
+
+        Called once the shard gradient is already in shared memory, so a
+        kill here leaves peers stuck at the gather barrier — the genuine
+        mid-epoch death the elastic-restart path must survive.
+        """
+        chaos.dist_rank(epoch, self.rank)

@@ -1,0 +1,295 @@
+"""Worker entrypoint and elastic supervisor for shm data-parallel runs.
+
+:func:`train_distributed` owns the whole lifecycle of one worker group:
+
+* build a probe trainer to size the flat parameter buffer,
+* create the :class:`~repro.dist.shm.ShmArena` (the supervisor is the
+  single owner — segments are unlinked in its ``finally`` no matter how
+  workers die),
+* spawn one process per rank, each running :func:`_worker_main`:
+  ``factory(rank, world)`` → attach a :class:`ShmWorkerContext` →
+  ``trainer.train()`` → ship the result back over a queue,
+* monitor: drain the result queue continuously and watch for a worker
+  exiting without a terminal status — an unexpected death (SIGKILL, OOM,
+  segfault),
+* elastic recovery: on an unexpected death the supervisor raises the
+  arena's abort flag (survivors leave their barrier with
+  ``WorkerAbortedError`` instead of deadlocking), reaps the group, and
+  respawns *everyone* with ``resume_from="auto"``.  A group restart —
+  rather than patching one rank back in — is the only sound recovery:
+  rank 0's optimizer moments exist nowhere else, so the whole group
+  rewinds to the newest checkpoint, whose bitwise resume guarantee makes
+  the restarted run indistinguishable from an unkilled one.
+
+Restart exhaustion, worker tracebacks, and supervisor-level timeouts all
+surface as actionable ``RuntimeError``\\ s; nothing deadlocks and nothing
+leaks a shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue as queue_mod
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+
+from .. import obs
+from .bucket import ParamBucket
+from .context import ShmWorkerContext
+from .shm import BarrierTimeoutError, ShmArena, WorkerAbortedError
+
+__all__ = ["DistConfig", "train_distributed"]
+
+
+@dataclass
+class DistConfig:
+    """Configuration for data-parallel training.
+
+    ``workers=1`` (or leaving ``dist`` unset on the trainer config) takes
+    the original single-process code path untouched.  ``backend="serial"``
+    runs all shards in one process — the bitwise reference an shm run is
+    compared against.  ``backend="shm"`` requires launching through
+    :func:`train_distributed`.
+    """
+
+    workers: int = 1
+    backend: str = "serial"
+    #: seconds a rank waits at a barrier before raising an actionable
+    #: :class:`~repro.dist.shm.BarrierTimeoutError`.
+    barrier_timeout: float = 60.0
+    #: sleep between barrier polls (also the abort-flag reaction time).
+    poll_interval: float = 5e-5
+    #: group restarts allowed after unexpected worker deaths.
+    max_restarts: int = 1
+    #: supervisor watchdog: hard ceiling on one ``train_distributed`` call.
+    run_timeout: float = 600.0
+    #: shared-memory segment name prefix (leak checks key on it).
+    shm_prefix: str = "repro_dist"
+    #: multiprocessing start method; only ``spawn`` is supported — fork
+    #: would duplicate live numpy state and signal handlers.
+    start_method: str = "spawn"
+
+
+_GROUP_SEQ = itertools.count()
+
+
+def _worker_main(rank: int, world: int, attempt: int, arena_name: str,
+                 lock, result_queue, factory, dist: DistConfig) -> None:
+    """Per-rank process body: build, attach, train, report."""
+    arena = None
+    # Published for factories that need to behave differently across
+    # elastic restarts (e.g. chaos tests that kill a rank exactly once).
+    os.environ["REPRO_DIST_RANK"] = str(rank)
+    os.environ["REPRO_DIST_WORLD"] = str(world)
+    os.environ["REPRO_DIST_ATTEMPT"] = str(attempt)
+    try:
+        trainer = factory(rank, world)
+        if attempt > 0:
+            # Group restart: every rank rewinds to the newest archive.
+            # _worker_main refuses to start a doomed attempt instead of
+            # silently training from scratch out of lockstep.
+            if getattr(trainer.config, "checkpoint_dir", None) is None:
+                raise RuntimeError(
+                    "elastic restart needs a checkpoint to rewind to: "
+                    "configure checkpoint_dir (and checkpoint_every) on "
+                    "the trainer config"
+                )
+            if not trainer.config.resume_from:
+                trainer.config.resume_from = "auto"
+        bucket = ParamBucket(trainer.params)
+        arena = ShmArena(arena_name, world, bucket.size, create=False)
+        if arena.param_count != bucket.size:
+            raise RuntimeError(
+                f"rank {rank} built a model with {bucket.size} parameters "
+                f"but the arena was sized for {arena.param_count}; the "
+                f"factory must be deterministic in (rank, world)"
+            )
+        ctx = ShmWorkerContext(arena, lock, rank, world,
+                               timeout=dist.barrier_timeout,
+                               poll=dist.poll_interval)
+        trainer.attach_dist(ctx)
+        result = trainer.train()
+        state = trainer.model.state_dict()
+        interrupted = bool(getattr(result, "interrupted", False))
+        result.model = None  # rebuilt supervisor-side from `state`
+        result_queue.put(("done", rank, attempt, {
+            "result": result, "state_dict": state, "stats": ctx.stats,
+            "interrupted": interrupted,
+        }))
+    except WorkerAbortedError:
+        result_queue.put(("aborted", rank, attempt, None))
+    except BarrierTimeoutError as exc:
+        result_queue.put(("timeout", rank, attempt, str(exc)))
+        sys.exit(3)
+    except Exception:
+        result_queue.put(("error", rank, attempt, traceback.format_exc()))
+        sys.exit(1)
+    finally:
+        if arena is not None:
+            arena.close()
+
+
+def _reap(procs, result_queue, statuses, world) -> None:
+    """Join every worker, draining statuses so no ``put`` can block."""
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        _drain(result_queue, statuses)
+        if all(not p.is_alive() for p in procs):
+            break
+        time.sleep(0.02)
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+            p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - terminate() refused
+            p.kill()
+            p.join(timeout=2.0)
+    _drain(result_queue, statuses)
+
+
+def _drain(result_queue, statuses) -> None:
+    while True:
+        try:
+            status, rank, _attempt, payload = result_queue.get_nowait()
+        except (queue_mod.Empty, OSError, EOFError):
+            return
+        statuses.setdefault(rank, (status, payload))
+
+
+def train_distributed(factory, dist: DistConfig):
+    """Run ``factory(rank, world).train()`` across ``dist.workers`` ranks.
+
+    ``factory`` must be picklable (a module-level callable or a
+    ``functools.partial`` of one — workers are *spawned*) and
+    deterministic: every rank builds the same model, seed, and config.
+    Returns rank 0's training result with ``model`` rebuilt and a
+    ``dist_stats`` attribute holding per-rank transport statistics and
+    the restart count.
+    """
+    if dist.backend != "shm":
+        raise ValueError(
+            f"train_distributed drives the {'shm'!r} backend; for "
+            f"backend={dist.backend!r} set config.dist and call "
+            f"trainer.train() directly"
+        )
+    if dist.start_method != "spawn":
+        raise ValueError(
+            "only start_method='spawn' is supported: fork would duplicate "
+            "live numpy buffers and installed signal handlers into workers"
+        )
+    world = int(dist.workers)
+    if world < 1:
+        raise ValueError(f"DistConfig.workers must be >= 1, got {world}")
+    if world == 1:
+        return factory(0, 1).train()
+
+    probe = factory(0, world)
+    bucket = ParamBucket(probe.params)
+    checkpoint_dir = getattr(probe.config, "checkpoint_dir", None)
+    mp_ctx = multiprocessing.get_context(dist.start_method)
+    reg = obs.metrics()
+    restarts = 0
+    deadline = time.monotonic() + dist.run_timeout
+    while True:
+        arena_name = f"{dist.shm_prefix}_{os.getpid()}_{next(_GROUP_SEQ)}"
+        arena = ShmArena(arena_name, world, bucket.size, create=True)
+        lock = mp_ctx.Lock()
+        result_queue = mp_ctx.Queue()
+        procs = [
+            mp_ctx.Process(
+                target=_worker_main,
+                args=(r, world, restarts, arena_name, lock, result_queue,
+                      factory, dist),
+                daemon=True,
+            )
+            for r in range(world)
+        ]
+        statuses: dict[int, tuple[str, object]] = {}
+        crashed_rank = None
+        try:
+            for p in procs:
+                p.start()
+            while len(statuses) < world and crashed_rank is None:
+                try:
+                    status, rank, _a, payload = result_queue.get(
+                        timeout=0.05)
+                    statuses.setdefault(rank, (status, payload))
+                    continue
+                except queue_mod.Empty:
+                    pass
+                if time.monotonic() > deadline:
+                    arena.set_abort()
+                    raise RuntimeError(
+                        f"distributed run exceeded DistConfig.run_timeout="
+                        f"{dist.run_timeout}s with ranks "
+                        f"{sorted(set(range(world)) - set(statuses))} still "
+                        f"running; raise run_timeout for long runs or "
+                        f"inspect the workers for a livelock"
+                    )
+                for r, p in enumerate(procs):
+                    if r not in statuses and not p.is_alive() \
+                            and p.exitcode != 0:
+                        crashed_rank = r
+                        break
+            if crashed_rank is not None:
+                arena.set_abort()
+        finally:
+            _reap(procs, result_queue, statuses, world)
+            arena.close()
+            arena.unlink()
+
+        for rank in sorted(statuses):
+            status, payload = statuses[rank]
+            if status == "timeout":
+                raise RuntimeError(
+                    f"worker rank {rank} timed out at a barrier: {payload}"
+                )
+            if status == "error":
+                raise RuntimeError(
+                    f"worker rank {rank} failed:\n{payload}"
+                )
+
+        if crashed_rank is None and all(
+            statuses.get(r, ("missing", None))[0] == "done"
+            for r in range(world)
+        ):
+            _status, payload = statuses[0]
+            result = payload["result"]
+            probe.model.load_state_dict(payload["state_dict"])
+            result.model = probe.model
+            per_rank = [
+                statuses[r][1]["stats"] if statuses[r][0] == "done" else None
+                for r in range(world)
+            ]
+            result.dist_stats = {
+                "world": world, "respawns": restarts, "per_rank": per_rank,
+            }
+            return result
+
+        # Unexpected death (or a rank vanished without a status): elastic
+        # group restart from the newest checkpoint.
+        dead = crashed_rank if crashed_rank is not None else sorted(
+            set(range(world)) - set(statuses)
+        )
+        reg.counter("dist.worker_crashes").inc()
+        if restarts >= dist.max_restarts:
+            raise RuntimeError(
+                f"worker rank(s) {dead} died and the "
+                f"{dist.max_restarts} allowed group restart(s) are "
+                f"exhausted; inspect worker logs, raise "
+                f"DistConfig.max_restarts, or run backend='serial' to "
+                f"debug in-process"
+            )
+        if checkpoint_dir is None:
+            raise RuntimeError(
+                f"worker rank(s) {dead} died but elastic restart is "
+                f"impossible without checkpoints: set checkpoint_dir "
+                f"(and checkpoint_every=1) on the trainer config so the "
+                f"group can rewind bitwise to the newest archive"
+            )
+        restarts += 1
+        reg.counter("dist.group_restarts").inc()

@@ -1,0 +1,260 @@
+"""Shared-memory transport for the data-parallel runtime.
+
+One :class:`ShmArena` holds every byte two ranks ever exchange:
+
+* ``ctl`` — an int64 control block: the barrier generation/arrival
+  counters, per-rank arrival bookkeeping (for actionable timeout
+  errors), and the ``abort`` / ``interrupt`` / ``stop`` flags plus the
+  last published epoch,
+* ``dat`` — a float64 block laid out as
+  ``params[P] | grads[world, P] | losses[world] | reduced_loss[1] |
+  reduced_aux[AUX_SLOTS] | aux[world, AUX_SLOTS]``.
+
+The reduced slots are separate from the per-rank rows on purpose: rank 0
+overwrites its *own* aux row at the start of the next epoch, before the
+first barrier, while a slow peer may still be reading the previous
+reduction — the dedicated reduced slots are only rewritten after the
+next epoch's first barrier, which every peer has passed by then.
+
+The supervisor (:func:`repro.dist.runtime.train_distributed`) *creates*
+both segments and is the only process that ever ``unlink``\\ s them —
+workers attach and only ever ``close``.  That single-owner rule is what
+the shm-leak test fixture relies on: a worker can die by SIGKILL at any
+instruction and the supervisor's ``finally`` still removes every
+segment (with the shared ``resource_tracker`` as the backstop should
+the supervisor itself be killed).
+
+The barrier is a sense-reversing generation counter guarded by one
+``multiprocessing.Lock``; waiters poll with a short sleep so a blocked
+rank consumes (almost) no CPU while another rank computes — and so every
+wait can watch the ``abort``/``interrupt`` flags and the timeout instead
+of deadlocking on a dead peer.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "AUX_SLOTS",
+    "BarrierTimeoutError",
+    "WorkerAbortedError",
+    "DistInterrupt",
+    "ShmArena",
+    "ShmBarrier",
+]
+
+#: float64 slots reserved per rank for auxiliary loss components.
+AUX_SLOTS = 16
+
+# Control-block slot indices (int64).
+_GEN = 0         # barrier generation counter
+_COUNT = 1       # ranks arrived at the current generation
+_ABORT = 2       # supervisor: a worker died, everyone restart
+_INTERRUPT = 3   # a rank is shutting down cleanly (signal / preemption)
+_STOP = 4        # rank 0: training stopped (non-finite loss, no sentinel)
+_EPOCH = 5       # last epoch rank 0 published an update for
+_ARRIVE = 8      # per-rank: highest generation this rank has arrived at
+_CTL_SLOTS = _ARRIVE + 64  # generous per-rank headroom
+
+
+class BarrierTimeoutError(RuntimeError):
+    """A rank waited past ``barrier_timeout`` for peers that never came."""
+
+
+class WorkerAbortedError(RuntimeError):
+    """The supervisor aborted the group (a peer rank died unexpectedly)."""
+
+
+class DistInterrupt(RuntimeError):
+    """Another rank announced a clean shutdown; stop without checkpointing.
+
+    Raised from a barrier wait, i.e. potentially *mid-epoch*: the local
+    RNG may already have advanced past the epoch boundary, so the
+    catcher must not write a checkpoint (rank 0 only checkpoints at
+    consistent boundaries it reaches itself).
+    """
+
+
+class ShmArena:
+    """Owns (or attaches to) the shared segments of one worker group."""
+
+    def __init__(self, name: str, world: int, param_count: int,
+                 create: bool = False):
+        self.name = name
+        self.world = int(world)
+        self.param_count = int(param_count)
+        p, w = self.param_count, self.world
+        self._dat_len = p + w * p + w + 1 + AUX_SLOTS + w * AUX_SLOTS
+        self._ctl = self._segment(f"{name}-ctl", _CTL_SLOTS * 8, create)
+        self._dat = self._segment(f"{name}-dat", self._dat_len * 8, create)
+
+        self.ctl = np.ndarray((_CTL_SLOTS,), dtype=np.int64,
+                              buffer=self._ctl.buf)
+        flat = np.ndarray((self._dat_len,), dtype=np.float64,
+                          buffer=self._dat.buf)
+        self.params = flat[:p]
+        self.grads = flat[p:p + w * p].reshape(w, p)
+        off = p + w * p
+        self.losses = flat[off:off + w]
+        self.reduced_loss = flat[off + w:off + w + 1]
+        off = off + w + 1
+        self.reduced_aux = flat[off:off + AUX_SLOTS]
+        self.aux = flat[off + AUX_SLOTS:].reshape(w, AUX_SLOTS)
+        if create:
+            self.ctl[:] = 0
+            self.ctl[_ARRIVE:_ARRIVE + w] = -1
+
+    @staticmethod
+    def _segment(name: str, size: int, create: bool):
+        if create:
+            return shared_memory.SharedMemory(name=name, create=True,
+                                              size=size)
+        # Attaching registers with the resource tracker too, but workers
+        # spawned by multiprocessing share the supervisor's tracker
+        # process and its cache is a set — the re-registration is a
+        # no-op, and the single entry is cleared by the supervisor's
+        # unlink.  (Explicitly unregistering here would double-remove.)
+        return shared_memory.SharedMemory(name=name)
+
+    # ------------------------------------------------------------------
+    # Flags
+    # ------------------------------------------------------------------
+    def set_abort(self) -> None:
+        self.ctl[_ABORT] = 1
+
+    def set_interrupt(self) -> None:
+        self.ctl[_INTERRUPT] = 1
+
+    def set_stop(self, value: bool) -> None:
+        if value:
+            self.ctl[_STOP] = 1
+
+    def set_epoch(self, epoch: int) -> None:
+        self.ctl[_EPOCH] = epoch
+
+    @property
+    def aborted(self) -> bool:
+        return bool(self.ctl[_ABORT])
+
+    @property
+    def interrupted(self) -> bool:
+        return bool(self.ctl[_INTERRUPT])
+
+    @property
+    def stopped(self) -> bool:
+        return bool(self.ctl[_STOP])
+
+    @property
+    def epoch(self) -> int:
+        return int(self.ctl[_EPOCH])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _release_views(self) -> None:
+        for attr in ("ctl", "params", "grads", "losses", "reduced_loss",
+                     "reduced_aux", "aux"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+
+    def close(self) -> None:
+        """Drop this process's mapping (segments stay on disk)."""
+        self._release_views()
+        for seg in (self._ctl, self._dat):
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - stray view alive
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segments from the system (supervisor only)."""
+        for seg in (self._ctl, self._dat):
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    @staticmethod
+    def unlink_by_name(name: str) -> None:
+        """Best-effort removal of a group's segments by base name."""
+        for suffix in ("-ctl", "-dat"):
+            try:
+                seg = shared_memory.SharedMemory(name=f"{name}{suffix}")
+            except FileNotFoundError:
+                continue
+            try:
+                seg.unlink()
+            finally:
+                seg.close()
+
+
+class ShmBarrier:
+    """Timeout-guarded, flag-aware generation barrier over the arena."""
+
+    def __init__(self, arena: ShmArena, lock, rank: int, world: int,
+                 timeout: float = 60.0, poll: float = 5e-5):
+        self.arena = arena
+        self.lock = lock
+        self.rank = int(rank)
+        self.world = int(world)
+        self.timeout = float(timeout)
+        self.poll = float(poll)
+
+    def _check_flags(self, phase: str, epoch: int) -> None:
+        ctl = self.arena.ctl
+        if ctl[_ABORT]:
+            raise WorkerAbortedError(
+                f"rank {self.rank} released from the {phase!r} barrier at "
+                f"epoch {epoch}: the supervisor aborted the group after a "
+                f"peer rank died; the group restarts from the newest "
+                f"checkpoint"
+            )
+        if ctl[_INTERRUPT]:
+            raise DistInterrupt(
+                f"rank {self.rank} released from the {phase!r} barrier at "
+                f"epoch {epoch}: a peer rank announced a clean shutdown"
+            )
+
+    def wait(self, phase: str, epoch: int) -> float:
+        """Block until all ranks arrive; return seconds spent waiting.
+
+        Raises :class:`WorkerAbortedError` / :class:`DistInterrupt` when
+        the corresponding flag is set while waiting, and
+        :class:`BarrierTimeoutError` — naming the ranks that never
+        arrived — instead of deadlocking on a dead peer.
+        """
+        self._check_flags(phase, epoch)
+        ctl = self.arena.ctl
+        start = time.perf_counter()
+        with self.lock:
+            gen = int(ctl[_GEN])
+            ctl[_ARRIVE + self.rank] = gen + 1
+            ctl[_COUNT] += 1
+            if ctl[_COUNT] == self.world:
+                ctl[_COUNT] = 0
+                ctl[_GEN] = gen + 1
+                return time.perf_counter() - start
+        deadline = start + self.timeout
+        while int(ctl[_GEN]) == gen:
+            self._check_flags(phase, epoch)
+            now = time.perf_counter()
+            if now > deadline:
+                missing = [
+                    r for r in range(self.world)
+                    if int(ctl[_ARRIVE + r]) <= gen
+                ]
+                raise BarrierTimeoutError(
+                    f"rank {self.rank} timed out after {self.timeout:.1f}s "
+                    f"at the {phase!r} barrier of epoch {epoch}: rank(s) "
+                    f"{missing} never arrived — a worker likely died or "
+                    f"stalled; run under repro.dist.train_distributed with "
+                    f"DistConfig.max_restarts > 0 (and a checkpoint_dir) "
+                    f"for elastic restart, or raise "
+                    f"DistConfig.barrier_timeout for slow steps"
+                )
+            time.sleep(self.poll)
+        return time.perf_counter() - start

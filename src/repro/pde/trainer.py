@@ -22,6 +22,8 @@ import numpy as np
 from .. import obs
 from ..autodiff import backward
 from ..autodiff.tape import compile_step
+from ..dist.bucket import ParamBucket, shard_slice
+from ..dist.shm import DistInterrupt
 from ..optim import Adam
 from ..resilience import (
     CheckpointManager,
@@ -76,6 +78,12 @@ class PDETrainerConfig:
     handle_signals: bool = True
     #: test-only fault injection (:class:`repro.resilience.ChaosInjector`).
     chaos: "object | None" = None
+    #: data-parallel sharding (:class:`repro.dist.DistConfig`).  ``None``
+    #: or ``workers=1`` is the unchanged single-process path;
+    #: ``backend="serial"`` runs all shards in-process (the bitwise
+    #: reference); ``backend="shm"`` must be launched through
+    #: :func:`repro.dist.train_distributed`.
+    dist: "object | None" = None
 
 
 @dataclass
@@ -130,6 +138,9 @@ class PDETrainer:
             )
         self._ckpt = None
         self._start_epoch = 0
+        self._dist_ctx = None
+        self._dist_bucket = None
+        self._dist_data = None
 
     def _reference_solution(self):
         if self._reference is None and hasattr(self.problem, "reference"):
@@ -250,6 +261,120 @@ class PDETrainer:
         if self._sentinel is not None:
             self._sentinel.refresh()
 
+    # ------------------------------------------------------------------
+    # Data-parallel sharding (repro.dist)
+    # ------------------------------------------------------------------
+    def _dist_validate(self, world: int) -> None:
+        cfg = self.config
+        if not (hasattr(self.problem, "data_arrays")
+                and hasattr(self.problem, "data_terms")):
+            raise ValueError(
+                f"distributed training shards explicit data arrays, but "
+                f"problem {getattr(self.problem, 'name', self.problem)!r} "
+                f"provides no data_arrays/data_terms"
+            )
+        shard_slice(cfg.n_collocation, 0, world, "n_collocation")
+        shard_slice(cfg.n_data, 0, world, "n_data")
+
+    def attach_dist(self, ctx) -> None:
+        """Attach a distribution context (worker entrypoint / serial)."""
+        self._dist_validate(ctx.world)
+        self._dist_ctx = ctx
+
+    def _resolve_dist(self):
+        if self._dist_ctx is not None:
+            return self._dist_ctx
+        dist = self.config.dist
+        if dist is None or int(dist.workers) <= 1:
+            return None
+        if dist.backend == "serial":
+            from ..dist import SerialDistContext
+
+            self.attach_dist(SerialDistContext(dist.workers))
+            return self._dist_ctx
+        if dist.backend == "shm":
+            raise RuntimeError(
+                "backend='shm' needs worker processes and shared memory: "
+                "launch through repro.dist.train_distributed(factory, "
+                "dist); call trainer.train() directly only with "
+                "backend='serial' or workers=1"
+            )
+        raise ValueError(f"unknown dist backend {dist.backend!r}")
+
+    def _dist_shard(self, epoch: int, rank: int, ctx) -> None:
+        """Compute one rank's shard loss/gradients and ship them."""
+        cfg = self.config
+        csl = shard_slice(cfg.n_collocation, rank, ctx.world,
+                          "n_collocation")
+        dsl = shard_slice(cfg.n_data, rank, ctx.world, "n_data")
+        pts = tuple(a[csl] for a in self._points)
+        dat = tuple(a[dsl] for a in self._dist_data)
+        step = self._compiled
+        if step is None:
+            step = self._build_compiled()
+        expand = getattr(self.problem, "residual_arrays", None)
+        res_arrays = pts if expand is None else expand(*pts)
+        self.optimizer.zero_grad()
+        if step is not False:
+            loss_value, grads, _aux = step(*res_arrays, *dat)
+            ctx.put_shard(rank, self._dist_bucket, loss_value, grads=grads)
+        else:
+            res_terms = getattr(self.problem, "residual_terms",
+                                self.problem.residual_loss)
+            loss = res_terms(self.model, *res_arrays)
+            loss = loss + cfg.data_weight * self.problem.data_terms(
+                self.model, *dat
+            )
+            backward(loss, self.params)
+            ctx.put_shard(rank, self._dist_bucket, float(loss.data))
+
+    def _dist_epoch(self, epoch: int, result: PDETrainingResult) -> bool:
+        """One sharded epoch; bitwise-identical across dist backends."""
+        cfg = self.config
+        ctx = self._dist_ctx
+        if self._dist_bucket is None:
+            self._dist_bucket = ParamBucket(self.params)
+        # Lockstep sampling: every rank draws the *full* batch with its
+        # own (identically seeded) generator and computes only its shard,
+        # so the RNG streams stay bit-identical across ranks and epochs.
+        if self._points is None or epoch % cfg.resample_every == 0:
+            self._points = self.problem.sample(cfg.n_collocation, self.rng)
+        self._dist_data = self.problem.data_arrays(cfg.n_data, self.rng)
+        for rank in ctx.local_ranks:
+            self._dist_shard(epoch, rank, ctx)
+        if self._chaos is not None:
+            ctx.shard_chaos(self._chaos, epoch)
+        ctx.gather(epoch)
+        if ctx.is_root:
+            loss_value, _aux = ctx.reduce(self._dist_bucket)
+            if self._chaos is not None:
+                self._chaos.grads(epoch, self.params)
+            if self._guard(epoch, loss_value, result):
+                self.optimizer.step()
+            if self._chaos is not None:
+                self._chaos.params(epoch, self.params)
+            ctx.publish(self._dist_bucket, loss_value, (), epoch,
+                        stop=result.stop_reason is not None)
+        else:
+            loss_value, _aux, stopped = ctx.read_update(
+                self._dist_bucket, epoch
+            )
+            if stopped and result.stop_reason is None:
+                result.stop_epoch = epoch
+                result.stop_reason = (
+                    f"rank 0 stopped training at epoch {epoch} "
+                    f"(non-finite loss; see the rank-0 result for details)"
+                )
+        result.loss.append(loss_value)
+        if cfg.eval_every and (
+            epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1
+        ):
+            result.l2_epochs.append(epoch)
+            result.l2_error.append(self._evaluate())
+        if self._chaos is not None:
+            self._chaos.end_step(epoch)
+        return result.stop_reason is not None
+
     def _epoch(self, epoch: int, result: PDETrainingResult) -> bool:
         """One uninstrumented training epoch (the default fast path)."""
         cfg = self.config
@@ -346,6 +471,8 @@ class PDETrainer:
         """Run the training loop and return the result record."""
         cfg = self.config
         result = PDETrainingResult(model=self.model)
+        dist_ctx = self._resolve_dist()
+        ckpt_write = dist_ctx is None or dist_ctx.writes_checkpoints
         self._setup_resilience()
         gc_was_enabled = gc.isenabled()
         gc.disable()
@@ -353,6 +480,8 @@ class PDETrainer:
         epoch_fn = self._epoch if recorder is None else (
             lambda e, r: self._epoch_observed(e, r, recorder)
         )
+        if dist_ctx is not None:
+            epoch_fn = self._dist_epoch
         run_ctx = (
             obs.scope("train", problem=getattr(self.problem, "name", "?"))
             if recorder is not None else None
@@ -368,14 +497,16 @@ class PDETrainer:
             try:
                 for epoch in range(self._start_epoch, cfg.epochs):
                     stop = epoch_fn(epoch, result)
-                    if self._ckpt is not None:
+                    if self._ckpt is not None and ckpt_write:
                         self._ckpt.step(epoch + 1, result.loss[-1],
                                         arrays=self._checkpoint_arrays)
                     if shutdown is not None and shutdown.requested:
                         result.interrupted = True
-                        if self._ckpt is not None:
+                        if self._ckpt is not None and ckpt_write:
                             self._ckpt.save(epoch + 1, loss=result.loss[-1],
                                             arrays=self._checkpoint_arrays)
+                        if dist_ctx is not None:
+                            dist_ctx.announce_interrupt()
                         break
                     if stop:
                         break
@@ -384,9 +515,17 @@ class PDETrainer:
                 # epoch's state is consistent, so a final checkpoint makes
                 # the run resumable exactly where it died.
                 result.interrupted = True
-                if self._ckpt is not None:
+                if self._ckpt is not None and ckpt_write:
                     self._ckpt.save(epoch + 1, loss=result.loss[-1],
                                     arrays=self._checkpoint_arrays)
+                if dist_ctx is not None:
+                    dist_ctx.announce_interrupt()
+            except DistInterrupt:
+                # A peer rank shut down cleanly while this rank was
+                # already mid-epoch: its RNG has advanced past the last
+                # consistent boundary, so it must NOT checkpoint — resume
+                # rewinds to rank 0's newest boundary archive instead.
+                result.interrupted = True
         finally:
             if shutdown is not None:
                 shutdown.__exit__(None, None, None)

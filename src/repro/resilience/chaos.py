@@ -21,6 +21,8 @@ checksum-validation and fall-back-to-previous-checkpoint paths.
 
 from __future__ import annotations
 
+import os
+import signal
 from pathlib import Path
 
 import numpy as np
@@ -64,16 +66,31 @@ class ChaosInjector:
     fail_writes:
         Zero-based indices of checkpoint *write attempts* that raise
         :class:`InjectedIOError` before any byte reaches disk.
+    sigkill_at:
+        Steps at which the process SIGKILLs *itself* — an uncatchable
+        death with no cleanup, as close to a real OOM-kill as a test can
+        get.  Fired from the distributed trainers' per-rank hook
+        (:meth:`dist_rank`) after the shard gradient is already in
+        shared memory, so surviving ranks are left stuck at the gather
+        barrier: the exact scenario elastic restart must handle.
+    sigterm_at:
+        Steps at which the process sends itself a real SIGTERM at the
+        end of the step.  With :class:`~repro.resilience.GracefulShutdown`
+        active this exercises the clean boundary-interrupt path (final
+        checkpoint, ``interrupted=True``) through the genuine signal
+        machinery rather than a raised exception.
     """
 
     def __init__(self, nan_grad_at=(), inf_loss_grad_at=(),
                  corrupt_params_at=(), preempt_at: int | None = None,
-                 fail_writes=()):
+                 fail_writes=(), sigkill_at=(), sigterm_at=()):
         self.nan_grad_at = frozenset(nan_grad_at)
         self.inf_loss_grad_at = frozenset(inf_loss_grad_at)
         self.corrupt_params_at = frozenset(corrupt_params_at)
         self.preempt_at = preempt_at
         self.fail_writes = frozenset(fail_writes)
+        self.sigkill_at = frozenset(sigkill_at)
+        self.sigterm_at = frozenset(sigterm_at)
         self.counts = {
             "nan_grads": 0,
             "inf_grads": 0,
@@ -81,6 +98,8 @@ class ChaosInjector:
             "preemptions": 0,
             "failed_writes": 0,
             "write_attempts": 0,
+            "sigkills": 0,
+            "sigterms": 0,
         }
 
     # ------------------------------------------------------------------
@@ -110,9 +129,24 @@ class ChaosInjector:
 
     def end_step(self, epoch: int) -> None:
         """Called once the step is fully complete."""
+        if epoch in self.sigterm_at:
+            self.counts["sigterms"] += 1
+            os.kill(os.getpid(), signal.SIGTERM)
         if self.preempt_at is not None and epoch == self.preempt_at:
             self.counts["preemptions"] += 1
             raise SimulatedPreemption(f"simulated preemption after step {epoch}")
+
+    def dist_rank(self, epoch: int, rank: int) -> None:
+        """Called by distributed trainers once per rank, mid-epoch.
+
+        Runs after the rank's shard gradient has been written to shared
+        memory but before any barrier, so a kill here strands every peer
+        mid-epoch — SIGKILL is uncatchable and the line below it never
+        executes.
+        """
+        if epoch in self.sigkill_at:
+            self.counts["sigkills"] += 1
+            os.kill(os.getpid(), signal.SIGKILL)
 
     # ------------------------------------------------------------------
     # Checkpoint hook

@@ -1,0 +1,206 @@
+"""Chaos engineering for the shm dist runtime: elastic recovery paths.
+
+Every scenario here must end in one of exactly two states — a bitwise
+correct result or an actionable error — with zero leaked shared-memory
+segments (enforced by the autouse conftest fixture) and zero deadlocks
+(enforced by library-level barrier/run timeouts, plus pytest-timeout on
+CI).
+
+* SIGKILL of a rank mid-epoch (gradient already in shared memory, peers
+  stranded at the gather barrier) → supervisor aborts the group and
+  respawns everyone from the newest checkpoint; the restarted run is
+  bitwise indistinguishable from one that was never killed.
+* Restart budget exhausted, or no checkpoints to rewind to → actionable
+  ``RuntimeError`` naming the fix.
+* :class:`SimulatedPreemption` / real SIGTERM at a step boundary → clean
+  two-phase interrupt: rank 0 saves a final checkpoint, peers leave
+  their next barrier with :class:`DistInterrupt` (and do *not* save —
+  their RNG is past the boundary), and a ``resume_from="auto"`` relaunch
+  continues bitwise.
+* A dead peer at a barrier → :class:`BarrierTimeoutError` naming the
+  missing ranks instead of a hang.
+"""
+
+import functools
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.dist import (
+    BarrierTimeoutError,
+    DistConfig,
+    ShmArena,
+    ShmBarrier,
+    train_distributed,
+)
+from repro.pde import GenericPINN, PDETrainer, PDETrainerConfig
+from repro.pde.problems import SchrodingerProblem
+from repro.resilience import ChaosInjector
+
+
+def factory(rank, world, ckpt_dir=None, kill_rank=None, kill_at=None,
+            preempt_rank=None, preempt_at=None, sigterm_rank=None,
+            sigterm_at=None, resume=False):
+    """Spawn-picklable trainer factory with optional per-rank chaos.
+
+    Process chaos (kill/preempt/sigterm) only arms on the first elastic
+    attempt — a respawned group must not re-kill itself forever.
+    """
+    chaos = None
+    attempt = int(os.environ.get("REPRO_DIST_ATTEMPT", "0"))
+    if attempt == 0:
+        if kill_rank is not None and rank == kill_rank:
+            chaos = ChaosInjector(sigkill_at=(kill_at,))
+        elif preempt_rank is not None and rank == preempt_rank:
+            chaos = ChaosInjector(preempt_at=preempt_at)
+        elif sigterm_rank is not None and rank == sigterm_rank:
+            chaos = ChaosInjector(sigterm_at=(sigterm_at,))
+    model = GenericPINN(2, 2, hidden=16, n_hidden=2,
+                        rng=np.random.default_rng(0))
+    cfg = PDETrainerConfig(epochs=8, eval_every=0, n_collocation=32,
+                           n_data=8, resample_every=4, seed=0,
+                           checkpoint_dir=ckpt_dir, checkpoint_every=1,
+                           resume_from="auto" if resume else None,
+                           chaos=chaos)
+    return PDETrainer(model, SchrodingerProblem(), cfg)
+
+
+def reference():
+    """Serial-backend run of the identical sharded config, never killed."""
+    trainer = factory(0, 2)
+    trainer.config.dist = DistConfig(workers=2, backend="serial")
+    return trainer, trainer.train()
+
+
+def shm(**kw):
+    kw.setdefault("max_restarts", 1)
+    kw.setdefault("run_timeout", 240.0)
+    return DistConfig(workers=2, backend="shm", **kw)
+
+
+def assert_models_equal(a, b):
+    for pa, pb in zip(a.parameters(), b.parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+@pytest.mark.slow
+class TestSigkillRecovery:
+    def test_killed_rank_respawns_and_resumes_bitwise(self, tmp_path):
+        ref, rref = reference()
+        crashes = obs.metrics().counter("dist.worker_crashes").value
+        restarts = obs.metrics().counter("dist.group_restarts").value
+        res = train_distributed(
+            functools.partial(factory, ckpt_dir=str(tmp_path),
+                              kill_rank=1, kill_at=4),
+            shm(),
+        )
+        assert res.dist_stats["respawns"] == 1
+        assert obs.metrics().counter("dist.worker_crashes").value \
+            == crashes + 1
+        assert obs.metrics().counter("dist.group_restarts").value \
+            == restarts + 1
+        # The restarted run's result covers only the resumed segment; it
+        # must equal the unkilled run's tail bitwise, and the final
+        # parameters must be fully identical.
+        assert res.loss == rref.loss[len(rref.loss) - len(res.loss):]
+        assert_models_equal(ref.model, res.model)
+
+    def test_restart_budget_exhausted_is_actionable(self, tmp_path):
+        with pytest.raises(RuntimeError, match="restart.*exhausted"):
+            train_distributed(
+                functools.partial(factory, ckpt_dir=str(tmp_path),
+                                  kill_rank=1, kill_at=2),
+                shm(max_restarts=0),
+            )
+
+    def test_crash_without_checkpoints_is_actionable(self):
+        with pytest.raises(RuntimeError, match="checkpoint_dir"):
+            train_distributed(
+                functools.partial(factory, kill_rank=0, kill_at=2),
+                shm(),
+            )
+
+
+@pytest.mark.slow
+class TestCleanInterrupts:
+    def test_preemption_two_phase_resume_bitwise(self, tmp_path):
+        """Rank 0 preempted at a boundary: it saves and announces, the
+        peer leaves its next barrier via DistInterrupt without saving,
+        and a resume_from='auto' relaunch continues bitwise."""
+        ref, rref = reference()
+        first = train_distributed(
+            functools.partial(factory, ckpt_dir=str(tmp_path),
+                              preempt_rank=0, preempt_at=3),
+            shm(),
+        )
+        assert first.interrupted
+        assert first.dist_stats["respawns"] == 0
+        assert first.loss == rref.loss[:len(first.loss)]
+        second = train_distributed(
+            functools.partial(factory, ckpt_dir=str(tmp_path), resume=True),
+            shm(),
+        )
+        assert not getattr(second, "interrupted", False)
+        assert first.loss + second.loss == rref.loss
+        assert_models_equal(ref.model, second.model)
+
+    def test_peer_preemption_interrupts_root(self, tmp_path):
+        """The non-checkpointing rank is preempted: rank 0 gets
+        DistInterrupt mid-epoch, does not save past the boundary, and
+        the relaunch still resumes bitwise."""
+        ref, rref = reference()
+        first = train_distributed(
+            functools.partial(factory, ckpt_dir=str(tmp_path),
+                              preempt_rank=1, preempt_at=3),
+            shm(),
+        )
+        assert first.interrupted
+        second = train_distributed(
+            functools.partial(factory, ckpt_dir=str(tmp_path), resume=True),
+            shm(),
+        )
+        assert second.loss == rref.loss[len(rref.loss) - len(second.loss):]
+        assert_models_equal(ref.model, second.model)
+
+    def test_sigterm_graceful_shutdown_and_resume(self, tmp_path):
+        """A real SIGTERM through GracefulShutdown: final checkpoint,
+        interrupted=True, bitwise resume — the genuine signal machinery,
+        not a raised exception."""
+        ref, rref = reference()
+        first = train_distributed(
+            functools.partial(factory, ckpt_dir=str(tmp_path),
+                              sigterm_rank=0, sigterm_at=3),
+            shm(),
+        )
+        assert first.interrupted
+        assert first.loss == rref.loss[:len(first.loss)]
+        second = train_distributed(
+            functools.partial(factory, ckpt_dir=str(tmp_path), resume=True),
+            shm(),
+        )
+        assert first.loss + second.loss == rref.loss
+        assert_models_equal(ref.model, second.model)
+
+
+class TestBarrierTimeout:
+    def test_dead_peer_raises_actionable_timeout(self):
+        """In-process: rank 0 waits at a barrier whose peer never comes.
+        The error names the missing rank and how to recover — never a
+        deadlock."""
+        import multiprocessing
+
+        arena = ShmArena(f"repro_dist_test_{os.getpid()}", world=2,
+                         param_count=4, create=True)
+        try:
+            barrier = ShmBarrier(arena, multiprocessing.Lock(), rank=0,
+                                 world=2, timeout=0.15, poll=1e-4)
+            with pytest.raises(BarrierTimeoutError) as exc:
+                barrier.wait("gather", epoch=0)
+            msg = str(exc.value)
+            assert "rank(s) [1] never arrived" in msg
+            assert "max_restarts" in msg  # the actionable part
+        finally:
+            arena.close()
+            arena.unlink()

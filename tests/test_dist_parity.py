@@ -1,0 +1,273 @@
+"""Bitwise parity of data-parallel training across dist backends.
+
+The contract under test, layer by layer:
+
+* ``workers=1`` / ``dist=None`` — the original single-process code path,
+  bitwise unchanged,
+* ``backend="serial"`` — all shards computed in one process with the
+  fixed-order reduction: the *reference semantics* of sharded training,
+* ``backend="shm"`` — N worker processes over shared memory, bitwise
+  equal to the serial reference (params, loss history, components,
+  gradient norms) because both run the identical floating-point
+  operation sequence,
+* the fixed-order sharded reduction itself equals the full-batch mean
+  gradient *exactly* on dyadic inputs (hypothesis property).
+"""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core import CollocationGrid, Trainer, TrainerConfig, get_case
+from repro.core.models import MaxwellPINN
+from repro.dist import (
+    DistConfig,
+    ParamBucket,
+    fixed_order_mean,
+    shard_slice,
+    train_distributed,
+)
+from repro.pde import GenericPINN, PDETrainer, PDETrainerConfig
+from repro.pde.problems import SchrodingerProblem
+
+pytestmark = []
+
+
+def make_pde(epochs=6, seed=0, **kw):
+    model = GenericPINN(2, 2, hidden=16, n_hidden=2,
+                        rng=np.random.default_rng(seed))
+    kw.setdefault("n_collocation", 32)
+    kw.setdefault("n_data", 8)
+    cfg = PDETrainerConfig(epochs=epochs, eval_every=0, resample_every=4,
+                           seed=seed, **kw)
+    return PDETrainer(model, SchrodingerProblem(), cfg)
+
+
+def make_pde_paper(epochs=3, seed=0, **kw):
+    """The paper's Schrödinger config (n_collocation=256, n_data=64)."""
+    model = GenericPINN(2, 2, hidden=16, n_hidden=2,
+                        rng=np.random.default_rng(seed))
+    cfg = PDETrainerConfig(epochs=epochs, eval_every=0, seed=seed, **kw)
+    return PDETrainer(model, SchrodingerProblem(), cfg)
+
+
+def make_maxwell(epochs=5, seed=0, **kw):
+    model = MaxwellPINN(depth=2, hidden=12, rff_features=6,
+                        rng=np.random.default_rng(seed))
+    cfg = TrainerConfig(epochs=epochs, eval_every=0, **kw)
+    return Trainer(model, get_case("vacuum").make_loss(use_energy=True),
+                   CollocationGrid(n=4, t_max=1.5), config=cfg)
+
+
+# Spawn-picklable worker factories (workers import this module by name).
+def pde_factory(rank, world, **kw):
+    return make_pde(**kw)
+
+
+def pde_paper_factory(rank, world, **kw):
+    return make_pde_paper(**kw)
+
+
+def maxwell_factory(rank, world, **kw):
+    return make_maxwell(**kw)
+
+
+def params_of(model):
+    return [p.data.copy() for p in model.parameters()]
+
+
+def assert_params_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def serial(workers):
+    return DistConfig(workers=workers, backend="serial")
+
+
+def shm(workers, **kw):
+    kw.setdefault("max_restarts", 0)
+    kw.setdefault("run_timeout", 240.0)
+    return DistConfig(workers=workers, backend="shm", **kw)
+
+
+class TestSerialBackend:
+    def test_two_runs_bitwise_deterministic(self):
+        t1 = make_pde(dist=serial(2))
+        t2 = make_pde(dist=serial(2))
+        r1, r2 = t1.train(), t2.train()
+        assert r1.loss == r2.loss
+        assert_params_equal(params_of(t1.model), params_of(t2.model))
+
+    def test_workers_one_is_the_plain_path_bitwise(self):
+        plain = make_pde()
+        one = make_pde(dist=DistConfig(workers=1, backend="shm"))
+        rp, ro = plain.train(), one.train()
+        assert rp.loss == ro.loss
+        assert_params_equal(params_of(plain.model), params_of(one.model))
+
+    @pytest.mark.parametrize("maker", [make_pde, make_maxwell],
+                             ids=["schrodinger", "maxwell"])
+    def test_compiled_matches_uncompiled(self, maker):
+        tc = maker(compile_step=True, dist=serial(2))
+        tu = maker(compile_step=False, dist=serial(2))
+        rc, ru = tc.train(), tu.train()
+        loss_c = getattr(rc, "loss", None) or rc.history.loss
+        loss_u = getattr(ru, "loss", None) or ru.history.loss
+        assert loss_c == loss_u
+        assert_params_equal(params_of(tc.model), params_of(tu.model))
+
+    def test_serial_records_transport_metrics(self):
+        trainer = make_pde(dist=serial(2))
+        trainer.train()
+        stats = trainer._dist_ctx.stats
+        assert stats["allreduce_bytes"] > 0
+        assert stats["epochs"] == 6
+        value = obs.metrics().counter(
+            "dist.allreduce.bytes", backend="serial"
+        ).value
+        assert value >= stats["allreduce_bytes"]
+
+    def test_shm_backend_refuses_direct_train(self):
+        trainer = make_pde(dist=DistConfig(workers=2, backend="shm"))
+        with pytest.raises(RuntimeError, match="train_distributed"):
+            trainer.train()
+
+    def test_unknown_backend_rejected(self):
+        trainer = make_pde(dist=DistConfig(workers=2, backend="gloo"))
+        with pytest.raises(ValueError, match="unknown dist backend"):
+            trainer.train()
+
+    def test_indivisible_collocation_actionable(self):
+        trainer = make_pde(n_collocation=30, dist=serial(4))
+        with pytest.raises(ValueError, match="n_collocation.*divisible"):
+            trainer.train()
+
+    def test_maxwell_incompatible_knobs_rejected(self):
+        t = make_maxwell(batch_points=8, dist=serial(2))
+        with pytest.raises(ValueError, match="batch_points"):
+            t.train()
+        t = make_maxwell(lbfgs_epochs=2, dist=serial(2))
+        with pytest.raises(ValueError, match="lbfgs_epochs=0"):
+            t.train()
+
+
+@pytest.mark.slow
+class TestShmParity:
+    @pytest.mark.parametrize("compiled", [True, False],
+                             ids=["compiled", "uncompiled"])
+    def test_pde_two_workers_bitwise(self, compiled):
+        ref = make_pde(compile_step=compiled, dist=serial(2))
+        rref = ref.train()
+        res = train_distributed(
+            functools.partial(pde_factory, compile_step=compiled), shm(2)
+        )
+        assert res.loss == rref.loss
+        assert_params_equal(params_of(ref.model), params_of(res.model))
+        assert res.dist_stats["world"] == 2
+        assert res.dist_stats["respawns"] == 0
+        assert all(s["allreduce_bytes"] > 0
+                   for s in res.dist_stats["per_rank"])
+
+    def test_pde_four_workers_bitwise(self):
+        ref = make_pde(dist=serial(4))
+        rref = ref.train()
+        res = train_distributed(pde_factory, shm(4))
+        assert res.loss == rref.loss
+        assert_params_equal(params_of(ref.model), params_of(res.model))
+
+    def test_pde_paper_config_two_workers_bitwise(self):
+        ref = make_pde_paper(dist=serial(2))
+        rref = ref.train()
+        res = train_distributed(pde_paper_factory, shm(2))
+        assert res.loss == rref.loss
+        assert_params_equal(params_of(ref.model), params_of(res.model))
+
+    def test_maxwell_two_workers_bitwise(self):
+        ref = make_maxwell(dist=serial(2))
+        rref = ref.train()
+        res = train_distributed(maxwell_factory, shm(2))
+        assert res.history.loss == rref.history.loss
+        assert res.history.components == rref.history.components
+        assert res.history.grad_norm == rref.history.grad_norm
+        assert res.history.learning_rate == rref.history.learning_rate
+        assert_params_equal(params_of(ref.model), params_of(res.model))
+
+
+class TestFixedOrderReduction:
+    @given(st.data())
+    def test_sharded_reduction_equals_full_batch_exactly(self, data):
+        """Dyadic inputs make every intermediate exact: the fixed-order
+        sharded mean-of-shard-means must equal the full-batch mean to
+        the last bit, not approximately."""
+        world = data.draw(st.sampled_from([2, 4]))
+        k = 2 ** data.draw(st.integers(0, 4))
+        d = data.draw(st.integers(1, 6))
+        n = k * world
+        vals = data.draw(
+            st.lists(st.integers(-(2 ** 16), 2 ** 16),
+                     min_size=n * d, max_size=n * d)
+        )
+        g = np.array(vals, dtype=np.float64).reshape(n, d)
+        full = g.sum(axis=0) / n
+        shard_means = np.stack([
+            g[shard_slice(n, r, world)].sum(axis=0) / k
+            for r in range(world)
+        ])
+        np.testing.assert_array_equal(fixed_order_mean(shard_means), full)
+
+    def test_fixed_order_mean_is_layout_independent(self, rng):
+        rows = rng.standard_normal((4, 33))
+        scattered = [np.array(r, copy=True) for r in rows]
+        np.testing.assert_array_equal(
+            fixed_order_mean(rows), fixed_order_mean(scattered)
+        )
+
+
+class TestShardSliceAndBucket:
+    def test_slices_tile_the_range(self):
+        slices = [shard_slice(12, r, 4) for r in range(4)]
+        covered = sorted(i for s in slices for i in range(s.start, s.stop))
+        assert covered == list(range(12))
+
+    def test_indivisible_error_is_actionable(self):
+        with pytest.raises(ValueError, match="multiple of 3"):
+            shard_slice(10, 0, 3, "points")
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError, match="invalid rank"):
+            shard_slice(8, 4, 4)
+
+    def test_param_bucket_roundtrip_preserves_identity(self):
+        model = GenericPINN(2, 2, hidden=4, n_hidden=1,
+                            rng=np.random.default_rng(7))
+        params = model.parameters()
+        bucket = ParamBucket(params)
+        ids = [id(p.data) for p in params]
+        flat = np.empty(bucket.size)
+        bucket.write_params(flat)
+        original = [p.data.copy() for p in params]
+        for p in params:
+            p.data += 1.0
+        bucket.load_params(flat)
+        assert [id(p.data) for p in params] == ids  # in-place broadcast
+        for p, before in zip(params, original):
+            np.testing.assert_array_equal(p.data, before)
+
+    def test_bucket_grad_roundtrip(self):
+        model = GenericPINN(2, 2, hidden=4, n_hidden=1,
+                            rng=np.random.default_rng(7))
+        params = model.parameters()
+        bucket = ParamBucket(params)
+        rng = np.random.default_rng(3)
+        grads = [rng.standard_normal(p.data.shape) for p in params]
+        flat = np.empty(bucket.size)
+        bucket.write_grads(flat, grads)
+        bucket.load_grads(flat)
+        for p, g in zip(params, grads):
+            np.testing.assert_array_equal(p.grad, g)
