@@ -40,6 +40,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.dist import (  # noqa: E402
     DistConfig,
     ParamBucket,
@@ -195,6 +196,7 @@ def main(argv=None) -> int:
     report = {
         "config": sizes,
         "cpu_cores": cores,
+        "environment": obs.environment_info(),
         "methodology": {
             "measured_wall": "end-to-end train_distributed wall vs the "
                              "single-process baseline, spawn and import "

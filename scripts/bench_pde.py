@@ -43,7 +43,6 @@ from __future__ import annotations
 import argparse
 import gc
 import json
-import platform
 import sys
 import time
 from pathlib import Path
@@ -53,8 +52,10 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.autodiff import backward  # noqa: E402
 from repro.autodiff.tape import compile_step  # noqa: E402
+from repro.lower.budget import tape_budget  # noqa: E402
 from repro.pde import (  # noqa: E402
     GenericPINN,
     PDETrainer,
@@ -166,6 +167,54 @@ def bench_step(hidden: int, n_hidden: int, n_col: int, n_data: int,
         print(f"        schedule: {sched.get('recorded')} recorded -> "
               f"{sched.get('after_dce')} after DCE, "
               f"{sched.get('folded')} folded, {sched.get('fused')} fused")
+    return row
+
+
+def bench_precision(hidden: int, n_hidden: int, n_col: int, n_data: int,
+                    reps: int, seed: int) -> dict:
+    """Tape replay wall time per precision tier: float64 vs float32.
+
+    The float32 tier demotes the replay buffers (inputs, live parameters,
+    folded constants) to single precision and promotes gradients back to
+    float64 at the boundary; its acceptance bar is the lowering
+    pipeline's :func:`repro.lower.budget.tape_budget` normalized error
+    against the float64 replay of the *same* schedule.
+    """
+    _, _, params, arrays, step_fn = _build_workload(
+        hidden, n_hidden, n_col, n_data, seed
+    )
+    step64 = compile_step(step_fn, params, name="tier-f64")
+    step32 = compile_step(step_fn, params, name="tier-f32",
+                          precision="float32")
+    for step in (step64, step32):
+        step(*arrays)  # trace
+        step(*arrays)  # validated replay
+        step(*arrays)  # frozen straight-line replay
+    f64_s, f32_s, speedup = _paired_median(
+        lambda: step64(*arrays), lambda: step32(*arrays), reps
+    )
+    loss64, grads64, _ = step64(*arrays)
+    grads64 = [g.copy() for g in grads64]
+    loss32, grads32, _ = step32(*arrays)
+    err = max(
+        float(np.abs(a - b).max()) / (1.0 + float(np.abs(b).max()))
+        for a, b in zip(grads32, grads64)
+    )
+    err = max(err, abs(loss32 - loss64) / (1.0 + abs(loss64)))
+    recorded = (step64.cache_info().get("schedule") or {}).get("recorded", 0)
+    budget = tape_budget("float32", recorded)
+    row = {
+        "float64_s": f64_s,
+        "float32_s": f32_s,
+        "speedup_f32_vs_f64": speedup,
+        "max_normalized_err": err,
+        "error_budget": budget,
+        "within_budget": err <= budget,
+        "fallback": bool(step32.disabled),
+    }
+    print(f"  precision: f64 replay {f64_s*1e3:.1f} ms, f32 replay "
+          f"{f32_s*1e3:.1f} ms ({speedup:.2f}x, err {err:.1e} "
+          f"{'<=' if row['within_budget'] else '>'} budget {budget:.1e})")
     return row
 
 
@@ -359,6 +408,9 @@ def main(argv=None) -> int:
         print("training step (forward+residual+backward):")
         step_row = bench_step(hidden, n_hidden, n_col, n_data, reps,
                               args.seed)
+        print("precision tiers (tape replay):")
+        precision_row = bench_precision(hidden, n_hidden, n_col, n_data,
+                                        reps, args.seed)
         print("end-to-end trainer:")
         trainer_row = bench_trainer(hidden, n_hidden, n_col, n_data, epochs,
                                     reps, args.seed)
@@ -382,12 +434,11 @@ def main(argv=None) -> int:
             "repeats": reps,
             "seed": args.seed,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        # Tape-tier benches report both tiers; the headline environment
+        # records the default (float64) the trainer rows ran under.
+        "environment": obs.environment_info(),
         "step": step_row,
+        "precision_tiers": precision_row,
         "trainer": trainer_row,
         "sentinel": sentinel_row,
     }

@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
@@ -49,6 +48,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro import autodiff as ad  # noqa: E402
 from repro import obs  # noqa: E402
 from repro.autodiff import backward  # noqa: E402
+from repro.lower import (  # noqa: E402
+    LoweringConfig,
+    amplitude_budget,
+    expectation_budget,
+    lower_plan,
+    numba_available,
+)
 from repro.torq import (  # noqa: E402
     ANSATZ_NAMES,
     NaiveSimulator,
@@ -201,6 +207,172 @@ def bench_adjoint(shift_result: dict, reps: int, seed: int = 2) -> dict:
     return result
 
 
+def _adjoint_layer_step(batch: int, n_qubits: int, n_layers: int,
+                        lowering: LoweringConfig | None, seed: int = 0):
+    """One adjoint-backend training step, optionally lowered."""
+    layer = QuantumLayer(
+        n_qubits=n_qubits, n_layers=n_layers, ansatz=ANSATZ,
+        scaling="acos", rng=np.random.default_rng(seed), compiled=True,
+        grad_method="adjoint", lowering=lowering,
+    )
+    acts = ad.Tensor(
+        np.random.default_rng(seed + 1).uniform(-0.9, 0.9, (batch, n_qubits))
+    )
+    params = layer.parameters()
+
+    def run() -> None:
+        layer.zero_grad()
+        out = layer(acts)
+        backward((out * out).mean(), params)
+
+    return run, layer, acts
+
+
+def bench_lowering(batch: int, n_qubits: int, n_layers: int, reps: int,
+                   seed: int = 0) -> dict:
+    """Precision-tier rows: seed adjoint f64 vs lowered f64 vs f32+SoA.
+
+    The float64 lowered path is bitwise identical to the seed (asserted
+    here, not assumed); the float32+SoA tier is the perf row, reported
+    with its measured ⟨Z⟩ deviation against the documented budget.
+    """
+    tiers = [
+        ("adjoint_f64", None),
+        ("lowered_f64", LoweringConfig(precision="float64")),
+        ("lowered_f32_soa", LoweringConfig(precision="float32")),
+        ("lowered_f32_nosoa",
+         LoweringConfig(precision="float32", passes=("precision",))),
+    ]
+    rows = []
+    z_ref = None
+    times: dict[str, float] = {}
+    for name, lowering in tiers:
+        run, layer, acts = _adjoint_layer_step(
+            batch, n_qubits, n_layers, lowering, seed=seed
+        )
+        times[name] = _median_time(run, reps)
+        with ad.no_grad():
+            z = layer(acts).data
+        n_gates = len(layer.embedded_gate_sequence())
+        row = {
+            "tier": name,
+            "precision": layer.precision,
+            "passes": list(lowering.passes) if lowering is not None else [],
+            "numba": bool(lowering is not None
+                          and lowering.numba_requested() and numba_available()),
+            "step_s": times[name],
+        }
+        if z_ref is None:
+            z_ref = z
+        else:
+            err = float(np.max(np.abs(z - z_ref)))
+            budget = expectation_budget(layer.precision, n_qubits, n_gates)
+            row["max_abs_z_err"] = err
+            row["z_budget"] = budget
+            if layer.precision == "float64":
+                assert np.array_equal(z, z_ref), \
+                    "lowered float64 tier is not bitwise identical"
+            else:
+                assert err <= budget, f"f32 z error {err} over budget {budget}"
+        row["speedup_vs_adjoint_f64"] = times["adjoint_f64"] / times[name]
+        rows.append(row)
+        print(f"  {name}: {times[name]*1e3:.1f} ms "
+              f"({row['speedup_vs_adjoint_f64']:.2f}x vs adjoint f64"
+              + (f", z err {row['max_abs_z_err']:.1e}"
+                 if "max_abs_z_err" in row else "") + ")")
+    return {
+        "batch": batch,
+        "n_qubits": n_qubits,
+        "n_layers": n_layers,
+        "speedup_f32_soa_vs_f64": times["adjoint_f64"] / times["lowered_f32_soa"],
+        "tiers": rows,
+    }
+
+
+def bench_big_statevector(n_qubits: int, n_layers: int, batch: int,
+                          reps: int, seed: int = 0) -> dict:
+    """A 10+ qubit statevector row under the float32 tier.
+
+    Runs the lowered forward at ``n_qubits`` in both tiers and checks
+    the float32 amplitudes against the float64 oracle within the
+    documented amplitude budget.
+    """
+    ansatz = make_ansatz(ANSATZ, n_qubits=n_qubits, n_layers=n_layers)
+    gates = ansatz.gate_sequence()
+    rng = np.random.default_rng(seed)
+    values = [float(v) for v in rng.uniform(0, 2 * np.pi, ansatz.param_count)]
+    lo64 = lower_plan(gates, n_qubits, LoweringConfig(precision="float64"))
+    lo32 = lower_plan(gates, n_qubits, LoweringConfig(precision="float32"))
+
+    def resolve(i):
+        return values[i]
+
+    t64 = _median_time(lambda: lo64.run_planes(batch, resolve), reps)
+    t32 = _median_time(lambda: lo32.run_planes(batch, resolve), reps)
+    amp64 = lo64.amplitudes(lo64.run_planes(batch, resolve))
+    amp32 = lo32.amplitudes(lo32.run_planes(batch, resolve))
+    err = float(np.max(np.abs(amp32.astype(np.complex128) - amp64)))
+    budget = amplitude_budget("float32", n_qubits, len(gates))
+    row = {
+        "n_qubits": n_qubits,
+        "n_layers": n_layers,
+        "n_gates": len(gates),
+        "batch": batch,
+        "float64_s": t64,
+        "float32_s": t32,
+        "speedup_f32_vs_f64": t64 / t32,
+        "max_abs_amp_err": err,
+        "amp_budget": budget,
+        "within_budget": err <= budget,
+    }
+    assert row["within_budget"], \
+        f"{n_qubits}-qubit f32 amp error {err} over budget {budget}"
+    print(f"  {n_qubits} qubits x batch {batch}: f64 {t64*1e3:.1f} ms, "
+          f"f32 {t32*1e3:.1f} ms ({row['speedup_f32_vs_f64']:.2f}x, "
+          f"amp err {err:.1e} <= {budget:.1e})")
+    return row
+
+
+def check_lowering() -> int:
+    """Deterministic CI assertion for the lowering pipeline.
+
+    * the SoA pass claimed every fused single-qubit block,
+    * the float64 tier is bitwise identical to the seed adjoint layer,
+    * the float32 tier's ⟨Z⟩ deviation is within its documented budget.
+    """
+    n_qubits, n_layers, batch = 4, 2, 16
+    run64, base, acts = _adjoint_layer_step(batch, n_qubits, n_layers, None)
+    lo = lower_plan(
+        base.embedded_gate_sequence(), n_qubits, LoweringConfig()
+    )
+    fused = [r for r in lo.describe() if r["kind"] == "fused_1q"]
+    unclaimed = [r for r in fused if r["backend"] != "soa"]
+    claimed = lo.claims.get("soa", 0)
+    _, l64, _ = _adjoint_layer_step(
+        batch, n_qubits, n_layers, LoweringConfig(precision="float64")
+    )
+    _, l32, _ = _adjoint_layer_step(
+        batch, n_qubits, n_layers, LoweringConfig(precision="float32")
+    )
+    with ad.no_grad():
+        z0 = base(acts).data
+        z64 = l64(acts).data
+        z32 = l32(acts).data
+    n_gates = len(base.embedded_gate_sequence())
+    budget = expectation_budget("float32", n_qubits, n_gates)
+    err32 = float(np.max(np.abs(z32 - z0)))
+    ok = (
+        bool(fused) and not unclaimed and claimed >= len(fused)
+        and np.array_equal(z64, z0) and err32 <= budget
+    )
+    status = "passed" if ok else "FAILED"
+    print(f"lowering check {status}: SoA claimed {claimed} step(s) "
+          f"({len(fused)} fused blocks, {len(unclaimed)} unclaimed), "
+          f"f64 bitwise={np.array_equal(z64, z0)}, "
+          f"f32 z err {err32:.1e} <= {budget:.1e}")
+    return 0 if ok else 1
+
+
 def check_adjoint_sweeps(report_adjoint: dict) -> int:
     """Deterministic CI assertion: one adjoint gradient = exactly 2 plan
     sweeps (forward + reverse), however many parameters the circuit has."""
@@ -252,6 +424,9 @@ def main(argv=None) -> int:
                         help="assert compiled plans fuse (steps < gates)")
     parser.add_argument("--check-adjoint", action="store_true",
                         help="assert an adjoint gradient = exactly 2 sweeps")
+    parser.add_argument("--check-lowering", action="store_true",
+                        help="assert the SoA pass claimed the fused blocks, "
+                             "f64 lowering is bitwise, f32 within budget")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed runs per measurement (median reported; "
                              "default 2 with --toy, 5 otherwise)")
@@ -286,6 +461,15 @@ def main(argv=None) -> int:
     )
     print("adjoint gradient:")
     adjoint = bench_adjoint(shift, reps, seed=args.seed + 2)
+    print("lowering tiers (adjoint step):")
+    lowering = bench_lowering(
+        batches[0], n_qubits, n_layers, reps, seed=args.seed
+    )
+    print("big statevector (float32 tier):")
+    big_n, big_batch = (10, 4) if args.toy else (11, 8)
+    big_row = bench_big_statevector(
+        big_n, 2, big_batch, max(1, reps - 1), seed=args.seed
+    )
 
     report = {
         "workload": {
@@ -297,15 +481,16 @@ def main(argv=None) -> int:
             "repeats": reps,
             "seed": args.seed,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        # CPU/BLAS fingerprint plus the tier the main tables ran under
+        # (the default float64, no lowering); the "lowering" section
+        # carries per-row tier/pass metadata for the tiered entries.
+        "environment": obs.environment_info(),
         "table2_step": step_rows,
         "parameter_shift": shift,
         "adjoint": adjoint,
         "plan_structure": structure,
+        "lowering": lowering,
+        "big_statevector": big_row,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -318,6 +503,9 @@ def main(argv=None) -> int:
         print("structure check passed: compiled plans execute fewer kernels")
     if args.check_adjoint:
         if check_adjoint_sweeps(adjoint) != 0:
+            return 1
+    if args.check_lowering:
+        if check_lowering() != 0:
             return 1
     return 0
 

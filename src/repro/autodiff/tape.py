@@ -78,6 +78,20 @@ events are published to the global metrics registry as counters
 callbacks), and
 :meth:`CompiledStep.cache_info` reports the same numbers together with
 per-executor schedule statistics.
+
+**Precision tier.**  ``compile_step(..., precision="float32")`` replays
+the tape in float32: tracing and constant folding still run in float64
+(the folded constants are demoted *once* at compile time), but dynamic
+binds — input arrays and live parameter reads — are demoted at the top
+of every replay, every kernel buffer is float32, and the returned loss,
+gradients, and aux arrays are promoted back to float64 so callers (the
+optimiser, validation) never see tier dtypes.  Validation for the tier
+compares against a fresh float64 define-by-run step under the
+*normalised* tolerance of :func:`repro.lower.budget.tape_budget`
+(``max|r - d| / (1 + max|d|)``) instead of the bitwise default, and the
+executor cache key incorporates the tier so the same step can serve both
+precisions side by side.  The default ``precision="float64"`` path is
+untouched — bitwise identical to the seed replay.
 """
 
 from __future__ import annotations
@@ -105,6 +119,24 @@ __all__ = [
 
 class TapeFallback(RuntimeError):
     """Raised during tracing when a step cannot be tape-compiled."""
+
+
+#: replay precision tiers (mirrors ``repro.lower.config.PRECISION_TIERS``
+#: without importing it — :mod:`repro.lower` depends on this package).
+_PRECISION_TIERS = ("float64", "float32")
+
+
+def _cast_f32(a):
+    """Demote a float array to float32; non-float payloads pass through."""
+    if isinstance(a, np.ndarray) and a.dtype.kind == "f" \
+            and a.dtype != np.float32:
+        return np.asarray(a, dtype=np.float32)
+    return a
+
+
+def _promote_f64(a):
+    """Promote a tier-precision output back to float64 for callers."""
+    return np.asarray(a, dtype=np.float64)
 
 
 #: ops whose recorded replay would freeze data-dependent VJP constants
@@ -475,9 +507,9 @@ class Tape:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def compile(self) -> "TapeExecutor":
+    def compile(self, precision: str = "float64") -> "TapeExecutor":
         """Optimise and preplan the tape into a :class:`TapeExecutor`."""
-        return TapeExecutor(self)
+        return TapeExecutor(self, precision=precision)
 
 
 def trace(fn, arrays: Sequence[np.ndarray], params: Sequence[Tensor]):
@@ -633,11 +665,22 @@ class TapeExecutor:
     only valid until the next replay — copy before mutating.
     """
 
-    def __init__(self, tape: Tape):
+    def __init__(self, tape: Tape, precision: str = "float64"):
+        if precision not in _PRECISION_TIERS:
+            raise ValueError(
+                f"unknown precision tier {precision!r}; "
+                f"available: {_PRECISION_TIERS}"
+            )
+        self.precision = str(precision)
+        cast = _cast_f32 if precision == "float32" else None
+        self._cast = cast
         binds = list(tape.binds)
         entries = _dce(tape.entries, _output_slots(tape))
         recorded = len(tape.entries)
         after_dce = len(entries)
+        # Constant folding always runs in float64 — folded values are the
+        # oracle's, demoted *once* below, so the tier loses precision only
+        # in the dynamic part of the schedule.
         entries, folded = _fold_constants(entries, binds)
         entries, fused = _fuse(entries, _output_slots(tape))
         self.stats = {
@@ -646,6 +689,7 @@ class TapeExecutor:
             "folded": folded,
             "fused": fused,
             "schedule": len(entries),
+            "precision": self.precision,
         }
         self.loss_ref = tape.loss_ref
         self.grad_refs = tape.grad_refs
@@ -656,6 +700,8 @@ class TapeExecutor:
         values: list[tuple] = []
         for slot, (kind, payload) in enumerate(binds):
             if kind == "value":
+                if cast is not None:
+                    payload = cast(payload)
                 self._slots[slot] = payload
                 values.append((slot, payload))
             elif kind == "input":
@@ -671,7 +717,16 @@ class TapeExecutor:
                 fn, mode = _FUSED_KERNELS[entry.name], 2
             else:
                 fn, mode = KERNELS[entry.name]
-            schedule.append((fn, entry.template, entry.static, entry.out_slot, mode))
+            template = entry.template
+            if cast is not None:
+                # Inline literal operands (as_tensor coercions) are f64
+                # arrays; NEP 50 makes f64 arrays "strong", so leaving one
+                # in a template would silently upcast the whole chain.
+                template = tuple(
+                    (is_slot, ref if is_slot else cast(ref))
+                    for is_slot, ref in template
+                )
+            schedule.append((fn, template, entry.static, entry.out_slot, mode))
         self._schedule = tuple(schedule)
         self._bufs: list = [None] * len(schedule)
         # Frozen straight-line replay function (built after the first
@@ -700,8 +755,15 @@ class TapeExecutor:
     def _interp(self, arrays: Sequence[np.ndarray]):
         """Interpreted schedule walk (first replay and codegen fallback)."""
         slots = self._slots
-        for slot, is_input, payload in self._dyn_binds:
-            slots[slot] = arrays[payload] if is_input else payload.data
+        cast = self._cast
+        if cast is None:
+            for slot, is_input, payload in self._dyn_binds:
+                slots[slot] = arrays[payload] if is_input else payload.data
+        else:
+            for slot, is_input, payload in self._dyn_binds:
+                slots[slot] = cast(
+                    arrays[payload] if is_input else payload.data
+                )
         bufs = self._bufs
         for i, (fn, template, static, out_slot, mode) in enumerate(self._schedule):
             vals = [slots[ref] if is_slot else ref for is_slot, ref in template]
@@ -718,6 +780,9 @@ class TapeExecutor:
         loss = float(self._resolve(self.loss_ref))
         grads = [self._resolve(ref) for ref in self.grad_refs]
         aux = {k: self._resolve(ref) for k, ref in self.aux_refs.items()}
+        if cast is not None:
+            grads = [_promote_f64(g) for g in grads]
+            aux = {k: _promote_f64(v) for k, v in aux.items()}
         return loss, grads, aux
 
     def _resolve(self, ref):
@@ -772,12 +837,14 @@ class TapeExecutor:
                 names[key] = name
             return name
 
+        cast = self._cast
         lines = ["def _replay(arrays):"]
         for slot, is_input, payload in self._dyn_binds:
-            if is_input:
-                lines.append(f"    s{slot} = arrays[{payload}]")
-            else:
-                lines.append(f"    s{slot} = {bind(payload, 't')}.data")
+            src = (f"arrays[{payload}]" if is_input
+                   else f"{bind(payload, 't')}.data")
+            if cast is not None:
+                src = f"{bind(cast, 'g')}({src})"
+            lines.append(f"    s{slot} = {src}")
         for slot, value in self._value_binds:
             lines.append(f"    s{slot} = {bind(value, 'c')}")
         for i, (fn, template, static, out_slot, mode) in enumerate(
@@ -810,9 +877,15 @@ class TapeExecutor:
             kind, payload = ref
             return f"s{payload}" if kind == "slot" else bind(payload, "c")
 
-        grads = ", ".join(ref_expr(r) for r in self.grad_refs)
+        def out_expr(ref) -> str:
+            expr = ref_expr(ref)
+            if cast is not None:
+                expr = f"{bind(_promote_f64, 'g')}({expr})"
+            return expr
+
+        grads = ", ".join(out_expr(r) for r in self.grad_refs)
         aux = ", ".join(
-            f"{k!r}: {ref_expr(r)}" for k, r in self.aux_refs.items()
+            f"{k!r}: {out_expr(r)}" for k, r in self.aux_refs.items()
         )
         lines.append(
             f"    return float({ref_expr(self.loss_ref)}), "
@@ -845,12 +918,19 @@ class CompiledStep:
         validate: bool = True,
         tol: float = 1e-12,
         cache_size: int = 8,
+        precision: str = "float64",
     ):
+        if precision not in _PRECISION_TIERS:
+            raise ValueError(
+                f"unknown precision tier {precision!r}; "
+                f"available: {_PRECISION_TIERS}"
+            )
         self._fn = fn
         self._params = list(params)
         self._name = name
         self._validate = bool(validate)
         self._tol = float(tol)
+        self._precision = str(precision)
         self._cache_size = int(cache_size)
         self._cache: OrderedDict[tuple, TapeExecutor] = OrderedDict()
         self._disabled: str | None = None
@@ -865,10 +945,16 @@ class CompiledStep:
         """Fallback reason when permanently reverted, else ``None``."""
         return self._disabled
 
+    @property
+    def precision(self) -> str:
+        """Replay precision tier (``"float64"`` or ``"float32"``)."""
+        return self._precision
+
     def cache_info(self) -> dict:
         """Cache statistics in the spirit of TorQ's ``plan_cache_info``."""
         info = {
             "step": self._name,
+            "precision": self._precision,
             "size": len(self._cache),
             "max_size": self._cache_size,
             "hits": self._hits,
@@ -926,37 +1012,62 @@ class CompiledStep:
         self._cache.clear()
         self._count("fallbacks")
 
+    def _tolerance(self, executor: TapeExecutor) -> float:
+        """Validation tolerance: bitwise ``tol`` for float64, the
+        normalised :func:`repro.lower.budget.tape_budget` for tiers."""
+        if self._precision == "float64":
+            return self._tol
+        from ..lower.budget import tape_budget
+
+        return max(
+            self._tol, tape_budget(self._precision, executor.stats["recorded"])
+        )
+
     def _check(self, replayed, direct) -> float:
+        # For reduced-precision tiers the diff is normalised per output,
+        # max|r - d| / (1 + max|d|) — relative for large values, absolute
+        # near zero — to match the tape_budget contract.
+        normalize = self._precision != "float64"
+
+        def one(r, d) -> float:
+            err = float(np.max(np.abs(np.subtract(r, d))))
+            if normalize:
+                err /= 1.0 + float(np.max(np.abs(d)))
+            return err
+
         r_loss, r_grads, r_aux = replayed
         d_loss, d_grads, d_aux = direct
         diff = abs(r_loss - d_loss)
+        if normalize:
+            diff /= 1.0 + abs(d_loss)
         for rg, dg in zip(r_grads, d_grads):
             if np.shape(rg) != np.shape(dg):
                 return float("inf")
             if np.size(rg):
-                diff = max(diff, float(np.max(np.abs(np.subtract(rg, dg)))))
+                diff = max(diff, one(rg, dg))
         for key, rv in r_aux.items():
             dv = d_aux.get(key)
             if dv is None or np.shape(rv) != np.shape(dv):
                 return float("inf")
             if np.size(rv):
-                diff = max(diff, float(np.max(np.abs(np.subtract(rv, dv)))))
+                diff = max(diff, one(rv, dv))
         return diff
 
     def __call__(self, *arrays):
         if self._disabled is not None:
             return self._direct(arrays)
-        key = tuple((a.shape, a.dtype.str) for a in arrays
-                    if isinstance(a, np.ndarray))
-        if len(key) != len(arrays):
+        struct = tuple((a.shape, a.dtype.str) for a in arrays
+                       if isinstance(a, np.ndarray))
+        if len(struct) != len(arrays):
             self._disable("non-array step input")
             return self._direct(arrays)
+        key = (self._precision,) + struct
         executor = self._cache.get(key)
         if executor is None:
             self._count("retraces" if self._cache else "misses")
             try:
                 tape, result = trace(self._fn, arrays, self._params)
-                executor = tape.compile()
+                executor = tape.compile(precision=self._precision)
             except TapeFallback as exc:
                 self._disable(str(exc))
                 return self._direct(arrays)
@@ -975,7 +1086,7 @@ class CompiledStep:
         if executor.needs_validation:
             executor.needs_validation = False
             direct = self._direct(arrays)
-            if self._check(replayed, direct) > self._tol:
+            if self._check(replayed, direct) > self._tolerance(executor):
                 self._disable("replay mismatch vs define-by-run")
                 return direct
         return replayed
@@ -988,6 +1099,7 @@ def compile_step(
     validate: bool = True,
     tol: float = 1e-12,
     cache_size: int = 8,
+    precision: str = "float64",
 ) -> CompiledStep:
     """Wrap ``fn(*arrays) -> loss | (loss, aux)`` into a :class:`CompiledStep`.
 
@@ -995,7 +1107,14 @@ def compile_step(
     read live on every replay, so optimiser updates between calls are
     honoured.  All other leaves are captured as constants — anything that
     changes per call must be one of the positional input arrays.
+
+    ``precision="float32"`` replays the tape in float32 (inputs and live
+    parameter reads are demoted per replay, folded constants once) and
+    promotes the loss/gradients/aux back to float64; validation then uses
+    the normalised :func:`repro.lower.budget.tape_budget` tolerance
+    instead of the bitwise default.
     """
     return CompiledStep(
-        fn, params, name=name, validate=validate, tol=tol, cache_size=cache_size
+        fn, params, name=name, validate=validate, tol=tol,
+        cache_size=cache_size, precision=precision,
     )

@@ -66,6 +66,12 @@ class TrainerConfig:
     #: thereafter; bitwise identical to define-by-run, with automatic
     #: fallback on unsupported ops.
     compile_step: bool = True
+    #: tape-replay precision tier: ``"float64"`` (default, bitwise) or
+    #: ``"float32"`` (kernels run in float32, outputs promoted back to
+    #: float64, validated to :func:`repro.lower.budget.tape_budget`).
+    #: Ignored when ``compile_step`` is off or the step falls back to
+    #: define-by-run, which always runs float64.
+    precision: str = "float64"
     #: per-step divergence sentinel (:class:`repro.resilience.SentinelConfig`);
     #: ``None`` keeps the hot loop entirely check-free.
     sentinel: "object | None" = None
@@ -436,7 +442,8 @@ class Trainer:
                     return loss_fn.loss_tensors(model, grid)
 
                 self._compiled = compile_step(
-                    step_fn, self.params, name="maxwell"
+                    step_fn, self.params, name="maxwell",
+                    precision=cfg.precision,
                 )
         return self._compiled or None
 
@@ -511,7 +518,8 @@ class Trainer:
                     return loss_fn.loss_tensors(model, grid)
 
                 step = compile_step(step_fn, self.params,
-                                    name=f"maxwell-r{rank}")
+                                    name=f"maxwell-r{rank}",
+                                    precision=self.config.precision)
             else:
                 step = False
             self._dist_compiled[rank] = step

@@ -1,0 +1,207 @@
+"""Backend lowering: pass pipelines and precision tiers for hot kernels.
+
+``repro.lower`` takes the repo's two *frozen artifacts* — compiled TorQ
+:class:`~repro.torq.compile.ExecutionPlan` objects and autodiff
+:class:`~repro.autodiff.tape.Tape` schedules — and runs a configurable
+pass pipeline over them.  Each registered pass may rewrite, fuse, or
+claim steps for an alternative backend; anything unclaimed (or claimed
+by a pass whose environment dependency is missing) falls back to the
+bitwise float64 seed path.
+
+Entry points:
+
+* :func:`lower_plan` — compile + lower a gate sequence under a
+  :class:`LoweringConfig` (cached; the cache key incorporates the
+  circuit structure, the precision tier, and the active pass set).
+* :func:`lower_compiled` — lower an already-compiled plan, uncached.
+* :func:`audit_plan` — per-op error-budget accounting: run a lowered
+  plan step-by-step against the float64 seed plan and report each
+  step's amplitude deviation.
+* :mod:`repro.lower.budget` — the documented error budgets the float32
+  tier is tested against.
+
+Built-in passes (run in :attr:`LoweringConfig.passes` order; later
+passes see earlier claims; third parties add more via
+:func:`register_pass`):
+
+* ``precision`` — activates the tier.  At float32 every step runs its
+  kernels on float32/complex64 carriers; at float64 it is an audited
+  no-op so the default stays bitwise.
+* ``soa`` — claims fused single-qubit runs for structure-of-arrays
+  execution: the two statevector planes packed into one contiguous
+  ``(batch, pre, 4, post)`` buffer so a whole fused run is one real
+  4×4 block-GEMM, forward and adjoint un-apply.
+* ``numba`` — feature-flagged JIT kernels (``use_numba=True`` or
+  ``REPRO_LOWER_NUMBA=1``).  When numba is not importable the pass
+  degrades **silently** to the NumPy kernels; the skip is recorded in
+  ``plan.fallbacks`` (and a ``lower.pass.fallback`` counter under
+  profiling), never raised.
+
+Config surfaces: ``QuantumLayer(precision="float32")`` (requires
+``grad_method="adjoint"``; an explicit ``lowering=LoweringConfig(...)``
+overrides the default pass set), ``TrainerConfig.precision`` /
+``PDETrainerConfig.precision`` (the tape-replay tier), and
+``compile_step(fn, params, precision=...)`` directly.  Every cache
+involved — lowered plans, tape executors, ``zero_state`` frozen bases —
+incorporates the tier (and pass set) in its key, so tiers never alias
+each other's artifacts.
+
+Tape lowering (the float32 replay tier) lives in
+:func:`repro.autodiff.tape.compile_step` via its ``precision`` argument;
+this package supplies its budget and shares the tier vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .budget import (
+    amplitude_budget,
+    expectation_budget,
+    gradient_budget,
+    tape_budget,
+)
+from .config import (
+    DEFAULT_PASSES,
+    NUMBA_ENV_VAR,
+    PRECISION_TIERS,
+    LoweringConfig,
+)
+from .numba_backend import numba_available
+from .passes import (
+    LoweringPass,
+    available_passes,
+    register_pass,
+    run_pipeline,
+)
+from .plan_exec import LoweredPlan, build_lowered_steps
+
+__all__ = [
+    "LoweringConfig",
+    "LoweredPlan",
+    "LoweringPass",
+    "PRECISION_TIERS",
+    "DEFAULT_PASSES",
+    "NUMBA_ENV_VAR",
+    "lower_plan",
+    "lower_compiled",
+    "audit_plan",
+    "clear_lowered_cache",
+    "lowered_cache_info",
+    "register_pass",
+    "available_passes",
+    "numba_available",
+    "amplitude_budget",
+    "expectation_budget",
+    "gradient_budget",
+    "tape_budget",
+]
+
+
+def lower_compiled(plan, config: LoweringConfig | None = None) -> LoweredPlan:
+    """Lower an already-compiled :class:`ExecutionPlan` (uncached)."""
+    config = config or LoweringConfig()
+    lowered = LoweredPlan(
+        plan, config, build_lowered_steps(plan, config.rdtype, config.cdtype)
+    )
+    run_pipeline(lowered)
+    return lowered
+
+
+# Lowered plans are tiny (they borrow the seed plan's precomputed
+# buffers) but rebuilding them per call would re-run the pipeline every
+# forward; same LRU discipline as the plan cache underneath.
+_LOWERED_CACHE: "OrderedDict[tuple, LoweredPlan]" = OrderedDict()
+_LOWERED_CACHE_MAX = 512
+
+
+def lower_plan(gates, n_qubits: int, config: LoweringConfig | None = None,
+               cache: bool = True) -> LoweredPlan:
+    """Compile a gate sequence and lower it under ``config``.
+
+    Keyed on the same circuit-structure key as the plan cache *plus*
+    :meth:`LoweringConfig.key`, so precision tiers and pass sets never
+    alias each other's lowered artifacts.
+    """
+    from ..torq.compile import compile_gates
+
+    config = config or LoweringConfig()
+    gates = tuple(gates)
+    plan = compile_gates(gates, n_qubits, cache=cache)
+    if not cache:
+        return lower_compiled(plan, config)
+    key = (
+        n_qubits,
+        tuple((g.name, g.qubits, g.params) for g in gates),
+        config.key(),
+    )
+    lowered = _LOWERED_CACHE.get(key)
+    if lowered is not None and lowered.plan is plan:
+        _LOWERED_CACHE.move_to_end(key)
+        return lowered
+    lowered = lower_compiled(plan, config)
+    if len(_LOWERED_CACHE) >= _LOWERED_CACHE_MAX:
+        _LOWERED_CACHE.popitem(last=False)
+    _LOWERED_CACHE[key] = lowered
+    return lowered
+
+
+def clear_lowered_cache() -> None:
+    """Drop every cached lowered plan (test hook)."""
+    _LOWERED_CACHE.clear()
+
+
+def lowered_cache_info() -> dict:
+    """Cache statistics: ``{"size", "capacity"}``."""
+    return {"size": len(_LOWERED_CACHE), "capacity": _LOWERED_CACHE_MAX}
+
+
+def audit_plan(lowered: LoweredPlan, values, batch: int | None = None) -> list[dict]:
+    """Per-op error-budget accounting against the float64 seed plan.
+
+    Runs the lowered plan and the seed :class:`ExecutionPlan` side by
+    side from |0…0⟩ and records, after every step, the max-abs deviation
+    of the lowered amplitudes from the float64 oracle.  ``values`` is
+    the flat parameter list (floats or ``(batch,)`` arrays).  Returns a
+    list of ``{"kind", "gates", "backend", "claimed_by", "max_abs_err"}``
+    records in step order — the float64 tier reports 0.0 everywhere.
+    """
+    from ..autodiff import no_grad
+    from ..torq.state import zero_state
+
+    if batch is None:
+        batch = 1
+        for v in values:
+            arr = np.asarray(getattr(v, "data", v))
+            if arr.ndim == 1:
+                batch = int(arr.shape[0])
+                break
+
+    def resolve(i: int):
+        return values[i]
+
+    seed_state = zero_state(batch, lowered.n_qubits)
+    tensor = seed_state.tensor
+    lo = zero_state(batch, lowered.n_qubits, dtype=lowered.rdtype)
+    re, im = lo.tensor.re.data, lo.tensor.im.data
+    records = []
+    with no_grad():
+        for seed_step, step in zip(lowered.plan.steps, lowered.steps):
+            tensor = seed_step(tensor, resolve)
+            re, im = step.forward(re, im, resolve)
+            err = max(
+                float(np.max(np.abs(re.astype(np.float64) - tensor.re.data))),
+                float(np.max(np.abs(im.astype(np.float64) - tensor.im.data))),
+            )
+            records.append(
+                {
+                    "kind": step.kind,
+                    "gates": list(step.gates),
+                    "backend": step.backend,
+                    "claimed_by": list(step.claimed_by),
+                    "max_abs_err": err,
+                }
+            )
+    return records

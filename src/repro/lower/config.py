@@ -1,0 +1,98 @@
+"""Lowering configuration: precision tiers and the active pass set.
+
+A :class:`LoweringConfig` is the single value threaded from user-facing
+config surfaces (``QuantumLayer(precision=...)``, trainer configs) down to
+the pass pipeline.  It is hashable and exposes :meth:`key`, which every
+lowered-artifact cache incorporates so **tiers never alias**: a float32
+plan and a float64 plan of the same circuit live under different cache
+keys, as do plans lowered with different pass sets.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PRECISION_TIERS",
+    "DEFAULT_PASSES",
+    "NUMBA_ENV_VAR",
+    "LoweringConfig",
+]
+
+#: Supported precision tiers for lowered execution.
+#: ``float64`` is the seed path (complex128 statevectors, bitwise
+#: identical); ``float32`` runs state-sized work in float32/complex64.
+PRECISION_TIERS: tuple[str, ...] = ("float64", "float32")
+
+#: Default pass order.  Passes run in sequence; later passes see the
+#: claims of earlier ones.
+DEFAULT_PASSES: tuple[str, ...] = ("precision", "soa", "numba")
+
+#: Environment variable that opts in to the numba kernel backend when
+#: ``LoweringConfig.use_numba`` is left unset (``None``).
+NUMBA_ENV_VAR = "REPRO_LOWER_NUMBA"
+
+_REAL_DTYPES = {"float64": np.float64, "float32": np.float32}
+_COMPLEX_DTYPES = {"float64": np.complex128, "float32": np.complex64}
+
+
+@dataclass(frozen=True)
+class LoweringConfig:
+    """Precision tier + pass set for lowering a frozen artifact.
+
+    ``precision`` selects the tier ("float64" keeps the seed arithmetic,
+    "float32" runs state-sized kernels in float32/complex64 inside the
+    documented error budget).  ``passes`` is the *requested* pass set in
+    execution order; a pass that cannot run (e.g. ``numba`` without the
+    dependency installed) degrades silently and is reported through the
+    ``lower.pass.fallback`` counter rather than raising.  ``use_numba``
+    tri-state: ``None`` defers to the ``REPRO_LOWER_NUMBA`` environment
+    variable, ``True``/``False`` override it.
+    """
+
+    precision: str = "float64"
+    passes: tuple[str, ...] = field(default=DEFAULT_PASSES)
+    use_numba: bool | None = None
+
+    def __post_init__(self):
+        if self.precision not in PRECISION_TIERS:
+            raise ValueError(
+                f"unknown precision tier {self.precision!r}; "
+                f"available: {PRECISION_TIERS}"
+            )
+        object.__setattr__(self, "passes", tuple(self.passes))
+
+    # ------------------------------------------------------------------
+    @property
+    def rdtype(self) -> np.dtype:
+        """Real dtype of this tier (statevector planes, angles, masks)."""
+        return np.dtype(_REAL_DTYPES[self.precision])
+
+    @property
+    def cdtype(self) -> np.dtype:
+        """Complex dtype of this tier (adjoint-sweep carriers)."""
+        return np.dtype(_COMPLEX_DTYPES[self.precision])
+
+    def numba_requested(self) -> bool:
+        """Whether the numba backend should be attempted at all."""
+        if "numba" not in self.passes:
+            return False
+        if self.use_numba is not None:
+            return bool(self.use_numba)
+        return os.environ.get(NUMBA_ENV_VAR, "") in ("1", "true", "yes")
+
+    def key(self) -> tuple:
+        """Hashable identity for artifact caches.
+
+        Incorporates the precision tier, the requested pass set, and
+        whether the numba backend is *actually* active (requested and
+        importable), so tiers and pass configurations never share a
+        cached lowered artifact.
+        """
+        from .numba_backend import numba_available
+
+        numba_active = self.numba_requested() and numba_available()
+        return (self.precision, self.passes, numba_active)

@@ -1,0 +1,137 @@
+"""Optional numba-JIT kernels for the hottest lowered loops.
+
+Everything here is behind a feature flag (``LoweringConfig.use_numba`` /
+``REPRO_LOWER_NUMBA=1``) **and** a soft import: when numba is not
+installed — the supported baseline; CI runs one leg explicitly without
+it — :func:`load_kernels` returns ``None`` and the pass pipeline degrades
+silently to the NumPy implementations, recording a
+``lower.pass.fallback`` counter instead of raising.
+
+The three kernels mirror the hottest frozen loops of the lowered plan
+executor:
+
+* ``apply_block44`` — the fused 4×4 real block-matmul over the packed
+  ``(rows, 4, post)`` state (apply-fused-blocks),
+* ``phase_mul`` — elementwise complex phase-mask multiply on the real
+  and imaginary planes,
+* ``diag_batch_product`` — the adjoint diagonal-generator batch product
+  ``2 * (w @ coeffᵀ)`` that turns all phase-mask parameter gradients
+  into one pass over the flat state.
+
+Because a JIT backend can silently miscompile (fastmath, layout
+assumptions), the first successful load runs each kernel once against
+its NumPy reference on random data; any mismatch beyond a few ulp drops
+the backend permanently for the process (verify-once, like the tape
+codegen freeze).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+__all__ = ["numba_available", "load_kernels", "reset"]
+
+_STATE: dict = {"kernels": None, "checked": False, "failed": False}
+
+
+def numba_available() -> bool:
+    """Whether the numba dependency is importable (not whether enabled)."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def reset() -> None:
+    """Forget compiled kernels and verification state (test hook)."""
+    _STATE.update(kernels=None, checked=False, failed=False)
+
+
+def _build():  # pragma: no cover - requires numba installed
+    import numba
+
+    @numba.njit(cache=False)
+    def apply_block44(m, packed, out):
+        """out[r, i, p] = sum_j m[i, j] * packed[r, j, p]."""
+        rows, _, post = packed.shape
+        for r in range(rows):
+            for i in range(4):
+                for p in range(post):
+                    acc = m[i, 0] * packed[r, 0, p]
+                    acc += m[i, 1] * packed[r, 1, p]
+                    acc += m[i, 2] * packed[r, 2, p]
+                    acc += m[i, 3] * packed[r, 3, p]
+                    out[r, i, p] = acc
+        return out
+
+    @numba.njit(cache=False)
+    def phase_mul(re, im, mre, mim, out_re, out_im):
+        """(out_re + i·out_im) = (re + i·im) · (mre + i·mim), flat."""
+        n = re.shape[0]
+        for k in range(n):
+            out_re[k] = re[k] * mre[k] - im[k] * mim[k]
+            out_im[k] = re[k] * mim[k] + im[k] * mre[k]
+        return out_re
+
+    @numba.njit(cache=False)
+    def diag_batch_product(w, coeff_t, out):
+        """out[b, t] = 2 * sum_d w[b, d] * coeff_t[d, t]."""
+        batch, dim = w.shape
+        nterms = coeff_t.shape[1]
+        for b in range(batch):
+            for t in range(nterms):
+                acc = 0.0
+                for d in range(dim):
+                    acc += w[b, d] * coeff_t[d, t]
+                out[b, t] = 2.0 * acc
+        return out
+
+    return {
+        "apply_block44": apply_block44,
+        "phase_mul": phase_mul,
+        "diag_batch_product": diag_batch_product,
+    }
+
+
+def _verify(kernels) -> bool:  # pragma: no cover - requires numba installed
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((4, 4))
+    packed = rng.standard_normal((3, 4, 5))
+    out = np.empty_like(packed)
+    ref = np.matmul(m, packed)
+    if not np.allclose(kernels["apply_block44"](m, packed, out), ref,
+                       rtol=1e-12, atol=1e-12):
+        return False
+    re, im = rng.standard_normal((2, 16))
+    mre, mim = rng.standard_normal((2, 16))
+    o_re, o_im = np.empty(16), np.empty(16)
+    kernels["phase_mul"](re, im, mre, mim, o_re, o_im)
+    if not (np.allclose(o_re, re * mre - im * mim)
+            and np.allclose(o_im, re * mim + im * mre)):
+        return False
+    w = rng.standard_normal((3, 8))
+    ct = rng.standard_normal((8, 2))
+    g = np.empty((3, 2))
+    return bool(np.allclose(kernels["diag_batch_product"](w, ct, g),
+                            2.0 * (w @ ct)))
+
+
+def load_kernels():
+    """The verified JIT kernel dict, or ``None`` when unavailable.
+
+    ``None`` means: numba absent, compilation failed, or the one-time
+    verification against the NumPy reference failed.  Callers treat all
+    three identically — fall back to NumPy.
+    """
+    if _STATE["failed"] or not numba_available():
+        return None
+    if _STATE["kernels"] is None:  # pragma: no cover - requires numba
+        try:
+            kernels = _build()
+            if not _verify(kernels):
+                _STATE["failed"] = True
+                return None
+            _STATE["kernels"] = kernels
+        except Exception:
+            _STATE["failed"] = True
+            return None
+    return _STATE["kernels"]

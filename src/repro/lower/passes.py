@@ -1,0 +1,193 @@
+"""The lowering pass registry and the three built-in passes.
+
+A *pass* is a named rewrite over a freshly-built list of lowered steps
+(:func:`repro.lower.plan_exec.build_lowered_steps`).  Passes run in the
+order requested by :attr:`LoweringConfig.passes`; each may rewrite a
+step, fuse state, or **claim** it for an alternative backend.  A pass
+that cannot run in the current environment (numba absent, tier float64
+for the precision pass) degrades silently: the step keeps its previous
+backend — ultimately the bitwise float64 NumPy path — and the skip is
+recorded on the plan (``fallbacks``) and, under profiling, as a
+``lower.pass.fallback`` counter.  Unknown pass *names* are a config
+error and raise.
+
+Built-in passes:
+
+``precision``
+    Activates the configured tier.  At float32 it claims every step
+    (they all re-run their kernels on float32/complex64 carriers); at
+    float64 it is an audited no-op so the default config stays bitwise.
+``soa``
+    Claims ``fused_1q`` steps for structure-of-arrays execution: planes
+    packed into one contiguous ``(batch, pre, 4, post)`` buffer, the
+    whole fused run one real 4×4 GEMM — forward and adjoint un-apply.
+``numba``
+    Feature-flagged (:attr:`LoweringConfig.use_numba` /
+    ``REPRO_LOWER_NUMBA=1``).  Attaches the verified JIT kernels of
+    :mod:`repro.lower.numba_backend` to SoA-claimed fused steps with a
+    batch-independent matrix and to phase-mask steps (adjoint
+    diagonal-generator product).  Missing numba → silent fallback.
+
+Third-party passes register through :func:`register_pass`; the registry
+is keyed by ``Pass.name`` and :func:`available_passes` lists it.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+from .numba_backend import load_kernels
+
+__all__ = [
+    "LoweringPass",
+    "register_pass",
+    "available_passes",
+    "run_pipeline",
+]
+
+
+class LoweringPass:
+    """Base class for lowering passes.
+
+    Subclasses set ``name`` and implement :meth:`run`, mutating the
+    lowered steps in place.  :meth:`run` returns the number of steps it
+    claimed (0 is a legal outcome, not an error); call
+    ``step.claim(self.name, backend)`` for each claimed step so the
+    plan's audit trail stays accurate.  Raise only for config errors —
+    environment gaps must degrade by claiming nothing.
+    """
+
+    name: str = ""
+
+    def applies(self, plan) -> bool:
+        """Cheap precondition; a False skips :meth:`run` silently."""
+        return True
+
+    def run(self, plan) -> int:
+        raise NotImplementedError
+
+    def fallback_reason(self, plan) -> str | None:
+        """Why this pass degraded (None when it ran normally)."""
+        return None
+
+
+class PrecisionPass(LoweringPass):
+    """Activate the configured precision tier.
+
+    The lowered steps are *built* at the tier dtype; this pass owns the
+    claim accounting: at float32 every step runs tier kernels, at
+    float64 nothing changes (the bitwise default)."""
+
+    name = "precision"
+
+    def run(self, plan) -> int:
+        if plan.precision == "float64":
+            return 0
+        claimed = 0
+        for step in plan.steps:
+            step.claim(self.name)
+            claimed += 1
+        return claimed
+
+
+class SoAPass(LoweringPass):
+    """Structure-of-arrays packing for fused single-qubit runs."""
+
+    name = "soa"
+
+    def applies(self, plan) -> bool:
+        return any(s.kind == "fused_1q" for s in plan.steps)
+
+    def run(self, plan) -> int:
+        claimed = 0
+        for step in plan.steps:
+            if step.kind == "fused_1q":
+                step.soa = True
+                step.claim(self.name, backend="soa")
+                claimed += 1
+        return claimed
+
+
+class NumbaPass(LoweringPass):
+    """Attach verified JIT kernels to the hottest claimed steps."""
+
+    name = "numba"
+
+    def __init__(self):
+        self._reason: str | None = None
+
+    def run(self, plan) -> int:
+        self._reason = None
+        if not plan.config.numba_requested():
+            self._reason = "not requested"
+            return 0
+        kernels = load_kernels()
+        if kernels is None:
+            self._reason = "numba unavailable"
+            return 0
+        claimed = 0  # pragma: no cover - requires numba installed
+        for step in plan.steps:  # pragma: no cover - requires numba
+            if step.kind == "fused_1q" and getattr(step, "soa", False):
+                step.numba_kernels = kernels
+                step.claim(self.name, backend="numba")
+                claimed += 1
+            elif step.kind == "phase_mask":
+                step.numba_kernels = kernels
+                step.claim(self.name, backend="numba")
+                claimed += 1
+        return claimed  # pragma: no cover - requires numba
+
+    def fallback_reason(self, plan) -> str | None:
+        return self._reason
+
+
+_REGISTRY: dict[str, type[LoweringPass]] = {}
+
+
+def register_pass(cls: type[LoweringPass]) -> type[LoweringPass]:
+    """Register a pass class under ``cls.name`` (usable as a decorator)."""
+    if not cls.name:
+        raise ValueError("pass class must set a non-empty 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_passes() -> tuple[str, ...]:
+    """Registered pass names (registration order)."""
+    return tuple(_REGISTRY)
+
+
+register_pass(PrecisionPass)
+register_pass(SoAPass)
+register_pass(NumbaPass)
+
+
+def run_pipeline(plan) -> None:
+    """Run the configured passes over a freshly-built lowered plan.
+
+    Populates ``plan.passes_run``, ``plan.claims`` (steps claimed per
+    pass) and ``plan.fallbacks`` (pass → reason for degrading).
+    """
+    profiling = obs.is_profiling()
+    reg = obs.metrics() if profiling else None
+    for name in plan.config.passes:
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise ValueError(
+                f"unknown lowering pass {name!r}; "
+                f"registered: {available_passes()}"
+            )
+        p = cls()
+        if not p.applies(plan):
+            continue
+        claimed = p.run(plan)
+        plan.passes_run = plan.passes_run + (name,)
+        plan.claims[name] = claimed
+        reason = p.fallback_reason(plan)
+        if reason is not None:
+            plan.fallbacks[name] = reason
+        if profiling:
+            reg.counter("lower.pass.run", name=name).inc()
+            if claimed:
+                reg.counter("lower.steps.claimed", name=name).inc(claimed)
+            if reason is not None:
+                reg.counter("lower.pass.fallback", name=name).inc()

@@ -36,6 +36,7 @@ which prints per-scope wall times (with percentages), the top-k hottest
 autodiff ops, and the per-epoch telemetry series.
 """
 
+from .envinfo import blas_info, cpu_model, environment_info
 from .profile import disable_profiling, enable_profiling, is_profiling, profile
 from .recorder import RunRecorder, get_recorder, observe, set_recorder
 from .registry import (
@@ -55,4 +56,5 @@ __all__ = [
     "profile", "is_profiling", "enable_profiling", "disable_profiling",
     "RunRecorder", "observe", "get_recorder", "set_recorder",
     "load_events", "summarize_events", "summarize_path",
+    "environment_info", "cpu_model", "blas_info",
 ]

@@ -1,0 +1,90 @@
+"""Runtime environment fingerprints for benchmark reports.
+
+Benchmark JSON artifacts (``BENCH_torq.json``, ``BENCH_autodiff.json``,
+``BENCH_dist.json``) are committed and compared across machines and PRs,
+so every report carries an ``environment`` block answering "what ran
+this": interpreter and NumPy versions, the physical CPU model, the BLAS
+NumPy was built against, and — since the lowering pipeline landed — the
+precision tier and active lowering passes the numbers were produced
+under.  A wall-clock regression that coincides with a different CPU or
+BLAS line is a machine change, not a code change.
+
+Everything here degrades gracefully: unreadable ``/proc/cpuinfo`` or an
+unexpected ``np.__config__`` layout yields ``"unknown"`` fields, never
+an exception — benchmarks must not fail because a fingerprint did.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+import numpy as np
+
+__all__ = ["cpu_model", "blas_info", "environment_info"]
+
+
+def cpu_model() -> str:
+    """The CPU model string (``/proc/cpuinfo`` on Linux, else platform)."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                if line.lower().startswith(("model name", "hardware", "cpu model")):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def blas_info() -> str:
+    """NumPy's BLAS backend as ``"<name> <version>"`` (best effort)."""
+    try:
+        cfg = getattr(np.__config__, "CONFIG", None)
+        if isinstance(cfg, dict):
+            blas = cfg.get("Build Dependencies", {}).get("blas", {})
+            name = blas.get("name")
+            if name:
+                version = blas.get("version", "")
+                return f"{name} {version}".strip()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    return "unknown"
+
+
+def environment_info(lowering=None) -> dict:
+    """The standard ``environment`` block for benchmark reports.
+
+    ``lowering`` (a :class:`repro.lower.LoweringConfig`) stamps the
+    precision tier, the active pass pipeline, and whether the numba
+    backend was requested *and* importable — the three knobs that change
+    which kernels actually executed.  Without it the block records the
+    default tier (plain float64, no lowering passes).
+    """
+    env = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "cpu": cpu_model(),
+        "blas": blas_info(),
+    }
+    if lowering is not None:
+        from ..lower import LoweringConfig, numba_available
+
+        if not isinstance(lowering, LoweringConfig):
+            raise TypeError("lowering must be a LoweringConfig")
+        env["precision"] = lowering.precision
+        env["lowering_passes"] = list(lowering.passes)
+        env["numba"] = bool(lowering.numba_requested() and numba_available())
+    else:
+        env["precision"] = "float64"
+        env["lowering_passes"] = []
+        env["numba"] = False
+    return env
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    import json
+
+    json.dump(environment_info(), sys.stdout, indent=2)
+    sys.stdout.write("\n")

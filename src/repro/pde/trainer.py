@@ -57,6 +57,12 @@ class PDETrainerConfig:
     #: replayed step is validated against — and bitwise identical to — the
     #: uncompiled path.
     compile_step: bool = True
+    #: tape-replay precision tier: ``"float64"`` (default, bitwise) or
+    #: ``"float32"`` (kernels run in float32, outputs promoted back to
+    #: float64, validated to :func:`repro.lower.budget.tape_budget`).
+    #: Ignored when ``compile_step`` is off or the step falls back to
+    #: define-by-run, which always runs float64.
+    precision: str = "float64"
     #: per-step divergence sentinel (:class:`repro.resilience.SentinelConfig`);
     #: ``None`` keeps the hot loop entirely check-free.
     sentinel: "object | None" = None
@@ -179,7 +185,8 @@ class PDETrainer:
             return res + weight * dat
 
         self._compiled = compile_step(
-            step_fn, self.params, name=getattr(problem, "name", "pde")
+            step_fn, self.params, name=getattr(problem, "name", "pde"),
+            precision=cfg.precision,
         )
         return self._compiled
 

@@ -137,8 +137,18 @@ def adjoint_state_vjp(
         # and resolve hands the steps plain floats / (batch,) float arrays
         # — no tape, no Tensor wrapping (see the adjoint_step contract in
         # repro.torq.compile).
-        psi = np.asarray(tensor.re.data) + 1j * np.asarray(tensor.im.data)
+        # The reverse sweep reshapes the carriers into packed factor
+        # views every step; a strided carrier (a final flip view, whose
+        # layout ufuncs would propagate) would silently copy per step.
+        # Building the complex carrier by plane assignment into a fresh
+        # buffer is dense by construction, whatever layout the plan's
+        # last step left the planes in.
+        re = np.asarray(tensor.re.data)
+        psi = np.empty(re.shape, dtype=np.complex128)
+        psi.real = re
+        psi.imag = tensor.im.data
         mu = psi * _z_weight_mask(weights, n_qubits)
+        assert psi.flags["C_CONTIGUOUS"] and mu.flags["C_CONTIGUOUS"]
 
     def resolve_np(i: int):
         v = values[i]

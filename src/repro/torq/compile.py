@@ -331,6 +331,22 @@ def _np_apply_packed(packed: np.ndarray, u: np.ndarray) -> np.ndarray:
 # on the raw ComplexTensor with every index precomputed at compile time.
 # ----------------------------------------------------------------------
 
+def _c_contig(arr: np.ndarray) -> np.ndarray:
+    """Force a precomputed buffer C-contiguous at *compile* time.
+
+    Every constant factor buffer a step replays (block matrices,
+    coefficient rows, permutation indices) goes through here once, so
+    the per-epoch hot loops never hand BLAS or take-based kernels a
+    strided array that would trigger a hidden ``ascontiguousarray``
+    copy on every call.  The regression test patches
+    ``np.ascontiguousarray`` and asserts zero calls during a compiled
+    epoch — keep run-time paths free of it.
+    """
+    out = np.ascontiguousarray(arr)
+    assert out.flags["C_CONTIGUOUS"]
+    return out
+
+
 def _half_indices(n_qubits: int, qubit: int) -> tuple[tuple, tuple, int]:
     axis = qubit + 1
     idx0 = [slice(None)] * (n_qubits + 1)
@@ -428,12 +444,12 @@ class _FusedSingleQubitStep:
         self._parts = tuple(parts)
         self._factors = tuple(factors)
         self._const_m = (
-            _block_matrix(parts[0])
+            _c_contig(_block_matrix(parts[0]))
             if len(parts) == 1 and not callable(parts[0])
             else None
         )
         self._const_np_dag = (
-            factors[0][1].conj().T.copy()
+            _c_contig(factors[0][1].conj().T)
             if self._const_m is not None
             else None
         )
@@ -546,12 +562,20 @@ class _PhaseMaskStep:
         self._flat = (-1, dim)
         self._term_refs = tuple(ref for _, ref in terms)
         self._coeff_flat = (
-            np.stack([np.broadcast_to(c, full).reshape(dim) for c, _ in terms])
+            _c_contig(
+                np.stack(
+                    [np.broadcast_to(c, full).reshape(dim) for c, _ in terms]
+                )
+            )
             if terms
             else None
         )
         self._const_flat = (
-            np.broadcast_to(const_mask, full).reshape(dim).astype(np.complex128)
+            _c_contig(
+                np.broadcast_to(const_mask, full)
+                .reshape(dim)
+                .astype(np.complex128)
+            )
             if const_mask is not None
             else None
         )
@@ -631,8 +655,8 @@ class _PermutationStep:
                 tmask = 1 << (n - 1 - target)
                 gmap = np.where(idx & cmask, idx ^ tmask, idx)
             src = src[gmap]
-        self._src = src
-        self._inv_src = np.argsort(src)
+        self._src = _c_contig(src)
+        self._inv_src = _c_contig(np.argsort(src))
 
     def _gather(self, tensor: ComplexTensor, idx: np.ndarray) -> ComplexTensor:
         flat = tensor.reshape(self._flat_shape)
@@ -646,11 +670,20 @@ class _PermutationStep:
         return self._gather(tensor, self._src)
 
     def adjoint_step(self, psi, mu, resolve, accumulate):
-        """Parameter-free: un-relabel both states with the inverse gather."""
+        """Parameter-free: un-relabel both states with the inverse gather.
+
+        ``np.take`` rather than fancy indexing: ``a[:, idx]`` iterates
+        the advanced axis outermost and hands back a batch-fastest
+        layout, which every later step's reshape would silently copy
+        back to C order — take produces the C-contiguous gather
+        directly (same values, same order).
+        """
         shape = psi.shape
         return (
-            psi.reshape(self._flat_shape)[:, self._inv_src].reshape(shape),
-            mu.reshape(self._flat_shape)[:, self._inv_src].reshape(shape),
+            np.take(psi.reshape(self._flat_shape), self._inv_src,
+                    axis=1).reshape(shape),
+            np.take(mu.reshape(self._flat_shape), self._inv_src,
+                    axis=1).reshape(shape),
         )
 
 
@@ -736,7 +769,10 @@ class _SingleGateStep:
         """Replay a constant (self-adjoint) gate on a raw complex state."""
         name = self._name
         if name == "x":
-            return np.flip(t, self._axis)
+            # Materialize: a lazy flip view has a negative stride, and
+            # the next step's carrier reshape would copy it silently —
+            # twice (ψ and μ).  One explicit dense copy here is cheaper.
+            return np.flip(t, self._axis).copy()
         if name == "cnot":
             c0 = t[self._idx0]
             c1 = np.flip(t[self._idx1], self._taxis)

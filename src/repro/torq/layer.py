@@ -79,6 +79,8 @@ class QuantumLayer(Module):
         rng: np.random.Generator | None = None,
         compiled: bool = True,
         grad_method: str = "backprop",
+        precision: str = "float64",
+        lowering=None,
     ):
         super().__init__()
         if grad_method not in GRAD_METHODS:
@@ -86,6 +88,27 @@ class QuantumLayer(Module):
                 f"unknown grad_method {grad_method!r}; "
                 f"available: {GRAD_METHODS}"
             )
+        from ..lower import LoweringConfig
+
+        if lowering is not None:
+            if not isinstance(lowering, LoweringConfig):
+                raise TypeError("lowering must be a LoweringConfig")
+            if precision != "float64" and precision != lowering.precision:
+                raise ValueError(
+                    "precision and lowering.precision disagree: "
+                    f"{precision!r} vs {lowering.precision!r}"
+                )
+        elif precision != "float64":
+            # Any non-default tier routes through the lowering pipeline.
+            lowering = LoweringConfig(precision=precision)
+        if lowering is not None and grad_method != "adjoint":
+            raise ValueError(
+                "lowered execution (precision='float32' or an explicit "
+                "LoweringConfig) is measured-path only; it requires "
+                "grad_method='adjoint' (got "
+                f"grad_method={grad_method!r})"
+            )
+        self.lowering = lowering
         self.ansatz = ansatz if isinstance(ansatz, Ansatz) else make_ansatz(
             ansatz, n_qubits=n_qubits, n_layers=n_layers
         )
@@ -95,6 +118,9 @@ class QuantumLayer(Module):
         self.init_strategy = str(init)
         self.compiled = bool(compiled)
         self.grad_method = str(grad_method)
+        self.precision = (
+            lowering.precision if lowering is not None else "float64"
+        )
         self.params = Parameter(
             initial_circuit_params(init, self.ansatz.param_count, rng=rng),
             name="quantum_params",
@@ -162,13 +188,24 @@ class QuantumLayer(Module):
         batch = activations.shape[0]
         gates = self.embedded_gate_sequence()
         plan = compile_gates(gates, n)
+        lowered = None
+        if self.lowering is not None:
+            from ..lower import lower_plan
+
+            lowered = lower_plan(gates, n, self.lowering)
         angles = scale_input(self.scaling, activations)  # graph-recorded
         method = self.grad_method
         with no_grad():
             values = [angles[:, q] for q in range(n)]
             values += [self.params[i] for i in range(self.ansatz.param_count)]
-            final = plan.run(zero_state(batch, n), lambda i: values[i])
-            z = pauli_z_expectations(final)
+            if lowered is not None:
+                planes = lowered.run_planes(batch, lambda i: values[i])
+                z_data = np.asarray(
+                    lowered.z_expectations(planes), dtype=np.float64
+                )
+            else:
+                final = plan.run(zero_state(batch, n), lambda i: values[i])
+                z_data = pauli_z_expectations(final).data
 
         memo: dict[int, list] = {}
 
@@ -183,7 +220,9 @@ class QuantumLayer(Module):
             key = id(ct)
             if key not in memo:
                 w = np.asarray(ct.data, dtype=np.float64)
-                if method == "adjoint":
+                if lowered is not None:
+                    memo[key] = lowered.adjoint_vjp(values, w, planes=planes)
+                elif method == "adjoint":
                     memo[key] = adjoint_state_vjp(
                         gates, n, values, w, plan=plan, final_state=final
                     )
@@ -205,7 +244,7 @@ class QuantumLayer(Module):
             return Tensor(np.asarray(flat[n:], dtype=np.float64))
 
         return make_node(
-            z.data, [(angles, vjp_angles), (self.params, vjp_params)]
+            z_data, [(angles, vjp_angles), (self.params, vjp_params)]
         )
 
     def forward(self, activations: Tensor) -> Tensor:
@@ -218,5 +257,5 @@ class QuantumLayer(Module):
         return (
             f"QuantumLayer(ansatz={self.ansatz.name!r}, qubits={self.n_qubits}, "
             f"layers={self.n_layers}, scaling={self.scaling!r}, "
-            f"params={self.ansatz.param_count})"
+            f"params={self.ansatz.param_count}, precision={self.precision!r})"
         )

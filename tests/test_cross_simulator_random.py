@@ -5,6 +5,12 @@ h/x/y/z/rx/ry/rz/rot/cnot/crz on 2–5 qubits with batch > 1) must produce
 identical amplitudes and Z-expectations on three independent executors, to
 1e-10: the compiled plan (fused kernels), the interpreted per-gate batched
 backend, and the dense per-point ``torq.reference`` oracle.
+
+The same programs also exercise the :mod:`repro.lower` pass pipeline at
+both precision tiers: the float64 lowering (all passes) must be *bitwise*
+identical to the compiled seed, and the float32/complex64 tier must agree
+with the dense float64 oracle within the per-case error budgets from
+:mod:`repro.lower.budget`, which scale with qubit and gate counts.
 """
 
 import numpy as np
@@ -12,7 +18,15 @@ import pytest
 
 from repro import autodiff as ad
 from repro.autodiff import Tensor, no_grad
+from repro.lower import (
+    LoweringConfig,
+    amplitude_budget,
+    expectation_budget,
+    gradient_budget,
+    lower_plan,
+)
 from repro.torq import Circuit
+from repro.torq.adjoint import adjoint_state_vjp
 from repro.torq.reference import run_circuit, z_expectations_dense
 
 SINGLE_FIXED = ("h", "x", "y", "z")
@@ -88,6 +102,60 @@ def test_random_circuit_equivalence(seed):
         )
 
 
+@pytest.mark.parametrize("seed", range(N_CIRCUITS))
+def test_random_circuit_lowered_tiers(seed):
+    """Lowered execution of the same random programs, both tiers.
+
+    float64 + all passes must reproduce the compiled seed *bitwise*;
+    float32 must land within the size-scaled budgets against the dense
+    float64 oracle (amplitudes, Z-expectations, and adjoint gradients).
+    """
+    rng = np.random.default_rng(1000 + seed)
+    batch = int(rng.integers(2, 7))
+    qc, named = _random_circuit(rng, batch)
+    n = qc.n_qubits
+    gates = qc.gate_sequence()
+    values = qc.flat_parameter_values(named)
+    n_gates = qc.execution_plan().n_gates
+
+    with no_grad():
+        seed_amps = qc.run(params=named, batch=batch, compiled=True).numpy()
+        seed_z = qc.z_expectations(params=named, batch=batch,
+                                   compiled=True).data
+    dense_amps = run_circuit(qc, params=named, batch=batch)
+    dense_z = z_expectations_dense(dense_amps, n)
+    weights = np.random.default_rng(2000 + seed).standard_normal((batch, n))
+    grads_seed = adjoint_state_vjp(gates, n, values, weights)
+
+    lowered64 = lower_plan(gates, n, LoweringConfig(precision="float64"))
+    planes = lowered64.run_planes(batch, lambda i: values[i])
+    assert np.array_equal(lowered64.amplitudes(planes), seed_amps)
+    assert np.array_equal(lowered64.z_expectations(planes), seed_z)
+    for a, b in zip(grads_seed, lowered64.adjoint_vjp(values, weights)):
+        assert np.array_equal(np.asarray(a, dtype=np.float64),
+                              np.asarray(b, dtype=np.float64))
+
+    lowered32 = lower_plan(gates, n, LoweringConfig(precision="float32"))
+    planes32 = lowered32.run_planes(batch, lambda i: values[i])
+    amps32 = lowered32.amplitudes(planes32)
+    assert amps32.dtype == np.complex64
+    amp_err = float(np.max(np.abs(amps32.astype(np.complex128)
+                                  - dense_amps)))
+    assert amp_err <= amplitude_budget("float32", n, n_gates)
+    z_err = float(np.max(np.abs(
+        lowered32.z_expectations(planes32).astype(np.float64) - dense_z
+    )))
+    assert z_err <= expectation_budget("float32", n, n_gates)
+    grad_err = max(
+        (float(np.max(np.abs(np.asarray(a, dtype=np.float64)
+                             - np.asarray(b, dtype=np.float64))))
+         for a, b in zip(grads_seed,
+                         lowered32.adjoint_vjp(values, weights))),
+        default=0.0,
+    )
+    assert grad_err <= gradient_budget("float32", n, n_gates)
+
+
 def test_second_order_gradcheck_through_fused_plan():
     """d²/dθ² through a compiled plan exercising every fused step kind."""
     from repro.autodiff import check_double_grad, check_grad
@@ -121,3 +189,21 @@ def test_equivalence_with_shared_named_parameter():
         fast = qc.run(params={"theta": theta}, batch=batch).numpy()
     dense = run_circuit(qc, params={"theta": theta}, batch=batch)
     np.testing.assert_allclose(fast, dense, atol=1e-10, rtol=0)
+
+    # The lowered tiers must respect the shared index too: bitwise at
+    # float64, within the amplitude budget at float32.
+    gates = qc.gate_sequence()
+    values = qc.flat_parameter_values({"theta": theta})
+    lowered64 = lower_plan(gates, qc.n_qubits,
+                           LoweringConfig(precision="float64"))
+    amps64 = lowered64.amplitudes(
+        lowered64.run_planes(batch, lambda i: values[i]))
+    assert np.array_equal(amps64, fast)
+    lowered32 = lower_plan(gates, qc.n_qubits,
+                           LoweringConfig(precision="float32"))
+    amps32 = lowered32.amplitudes(
+        lowered32.run_planes(batch, lambda i: values[i]))
+    budget = amplitude_budget("float32", qc.n_qubits,
+                              qc.execution_plan().n_gates)
+    assert float(np.max(np.abs(amps32.astype(np.complex128)
+                               - dense))) <= budget
