@@ -38,6 +38,7 @@ import argparse
 import json
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -333,6 +334,120 @@ def bench_big_statevector(n_qubits: int, n_layers: int, batch: int,
     return row
 
 
+def _planned_pair(n_qubits: int, n_layers: int, seed: int):
+    """Float32 unplanned vs planned(+autotuned) lowered plans + workload."""
+    ansatz = make_ansatz(ANSATZ, n_qubits=n_qubits, n_layers=n_layers)
+    gates = ansatz.gate_sequence()
+    rng = np.random.default_rng(seed)
+    values = [float(v) for v in rng.uniform(0, 2 * np.pi, ansatz.param_count)]
+    unplanned = lower_plan(gates, n_qubits, LoweringConfig(precision="float32"))
+    planned = lower_plan(
+        gates, n_qubits,
+        LoweringConfig(precision="float32", plan_memory=True, autotune=True),
+    )
+    return unplanned, planned, values, len(gates)
+
+
+def _full_step(plan, values, weights, batch):
+    """One forward + readout + adjoint step on a lowered plan."""
+    def resolve(i):
+        return values[i]
+
+    def run():
+        planes = plan.run_planes(batch, resolve)
+        plan.z_expectations(planes)
+        plan.adjoint_vjp(values, weights, planes=planes)
+
+    return run
+
+
+def _peak_traced_bytes(run) -> int:
+    """Peak python-allocated bytes of one warm invocation of ``run``."""
+    run()  # warm: bind arenas / caches outside the measured window
+    tracemalloc.start()
+    run()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(peak)
+
+
+def bench_planned(n_qubits: int, n_layers: int, batch: int, reps: int,
+                  seed: int = 0) -> dict:
+    """In-place planned execution vs the allocating float32 path.
+
+    The headline perf row: forward + ⟨Z⟩ + adjoint at ``n_qubits`` with
+    the memory-planned arena executor (autotuned kernels) against the
+    allocating lowered float32 path, reporting step-time speedup, peak
+    traced memory of one warm step, the arena footprint, and the
+    per-shape autotune winners recorded in the plan's audit trail.
+    """
+    unplanned, planned, values, n_gates = _planned_pair(
+        n_qubits, n_layers, seed)
+    weights = np.ones((batch, n_qubits))
+    with ad.no_grad():
+        run_un = _full_step(unplanned, values, weights, batch)
+        run_pl = _full_step(planned, values, weights, batch)
+        t_un = _median_time(run_un, reps)
+        t_pl = _median_time(run_pl, reps)
+        peak_un = _peak_traced_bytes(run_un)
+        peak_pl = _peak_traced_bytes(run_pl)
+    report = planned.memory_report().get(batch, {})
+    winners = {
+        key: rec["winner"]
+        for key, rec in planned.autotune_decisions.items()
+    }
+    row = {
+        "n_qubits": n_qubits,
+        "n_layers": n_layers,
+        "n_gates": n_gates,
+        "batch": batch,
+        "precision": "float32",
+        "unplanned_step_s": t_un,
+        "planned_step_s": t_pl,
+        "speedup_planned_vs_unplanned": t_un / t_pl,
+        "unplanned_peak_traced_bytes": peak_un,
+        "planned_peak_traced_bytes": peak_pl,
+        "peak_memory_ratio": peak_un / max(1, peak_pl),
+        "arena_bytes": report.get("arena_bytes"),
+        "memory_plan": report.get("memory_plan"),
+        "autotune_winners": winners,
+    }
+    print(f"  {n_qubits} qubits x batch {batch}: unplanned {t_un*1e3:.1f} ms, "
+          f"planned {t_pl*1e3:.1f} ms "
+          f"({row['speedup_planned_vs_unplanned']:.2f}x); peak mem "
+          f"{peak_un/2**20:.1f} -> {peak_pl/2**20:.1f} MiB "
+          f"({row['peak_memory_ratio']:.1f}x lower)")
+    return row
+
+
+def _parse_qubit_sweep(spec: str) -> list[int]:
+    """``"9..14"`` / ``"9-14"`` / ``"9,11,13"`` -> sorted qubit counts."""
+    spec = spec.strip()
+    for sep in ("..", "-"):
+        if sep in spec and "," not in spec:
+            lo, hi = spec.split(sep, 1)
+            lo, hi = int(lo), int(hi)
+            if not 1 <= lo <= hi:
+                raise ValueError(f"bad qubit sweep {spec!r}")
+            return list(range(lo, hi + 1))
+    return sorted({int(tok) for tok in spec.split(",") if tok.strip()})
+
+
+def bench_qubit_sweep(qubits: list[int], n_layers: int, batch: int,
+                      reps: int, seed: int = 0) -> list[dict]:
+    """Planned-vs-unplanned float32 rows across statevector sizes.
+
+    One row per qubit count: step times, speedup, peak traced bytes, the
+    arena footprint, and the autotune winner per fused shape class —
+    the shape classes (and often the winners) change with ``pre``/``post``
+    extents, which is the autotuner's reason to exist.
+    """
+    rows = []
+    for n in qubits:
+        rows.append(bench_planned(n, n_layers, batch, reps, seed=seed))
+    return rows
+
+
 def check_lowering() -> int:
     """Deterministic CI assertion for the lowering pipeline.
 
@@ -430,6 +545,11 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed runs per measurement (median reported; "
                              "default 2 with --toy, 5 otherwise)")
+    parser.add_argument("--qubits-sweep", type=str, default=None,
+                        metavar="LO..HI",
+                        help="planned-vs-unplanned float32 rows across "
+                             "statevector sizes (e.g. 9..14); defaults to "
+                             "9..14 on full runs, off with --toy")
     parser.add_argument("--seed", type=int, default=0,
                         help="base seed for parameters and activations")
     parser.add_argument("--out", type=Path,
@@ -470,6 +590,22 @@ def main(argv=None) -> int:
     big_row = bench_big_statevector(
         big_n, 2, big_batch, max(1, reps - 1), seed=args.seed
     )
+    print("planned in-place execution (float32 tier, memory-planned arena):")
+    plan_n, plan_batch = (6, 8) if args.toy else (14, 32)
+    planned_row = bench_planned(
+        plan_n, n_layers, plan_batch, max(1, reps - 1), seed=args.seed
+    )
+    sweep_spec = args.qubits_sweep
+    if sweep_spec is None and not args.toy:
+        sweep_spec = "9..14"
+    sweep_rows = []
+    if sweep_spec:
+        print(f"qubit sweep ({sweep_spec}):")
+        sweep_rows = bench_qubit_sweep(
+            _parse_qubit_sweep(sweep_spec), n_layers,
+            plan_batch if not args.toy else 8,
+            max(1, reps - 1), seed=args.seed,
+        )
 
     report = {
         "workload": {
@@ -491,6 +627,8 @@ def main(argv=None) -> int:
         "plan_structure": structure,
         "lowering": lowering,
         "big_statevector": big_row,
+        "planned_execution": planned_row,
+        "qubit_sweep": sweep_rows,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -270,6 +270,23 @@ def _k_fused_squaresum(vals, static, buf):
     return buf.sum(axis=static["axis"], keepdims=static["keepdims"]), buf
 
 
+def _k_fused_chain(vals, static, buf):
+    # A run of unary elementwise ops streamed through one scratch buffer:
+    # op0 writes into the buffer, every later op runs in place on it.
+    # Values are bitwise-equal to the unfused sequence (each op is a pure
+    # elementwise ufunc, so ``uf(x, out=x)`` == ``uf(x)``); only the
+    # intermediate allocations disappear.
+    (a,) = vals
+    fns = static["ops"]
+    if buf is None:
+        buf = fns[0](a)
+    else:
+        fns[0](a, out=buf)
+    for fn in fns[1:]:
+        fn(buf, out=buf)
+    return buf, buf
+
+
 #: op name -> (kernel, mode); mode 1 kernels take ``out=`` buffers.
 KERNELS: dict[str, tuple[Callable, int]] = {
     "add": (_ufunc(np.add), 1),
@@ -314,7 +331,16 @@ KERNELS: dict[str, tuple[Callable, int]] = {
 _FUSED_KERNELS = {
     "__fused_mulsum": _k_fused_mulsum,
     "__fused_squaresum": _k_fused_squaresum,
+    "__fused_chain": _k_fused_chain,
 }
+
+#: unary elementwise kernels safe to collapse into a ``__fused_chain``:
+#: each is a pure ufunc (or ufunc expression) for which running in place
+#: on its own input is exact.
+_CHAINABLE_UNARY = frozenset({
+    "neg", "exp", "log", "sin", "cos", "tan", "tanh", "sinh", "cosh",
+    "arcsin", "arccos", "arctan", "sqrt", "square", "sign", "softplus",
+})
 
 
 # ----------------------------------------------------------------------
@@ -655,6 +681,62 @@ def _fuse(entries: list, protected: set) -> tuple[list, int]:
     return entries, fused
 
 
+def _fuse_chains(entries: list, protected: set) -> tuple[list, int]:
+    """Collapse runs of single-use unary elementwise ops into one kernel.
+
+    ``sin -> square -> neg`` (each intermediate used exactly once and not
+    itself a tape output) becomes a single ``__fused_chain`` entry that
+    streams through one preallocated scratch buffer — one loop's worth of
+    allocation instead of one per op.  The surviving entry keeps the
+    *last* op's output slot, so downstream references are untouched.
+    Returns the rewritten list and the number of entries eliminated.
+    """
+    use_count: dict[int, int] = {}
+    consumer: dict[int, int] = {}
+    for i, entry in enumerate(entries):
+        for is_slot, ref in entry.template:
+            if is_slot:
+                use_count[ref] = use_count.get(ref, 0) + 1
+                consumer[ref] = i
+
+    def chainable(e: _Entry) -> bool:
+        return (e.name in _CHAINABLE_UNARY and len(e.template) == 1
+                and e.template[0][0] and not e.static)
+
+    fused_away: set[int] = set()
+    chained = 0
+    i = 0
+    while i < len(entries):
+        entry = entries[i]
+        if i in fused_away or not chainable(entry):
+            i += 1
+            continue
+        run = [i]
+        cur = entry
+        while (use_count.get(cur.out_slot) == 1
+               and cur.out_slot not in protected):
+            k = consumer[cur.out_slot]
+            nxt = entries[k]
+            if not chainable(nxt) or nxt.template[0][1] != cur.out_slot:
+                break
+            run.append(k)
+            cur = nxt
+        if len(run) >= 2:
+            ops = tuple(KERNELS[entries[k].name][0] for k in run)
+            last = entries[run[-1]]
+            last.name = "__fused_chain"
+            last.template = entries[run[0]].template
+            last.static = {"ops": ops}
+            fused_away.update(run[:-1])
+            chained += len(run) - 1
+            i = run[-1] + 1
+        else:
+            i += 1
+    if fused_away:
+        entries = [e for j, e in enumerate(entries) if j not in fused_away]
+    return entries, chained
+
+
 class TapeExecutor:
     """Replays an optimised tape as preplanned raw NumPy kernel calls.
 
@@ -683,11 +765,13 @@ class TapeExecutor:
         # in the dynamic part of the schedule.
         entries, folded = _fold_constants(entries, binds)
         entries, fused = _fuse(entries, _output_slots(tape))
+        entries, chained = _fuse_chains(entries, _output_slots(tape))
         self.stats = {
             "recorded": recorded,
             "after_dce": after_dce,
             "folded": folded,
             "fused": fused,
+            "chained": chained,
             "schedule": len(entries),
             "precision": self.precision,
         }

@@ -36,6 +36,38 @@ passes see earlier claims; third parties add more via
   degrades **silently** to the NumPy kernels; the skip is recorded in
   ``plan.fallbacks`` (and a ``lower.pass.fallback`` counter under
   profiling), never raised.
+* ``autotune`` — feature-flagged per-shape kernel selection
+  (``autotune=True`` or ``REPRO_LOWER_AUTOTUNE=1``, float32 only).
+  See *Memory-planned execution* below.
+* ``memplan`` — feature-flagged in-place execution
+  (``plan_memory=True``).  See *Memory-planned execution* below.
+
+Memory-planned execution (``plan_memory=True``):
+
+``LoweringConfig(plan_memory=True)`` routes ``run_planes`` /
+``z_expectations`` / ``adjoint_vjp`` through a
+:class:`~repro.lower.inplace.PlannedExecution` bound per batch size: all
+intermediates (plane ping-pongs, SoA pack buffers, phase scratches,
+complex adjoint carriers) are liveness-planned into shared arena slots
+(:mod:`repro.lower.memplan`) and the warm path performs **zero
+statevector-sized allocations** — forward, readout, and (float32)
+adjoint all run in place.  The float64 planned path stays bitwise
+identical to the unplanned executor (the readout scratch layout is
+probed from one seed run); the float64 adjoint delegates to the seed
+kernels unchanged.  ``LoweredPlan.memory_report()`` returns the arena
+and autotune audit per bound batch.
+
+With ``autotune=True`` (or ``REPRO_LOWER_AUTOTUNE=1``) the float32
+planned executor picks each fused-run kernel per shape class — batch,
+qubit count, run extents, dtype — by microbenchmark instead of the
+built-in heuristic.  Winners are recorded in
+``LoweredPlan.autotune_decisions`` and persisted to a small JSON cache
+keyed by the machine's environment fingerprint
+(:func:`repro.obs.envinfo.env_fingerprint`), so the benchmarks run once
+per shape class per machine.  The cache lives at
+``$REPRO_AUTOTUNE_CACHE_DIR/autotune-<fingerprint>.json`` (default
+``~/.cache/repro/``); :func:`clear_autotune_cache` drops it and
+:func:`autotune_cache_info` reports its location and size.
 
 Config surfaces: ``QuantumLayer(precision="float32")`` (requires
 ``grad_method="adjoint"``; an explicit ``lowering=LoweringConfig(...)``
@@ -63,12 +95,21 @@ from .budget import (
     gradient_budget,
     tape_budget,
 )
+from .autotune import (
+    AUTOTUNE_CACHE_ENV_VAR,
+    Autotuner,
+    autotune_cache_info,
+    clear_autotune_cache,
+    get_autotuner,
+)
 from .config import (
+    AUTOTUNE_ENV_VAR,
     DEFAULT_PASSES,
     NUMBA_ENV_VAR,
     PRECISION_TIERS,
     LoweringConfig,
 )
+from .memplan import Arena, BufferSpec, MemoryPlan, plan_buffers
 from .numba_backend import numba_available
 from .passes import (
     LoweringPass,
@@ -85,6 +126,8 @@ __all__ = [
     "PRECISION_TIERS",
     "DEFAULT_PASSES",
     "NUMBA_ENV_VAR",
+    "AUTOTUNE_ENV_VAR",
+    "AUTOTUNE_CACHE_ENV_VAR",
     "lower_plan",
     "lower_compiled",
     "audit_plan",
@@ -97,7 +140,26 @@ __all__ = [
     "expectation_budget",
     "gradient_budget",
     "tape_budget",
+    "Autotuner",
+    "get_autotuner",
+    "clear_autotune_cache",
+    "autotune_cache_info",
+    "BufferSpec",
+    "MemoryPlan",
+    "Arena",
+    "plan_buffers",
+    "PlannedExecution",
 ]
+
+
+def __getattr__(name):
+    # PlannedExecution imports from plan_exec at module load; exposing it
+    # lazily avoids the circular import while keeping the public surface.
+    if name == "PlannedExecution":
+        from .inplace import PlannedExecution
+
+        return PlannedExecution
+    raise AttributeError(name)
 
 
 def lower_compiled(plan, config: LoweringConfig | None = None) -> LoweredPlan:
@@ -115,6 +177,21 @@ def lower_compiled(plan, config: LoweringConfig | None = None) -> LoweredPlan:
 # forward; same LRU discipline as the plan cache underneath.
 _LOWERED_CACHE: "OrderedDict[tuple, LoweredPlan]" = OrderedDict()
 _LOWERED_CACHE_MAX = 512
+
+# Planned artifacts carry autotuned kernel decisions, which are only
+# valid for the environment that benchmarked them; key the LRU on the
+# environment fingerprint (memoised — it never changes within a process)
+# so a persisted/forked cache can never serve another machine's choices.
+_ENV_FP: str | None = None
+
+
+def _env_fp() -> str:
+    global _ENV_FP
+    if _ENV_FP is None:
+        from ..obs.envinfo import env_fingerprint
+
+        _ENV_FP = env_fingerprint()
+    return _ENV_FP
 
 
 def lower_plan(gates, n_qubits: int, config: LoweringConfig | None = None,
@@ -136,6 +213,7 @@ def lower_plan(gates, n_qubits: int, config: LoweringConfig | None = None,
         n_qubits,
         tuple((g.name, g.qubits, g.params) for g in gates),
         config.key(),
+        _env_fp(),
     )
     lowered = _LOWERED_CACHE.get(key)
     if lowered is not None and lowered.plan is plan:

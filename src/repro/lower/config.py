@@ -19,6 +19,7 @@ __all__ = [
     "PRECISION_TIERS",
     "DEFAULT_PASSES",
     "NUMBA_ENV_VAR",
+    "AUTOTUNE_ENV_VAR",
     "LoweringConfig",
 ]
 
@@ -28,12 +29,21 @@ __all__ = [
 PRECISION_TIERS: tuple[str, ...] = ("float64", "float32")
 
 #: Default pass order.  Passes run in sequence; later passes see the
-#: claims of earlier ones.
-DEFAULT_PASSES: tuple[str, ...] = ("precision", "soa", "numba")
+#: claims of earlier ones.  ``memplan`` and ``autotune`` are present by
+#: default but gated behind :attr:`LoweringConfig.plan_memory` /
+#: :attr:`LoweringConfig.autotune`, so the default config still executes
+#: the allocating (bitwise-pinned) kernels.
+DEFAULT_PASSES: tuple[str, ...] = (
+    "precision", "soa", "numba", "autotune", "memplan"
+)
 
 #: Environment variable that opts in to the numba kernel backend when
 #: ``LoweringConfig.use_numba`` is left unset (``None``).
 NUMBA_ENV_VAR = "REPRO_LOWER_NUMBA"
+
+#: Environment variable that opts in to per-shape kernel autotuning when
+#: ``LoweringConfig.autotune`` is left unset (``None``).
+AUTOTUNE_ENV_VAR = "REPRO_LOWER_AUTOTUNE"
 
 _REAL_DTYPES = {"float64": np.float64, "float32": np.float32}
 _COMPLEX_DTYPES = {"float64": np.complex128, "float32": np.complex64}
@@ -51,11 +61,23 @@ class LoweringConfig:
     ``lower.pass.fallback`` counter rather than raising.  ``use_numba``
     tri-state: ``None`` defers to the ``REPRO_LOWER_NUMBA`` environment
     variable, ``True``/``False`` override it.
+
+    ``plan_memory`` opts the plan into in-place execution over a
+    preallocated arena (:mod:`repro.lower.inplace`): plane ping-pongs,
+    pack buffers and adjoint carriers are liveness-planned into shared
+    slots and the warm path performs zero statevector-sized allocations.
+    ``autotune`` tri-state like ``use_numba``: ``None`` defers to
+    ``REPRO_LOWER_AUTOTUNE``; when active (and the tier is float32) the
+    planned executor picks fused-run kernels per shape class by
+    microbenchmark (:mod:`repro.lower.autotune`) instead of the
+    hardcoded heuristic.
     """
 
     precision: str = "float64"
     passes: tuple[str, ...] = field(default=DEFAULT_PASSES)
     use_numba: bool | None = None
+    plan_memory: bool = False
+    autotune: bool | None = None
 
     def __post_init__(self):
         if self.precision not in PRECISION_TIERS:
@@ -84,15 +106,37 @@ class LoweringConfig:
             return bool(self.use_numba)
         return os.environ.get(NUMBA_ENV_VAR, "") in ("1", "true", "yes")
 
+    def autotune_requested(self) -> bool:
+        """Whether planned executions should consult the autotuner.
+
+        Only meaningful when ``plan_memory`` is on and the tier is
+        float32 (float64 kernels are pinned for bitwise equality);
+        defaults to the ``REPRO_LOWER_AUTOTUNE`` environment variable
+        when the ``autotune`` field is left ``None``.
+        """
+        if "autotune" not in self.passes:
+            return False
+        if self.autotune is not None:
+            return bool(self.autotune)
+        return os.environ.get(AUTOTUNE_ENV_VAR, "") in ("1", "true", "yes")
+
     def key(self) -> tuple:
         """Hashable identity for artifact caches.
 
         Incorporates the precision tier, the requested pass set, and
         whether the numba backend is *actually* active (requested and
         importable), so tiers and pass configurations never share a
-        cached lowered artifact.
+        cached lowered artifact.  ``plan_memory`` and the autotune flag
+        are part of the identity too: a planned artifact carries bound
+        arenas and kernel decisions an unplanned one does not.
         """
         from .numba_backend import numba_available
 
         numba_active = self.numba_requested() and numba_available()
-        return (self.precision, self.passes, numba_active)
+        return (
+            self.precision,
+            self.passes,
+            numba_active,
+            self.plan_memory,
+            self.autotune_requested(),
+        )

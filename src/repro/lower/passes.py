@@ -27,6 +27,15 @@ Built-in passes:
     :mod:`repro.lower.numba_backend` to SoA-claimed fused steps with a
     batch-independent matrix and to phase-mask steps (adjoint
     diagonal-generator product).  Missing numba → silent fallback.
+``autotune``
+    Feature-flagged (:attr:`LoweringConfig.autotune` /
+    ``REPRO_LOWER_AUTOTUNE=1``), float32 only.  Marks the plan so the
+    in-place executor selects fused-run kernels per shape class by
+    microbenchmark (:mod:`repro.lower.autotune`).
+``memplan``
+    Feature-flagged (:attr:`LoweringConfig.plan_memory`).  Claims
+    fused/phase/permutation steps for in-place execution over a
+    liveness-planned arena (:mod:`repro.lower.inplace`).
 
 Third-party passes register through :func:`register_pass`; the registry
 is keyed by ``Pass.name`` and :func:`available_passes` lists it.
@@ -140,6 +149,73 @@ class NumbaPass(LoweringPass):
         return self._reason
 
 
+class AutotunePass(LoweringPass):
+    """Enable per-shape kernel autotuning for planned executions.
+
+    Gated on :meth:`LoweringConfig.autotune_requested` and the float32
+    tier (float64 kernels are bitwise-pinned, never tuned).  The pass
+    only flips ``plan.autotune_enabled``; the actual microbenchmarks run
+    lazily the first time :class:`repro.lower.inplace.PlannedExecution`
+    binds each fused shape class, and their decisions are recorded in
+    ``plan.autotune_decisions`` for the audit trail."""
+
+    name = "autotune"
+
+    def __init__(self):
+        self._reason: str | None = None
+
+    def run(self, plan) -> int:
+        self._reason = None
+        if not plan.config.autotune_requested():
+            self._reason = "not requested"
+            return 0
+        if plan.precision == "float64":
+            self._reason = "float64 kernels are pinned (bitwise contract)"
+            return 0
+        plan.autotune_enabled = True
+        claimed = 0
+        for step in plan.steps:
+            if step.kind == "fused_1q":
+                step.claim(self.name, backend="autotune")
+                claimed += 1
+        return claimed
+
+    def fallback_reason(self, plan) -> str | None:
+        return self._reason
+
+
+class MemPlanPass(LoweringPass):
+    """Claim steps for in-place execution over a planned arena.
+
+    Gated on :attr:`LoweringConfig.plan_memory`.  Claims every step the
+    planned executor runs in place (fused runs, phase masks,
+    permutations — unfused ``gate`` steps stay on the allocating kernel
+    and are listed as fallbacks per bound execution).  Execution itself
+    binds lazily per batch size in
+    :meth:`repro.lower.plan_exec.LoweredPlan.planned_execution`."""
+
+    name = "memplan"
+
+    def __init__(self):
+        self._reason: str | None = None
+
+    def run(self, plan) -> int:
+        self._reason = None
+        if not plan.config.plan_memory:
+            self._reason = "not requested"
+            return 0
+        plan.memplan_enabled = True
+        claimed = 0
+        for step in plan.steps:
+            if step.kind in ("fused_1q", "phase_mask", "permutation"):
+                step.claim(self.name, backend="inplace")
+                claimed += 1
+        return claimed
+
+    def fallback_reason(self, plan) -> str | None:
+        return self._reason
+
+
 _REGISTRY: dict[str, type[LoweringPass]] = {}
 
 
@@ -159,6 +235,8 @@ def available_passes() -> tuple[str, ...]:
 register_pass(PrecisionPass)
 register_pass(SoAPass)
 register_pass(NumbaPass)
+register_pass(AutotunePass)
+register_pass(MemPlanPass)
 
 
 def run_pipeline(plan) -> None:
@@ -186,8 +264,12 @@ def run_pipeline(plan) -> None:
         if reason is not None:
             plan.fallbacks[name] = reason
         if profiling:
-            reg.counter("lower.pass.run", name=name).inc()
+            # "pass_name", not "name": the registry reserves ``name`` for
+            # the metric itself.
+            reg.counter("lower.pass.run", pass_name=name).inc()
             if claimed:
-                reg.counter("lower.steps.claimed", name=name).inc(claimed)
+                reg.counter(
+                    "lower.steps.claimed", pass_name=name
+                ).inc(claimed)
             if reason is not None:
-                reg.counter("lower.pass.fallback", name=name).inc()
+                reg.counter("lower.pass.fallback", pass_name=name).inc()

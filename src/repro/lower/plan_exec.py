@@ -40,6 +40,8 @@ steps — the two modules evolve together by design.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from .. import obs
@@ -607,6 +609,10 @@ class LoweredPlan:
     :meth:`amplitudes` and :meth:`describe` for tests and inspection.
     """
 
+    #: Planned executions kept alive per plan (arena reuse across batch
+    #: sizes actually seen; small — each entry owns one arena).
+    _PLANNED_CACHE_MAX = 2
+
     def __init__(self, plan, config, steps):
         self.plan = plan
         self.config = config
@@ -617,6 +623,12 @@ class LoweredPlan:
         self.passes_run: tuple[str, ...] = ()
         self.claims: dict[str, int] = {}
         self.fallbacks: dict[str, str] = {}
+        #: Set by the ``memplan`` / ``autotune`` passes.
+        self.memplan_enabled = False
+        self.autotune_enabled = False
+        #: Audit trail of per-shape kernel decisions (planned f32 runs).
+        self.autotune_decisions: dict[str, dict] = {}
+        self._planned: "OrderedDict[int, object]" = OrderedDict()
 
     @property
     def precision(self) -> str:
@@ -634,6 +646,48 @@ class LoweredPlan:
             for s in self.steps
         ]
 
+    # -- planned (in-place) execution ---------------------------------
+    def planned_execution(self, batch: int):
+        """The :class:`~repro.lower.inplace.PlannedExecution` bound to
+        ``batch``, building (liveness plan + arena) on first use.
+
+        Only available when the ``memplan`` pass claimed this plan.
+        Bound executions are cached per batch size (small LRU — each
+        holds one arena), so repeated steps at a fixed batch reuse the
+        same memory with zero statevector-sized allocations.
+        """
+        if not self.memplan_enabled:
+            raise RuntimeError(
+                "planned execution requires plan_memory=True "
+                "(the 'memplan' lowering pass)"
+            )
+        pe = self._planned.get(batch)
+        if pe is None:
+            from .inplace import PlannedExecution
+
+            pe = PlannedExecution(self, batch)
+            self._planned[batch] = pe
+            while len(self._planned) > self._PLANNED_CACHE_MAX:
+                self._planned.popitem(last=False)
+        else:
+            self._planned.move_to_end(batch)
+        return pe
+
+    def _planned_owning(self, planes):
+        """The cached bound execution whose arena holds ``planes``
+        (None when the planes came from somewhere else)."""
+        if not self.memplan_enabled:
+            return None
+        batch = planes[0].shape[0]
+        pe = self._planned.get(batch)
+        if (
+            pe is not None
+            and pe._built
+            and planes[0] is pe.final_planes()[0]
+        ):
+            return pe
+        return None
+
     # -- execution ----------------------------------------------------
     def run_planes(self, batch: int, resolve):
         """Forward statevector simulation from |0…0⟩ on raw planes.
@@ -641,7 +695,13 @@ class LoweredPlan:
         Returns ``(re, im)`` float arrays of shape ``(batch, 2, ..., 2)``
         at the tier dtype.  ``resolve`` maps flat parameter indices to
         floats / ``(batch,)`` arrays (Tensors are unwrapped).
+
+        When the plan is memory-planned the sweep runs in place over the
+        bound arena and the returned planes are arena views — valid
+        until the next ``run_planes`` at the same batch size.
         """
+        if self.memplan_enabled:
+            return self.planned_execution(batch).run_forward(resolve)
         base = zero_state(batch, self.n_qubits, dtype=self.rdtype)
         re = base.tensor.re.data
         im = base.tensor.im.data
@@ -673,6 +733,11 @@ class LoweredPlan:
         Mirrors :func:`repro.torq.measure.pauli_z_expectations` so the
         float64 tier stays bitwise with the seed readout.
         """
+        pe = self._planned_owning(planes)
+        if pe is not None:
+            # Arena-resident planes: readout runs on layout-matched
+            # arena scratch (bitwise-equal reduction order, no allocs).
+            return pe.z_expectations()
         re, im = planes
         probs = re * re + im * im
         n = self.n_qubits
@@ -709,6 +774,29 @@ class LoweredPlan:
             raise ValueError(
                 f"final state batch {re.shape[0]} != weights batch {batch}"
             )
+
+        grads: dict[int, object] = {}
+
+        def accumulate(ref: int, g) -> None:
+            prev = grads.get(ref)
+            grads[ref] = g if prev is None else prev + g
+
+        pe = self._planned_owning(planes)
+        if pe is not None and self.rdtype == np.float32:
+            # In-place reverse sweep over the arena carriers (f32 tier;
+            # the f64 adjoint stays on the seed kernels below, whose
+            # exact allocation/ufunc sequence the bitwise contract pins).
+            if obs.is_profiling():
+                reg = obs.metrics()
+                reg.counter(
+                    "lower.adjoint.sweep", precision=self.precision
+                ).inc()
+                with reg.scope("lower.adjoint.run", n_qubits=self.n_qubits):
+                    pe.adjoint_sweep(resolve, weights, accumulate)
+            else:
+                pe.adjoint_sweep(resolve, weights, accumulate)
+            return self._format_grads(values, grads, batch)
+
         psi = np.empty(re.shape, dtype=self.cdtype)
         psi.real = re
         psi.imag = im
@@ -716,12 +804,6 @@ class LoweredPlan:
         if self.rdtype != np.float64:
             mask = mask.astype(self.rdtype)
         mu = psi * mask
-
-        grads: dict[int, object] = {}
-
-        def accumulate(ref: int, g) -> None:
-            prev = grads.get(ref)
-            grads[ref] = g if prev is None else prev + g
 
         if obs.is_profiling():
             reg = obs.metrics()
@@ -734,6 +816,10 @@ class LoweredPlan:
             for step in reversed(self.steps):
                 psi, mu = step.adjoint(psi, mu, resolve, accumulate)
 
+        return self._format_grads(values, grads, batch)
+
+    @staticmethod
+    def _format_grads(values, grads: dict, batch: int) -> list:
         out = []
         for i, value in enumerate(values):
             g = grads.get(i)
@@ -746,6 +832,18 @@ class LoweredPlan:
             per_batch = getattr(value, "ndim", 0) == 1
             out.append(data.copy() if per_batch else float(data.sum()))
         return out
+
+    def memory_report(self) -> dict:
+        """Arena/autotune audit across the bound planned executions.
+
+        Keys are the bound batch sizes; each value is the execution's
+        :meth:`~repro.lower.inplace.PlannedExecution.describe` record
+        (memory plan, arena bytes, fallback steps, kernel decisions).
+        Empty when the plan is not memory-planned or nothing bound yet.
+        """
+        return {
+            batch: pe.describe() for batch, pe in self._planned.items()
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

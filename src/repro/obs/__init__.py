@@ -36,7 +36,13 @@ which prints per-scope wall times (with percentages), the top-k hottest
 autodiff ops, and the per-epoch telemetry series.
 """
 
-from .envinfo import blas_info, cpu_model, environment_info
+from .envinfo import (
+    blas_info,
+    cpu_model,
+    env_fingerprint,
+    environment_info,
+    peak_rss_bytes,
+)
 from .profile import disable_profiling, enable_profiling, is_profiling, profile
 from .recorder import RunRecorder, get_recorder, observe, set_recorder
 from .registry import (
@@ -57,4 +63,5 @@ __all__ = [
     "RunRecorder", "observe", "get_recorder", "set_recorder",
     "load_events", "summarize_events", "summarize_path",
     "environment_info", "cpu_model", "blas_info",
+    "env_fingerprint", "peak_rss_bytes",
 ]

@@ -16,12 +16,19 @@ an exception — benchmarks must not fail because a fingerprint did.
 
 from __future__ import annotations
 
+import hashlib
 import platform
 import sys
 
 import numpy as np
 
-__all__ = ["cpu_model", "blas_info", "environment_info"]
+__all__ = [
+    "cpu_model",
+    "blas_info",
+    "env_fingerprint",
+    "peak_rss_bytes",
+    "environment_info",
+]
 
 
 def cpu_model() -> str:
@@ -51,6 +58,45 @@ def blas_info() -> str:
     return "unknown"
 
 
+def env_fingerprint() -> str:
+    """A short stable hash of the numeric environment.
+
+    Digest of the facts that change which kernels win a microbenchmark
+    or which lowered artifact is valid: interpreter version, NumPy
+    version, CPU model, BLAS backend, and machine architecture.  Used to
+    key the autotune decision cache and the lowered-plan LRU so a choice
+    (or artifact) recorded on one machine/BLAS never leaks to another.
+    """
+    raw = "|".join(
+        (
+            platform.python_version(),
+            np.__version__,
+            platform.machine(),
+            cpu_model(),
+            blas_info(),
+        )
+    )
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes.  Monotone over the process lifetime — report it *after* the
+    workload to capture its peak.
+    """
+    try:
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - macOS units
+            return int(rss)
+        return int(rss) * 1024
+    except Exception:  # pragma: no cover - non-POSIX fallback
+        return 0
+
+
 def environment_info(lowering=None) -> dict:
     """The standard ``environment`` block for benchmark reports.
 
@@ -67,6 +113,8 @@ def environment_info(lowering=None) -> dict:
         "platform": platform.platform(),
         "cpu": cpu_model(),
         "blas": blas_info(),
+        "fingerprint": env_fingerprint(),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
     if lowering is not None:
         from ..lower import LoweringConfig, numba_available

@@ -656,7 +656,15 @@ class _PermutationStep:
                 gmap = np.where(idx & cmask, idx ^ tmask, idx)
             src = src[gmap]
         self._src = _c_contig(src)
-        self._inv_src = _c_contig(np.argsort(src))
+        self._inv = None
+
+    @property
+    def _inv_src(self) -> np.ndarray:
+        # Only the adjoint needs the inverse relabelling; computed lazily
+        # (and cached) so forward-only plans skip the argsort.
+        if self._inv is None:
+            self._inv = _c_contig(np.argsort(self._src))
+        return self._inv
 
     def _gather(self, tensor: ComplexTensor, idx: np.ndarray) -> ComplexTensor:
         flat = tensor.reshape(self._flat_shape)

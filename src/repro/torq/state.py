@@ -26,6 +26,7 @@ from .complexnum import ComplexTensor
 __all__ = [
     "QuantumState",
     "zero_state",
+    "zero_planes_into",
     "apply_single_qubit",
     "apply_rx",
     "apply_ry",
@@ -126,6 +127,24 @@ def zero_state(batch: int, n_qubits: int, dtype=np.float64) -> QuantumState:
         obs.metrics().histogram("torq.state.batch").observe(batch)
     re, im = cached
     return QuantumState(ComplexTensor(Tensor(re), Tensor(im)), n_qubits)
+
+
+def zero_planes_into(re: np.ndarray, im: np.ndarray) -> None:
+    """Write |0...0⟩ into caller-owned ``(batch, 2, ..., 2)`` planes.
+
+    The in-place counterpart of :func:`zero_state` for executors that
+    own their statevector memory (the lowered memory-planned arena):
+    same amplitude placement, zero allocations.  ``re``/``im`` must be
+    batched plane arrays of matching shape.
+    """
+    if re.shape != im.shape or re.ndim < 2:
+        raise ValueError(
+            f"expected matching batched planes, got {re.shape}/{im.shape}"
+        )
+    n_qubits = re.ndim - 1
+    re.fill(0.0)
+    im.fill(0.0)
+    re[(slice(None),) + (0,) * n_qubits] = 1.0
 
 
 # ----------------------------------------------------------------------

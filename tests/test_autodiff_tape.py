@@ -296,6 +296,39 @@ class TestZeroAllocReplay:
         assert executor._fast_checked
         _assert_step_matches(step, fn, arrays, params)
 
+    def test_unary_chains_fuse_into_one_kernel(self, rng):
+        """Single-use unary runs collapse to a __fused_chain entry and
+        stay bitwise with define-by-run."""
+        w = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        params = [w]
+
+        def fn(a):
+            y = ad.sin(Tensor(a) * w)
+            z = ad.exp(-(y * y))
+            return (z * z).sum()
+
+        arrays = (rng.normal(size=(6,)),)
+        step = compile_step(fn, params)
+        _assert_step_matches(step, fn, arrays, params, replays=3)
+        (executor,) = step._cache.values()
+        assert executor.stats["chained"] >= 1
+        assert not step.disabled
+
+    def test_chain_intermediate_used_twice_is_not_fused(self, rng):
+        """A reused intermediate must survive fusion (it feeds two ops)."""
+        w = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        params = [w]
+
+        def fn(a):
+            y = ad.sin(Tensor(a) * w)
+            # y used twice: once through exp, once directly.
+            return (ad.exp(y) * y).sum()
+
+        arrays = (rng.normal(size=(4,)),)
+        step = compile_step(fn, params)
+        _assert_step_matches(step, fn, arrays, params, replays=2)
+        assert not step.disabled
+
 
 class TestTrainerIntegration:
     def test_pde_trainer_compiled_matches_define_by_run(self):

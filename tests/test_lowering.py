@@ -106,6 +106,38 @@ class TestBitwiseDefault:
         # arithmetic, one packed GEMM) — the bitwise checks above prove it.
         assert lowered.claims["soa"] >= 1
 
+    def test_default_config_keeps_memplan_and_autotune_dormant(self):
+        # The passes ship in DEFAULT_PASSES but are gated behind their
+        # config flags: the default artifact must stay the allocating
+        # bitwise path with the skips on the audit trail.
+        assert {"autotune", "memplan"} <= set(DEFAULT_PASSES)
+        qc, params, batch = _mixed_circuit()
+        lowered, _, _ = _lowered_run(qc, params, batch, LoweringConfig())
+        assert not lowered.memplan_enabled
+        assert not lowered.autotune_enabled
+        assert lowered.fallbacks.get("memplan") == "not requested"
+        assert lowered.fallbacks.get("autotune") == "not requested"
+
+    def test_planned_f64_is_bitwise_through_the_layer_surface(self):
+        qc, params, batch = _mixed_circuit()
+        values = qc.flat_parameter_values(params)
+        gates = qc.gate_sequence()
+        weights = np.random.default_rng(17).standard_normal(
+            (batch, qc.n_qubits))
+        plain = lower_plan(gates, qc.n_qubits,
+                           LoweringConfig(precision="float64"))
+        planned = lower_plan(
+            gates, qc.n_qubits,
+            LoweringConfig(precision="float64", plan_memory=True))
+        with no_grad():
+            pu = plain.run_planes(batch, lambda i: values[i])
+            pp = planned.run_planes(batch, lambda i: values[i])
+            assert np.array_equal(plain.z_expectations(pu),
+                                  planned.z_expectations(pp))
+        for a, b in zip(plain.adjoint_vjp(values, weights),
+                        planned.adjoint_vjp(values, weights)):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+
 
 class TestFloat32Budgets:
     def test_forward_within_budget(self):
