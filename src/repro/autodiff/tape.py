@@ -112,7 +112,9 @@ __all__ = [
     "Tape",
     "TapeExecutor",
     "CompiledStep",
+    "CompiledForward",
     "compile_step",
+    "compile_forward",
     "trace",
 ]
 
@@ -140,13 +142,17 @@ def _promote_f64(a):
 
 
 #: ops whose recorded replay would freeze data-dependent VJP constants
-#: (masks, signs) captured at trace time.
+#: (masks, signs) captured at trace time.  Forward-only traces admit
+#: them — their *forwards* are pure functions of the inputs, and the
+#: replay kernels below recompute the masks per call.
 UNSUPPORTED_OPS = frozenset(DATA_DEPENDENT_OPS)
 
 #: ops whose second positional argument is a tensor operand (everything
 #: else treats position >= 1 as static configuration: axes, shapes,
 #: indices).  Position 0 is a tensor operand for every kernelised op.
-_BINARY_OPS = frozenset({"add", "sub", "mul", "div", "matmul"})
+_BINARY_OPS = frozenset(
+    {"add", "sub", "mul", "div", "matmul", "maximum", "minimum"}
+)
 
 _SEQUENCE_OPS = frozenset({"concatenate", "stack"})
 
@@ -244,6 +250,29 @@ def _k_softplus(a, out=None):
     return np.logaddexp(0.0, a, out=out)
 
 
+def _k_relu(a, out=None):
+    # Mirror the op exactly: ``a * (a > 0)`` (not ``np.maximum``) so
+    # negative inputs replay to the op's ``-0.0``, bitwise.
+    mask = (a > 0).astype(a.dtype)
+    return np.multiply(a, mask, out=out)
+
+
+def _k_clip(a, lo, hi, out=None):
+    return np.clip(a, lo, hi, out=out)
+
+
+def _k_where(cond, a, b):
+    return np.where(np.asarray(cond).astype(bool), a, b)
+
+
+def _k_amax(a, axis=None, keepdims=False):
+    return np.max(a, axis=axis, keepdims=keepdims)
+
+
+def _k_amin(a, axis=None, keepdims=False):
+    return np.min(a, axis=axis, keepdims=keepdims)
+
+
 def _k_concatenate(*arrays, axis=0, out=None):
     return np.concatenate(arrays, axis=axis, out=out)
 
@@ -326,6 +355,16 @@ KERNELS: dict[str, tuple[Callable, int]] = {
     "getitem": (_k_getitem, 1),
     "scatter_add": (_k_scatter_add, 1),
     "tensor_sum": (_k_tensor_sum, 1),
+    # Data-dependent ops: reachable from forward-only traces only (their
+    # VJPs capture masks, so training traces reject them first).
+    "absolute": (_ufunc(np.absolute), 1),
+    "relu": (_k_relu, 1),
+    "maximum": (_ufunc(np.maximum), 1),
+    "minimum": (_ufunc(np.minimum), 1),
+    "clip": (_k_clip, 1),
+    "where": (_k_where, 0),
+    "amax": (_k_amax, 0),
+    "amin": (_k_amin, 0),
 }
 
 _FUSED_KERNELS = {
@@ -333,6 +372,86 @@ _FUSED_KERNELS = {
     "__fused_squaresum": _k_fused_squaresum,
     "__fused_chain": _k_fused_chain,
 }
+
+#: row block size of the batch-invariant matmul kernel (see below).
+_ROW_BLOCK = 32
+
+
+def _k_matmul_rowstable(a, b, out=None):
+    """``a @ b`` with row results independent of the batch size.
+
+    BLAS GEMM picks different micro-kernels (and therefore different FP
+    summation orders) depending on the output shape: ``(1, k) @ (k, m)``
+    routes to GEMV, and small-``m`` products (a network's scalar output
+    head) change blocking with the row count, so the *same input row*
+    can produce a 1-ulp-different output in a batch of 7 vs a batch of
+    512.  Serving coalesces requests into one batch and must hand every
+    request bitwise the rows it would have computed alone, so this
+    kernel fixes the GEMM shape by construction: rows are processed in
+    blocks of exactly :data:`_ROW_BLOCK` (the tail zero-padded) through
+    one broadcast ``(nb, B, k) @ (k, m)`` batched GEMM whose per-item
+    shape never depends on the total row count.  Non-2D operands (the
+    quantum plan's broadcast block products) already have this property
+    — their per-item GEMM shape is batch-independent — and pass through
+    to ``np.matmul`` untouched.
+    """
+    if getattr(a, "ndim", 0) != 2 or getattr(b, "ndim", 0) != 2:
+        return np.matmul(a, b, out=out)
+    n, k = a.shape
+    m = b.shape[1]
+    nb = -(-n // _ROW_BLOCK) if n else 1
+    padded = nb * _ROW_BLOCK
+    if n == padded:
+        block_in = a.reshape(nb, _ROW_BLOCK, k)
+    else:
+        pad = np.zeros((padded, k), dtype=a.dtype)
+        pad[:n] = a
+        block_in = pad.reshape(nb, _ROW_BLOCK, k)
+    result = np.matmul(block_in, b).reshape(padded, m)[:n]
+    if out is None:
+        return np.ascontiguousarray(result)
+    np.copyto(out, result)
+    return out
+
+def _k_tensor_sum_rowstable(a, axis=None, keepdims=False, out=None):
+    """``a.sum(axis=...)`` with row results independent of the batch size.
+
+    NumPy picks the iteration (and therefore FP accumulation) order of a
+    multi-axis reduction from the operand's full shape, so summing the
+    statevector axes of a ``(batch, 2, ..., 2)`` tensor can round a
+    row's expectation differently at ``batch=1`` than inside a larger
+    batch.  For reductions that keep axis 0 (every per-row model
+    reduction), this kernel canonicalises the order by construction:
+    transpose the reduced axes last (ascending), compact to
+    ``(kept..., red)`` contiguously, and reduce the final axis — each
+    row's accumulation then never sees the batch extent.  Reductions
+    *over* axis 0 mix rows by definition (no per-row contract to keep)
+    and fall through to the plain kernel.
+    """
+    nd = getattr(a, "ndim", 0)
+    if axis is None or nd < 2:
+        return a.sum(axis=axis, keepdims=keepdims, out=out)
+    axes = axis if isinstance(axis, (tuple, list)) else (axis,)
+    axes = tuple(sorted(ax % nd for ax in axes))
+    if not axes or 0 in axes:
+        return a.sum(axis=axis, keepdims=keepdims, out=out)
+    kept = tuple(i for i in range(nd) if i not in axes)
+    moved = np.ascontiguousarray(np.transpose(a, kept + axes))
+    red = 1
+    for ax in axes:
+        red *= a.shape[ax]
+    result = moved.reshape(
+        tuple(a.shape[i] for i in kept) + (red,)
+    ).sum(axis=-1)
+    if keepdims:
+        result = result.reshape(
+            tuple(1 if i in axes else a.shape[i] for i in range(nd))
+        )
+    if out is None:
+        return result
+    np.copyto(out, result)
+    return out
+
 
 #: unary elementwise kernels safe to collapse into a ``__fused_chain``:
 #: each is a pure ufunc (or ufunc expression) for which running in place
@@ -368,7 +487,9 @@ class _Tracer:
     literals), or ``("op", None)`` (produced by an entry).
     """
 
-    def __init__(self, arrays: Sequence[np.ndarray], params: Sequence[Tensor]):
+    def __init__(self, arrays: Sequence[np.ndarray], params: Sequence[Tensor],
+                 forward_only: bool = False):
+        self.forward_only = bool(forward_only)
         self.arrays = list(arrays)
         self.input_ids = {id(a): k for k, a in enumerate(self.arrays)}
         self.input_slots: list[int | None] = [None] * len(self.arrays)
@@ -411,7 +532,7 @@ class _Tracer:
             return  # composite op: inner primitives already recorded
         if name in _COMPOSITE_OPS:  # pragma: no cover - defensive
             raise TapeFallback(f"composite op {name!r} produced a new node")
-        if name in UNSUPPORTED_OPS:
+        if name in UNSUPPORTED_OPS and not self.forward_only:
             raise TapeFallback(
                 f"op {name!r} captures data-dependent constants in its VJP"
             )
@@ -521,42 +642,64 @@ def _split_output(out):
 
 
 class Tape:
-    """A recorded step: flat entries plus slot binds and output refs."""
+    """A recorded step: flat entries plus slot binds and output refs.
 
-    def __init__(self, entries, binds, loss_ref, grad_refs, aux_refs):
+    ``forward_only`` marks a tape recorded without a backward pass
+    (:func:`trace` with ``forward_only=True``): ``loss_ref`` then refers
+    to the step's (possibly non-scalar) primary output and ``grad_refs``
+    is empty.
+    """
+
+    def __init__(self, entries, binds, loss_ref, grad_refs, aux_refs,
+                 forward_only: bool = False):
         self.entries = entries
         self.binds = binds
         self.loss_ref = loss_ref
         self.grad_refs = grad_refs
         self.aux_refs = aux_refs
+        self.forward_only = bool(forward_only)
 
     def __len__(self) -> int:
         return len(self.entries)
 
-    def compile(self, precision: str = "float64") -> "TapeExecutor":
+    def compile(self, precision: str = "float64", forward_only: bool | None = None,
+                row_stable: bool = False) -> "TapeExecutor":
         """Optimise and preplan the tape into a :class:`TapeExecutor`."""
-        return TapeExecutor(self, precision=precision)
+        return TapeExecutor(self, precision=precision,
+                            forward_only=forward_only, row_stable=row_stable)
 
 
-def trace(fn, arrays: Sequence[np.ndarray], params: Sequence[Tensor]):
+def trace(fn, arrays: Sequence[np.ndarray], params: Sequence[Tensor],
+          forward_only: bool = False):
     """Record one execution of ``fn(*arrays)`` plus its backward pass.
 
     Returns ``(tape, (loss, grads, aux))`` where the second element holds
     the results of the traced execution itself (floats/arrays, computed
     define-by-run while recording).  Raises :class:`TapeFallback` when the
     step uses an op outside the replayable set.
+
+    With ``forward_only=True`` the backward pass is never executed, so
+    the tape contains no gradient schedule at all: ``fn`` may return a
+    non-scalar output tensor (inference mode — the serving path), grads
+    come back empty, and the recorded output is returned as an array.
+    The trace still runs with gradients *enabled* so graph nodes created
+    outside the recorded op set (e.g. an analytic-gradient quantum
+    layer's ``make_node``) are detected and raise :class:`TapeFallback`
+    instead of being silently frozen as constants.
     """
     for a in arrays:
         if not (isinstance(a, np.ndarray) and a.dtype.kind == "f"):
             raise TapeFallback("tape inputs must be float NumPy arrays")
     params = list(params)
     with _trace_lock:
-        tracer = _Tracer(arrays, params)
+        tracer = _Tracer(arrays, params, forward_only=forward_only)
         originals = _install_shims()
         _tls.tracer = tracer
         try:
             loss, aux = _split_output(fn(*arrays))
-            grads = _grad(loss, params, allow_unused=True)
+            grads = [] if forward_only else _grad(
+                loss, params, allow_unused=True
+            )
         finally:
             _tls.tracer = None
             _uninstall_shims(originals)
@@ -565,9 +708,10 @@ def trace(fn, arrays: Sequence[np.ndarray], params: Sequence[Tensor]):
         raise TapeFallback("loss does not depend on any recorded op")
     grad_refs = [tracer.output_ref(g) for g in grads]
     aux_refs = {k: tracer.output_ref(v) for k, v in aux.items()}
-    tape = Tape(tracer.entries, tracer.binds, loss_ref, grad_refs, aux_refs)
+    tape = Tape(tracer.entries, tracer.binds, loss_ref, grad_refs, aux_refs,
+                forward_only=forward_only)
     result = (
-        float(loss.data),
+        loss.data if forward_only else float(loss.data),
         [g.data for g in grads],
         {k: v.data for k, v in aux.items()},
     )
@@ -578,7 +722,8 @@ def trace(fn, arrays: Sequence[np.ndarray], params: Sequence[Tensor]):
 # Compilation passes + executor
 # ----------------------------------------------------------------------
 
-def _output_slots(tape: Tape) -> set:
+def _output_slots(tape) -> set:
+    """Output slot ids of a :class:`Tape` (or anything with its refs)."""
     refs = [tape.loss_ref, *tape.grad_refs, *tape.aux_refs.values()]
     return {payload for kind, payload in refs if kind == "slot"}
 
@@ -747,25 +892,44 @@ class TapeExecutor:
     only valid until the next replay — copy before mutating.
     """
 
-    def __init__(self, tape: Tape, precision: str = "float64"):
+    def __init__(self, tape: Tape, precision: str = "float64",
+                 forward_only: bool | None = None, row_stable: bool = False):
         if precision not in _PRECISION_TIERS:
             raise ValueError(
                 f"unknown precision tier {precision!r}; "
                 f"available: {_PRECISION_TIERS}"
             )
         self.precision = str(precision)
+        if forward_only is None:
+            forward_only = tape.forward_only
+        self.forward_only = bool(forward_only)
+        self.row_stable = bool(row_stable)
         cast = _cast_f32 if precision == "float32" else None
         self._cast = cast
         binds = list(tape.binds)
-        entries = _dce(tape.entries, _output_slots(tape))
+        # Inference mode: gradient refs are not outputs, so DCE drops the
+        # whole backward schedule (and its buffers) — a tape traced for
+        # training replays forward-only without any grad allocations.
+        self.loss_ref = tape.loss_ref
+        self.grad_refs = [] if self.forward_only else tape.grad_refs
+        self.aux_refs = tape.aux_refs
+        outputs = _output_slots(self)
+        entries = _dce(tape.entries, outputs)
         recorded = len(tape.entries)
         after_dce = len(entries)
         # Constant folding always runs in float64 — folded values are the
         # oracle's, demoted *once* below, so the tier loses precision only
         # in the dynamic part of the schedule.
         entries, folded = _fold_constants(entries, binds)
-        entries, fused = _fuse(entries, _output_slots(tape))
-        entries, chained = _fuse_chains(entries, _output_slots(tape))
+        if self.row_stable:
+            # The mul+sum fused kernels embed the plain batch-shaped
+            # ``.sum`` whose accumulation order this mode exists to pin
+            # down; leave sums unfused so they route through the
+            # row-stable reduction kernel below.
+            fused = 0
+        else:
+            entries, fused = _fuse(entries, outputs)
+        entries, chained = _fuse_chains(entries, outputs)
         self.stats = {
             "recorded": recorded,
             "after_dce": after_dce,
@@ -774,10 +938,8 @@ class TapeExecutor:
             "chained": chained,
             "schedule": len(entries),
             "precision": self.precision,
+            "forward_only": self.forward_only,
         }
-        self.loss_ref = tape.loss_ref
-        self.grad_refs = tape.grad_refs
-        self.aux_refs = tape.aux_refs
         self.needs_validation = True
         self._slots: list = [None] * len(binds)
         dyn: list[tuple] = []
@@ -801,6 +963,11 @@ class TapeExecutor:
                 fn, mode = _FUSED_KERNELS[entry.name], 2
             else:
                 fn, mode = KERNELS[entry.name]
+                if self.row_stable:
+                    if entry.name == "matmul":
+                        fn = _k_matmul_rowstable
+                    elif entry.name == "tensor_sum":
+                        fn = _k_tensor_sum_rowstable
             template = entry.template
             if cast is not None:
                 # Inline literal operands (as_tensor coercions) are f64
@@ -819,6 +986,10 @@ class TapeExecutor:
         self._fast = None
         self._fast_checked = False
         self._fast_failed = False
+
+    def buffer_bytes(self) -> int:
+        """Bytes held by preallocated replay buffers (0 before first replay)."""
+        return sum(b.nbytes for b in self._bufs if isinstance(b, np.ndarray))
 
     def replay(self, arrays: Sequence[np.ndarray]):
         """Execute the schedule; returns ``(loss, grads, aux)``."""
@@ -861,7 +1032,12 @@ class TapeExecutor:
             else:
                 result, bufs[i] = fn(vals, static, bufs[i])
             slots[out_slot] = result
-        loss = float(self._resolve(self.loss_ref))
+        loss = self._resolve(self.loss_ref)
+        if self.forward_only:
+            if cast is not None:
+                loss = _promote_f64(loss)
+        else:
+            loss = float(loss)
         grads = [self._resolve(ref) for ref in self.grad_refs]
         aux = {k: self._resolve(ref) for k, ref in self.aux_refs.items()}
         if cast is not None:
@@ -876,12 +1052,17 @@ class TapeExecutor:
     def _check_fast(self, arrays: Sequence[np.ndarray]):
         """First frozen replay: verify it bitwise against the interpreter."""
         loss_i, grads_i, aux_i = self._interp(arrays)
+        if self.forward_only:
+            # The forward output is an executor-owned buffer; copy it
+            # before the frozen replay overwrites it.
+            loss_i = np.array(loss_i, copy=True)
         grads_i = [np.array(g, copy=True) for g in grads_i]
         aux_i = {k: np.array(v, copy=True) for k, v in aux_i.items()}
         try:
             loss_f, grads_f, aux_f = self._fast(arrays)
             ok = (
-                loss_f == loss_i
+                (np.array_equal(loss_f, loss_i, equal_nan=True)
+                 if self.forward_only else loss_f == loss_i)
                 and all(
                     np.array_equal(a, b, equal_nan=True)
                     for a, b in zip(grads_f, grads_i)
@@ -971,10 +1152,9 @@ class TapeExecutor:
         aux = ", ".join(
             f"{k!r}: {out_expr(r)}" for k, r in self.aux_refs.items()
         )
-        lines.append(
-            f"    return float({ref_expr(self.loss_ref)}), "
-            f"[{grads}], {{{aux}}}"
-        )
+        loss_expr = (out_expr(self.loss_ref) if self.forward_only
+                     else f"float({ref_expr(self.loss_ref)})")
+        lines.append(f"    return {loss_expr}, [{grads}], {{{aux}}}")
         exec(compile("\n".join(lines), "<tape-codegen>", "exec"), ns)
         self._fast = ns["_replay"]
 
@@ -1022,6 +1202,10 @@ class CompiledStep:
         self._misses = 0
         self._retraces = 0
         self._fallbacks = 0
+        # Replay mutates executor-owned buffers, so concurrent callers
+        # (the serve path) must serialise the whole call, not just the
+        # cache lookup.  Reentrant: _count/_direct run under the lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -1036,25 +1220,27 @@ class CompiledStep:
 
     def cache_info(self) -> dict:
         """Cache statistics in the spirit of TorQ's ``plan_cache_info``."""
-        info = {
-            "step": self._name,
-            "precision": self._precision,
-            "size": len(self._cache),
-            "max_size": self._cache_size,
-            "hits": self._hits,
-            "misses": self._misses,
-            "retraces": self._retraces,
-            "fallbacks": self._fallbacks,
-            "disabled": self._disabled,
-        }
-        if self._cache:
-            last = next(reversed(self._cache.values()))
-            info["schedule"] = dict(last.stats)
-        return info
+        with self._lock:
+            info = {
+                "step": self._name,
+                "precision": self._precision,
+                "size": len(self._cache),
+                "max_size": self._cache_size,
+                "hits": self._hits,
+                "misses": self._misses,
+                "retraces": self._retraces,
+                "fallbacks": self._fallbacks,
+                "disabled": self._disabled,
+            }
+            if self._cache:
+                last = next(reversed(self._cache.values()))
+                info["schedule"] = dict(last.stats)
+            return info
 
     def clear(self) -> None:
         """Drop every cached executor (the next call re-traces)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def invalidate(self) -> None:
         """Drop all compiled state after an external restore.
@@ -1065,8 +1251,9 @@ class CompiledStep:
         any permanent fallback decision) is discarded — the next call
         re-traces against the restored state.
         """
-        self._cache.clear()
-        self._disabled = None
+        with self._lock:
+            self._cache.clear()
+            self._disabled = None
 
     # ------------------------------------------------------------------
     def _count(self, event: str) -> None:
@@ -1138,6 +1325,10 @@ class CompiledStep:
         return diff
 
     def __call__(self, *arrays):
+        with self._lock:
+            return self._call_locked(arrays)
+
+    def _call_locked(self, arrays):
         if self._disabled is not None:
             return self._direct(arrays)
         struct = tuple((a.shape, a.dtype.str) for a in arrays
@@ -1201,4 +1392,230 @@ def compile_step(
     return CompiledStep(
         fn, params, name=name, validate=validate, tol=tol,
         cache_size=cache_size, precision=precision,
+    )
+
+
+class CompiledForward:
+    """A forward-only inference function compiled on first call.
+
+    Wraps a batched model forward ``fn(*arrays) -> Tensor`` for serving:
+    each input structure is traced once *without a backward pass* (the
+    tape carries no gradient schedule, so replay allocates no grad or
+    residual buffers at all) and replayed thereafter.  Calling the
+    compiled object returns the output **array**.
+
+    ``row_stable=True`` (the serving default) replaces every recorded
+    2-D ``matmul`` with the batch-invariant blocked kernel
+    (:func:`_k_matmul_rowstable`), so each row of the output is bitwise
+    identical no matter what batch it rides in — the property the
+    micro-batching server's coalescing contract rests on.  Note this
+    makes the replay differ from plain define-by-run BLAS by up to ~1
+    ulp on shapes BLAS handles batch-dependently; validation therefore
+    compares to ``tol`` (default ``1e-12``) rather than bitwise.
+
+    Thread-safe (calls are serialised — replay mutates executor-owned
+    buffers).  Tracing failures and validation mismatches permanently
+    revert to define-by-run under :func:`~repro.autodiff.no_grad`, never
+    an exception.  The returned array is executor-owned and only valid
+    until the next call with the same input structure — copy it before
+    storing.
+    """
+
+    def __init__(
+        self,
+        fn,
+        name: str = "forward",
+        validate: bool = True,
+        tol: float = 1e-12,
+        cache_size: int = 8,
+        precision: str = "float64",
+        row_stable: bool = True,
+    ):
+        if precision not in _PRECISION_TIERS:
+            raise ValueError(
+                f"unknown precision tier {precision!r}; "
+                f"available: {_PRECISION_TIERS}"
+            )
+        self._fn = fn
+        self._name = name
+        self._validate = bool(validate)
+        self._tol = float(tol)
+        self._precision = str(precision)
+        self._row_stable = bool(row_stable)
+        self._cache_size = int(cache_size)
+        self._cache: OrderedDict[tuple, TapeExecutor] = OrderedDict()
+        self._disabled: str | None = None
+        self._hits = 0
+        self._misses = 0
+        self._retraces = 0
+        self._fallbacks = 0
+        self._lock = threading.RLock()
+
+    @property
+    def disabled(self) -> str | None:
+        """Fallback reason when permanently reverted, else ``None``."""
+        return self._disabled
+
+    @property
+    def precision(self) -> str:
+        return self._precision
+
+    def cache_info(self) -> dict:
+        """Cache statistics mirroring :meth:`CompiledStep.cache_info`."""
+        with self._lock:
+            info = {
+                "step": self._name,
+                "precision": self._precision,
+                "forward_only": True,
+                "row_stable": self._row_stable,
+                "size": len(self._cache),
+                "max_size": self._cache_size,
+                "hits": self._hits,
+                "misses": self._misses,
+                "retraces": self._retraces,
+                "fallbacks": self._fallbacks,
+                "disabled": self._disabled,
+                "buffer_bytes": sum(
+                    ex.buffer_bytes() for ex in self._cache.values()
+                ),
+            }
+            if self._cache:
+                last = next(reversed(self._cache.values()))
+                info["schedule"] = dict(last.stats)
+            return info
+
+    def clear(self) -> None:
+        """Drop every cached executor (the next call re-traces)."""
+        with self._lock:
+            self._cache.clear()
+
+    def invalidate(self) -> None:
+        """Drop compiled state after parameters/buffers were replaced."""
+        with self._lock:
+            self._cache.clear()
+            self._disabled = None
+
+    # ------------------------------------------------------------------
+    def _count(self, event: str) -> None:
+        setattr(self, f"_{event}", getattr(self, f"_{event}") + 1)
+        from ..obs.profile import is_profiling
+
+        if is_profiling():
+            from ..obs.registry import metrics
+
+            metrics().counter(
+                f"autodiff.tape.{event}", step=self._name
+            ).inc()
+
+    def _direct(self, arrays) -> np.ndarray:
+        from .tensor import no_grad
+
+        with no_grad():
+            out, _aux = _split_output(self._fn(*arrays))
+        return out.data
+
+    def _disable(self, reason: str) -> None:
+        self._disabled = reason
+        self._cache.clear()
+        self._count("fallbacks")
+
+    def _tolerance(self, executor: TapeExecutor) -> float:
+        if self._precision == "float64":
+            return self._tol
+        from ..lower.budget import tape_budget
+
+        return max(
+            self._tol, tape_budget(self._precision, executor.stats["recorded"])
+        )
+
+    def _check(self, replayed, direct, normalize: bool) -> float:
+        if np.shape(replayed) != np.shape(direct):
+            return float("inf")
+        if not np.size(replayed):
+            return 0.0
+        err = float(np.max(np.abs(np.subtract(replayed, direct))))
+        if normalize:
+            err /= 1.0 + float(np.max(np.abs(direct)))
+        return err
+
+    def __call__(self, *arrays) -> np.ndarray:
+        with self._lock:
+            return self._call_locked(arrays)
+
+    def _call_locked(self, arrays) -> np.ndarray:
+        if self._disabled is not None:
+            return self._direct(arrays)
+        struct = tuple((a.shape, a.dtype.str) for a in arrays
+                       if isinstance(a, np.ndarray))
+        if len(struct) != len(arrays):
+            self._disable("non-array forward input")
+            return self._direct(arrays)
+        key = (self._precision,) + struct
+        executor = self._cache.get(key)
+        if executor is None:
+            self._count("retraces" if self._cache else "misses")
+            try:
+                # Traced with gradients *enabled* so analytic-gradient
+                # layers raise TapeFallback instead of freezing their
+                # outputs as constants (see trace()).
+                tape, result = trace(
+                    self._fn, arrays, [], forward_only=True
+                )
+                if not any(kind == "input" for kind, _ in tape.binds):
+                    # The forward never touched a traced input (e.g. it
+                    # captured op references that bypass the trace
+                    # shims): replay would return the trace's values as
+                    # constants forever.
+                    raise TapeFallback(
+                        "forward does not depend on any traced input"
+                    )
+                executor = tape.compile(
+                    precision=self._precision,
+                    row_stable=self._row_stable,
+                )
+            except TapeFallback as exc:
+                self._disable(str(exc))
+                return self._direct(arrays)
+            executor.needs_validation = self._validate
+            self._cache[key] = executor
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+            return result[0]
+        self._cache.move_to_end(key)
+        self._count("hits")
+        try:
+            out, _grads, _aux = executor.replay(arrays)
+        except Exception as exc:  # correctness first: any replay error reverts
+            self._disable(f"replay error: {exc}")
+            return self._direct(arrays)
+        if executor.needs_validation:
+            executor.needs_validation = False
+            out = np.array(out, copy=True)
+            direct = self._direct(arrays)
+            err = self._check(out, direct, self._precision != "float64")
+            if err > self._tolerance(executor):
+                self._disable("forward replay mismatch vs define-by-run")
+                return direct
+        return out
+
+
+def compile_forward(
+    fn,
+    name: str = "forward",
+    validate: bool = True,
+    tol: float = 1e-12,
+    cache_size: int = 8,
+    precision: str = "float64",
+    row_stable: bool = True,
+) -> CompiledForward:
+    """Wrap a batched forward ``fn(*arrays) -> Tensor`` for inference.
+
+    Returns a :class:`CompiledForward`: forward-only tape replay (no
+    gradient schedule, no grad buffers) cached per input structure, with
+    batch-invariant matmuls by default (``row_stable=True``) so a row's
+    result does not depend on the batch it was coalesced into.
+    """
+    return CompiledForward(
+        fn, name=name, validate=validate, tol=tol, cache_size=cache_size,
+        precision=precision, row_stable=row_stable,
     )

@@ -85,6 +85,7 @@ this package supplies its budget and shares the tier vocabulary.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -128,6 +129,7 @@ __all__ = [
     "NUMBA_ENV_VAR",
     "AUTOTUNE_ENV_VAR",
     "AUTOTUNE_CACHE_ENV_VAR",
+    "env_fingerprint_cached",
     "lower_plan",
     "lower_compiled",
     "audit_plan",
@@ -177,6 +179,9 @@ def lower_compiled(plan, config: LoweringConfig | None = None) -> LoweredPlan:
 # forward; same LRU discipline as the plan cache underneath.
 _LOWERED_CACHE: "OrderedDict[tuple, LoweredPlan]" = OrderedDict()
 _LOWERED_CACHE_MAX = 512
+# The serve path rehydrates lowered plans from executor threads while
+# the front end polls cache stats; one lock covers dict + fingerprint.
+_lowered_cache_lock = threading.RLock()
 
 # Planned artifacts carry autotuned kernel decisions, which are only
 # valid for the environment that benchmarked them; key the LRU on the
@@ -192,6 +197,12 @@ def _env_fp() -> str:
 
         _ENV_FP = env_fingerprint()
     return _ENV_FP
+
+
+def env_fingerprint_cached() -> str:
+    """The process-memoised environment fingerprint lowered-plan cache
+    keys use (also what serve bundles record at freeze time)."""
+    return _env_fp()
 
 
 def lower_plan(gates, n_qubits: int, config: LoweringConfig | None = None,
@@ -215,25 +226,34 @@ def lower_plan(gates, n_qubits: int, config: LoweringConfig | None = None,
         config.key(),
         _env_fp(),
     )
-    lowered = _LOWERED_CACHE.get(key)
-    if lowered is not None and lowered.plan is plan:
-        _LOWERED_CACHE.move_to_end(key)
-        return lowered
+    with _lowered_cache_lock:
+        lowered = _LOWERED_CACHE.get(key)
+        if lowered is not None and lowered.plan is plan:
+            _LOWERED_CACHE.move_to_end(key)
+            return lowered
     lowered = lower_compiled(plan, config)
-    if len(_LOWERED_CACHE) >= _LOWERED_CACHE_MAX:
-        _LOWERED_CACHE.popitem(last=False)
-    _LOWERED_CACHE[key] = lowered
+    with _lowered_cache_lock:
+        existing = _LOWERED_CACHE.get(key)
+        if existing is not None and existing.plan is plan:
+            # A concurrent caller lowered the same structure; share it.
+            _LOWERED_CACHE.move_to_end(key)
+            return existing
+        if len(_LOWERED_CACHE) >= _LOWERED_CACHE_MAX:
+            _LOWERED_CACHE.popitem(last=False)
+        _LOWERED_CACHE[key] = lowered
     return lowered
 
 
 def clear_lowered_cache() -> None:
     """Drop every cached lowered plan (test hook)."""
-    _LOWERED_CACHE.clear()
+    with _lowered_cache_lock:
+        _LOWERED_CACHE.clear()
 
 
 def lowered_cache_info() -> dict:
     """Cache statistics: ``{"size", "capacity"}``."""
-    return {"size": len(_LOWERED_CACHE), "capacity": _LOWERED_CACHE_MAX}
+    with _lowered_cache_lock:
+        return {"size": len(_LOWERED_CACHE), "capacity": _LOWERED_CACHE_MAX}
 
 
 def audit_plan(lowered: LoweredPlan, values, batch: int | None = None) -> list[dict]:

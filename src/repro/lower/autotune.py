@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 
 from .. import obs
@@ -83,6 +84,9 @@ class Autotuner:
         self.path = path if path is not None else _cache_path()
         self.fingerprint = env_fingerprint()
         self._decisions: dict[str, dict] | None = None
+        # Serialises load/bench/save: concurrent serve warmups must not
+        # interleave microbenchmarks or clobber the JSON mirror.
+        self._lock = threading.RLock()
 
     # -- persistence ---------------------------------------------------
     def _load(self) -> dict[str, dict]:
@@ -132,6 +136,11 @@ class Autotuner:
         """The fastest candidate name for this shape class."""
         if not candidates:
             raise ValueError("no candidates to autotune")
+        with self._lock:
+            return self._decide_locked(key, candidates, reps, warmup)
+
+    def _decide_locked(self, key: tuple, candidates: dict[str, object],
+                       reps: int, warmup: int) -> str:
         decisions = self._load()
         k = self._key_str(key)
         entry = decisions.get(k)
@@ -183,33 +192,38 @@ class Autotuner:
 
     def lookup(self, key: tuple) -> dict | None:
         """The recorded decision entry for ``key`` (None if unseen)."""
-        return self._load().get(self._key_str(key))
+        with self._lock:
+            return self._load().get(self._key_str(key))
 
     def entries(self) -> dict[str, dict]:
         """A copy of every recorded decision."""
-        return dict(self._load())
+        with self._lock:
+            return dict(self._load())
 
 
 # One tuner per (cache path) — i.e. per environment fingerprint and per
 # REPRO_AUTOTUNE_CACHE_DIR override, so tests pointing the cache at a
 # tmpdir get a fresh instance.
 _TUNER: Autotuner | None = None
+_tuner_lock = threading.Lock()
 
 
 def get_autotuner() -> Autotuner:
     """The process-wide :class:`Autotuner` for the current environment."""
     global _TUNER
     path = _cache_path()
-    if _TUNER is None or _TUNER.path != path:
-        _TUNER = Autotuner(path)
-    return _TUNER
+    with _tuner_lock:
+        if _TUNER is None or _TUNER.path != path:
+            _TUNER = Autotuner(path)
+        return _TUNER
 
 
 def clear_autotune_cache() -> None:
     """Forget every autotune decision, in memory and on disk."""
     global _TUNER
     path = _cache_path()
-    _TUNER = None
+    with _tuner_lock:
+        _TUNER = None
     try:
         os.unlink(path)
     except OSError:

@@ -1,0 +1,340 @@
+"""Async micro-batching server over a :class:`FrozenModel`.
+
+Concurrent ``predict`` awaits are queued, coalesced into one batched
+replay, and scattered back per request:
+
+* **Coalescing** — the batcher takes the first queued request, then
+  keeps admitting whole requests until the batch would exceed
+  ``max_batch_points`` or ``max_wait_us`` has elapsed since the batch
+  opened.  Requests are never split across batches (a request larger
+  than ``max_batch_points`` still runs, alone — the FrozenModel chunks
+  it internally).
+* **Exactness** — the FrozenModel replay is row-stable, so each
+  request's slice of the coalesced output is bitwise identical (at
+  float64) to running that request alone.  Batching buys throughput,
+  never answers.
+* **Bounded everything** — the queue holds at most ``max_queue``
+  requests (``overload="reject"`` fails fast with
+  :class:`ServeOverload`; ``"block"`` applies backpressure), each
+  request may carry a deadline (expired requests are dropped *before*
+  compute with :class:`ServeTimeout`), and ``stop(drain=True)``
+  finishes queued work before exiting.
+
+Metrics go to the process registry under ``serve.*`` (request/batch
+counters, batch-size histogram, queue-depth gauge) and to an internal
+latency reservoir exposed by :meth:`Server.metrics_snapshot` with
+p50/p99/p99.9.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import concurrent.futures
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+
+__all__ = [
+    "BatchPolicy",
+    "Server",
+    "ServeError",
+    "ServeOverload",
+    "ServeTimeout",
+    "ServerClosed",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for serving failures."""
+
+
+class ServeOverload(ServeError):
+    """The request queue is full and the policy rejects rather than blocks."""
+
+
+class ServeTimeout(ServeError):
+    """A request's deadline expired before its batch was dispatched."""
+
+
+class ServerClosed(ServeError):
+    """The server is stopped (or stopping without drain)."""
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing knobs.
+
+    ``max_batch_points`` bounds the rows per dispatched batch (align it
+    with the FrozenModel's ``max_batch`` so a full coalesced batch is
+    one bucket, no padding).  ``max_wait_us`` is the most extra latency
+    a lone request pays waiting for company; 0 disables coalescing.
+    ``max_queue`` bounds admitted-but-undispatched requests;
+    ``overload`` picks between failing fast (``"reject"``) and
+    backpressure (``"block"``) when it is hit.
+    """
+
+    max_batch_points: int = 1024
+    max_wait_us: int = 2000
+    max_queue: int = 4096
+    overload: str = "reject"
+
+    def __post_init__(self):
+        if self.max_batch_points < 1:
+            raise ValueError("max_batch_points must be >= 1")
+        if self.max_wait_us < 0:
+            raise ValueError("max_wait_us must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.overload not in ("reject", "block"):
+            raise ValueError("overload must be 'reject' or 'block'")
+
+
+class _Request:
+    __slots__ = ("points", "future", "deadline", "enqueued")
+
+    def __init__(self, points, future, deadline):
+        self.points = points
+        self.future = future
+        self.deadline = deadline
+        self.enqueued = time.perf_counter()
+
+
+class Server:
+    """Asyncio front end: concurrent awaits in, coalesced replays out.
+
+    Usage::
+
+        frozen = serve.load_bundle("model.rqb")
+        frozen.warmup()
+        async with serve.Server(frozen) as srv:
+            out = await srv.predict(points, timeout=0.5)
+
+    One background batcher task owns the queue; one worker thread owns
+    the FrozenModel (its replay buffers are single-owner, so more
+    threads would serialise on its lock anyway — the parallelism that
+    matters is inside the batched kernels).
+    """
+
+    def __init__(self, frozen, policy: BatchPolicy | None = None):
+        self.frozen = frozen
+        self.policy = policy or BatchPolicy()
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._closing = False
+        self._latencies: collections.deque = collections.deque(maxlen=100_000)
+        self._batch_sizes: collections.deque = collections.deque(maxlen=100_000)
+        self._requests = 0
+        self._completed = 0
+        self._timeouts = 0
+        self._rejected = 0
+        self._batches = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "Server":
+        """Spawn the batcher; idempotent."""
+        if self._task is not None:
+            return self
+        if not getattr(self.frozen, "_warmed", ()):
+            # Serving an unwarmed model would compile under traffic;
+            # pay it here instead.
+            self.frozen.warmup()
+        self._closing = False
+        self._queue = asyncio.Queue(maxsize=self.policy.max_queue)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._task = asyncio.get_running_loop().create_task(self._batcher())
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the batcher; ``drain=True`` finishes queued work first."""
+        if self._task is None:
+            return
+        self._closing = True
+        if not drain:
+            while not self._queue.empty():
+                req = self._queue.get_nowait()
+                if req is not None and not req.future.done():
+                    req.future.set_exception(
+                        ServerClosed("server stopped without drain")
+                    )
+        await self._queue.put(None)
+        await self._task
+        self._task = None
+        self._pool.shutdown(wait=True)
+        self._pool = None
+
+    async def __aenter__(self) -> "Server":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop(drain=True)
+
+    # ------------------------------------------------------------------
+    async def predict(self, points, timeout: float | None = None) -> np.ndarray:
+        """Await one request's prediction.
+
+        ``timeout`` (seconds) covers queueing + batching + compute; an
+        expired request that has not been dispatched is dropped without
+        computing, one already in flight raises but still completes its
+        batch.
+        """
+        if self._task is None or self._closing:
+            raise ServerClosed("server is not running")
+        points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+        if points.ndim == 1:
+            points = points[None, :]
+        if points.ndim != 2 or points.shape[1] != self.frozen.in_dim:
+            raise ValueError(
+                f"predict expects (N, {self.frozen.in_dim}) points, got "
+                f"shape {points.shape}"
+            )
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        req = _Request(points, future, deadline)
+        if self.policy.overload == "block":
+            await self._queue.put(req)
+        else:
+            try:
+                self._queue.put_nowait(req)
+            except asyncio.QueueFull:
+                self._rejected += 1
+                obs.metrics().counter("serve.rejected").inc()
+                raise ServeOverload(
+                    f"request queue full ({self.policy.max_queue}); retry "
+                    "or switch BatchPolicy(overload='block')"
+                ) from None
+        self._requests += 1
+        obs.metrics().counter("serve.requests").inc()
+        obs.metrics().gauge("serve.queue_depth").set(self._queue.qsize())
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._timeouts += 1
+            obs.metrics().counter("serve.timeouts").inc()
+            raise ServeTimeout(
+                f"request missed its {timeout * 1e3:.1f} ms deadline"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _expired(self, req: _Request, now: float) -> bool:
+        if req.future.done():
+            return True  # client gave up (wait_for cancelled the future)
+        if req.deadline is not None and now > req.deadline:
+            req.future.set_exception(
+                ServeTimeout("deadline expired before dispatch")
+            )
+            return True
+        return False
+
+    async def _batcher(self) -> None:
+        queue = self._queue
+        carry: _Request | None = None
+        while True:
+            if carry is not None:
+                first, carry = carry, None
+            else:
+                first = await queue.get()
+                if first is None:
+                    return
+            now = time.perf_counter()
+            if self._expired(first, now):
+                continue
+            batch = [first]
+            total = first.points.shape[0]
+            window = now + self.policy.max_wait_us / 1e6
+            stop_after = False
+            while total < self.policy.max_batch_points:
+                remaining = window - time.perf_counter()
+                if remaining <= 0:
+                    if queue.empty():
+                        break
+                    nxt = queue.get_nowait()
+                else:
+                    try:
+                        nxt = await asyncio.wait_for(queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is None:
+                    stop_after = True
+                    break
+                if self._expired(nxt, time.perf_counter()):
+                    continue
+                if total + nxt.points.shape[0] > self.policy.max_batch_points:
+                    carry = nxt
+                    break
+                batch.append(nxt)
+                total += nxt.points.shape[0]
+            await self._dispatch(batch, total)
+            if stop_after:
+                return
+
+    async def _dispatch(self, batch: list, total: int) -> None:
+        loop = asyncio.get_running_loop()
+        coalesced = (
+            batch[0].points if len(batch) == 1
+            else np.concatenate([r.points for r in batch], axis=0)
+        )
+        self._batches += 1
+        self._batch_sizes.append(len(batch))
+        obs.metrics().counter("serve.batches").inc()
+        obs.metrics().counter("serve.batched_points").inc(total)
+        obs.metrics().histogram("serve.batch_size").observe(len(batch))
+        try:
+            out = await loop.run_in_executor(
+                self._pool, self.frozen.predict, coalesced
+            )
+        except Exception as exc:
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        offset = 0
+        for req in batch:
+            n = req.points.shape[0]
+            if not req.future.done():
+                # Per-request copy: no request retains the whole batch.
+                req.future.set_result(np.array(out[offset:offset + n]))
+                self._completed += 1
+                self._latencies.append(done - req.enqueued)
+            offset += n
+        obs.metrics().timer("serve.batch_latency").observe(
+            done - batch[0].enqueued
+        )
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Counters plus latency percentiles over the recent reservoir."""
+        lat = np.asarray(self._latencies, dtype=np.float64)
+        sizes = np.asarray(self._batch_sizes, dtype=np.float64)
+        snap = {
+            "requests": self._requests,
+            "completed": self._completed,
+            "timeouts": self._timeouts,
+            "rejected": self._rejected,
+            "batches": self._batches,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "coalesce_ratio": (
+                float(sizes.mean()) if sizes.size else 0.0
+            ),
+        }
+        if lat.size:
+            p50, p99, p999 = np.percentile(lat, [50, 99, 99.9])
+            snap.update(
+                latency_p50_ms=p50 * 1e3,
+                latency_p99_ms=p99 * 1e3,
+                latency_p999_ms=p999 * 1e3,
+                latency_mean_ms=float(lat.mean()) * 1e3,
+            )
+        return snap

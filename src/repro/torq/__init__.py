@@ -59,7 +59,9 @@ from .compile import (
     ExecutionPlan,
     clear_plan_cache,
     compile_gates,
+    pin_plan,
     plan_cache_info,
+    unpin_plan,
 )
 from .reference import NaiveSimulator, gate_matrix, run_gates
 from .shift import (
@@ -104,6 +106,7 @@ __all__ = [
     "meyer_wallach", "single_qubit_purities",
     "QuantumLayer", "GRAD_METHODS", "INIT_STRATEGIES", "initial_circuit_params",
     "ExecutionPlan", "compile_gates", "clear_plan_cache", "plan_cache_info",
+    "pin_plan", "unpin_plan",
     "NaiveSimulator", "gate_matrix", "run_gates",
     "parameter_shift_grad", "batched_parameter_shift_grad",
     "batched_state_shift_vjp",

@@ -52,6 +52,7 @@ inside compiled plans.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Sequence
 
@@ -66,6 +67,8 @@ from .complexnum import ComplexTensor
 __all__ = [
     "ExecutionPlan",
     "compile_gates",
+    "pin_plan",
+    "unpin_plan",
     "clear_plan_cache",
     "plan_cache_info",
 ]
@@ -1016,9 +1019,20 @@ def _compile(gates, n_qubits: int) -> ExecutionPlan:
 
 _PLAN_CACHE: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
 _PLAN_CACHE_MAX = 512
+# Guards the cache dict, the counters, and the pinned set together: the
+# serve path compiles/looks up plans from executor threads concurrently
+# with the asyncio front end reading stats.
+_plan_cache_lock = threading.RLock()
 _cache_hits = 0
 _cache_misses = 0
 _cache_evictions = 0
+#: structure keys exempt from LRU eviction (a frozen model's warm plans
+#: must survive unrelated compile traffic; see :func:`pin_plan`).
+_PINNED_KEYS: set = set()
+
+
+def _plan_key(gates: tuple, n_qubits: int) -> tuple:
+    return (n_qubits, tuple((g.name, g.qubits, g.params) for g in gates))
 
 
 def compile_gates(gates: Sequence, n_qubits: int, cache: bool = True) -> ExecutionPlan:
@@ -1028,54 +1042,99 @@ def compile_gates(gates: Sequence, n_qubits: int, cache: bool = True) -> Executi
     Plans are keyed on circuit *structure* — gate names, qubits, and
     parameter indices — so circuits that differ only in parameter values
     share one plan and replay it every training step.  The cache evicts
-    least-recently-used plans once full; hit/miss/eviction counts surface
+    least-recently-used plans once full (pinned plans are skipped — see
+    :func:`pin_plan`); hit/miss/eviction counts surface
     through :func:`plan_cache_info` and (when profiling is active) the
     ``torq.plan.cache`` counters of the :mod:`repro.obs` registry.
+    Thread-safe: lookups, insertion, and statistics share one lock.
     """
     global _cache_hits, _cache_misses, _cache_evictions
     gates = tuple(gates)
     if not cache:
         return _compile(gates, n_qubits)
-    key = (n_qubits, tuple((g.name, g.qubits, g.params) for g in gates))
-    plan = _PLAN_CACHE.get(key)
-    if plan is not None:
-        _PLAN_CACHE.move_to_end(key)
-        _cache_hits += 1
-        if obs.is_profiling():
-            obs.metrics().counter("torq.plan.cache", outcome="hit").inc()
-        return plan
-    _cache_misses += 1
+    key = _plan_key(gates, n_qubits)
+    with _plan_cache_lock:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_CACHE.move_to_end(key)
+            _cache_hits += 1
+            if obs.is_profiling():
+                obs.metrics().counter("torq.plan.cache", outcome="hit").inc()
+            return plan
+        _cache_misses += 1
     if obs.is_profiling():
         obs.metrics().counter("torq.plan.cache", outcome="miss").inc()
     plan = _compile(gates, n_qubits)
-    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-        _PLAN_CACHE.popitem(last=False)  # least recently used
-        _cache_evictions += 1
-        if obs.is_profiling():
-            obs.metrics().counter("torq.plan.cache", outcome="eviction").inc()
-    _PLAN_CACHE[key] = plan
+    with _plan_cache_lock:
+        existing = _PLAN_CACHE.get(key)
+        if existing is not None:
+            # Another thread compiled the same structure while we were;
+            # keep the first plan so every caller shares one object.
+            _PLAN_CACHE.move_to_end(key)
+            return existing
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            for victim in _PLAN_CACHE:
+                if victim not in _PINNED_KEYS:
+                    del _PLAN_CACHE[victim]  # least recently used
+                    _cache_evictions += 1
+                    if obs.is_profiling():
+                        obs.metrics().counter(
+                            "torq.plan.cache", outcome="eviction"
+                        ).inc()
+                    break
+        _PLAN_CACHE[key] = plan
     if obs.is_profiling():
         obs.metrics().counter("torq.plan.compiled").inc()
         obs.metrics().counter("torq.plan.fused_gates").inc(plan.fused_gates)
     return plan
 
 
+def pin_plan(gates: Sequence, n_qubits: int) -> ExecutionPlan:
+    """Compile + cache a plan and exempt it from LRU eviction.
+
+    Serving warmup pins the frozen model's plans so a burst of unrelated
+    ``compile_gates`` traffic can never evict them and reintroduce
+    compilation into the request path.  Returns the (shared) plan.
+    Unpin by key via :func:`unpin_plan`; :func:`clear_plan_cache` drops
+    all pins.
+    """
+    gates = tuple(gates)
+    plan = compile_gates(gates, n_qubits, cache=True)
+    with _plan_cache_lock:
+        _PINNED_KEYS.add(_plan_key(gates, n_qubits))
+    return plan
+
+
+def unpin_plan(gates: Sequence, n_qubits: int) -> bool:
+    """Remove a pin added by :func:`pin_plan`; returns whether it existed."""
+    with _plan_cache_lock:
+        try:
+            _PINNED_KEYS.remove(_plan_key(tuple(gates), n_qubits))
+            return True
+        except KeyError:
+            return False
+
+
 def clear_plan_cache() -> None:
-    """Drop every cached plan (and reset hit/miss/eviction statistics)."""
+    """Drop every cached plan, pin, and hit/miss/eviction statistic."""
     global _cache_hits, _cache_misses, _cache_evictions
-    _PLAN_CACHE.clear()
-    _cache_hits = 0
-    _cache_misses = 0
-    _cache_evictions = 0
+    with _plan_cache_lock:
+        _PLAN_CACHE.clear()
+        _PINNED_KEYS.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+        _cache_evictions = 0
 
 
 def plan_cache_info() -> dict:
     """Cache statistics: ``{"size", "capacity", "hits", "misses",
-    "evictions"}``."""
-    return {
-        "size": len(_PLAN_CACHE),
-        "capacity": _PLAN_CACHE_MAX,
-        "hits": _cache_hits,
-        "misses": _cache_misses,
-        "evictions": _cache_evictions,
-    }
+    "evictions", "pinned"}``."""
+    with _plan_cache_lock:
+        return {
+            "size": len(_PLAN_CACHE),
+            "capacity": _PLAN_CACHE_MAX,
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "evictions": _cache_evictions,
+            "pinned": len(_PINNED_KEYS),
+        }

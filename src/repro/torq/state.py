@@ -13,6 +13,7 @@ any tensors the angles were computed from.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -26,6 +27,7 @@ from .complexnum import ComplexTensor
 __all__ = [
     "QuantumState",
     "zero_state",
+    "zero_cache_info",
     "zero_planes_into",
     "apply_single_qubit",
     "apply_rx",
@@ -90,11 +92,22 @@ _ZERO_CACHE: "OrderedDict[tuple[int, int, str], tuple[np.ndarray, np.ndarray]]" 
     OrderedDict()
 )
 _ZERO_CACHE_MAX = 8
+# The cached bases are read-only, but the OrderedDict itself is not:
+# concurrent serve executors looking up different batch shapes must not
+# corrupt its links mid-eviction.
+_zero_cache_lock = threading.Lock()
 
 
 def _clear_zero_cache() -> None:
     """Drop cached zero-state bases (test hook)."""
-    _ZERO_CACHE.clear()
+    with _zero_cache_lock:
+        _ZERO_CACHE.clear()
+
+
+def zero_cache_info() -> dict:
+    """Cache statistics: ``{"size", "capacity"}``."""
+    with _zero_cache_lock:
+        return {"size": len(_ZERO_CACHE), "capacity": _ZERO_CACHE_MAX}
 
 
 def zero_state(batch: int, n_qubits: int, dtype=np.float64) -> QuantumState:
@@ -110,18 +123,19 @@ def zero_state(batch: int, n_qubits: int, dtype=np.float64) -> QuantumState:
         raise ValueError("need at least one qubit")
     dtype = np.dtype(dtype)
     key = (int(batch), int(n_qubits), dtype.str)
-    cached = _ZERO_CACHE.get(key)
-    if cached is not None:
-        _ZERO_CACHE.move_to_end(key)
-    else:
-        re = np.zeros((batch,) + (2,) * n_qubits, dtype=dtype)
-        re[(slice(None),) + (0,) * n_qubits] = 1.0
-        im = np.zeros_like(re)
-        re.flags.writeable = False
-        im.flags.writeable = False
-        if len(_ZERO_CACHE) >= _ZERO_CACHE_MAX:
-            _ZERO_CACHE.popitem(last=False)
-        _ZERO_CACHE[key] = cached = (re, im)
+    with _zero_cache_lock:
+        cached = _ZERO_CACHE.get(key)
+        if cached is not None:
+            _ZERO_CACHE.move_to_end(key)
+        else:
+            re = np.zeros((batch,) + (2,) * n_qubits, dtype=dtype)
+            re[(slice(None),) + (0,) * n_qubits] = 1.0
+            im = np.zeros_like(re)
+            re.flags.writeable = False
+            im.flags.writeable = False
+            if len(_ZERO_CACHE) >= _ZERO_CACHE_MAX:
+                _ZERO_CACHE.popitem(last=False)
+            _ZERO_CACHE[key] = cached = (re, im)
     if obs.is_profiling():
         obs.metrics().counter("torq.state.alloc", n_qubits=n_qubits).inc()
         obs.metrics().histogram("torq.state.batch").observe(batch)

@@ -7,6 +7,7 @@ outputs exactly — including steps whose loss contains second-order
 """
 
 import threading
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -19,6 +20,9 @@ from repro.autodiff import tensor as tensor_mod
 from repro.autodiff.tape import (
     CompiledStep,
     TapeFallback,
+    _k_matmul_rowstable,
+    _k_tensor_sum_rowstable,
+    compile_forward,
     compile_step,
     trace,
 )
@@ -560,3 +564,172 @@ class TestTensorSatellites:
         x.grad = np.ones(2)
         x.zero_grad()
         assert x.grad is None
+
+
+# ----------------------------------------------------------------------
+# Forward-only inference replay (compile_forward)
+# ----------------------------------------------------------------------
+
+def _mlp_forward(params):
+    def fwd(a):
+        return _mlp(params, ad.as_tensor(a))
+
+    return fwd
+
+
+class TestForwardOnly:
+    """compile_forward: no backward planes, no grad buffers, wider op set."""
+
+    def test_trace_forward_only_drops_backward(self, rng):
+        params = _mlp_params(rng)
+        arrays = (rng.normal(size=(6, 3)),)
+        tape, result = trace(_mlp_forward(params), arrays, params,
+                             forward_only=True)
+        assert tape.forward_only
+        assert tape.grad_refs == []
+        # replay carries the forward output but no gradients
+        executor = tape.compile()
+        out, grads, _aux = executor.replay(arrays)
+        assert grads == []
+        assert np.shape(out) == np.shape(result[0])
+
+    def test_steady_replay_allocates_no_grad_buffers(self, rng):
+        """Steady-state forward-only replay never allocates gradient (or
+        any other per-parameter-sized) buffers: total allocations across
+        many replays stay below the size of a single grad buffer."""
+        params = _mlp_params(rng, sizes=(64, 128, 1))
+        cf = compile_forward(_mlp_forward(params), name="tm")
+        x = rng.uniform(-1.0, 1.0, size=(32, 64))
+        for _ in range(6):  # trace, validate, freeze-check, steady
+            cf(x)
+        assert cf.disabled is None
+        grad_buffer_bytes = params[0].data.nbytes  # (64, 128) float64
+        tracemalloc.start()
+        for _ in range(20):
+            cf(x)
+        _cur, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < grad_buffer_bytes
+
+    @pytest.mark.parametrize("op_name,op", [
+        ("relu", lambda t: ad.relu(t)),
+        ("clip", lambda t: ad.clip(t, -0.5, 0.5)),
+        ("absolute", lambda t: ad.absolute(t)),
+        ("amax", lambda t: ad.amax(t, axis=1, keepdims=True) * t),
+        ("amin", lambda t: ad.amin(t, axis=1, keepdims=True) + t),
+        ("maximum", lambda t: ad.maximum(t, 0.25)),
+        ("minimum", lambda t: ad.minimum(t, 0.25)),
+        ("where", lambda t: ad.where(ad.sign(t), t, t * 0.1)),
+    ])
+    def test_data_dependent_ops_replay_forward_only(self, rng, op_name, op):
+        """Ops whose VJPs freeze masks are fine forward-only: the replay
+        kernels recompute the mask from each call's fresh inputs."""
+        cf = compile_forward(lambda a: op(ad.as_tensor(a)), name=op_name)
+        x = rng.uniform(-1.0, 1.0, size=(16, 8))
+        with ad.no_grad():
+            ref = op(ad.as_tensor(x)).data
+        for _ in range(5):
+            assert np.array_equal(cf(x), ref)
+        assert cf.disabled is None
+        # fresh inputs -> fresh masks, not the traced ones
+        x2 = rng.uniform(-1.0, 1.0, size=(16, 8))
+        with ad.no_grad():
+            ref2 = op(ad.as_tensor(x2)).data
+        assert np.array_equal(cf(x2), ref2)
+
+    def test_data_dependent_op_still_falls_back_in_training(self, rng):
+        """The same op that replays forward-only keeps tripping the
+        training-trace fallback (its VJP captures the mask)."""
+        w = Tensor(rng.normal(size=(8, 1)), requires_grad=True)
+
+        def fn(a):
+            return (ad.relu(Tensor(a)) @ w).mean()
+
+        step = compile_step(fn, [w])
+        arrays = (rng.normal(size=(4, 8)),)
+        _assert_step_matches(step, fn, arrays, [w])
+        assert "data-dependent" in step.disabled
+
+    def test_input_independent_forward_falls_back(self, rng):
+        """A forward that never touches its traced input (e.g. stale op
+        references bypassing the trace shims) must not be frozen — the
+        replay would serve the traced answer as a constant forever."""
+        const = Tensor(rng.normal(size=(4, 2)))
+
+        def fn(a):  # ignores its input entirely
+            return ad.tanh(const) * 2.0
+
+        cf = compile_forward(fn, name="constfold")
+        x = rng.normal(size=(4, 2))
+        out = cf(x)
+        assert "does not depend" in cf.disabled
+        with ad.no_grad():
+            assert np.array_equal(out, (ad.tanh(const) * 2.0).data)
+
+
+# ----------------------------------------------------------------------
+# Row-stable kernels (batch-invariant serving replay)
+# ----------------------------------------------------------------------
+
+class TestRowStableKernels:
+    """Per-row results must not depend on the batch they ride in."""
+
+    @pytest.mark.parametrize("n", [1, 3, 7, 31, 32, 33, 64, 100])
+    def test_matmul_rows_invariant_across_batch_sizes(self, rng, n):
+        a = rng.normal(size=(n, 24))
+        b = rng.normal(size=(24, 3))
+        batched = _k_matmul_rowstable(a, b)
+        for i in range(0, n, max(1, n // 7)):
+            alone = _k_matmul_rowstable(a[i:i + 1], b)
+            assert np.array_equal(batched[i], alone[0])
+        assert np.allclose(batched, a @ b, rtol=0, atol=1e-12)
+
+    def test_matmul_out_param_and_non2d_passthrough(self, rng):
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(4, 2))
+        out = np.empty((5, 2))
+        assert _k_matmul_rowstable(a, b, out=out) is out
+        assert np.array_equal(out, _k_matmul_rowstable(a, b))
+        # stacked operands already have batch-independent GEMM shapes
+        a3 = rng.normal(size=(3, 2, 2))
+        b3 = rng.normal(size=(3, 2, 2))
+        assert np.array_equal(_k_matmul_rowstable(a3, b3),
+                              np.matmul(a3, b3))
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 33])
+    def test_tensor_sum_rows_invariant_across_batch_sizes(self, rng, n):
+        a = rng.normal(size=(n, 2, 2, 2))
+        batched = _k_tensor_sum_rowstable(a, axis=(1, 2, 3))
+        for i in range(n):
+            alone = _k_tensor_sum_rowstable(a[i:i + 1], axis=(1, 2, 3))
+            assert batched[i] == alone[0]
+        assert np.allclose(batched, a.sum(axis=(1, 2, 3)),
+                           rtol=0, atol=1e-12)
+
+    def test_tensor_sum_keepdims_and_axis0_passthrough(self, rng):
+        a = rng.normal(size=(4, 3, 2))
+        kept = _k_tensor_sum_rowstable(a, axis=(1, 2), keepdims=True)
+        assert kept.shape == (4, 1, 1)
+        assert np.array_equal(
+            kept.ravel(), _k_tensor_sum_rowstable(a, axis=(1, 2)))
+        # reductions over axis 0 mix rows by definition: plain sum
+        assert np.array_equal(_k_tensor_sum_rowstable(a, axis=0),
+                              a.sum(axis=0))
+        assert np.array_equal(_k_tensor_sum_rowstable(a, axis=None),
+                              a.sum())
+
+    def test_compiled_forward_rows_batch_invariant(self, rng):
+        """End to end: a row predicted alone is bitwise the row predicted
+        inside any batch — the micro-batching server's contract."""
+        params = _mlp_params(rng, sizes=(3, 16, 1))
+        cf = compile_forward(_mlp_forward(params), name="rowstable")
+        x = rng.uniform(-1.0, 1.0, size=(37, 3))
+        for _ in range(4):
+            batched = cf(x)
+        batched = np.array(batched, copy=True)
+        for i in [0, 5, 17, 36]:
+            row = np.ascontiguousarray(x[i:i + 1])
+            for _ in range(4):
+                alone = cf(row)
+            assert np.array_equal(batched[i], alone[0])
+        assert cf.disabled is None
