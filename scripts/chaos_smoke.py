@@ -27,6 +27,16 @@ Runs the :mod:`repro.resilience` fault-injection scenarios against real
                          checkpoint and the result is bitwise equal to a
                          never-killed run, with zero leaked SharedMemory
                          segments.
+* **campaign-kill-resume** — a 2-job campaign has both workers SIGKILLed
+                         mid-training and the supervisor killed after the
+                         first job completes; a fresh ``run_campaign``
+                         against the same workdir replays the journal and
+                         finishes, and the report's deterministic payload
+                         is byte-identical to a never-killed campaign.
+
+A scenario that *raises* is recorded as failed (with the traceback tail)
+instead of aborting the smoke run, so the report always covers every
+scenario and the exit code is non-zero whenever any of them failed.
 
 Usage::
 
@@ -198,6 +208,67 @@ def scenario_dist_rank_kill(workdir: Path) -> dict:
             "leaked_segments": leaked}
 
 
+def scenario_campaign_kill_resume(workdir: Path) -> dict:
+    from repro.campaign import (
+        CampaignChaos,
+        CampaignConfig,
+        CampaignSpec,
+        SupervisorKilled,
+        deterministic_payload,
+        run_campaign,
+    )
+
+    spec = CampaignSpec(
+        name="chaos-smoke", runner="pde", seeds=(0, 1),
+        configs={"sch": {"problem": "schrodinger"}},
+        base={"epochs": 8, "n_collocation": 32, "n_data": 8,
+              "hidden": 12, "resample_every": 4},
+    )
+    clean = run_campaign(spec, CampaignConfig(
+        workdir=workdir / "campaign-clean", workers=2,
+        heartbeat_timeout_s=300.0))
+
+    chaos_cfg = CampaignConfig(
+        workdir=workdir / "campaign-chaos", workers=2,
+        heartbeat_timeout_s=300.0, backoff_base_s=0.01,
+        chaos=CampaignChaos(
+            kill_at={"sch-s0": {0: 3}, "sch-s1": {0: 5, 1: 6}},
+            kill_supervisor_after_done=1,
+        ),
+    )
+    supervisor_died = False
+    try:
+        run_campaign(spec, chaos_cfg)
+    except SupervisorKilled:
+        supervisor_died = True
+    resumed = run_campaign(spec, CampaignConfig(
+        workdir=workdir / "campaign-chaos", workers=2,
+        heartbeat_timeout_s=300.0, backoff_base_s=0.01))
+
+    bitwise = deterministic_payload(clean) == deterministic_payload(resumed)
+    attempts = {j: v["attempts"]
+                for j, v in resumed["execution"]["per_job"].items()}
+    ok = (supervisor_died and bitwise and resumed["status"] == "complete"
+          and sum(attempts.values()) > len(attempts))
+    return {"passed": bool(ok),
+            "supervisor_died": supervisor_died,
+            "bitwise_payload": bool(bitwise),
+            "status": resumed["status"],
+            "attempts": attempts}
+
+
+def run_scenario(fn, *args) -> dict:
+    """One scenario, crash-proofed: a raise is a failure, not an abort."""
+    import traceback
+
+    try:
+        return fn(*args)
+    except Exception as exc:  # noqa: BLE001 - reported in the record
+        tb = traceback.format_exc().strip().splitlines()
+        return {"passed": False, "error": f"{type(exc).__name__}: {exc}",
+                "traceback_tail": tb[-3:]}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path,
@@ -212,19 +283,24 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
         workdir = Path(tmp)
         print("chaos smoke: exercising every recovery path")
-        scenarios["nan-rollback"] = scenario_nan_rollback()
-        scenarios["preempt-resume-compiled"] = scenario_preempt_resume(
-            True, workdir)
-        scenarios["preempt-resume-uncompiled"] = scenario_preempt_resume(
-            False, workdir)
-        scenarios["corrupt-fallback"] = scenario_corrupt_fallback(workdir)
-        scenarios["failed-write"] = scenario_failed_write(workdir)
-        scenarios["dist-rank-kill"] = scenario_dist_rank_kill(workdir)
+        scenarios["nan-rollback"] = run_scenario(scenario_nan_rollback)
+        scenarios["preempt-resume-compiled"] = run_scenario(
+            scenario_preempt_resume, True, workdir)
+        scenarios["preempt-resume-uncompiled"] = run_scenario(
+            scenario_preempt_resume, False, workdir)
+        scenarios["corrupt-fallback"] = run_scenario(
+            scenario_corrupt_fallback, workdir)
+        scenarios["failed-write"] = run_scenario(
+            scenario_failed_write, workdir)
+        scenarios["dist-rank-kill"] = run_scenario(
+            scenario_dist_rank_kill, workdir)
+        scenarios["campaign-kill-resume"] = run_scenario(
+            scenario_campaign_kill_resume, workdir)
 
     counters = sorted(
         (s for s in obs.metrics().snapshot()
          if s["kind"] == "counter"
-         and s["name"].startswith(("resilience.", "dist."))),
+         and s["name"].startswith(("resilience.", "dist.", "campaign."))),
         key=lambda s: s["name"],
     )
     all_passed = all(s["passed"] for s in scenarios.values())

@@ -1,0 +1,96 @@
+"""Preemptible sweep orchestration for the paper's multi-seed campaigns.
+
+``repro.campaign`` turns "N seeds × M trainer configs" into a
+crash-convergent batch run:
+
+* :class:`CampaignSpec` expands deterministically into jobs with stable
+  ids (``<config>-s<seed>``);
+* :class:`JobQueue` persists every state transition to an append-only
+  JSONL :class:`Journal`, so queue state is a pure fold the supervisor
+  can re-derive after any crash;
+* :func:`run_campaign` supervises a spawned worker pool with per-job
+  timeout, heartbeat hang detection, bounded exponential-backoff retry
+  and graceful degradation — permanently failed jobs are *named* in the
+  report, not fatal to the campaign;
+* every job trains under ``resume_from="auto"`` bitwise checkpointing,
+  so killing any worker — or the supervisor — at any point converges to
+  a byte-identical deterministic report payload
+  (:func:`deterministic_payload`);
+* :class:`CampaignMonitor` watches per-epoch gradient-variance
+  telemetry for the paper's barren-plateau and black-hole failure modes
+  and applies the configured mitigation online.
+
+**Spec format.** A campaign is ``base`` parameters shared by every job,
+per-config overrides, and a seed axis; it round-trips through JSON::
+
+    spec = CampaignSpec(
+        name="table2-mini",
+        runner="maxwell",              # or "pde", "serve_probe",
+        seeds=(0, 1, 2),               # .. or "module:function"
+        configs={
+            "pinn-regular": {"arch": "pinn", "depth": 2},
+            "qpinn-basic": {"arch": "qpinn", "n_qubits": 4},
+        },
+        base={"case": "vacuum", "epochs": 12},
+    )
+    report = run_campaign(spec, CampaignConfig(workdir="sweep", workers=4))
+
+**Retry/backoff semantics.** A worker that dies (any non-zero exit,
+SIGKILL, hang past ``heartbeat_timeout_s``, or ``job_timeout_s``)
+charges the job one *failure* and requeues it after
+``backoff_base_s * backoff_factor**(failures-1)`` seconds (capped at
+``backoff_max_s``); at ``max_failures`` the job is parked as ``failed``
+and the campaign continues.  A worker that exits *cleanly* after an
+operator SIGTERM is requeued without charging the budget.
+
+**Crash-convergence guarantee.** Journal replay reconstructs queue
+state exactly; checkpoint resume reconstructs trainer state bitwise;
+persisted telemetry reconstructs the loss series and monitor verdicts.
+Composed, they give the campaign invariant CI enforces: for any kill
+schedule that stays within each job's retry budget,
+``deterministic_payload(chaos_run) == deterministic_payload(clean_run)``
+byte for byte.
+
+See ``scripts/run_campaign.py`` for the mini Table-2 reproduction (and
+its ``--bench`` / ``--serve-load`` modes).
+"""
+
+from .journal import Journal, JournalCorruptError
+from .monitor import CampaignMonitor, MonitorConfig
+from .queue import DONE, FAILED, PENDING, RUNNING, JobQueue, JobState
+from .report import build_report, deterministic_payload, write_report
+from .spec import CampaignSpec, JobSpec, canonical_json
+from .supervisor import (
+    CampaignChaos,
+    CampaignConfig,
+    SupervisorKilled,
+    run_campaign,
+)
+from .worker import JobContext, read_telemetry, register_runner, resolve_runner
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "canonical_json",
+    "Journal",
+    "JournalCorruptError",
+    "JobQueue",
+    "JobState",
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "MonitorConfig",
+    "CampaignMonitor",
+    "CampaignConfig",
+    "CampaignChaos",
+    "SupervisorKilled",
+    "run_campaign",
+    "build_report",
+    "deterministic_payload",
+    "write_report",
+    "JobContext",
+    "register_runner",
+    "resolve_runner",
+    "read_telemetry",
+]

@@ -1,0 +1,78 @@
+"""Append-only JSONL journal: the queue's crash-safe source of truth.
+
+Every job state transition is one JSON line appended with
+``write → flush → fsync``, so the journal on disk is always a prefix of
+the transitions that actually happened — a crash can at worst lose the
+transition *being* written, never reorder or corrupt earlier ones.
+:meth:`Journal.replay` therefore tolerates exactly one torn artifact: a
+trailing partial line (counted under ``campaign.journal.torn_tail``),
+which is dropped.  Anything else malformed mid-file means the file was
+edited or the disk lies, and raises.
+
+The journal is append-only by design: "requeue this crashed job" is a
+*new* line, not a mutation, so two supervisors that observed the same
+prefix reconstruct the same queue state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..obs.registry import metrics
+
+__all__ = ["Journal", "JournalCorruptError"]
+
+
+class JournalCorruptError(RuntimeError):
+    """A non-tail journal line failed to parse: the file was tampered."""
+
+
+class Journal:
+    """One append-only JSONL transition log for a campaign directory."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, record: dict) -> None:
+        """Durably append one transition (single line, fsync'd)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        if "\n" in line:  # pragma: no cover - json never emits newlines
+            raise ValueError("journal records must serialise to one line")
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        metrics().counter("campaign.journal.appends").inc()
+
+    def replay(self) -> list[dict]:
+        """All durably recorded transitions, oldest first.
+
+        A torn trailing line (crash mid-append) is dropped and counted;
+        a malformed line *followed by further lines* raises
+        :class:`JournalCorruptError` with the offending line number.
+        """
+        if not self.path.exists():
+            return []
+        raw = self.path.read_text(encoding="utf-8")
+        lines = raw.split("\n")
+        # A well-formed file ends with "\n", so the final split element
+        # is empty; anything non-empty there is a torn tail candidate.
+        records = []
+        last = len(lines) - 1
+        for i, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == last:
+                    metrics().counter("campaign.journal.torn_tail").inc()
+                    continue
+                raise JournalCorruptError(
+                    f"{self.path} line {i + 1} is malformed but not the "
+                    f"trailing line — the journal was corrupted in place"
+                ) from None
+        return records

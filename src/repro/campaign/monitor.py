@@ -1,0 +1,168 @@
+"""Online black-hole / barren-plateau detection for campaign jobs.
+
+The paper's failure modes show up in the gradient-variance telemetry the
+trainers already record (Fig. 10c–d): a **barren plateau** never leaves
+the near-zero-variance regime, while a **black-hole collapse** learns
+first and then crashes its gradient variance by orders of magnitude from
+the running peak (the trivial-solution attractor of §5, studied online
+in Chen et al., arXiv:2506.23246).  :class:`CampaignMonitor` watches the
+per-epoch ``(loss, grad_norm, grad_variance)`` stream through the
+trainers' ``epoch_hook`` and applies the configured reaction:
+
+* ``"record"``     — log the verdict in the job result, keep training,
+* ``"early_stop"`` — stop the doomed run cleanly (the epochs saved are
+  the whole point of campaign-level detection),
+* ``"lr_cut"``     — scale the optimizer lr *by assignment* (idempotent,
+  so crash/resume replay converges) and keep training.
+
+Every decision is a pure function of the epoch-indexed telemetry
+series.  Combined with bitwise checkpoint resume, that makes monitor
+verdicts **crash-convergent**: a killed-and-resumed job re-derives the
+same verdict at the same epoch, because the worker persists the series
+(``telemetry.jsonl``) and replays the pre-resume prefix through
+:meth:`CampaignMonitor.preload` before training continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MonitorConfig", "CampaignMonitor"]
+
+ACTIONS = ("record", "early_stop", "lr_cut")
+
+HEALTHY = "healthy"
+BARREN_PLATEAU = "barren_plateau"
+BLACK_HOLE = "black_hole"
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Detection thresholds and the reaction to a firing detector."""
+
+    #: gradient variances below this are "no signal" (plateau regime)
+    var_floor: float = 1e-12
+    #: black-hole trigger: variance fell to < peak/collapse_ratio
+    collapse_ratio: float = 1e4
+    #: consecutive epochs the condition must hold before firing
+    window: int = 8
+    #: no verdict before this many epochs have been observed
+    min_epochs: int = 10
+    #: reaction when a detector fires ("record" | "early_stop" | "lr_cut")
+    action: str = "early_stop"
+    #: lr multiplier applied (once, by assignment) under ``"lr_cut"``
+    lr_cut_factor: float = 0.5
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown monitor action {self.action!r}; one of {ACTIONS}"
+            )
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "var_floor": self.var_floor,
+            "collapse_ratio": self.collapse_ratio,
+            "window": self.window, "min_epochs": self.min_epochs,
+            "action": self.action, "lr_cut_factor": self.lr_cut_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MonitorConfig":
+        return cls(**payload)
+
+
+class CampaignMonitor:
+    """Per-job detector state machine fed by the trainer epoch hook."""
+
+    def __init__(self, config: MonitorConfig | None = None,
+                 optimizer=None):
+        self.config = config if config is not None else MonitorConfig()
+        self.optimizer = optimizer
+        self._base_lr = getattr(optimizer, "lr", None)
+        #: epoch → (loss, grad_norm, grad_variance)
+        self.entries: dict[int, tuple] = {}
+        self._peak_var = 0.0
+        #: first firing, as a JSON-able record; ``None`` while healthy
+        self.decision: dict | None = None
+
+    # ------------------------------------------------------------------
+    def attach_optimizer(self, optimizer) -> None:
+        """Bind the live optimizer (needed only for ``lr_cut``)."""
+        self.optimizer = optimizer
+        self._base_lr = float(optimizer.lr)
+
+    # ------------------------------------------------------------------
+    def preload(self, rows) -> None:
+        """Replay persisted telemetry from a previous attempt.
+
+        ``rows`` are ``(epoch, loss, grad_norm, grad_variance)`` tuples.
+        Re-deriving the decision (and re-asserting an lr cut) here is
+        what keeps verdicts identical across kill/resume cycles.
+        """
+        for epoch, loss, norm, var in sorted(rows):
+            self._ingest(int(epoch), float(loss), float(norm), float(var))
+
+    def observe(self, epoch: int, loss: float, grad_norm: float,
+                grad_variance: float):
+        """Trainer epoch hook: returns a stop-reason string or ``False``."""
+        self._ingest(epoch, loss, grad_norm, grad_variance)
+        if self.decision is not None and self.config.action == "early_stop":
+            d = self.decision
+            return (f"campaign monitor: {d['verdict']} detected at epoch "
+                    f"{d['epoch']} (early stop)")
+        return False
+
+    # ------------------------------------------------------------------
+    def _ingest(self, epoch: int, loss: float, norm: float,
+                var: float) -> None:
+        self.entries[epoch] = (loss, norm, var)
+        if var > self._peak_var:
+            self._peak_var = var
+        if self.decision is None:
+            verdict = self._verdict_at(epoch)
+            if verdict is not None:
+                self._fire(verdict, epoch)
+
+    def _verdict_at(self, epoch: int) -> str | None:
+        cfg = self.config
+        if epoch + 1 < max(cfg.min_epochs, cfg.window):
+            return None
+        window = range(epoch - cfg.window + 1, epoch + 1)
+        try:
+            variances = [self.entries[e][2] for e in window]
+        except KeyError:
+            # A gap in the series (should not happen: telemetry lines
+            # are flushed before any later checkpoint can be written).
+            return None
+        if all(v < cfg.var_floor for v in variances):
+            return BARREN_PLATEAU
+        collapse_level = self._peak_var / cfg.collapse_ratio
+        if self._peak_var > cfg.var_floor and all(
+            v < collapse_level for v in variances
+        ):
+            return BLACK_HOLE
+        return None
+
+    def _fire(self, verdict: str, epoch: int) -> None:
+        from ..obs.registry import metrics
+
+        self.decision = {
+            "verdict": verdict, "epoch": int(epoch),
+            "action": self.config.action,
+        }
+        metrics().counter(f"campaign.monitor.{verdict}").inc()
+        if self.config.action == "lr_cut" and self.optimizer is not None:
+            # Assignment (not multiplication): replaying this decision
+            # after a crash/resume lands on the same lr, bitwise.
+            self.optimizer.lr = self._base_lr * self.config.lr_cut_factor
+            self.decision["lr"] = self.optimizer.lr
+
+    # ------------------------------------------------------------------
+    def as_record(self) -> dict:
+        """JSON-able verdict for the job result / campaign report."""
+        if self.decision is None:
+            return {"verdict": HEALTHY, "epoch": None, "action": None}
+        return dict(self.decision)

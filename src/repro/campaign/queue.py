@@ -1,0 +1,202 @@
+"""Journal-backed job queue with crash-convergent state reconciliation.
+
+The queue's in-memory table is always a pure fold of (job list ×
+journal transitions): replaying the same journal against the same spec
+reconstructs the same state, no matter how many times the supervisor
+died and restarted in between.  The fold applies one healing rule — a
+job that was ``running`` when the journal ends was owned by a process
+that no longer exists, so it is requeued as ``pending`` with its attempt
+count preserved.  ``done`` and ``failed`` are terminal and survive any
+restart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..obs.registry import metrics
+from .journal import Journal
+from .spec import JobSpec
+
+__all__ = ["JobState", "JobQueue",
+           "PENDING", "RUNNING", "DONE", "FAILED"]
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class JobState:
+    """Mutable per-job bookkeeping derived from the journal."""
+
+    spec: JobSpec
+    status: str = PENDING
+    #: number of worker attempts *started* so far
+    attempts: int = 0
+    #: number of *failed* attempts (clean interrupts don't count: a
+    #: SIGTERM'd worker that checkpointed and exited deliberately must
+    #: not burn the retry budget)
+    failures: int = 0
+    #: monotonic time before which the job may not be claimed (backoff)
+    not_before: float = 0.0
+    #: last failure message (retries and permanent failures)
+    error: str | None = None
+    #: deterministic result summary recorded at ``done``
+    result: dict | None = None
+    #: wall seconds accumulated across attempts (telemetry only)
+    wall_s: float = 0.0
+
+
+class JobQueue:
+    """The campaign's job table, persisted through a :class:`Journal`."""
+
+    def __init__(self, journal: Journal, jobs: list[JobSpec]):
+        self.journal = journal
+        self.jobs: dict[str, JobState] = {
+            j.job_id: JobState(spec=j) for j in jobs
+        }
+        self._order = [j.job_id for j in jobs]
+        self._reconcile(journal.replay())
+
+    # ------------------------------------------------------------------
+    # Journal fold
+    # ------------------------------------------------------------------
+    def _reconcile(self, records: list[dict]) -> None:
+        healed = 0
+        for rec in records:
+            job = self.jobs.get(rec.get("job"))
+            if job is None:
+                # A journal from a *different* spec is refused upstream
+                # (fingerprint pin); an unknown id here means the spec
+                # shrank — ignore the orphan transition.
+                metrics().counter("campaign.journal.orphans").inc()
+                continue
+            kind = rec.get("t")
+            if kind == "start":
+                job.status = RUNNING
+                job.attempts = int(rec.get("attempt", job.attempts)) + 1
+            elif kind == "retry":
+                job.status = PENDING
+                job.error = rec.get("error")
+                job.failures = int(rec.get("failures", job.failures + 1))
+            elif kind == "interrupted":
+                job.status = PENDING
+            elif kind == "done":
+                job.status = DONE
+                job.result = rec.get("result")
+                job.error = None
+            elif kind == "failed":
+                job.status = FAILED
+                job.error = rec.get("error")
+                job.failures = int(rec.get("failures", job.failures + 1))
+        for job in self.jobs.values():
+            if job.status == RUNNING:
+                # The process that owned this job died with the previous
+                # supervisor: requeue, attempt count preserved.
+                job.status = PENDING
+                healed += 1
+        if healed:
+            metrics().counter("campaign.queue.healed").inc(healed)
+
+    # ------------------------------------------------------------------
+    # Claiming
+    # ------------------------------------------------------------------
+    def claimable(self, now: float | None = None) -> list[JobState]:
+        """Pending jobs whose backoff window has elapsed, stable order."""
+        now = time.monotonic() if now is None else now
+        return [
+            self.jobs[jid] for jid in self._order
+            if self.jobs[jid].status == PENDING
+            and self.jobs[jid].not_before <= now
+        ]
+
+    def next_wakeup(self, now: float | None = None) -> float | None:
+        """Seconds until the earliest backed-off job becomes eligible."""
+        now = time.monotonic() if now is None else now
+        waits = [
+            j.not_before - now for j in self.jobs.values()
+            if j.status == PENDING and j.not_before > now
+        ]
+        return min(waits) if waits else None
+
+    # ------------------------------------------------------------------
+    # Transitions (journal first, then memory)
+    # ------------------------------------------------------------------
+    def mark_start(self, job_id: str, pid: int | None = None) -> int:
+        """Record a worker attempt starting; returns the attempt index."""
+        job = self.jobs[job_id]
+        attempt = job.attempts
+        self.journal.append({"t": "start", "job": job_id,
+                             "attempt": attempt, "pid": pid})
+        job.status = RUNNING
+        job.attempts = attempt + 1
+        return attempt
+
+    def mark_done(self, job_id: str, result: dict,
+                  wall_s: float = 0.0) -> None:
+        job = self.jobs[job_id]
+        self.journal.append({"t": "done", "job": job_id, "result": result})
+        job.status = DONE
+        job.result = result
+        job.error = None
+        job.wall_s += wall_s
+        metrics().counter("campaign.jobs.done").inc()
+
+    def mark_retry(self, job_id: str, error: str, backoff_s: float,
+                   wall_s: float = 0.0) -> None:
+        job = self.jobs[job_id]
+        failures = job.failures + 1
+        self.journal.append({"t": "retry", "job": job_id,
+                             "attempt": job.attempts, "error": error,
+                             "failures": failures,
+                             "backoff_s": backoff_s})
+        job.status = PENDING
+        job.error = error
+        job.failures = failures
+        job.not_before = time.monotonic() + backoff_s
+        job.wall_s += wall_s
+        metrics().counter("campaign.jobs.retries").inc()
+
+    def mark_interrupted(self, job_id: str, wall_s: float = 0.0) -> None:
+        """Requeue a cleanly interrupted attempt without burning budget."""
+        job = self.jobs[job_id]
+        self.journal.append({"t": "interrupted", "job": job_id,
+                             "attempt": job.attempts})
+        job.status = PENDING
+        job.wall_s += wall_s
+        metrics().counter("campaign.jobs.interrupted").inc()
+
+    def mark_failed(self, job_id: str, error: str,
+                    wall_s: float = 0.0) -> None:
+        job = self.jobs[job_id]
+        failures = job.failures + 1
+        self.journal.append({"t": "failed", "job": job_id,
+                             "attempts": job.attempts, "error": error,
+                             "failures": failures})
+        job.status = FAILED
+        job.error = error
+        job.failures = failures
+        job.wall_s += wall_s
+        metrics().counter("campaign.jobs.failed").inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> dict:
+        out = {PENDING: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for job in self.jobs.values():
+            out[job.status] += 1
+        return out
+
+    @property
+    def finished(self) -> bool:
+        """Every job reached a terminal state (done or failed)."""
+        return all(
+            j.status in (DONE, FAILED) for j in self.jobs.values()
+        )
+
+    def in_order(self) -> list[JobState]:
+        return [self.jobs[jid] for jid in self._order]

@@ -1,0 +1,113 @@
+"""Campaign report assembly: deterministic payload + volatile telemetry.
+
+``campaign_report.json`` has two kinds of content:
+
+* a **deterministic payload** — campaign identity, per-job results
+  (losses, detector verdicts), the named permanent-failure section, and
+  final status.  Because every job trains under bitwise checkpoint
+  resume, this payload is *identical* between a clean campaign run and
+  one riddled with worker kills and supervisor restarts; CI asserts
+  exactly that (:func:`deterministic_payload` extracts it for
+  comparison);
+* a **volatile execution section** — wall times, attempt/retry counts,
+  worker count, timestamps.  Chaos obviously changes these; they are
+  excluded from convergence comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from .queue import DONE, FAILED, JobQueue
+from .spec import CampaignSpec, canonical_json
+
+__all__ = ["build_report", "deterministic_payload", "write_report"]
+
+#: keys of the crash-convergent part of a report, in comparison order
+DETERMINISTIC_KEYS = ("campaign", "results", "failures", "status",
+                      "counts")
+
+
+def build_report(spec: CampaignSpec, queue: JobQueue, *,
+                 elapsed_s: float = 0.0, workers: int = 1,
+                 monitor: dict | None = None,
+                 interrupted: bool = False) -> dict:
+    """Assemble the campaign report from the reconciled queue state."""
+    jobs = queue.in_order()
+    results = []
+    failures = []
+    per_job = {}
+    retries = 0
+    for job in jobs:
+        per_job[job.spec.job_id] = {
+            "status": job.status,
+            "attempts": job.attempts,
+            "failures": job.failures,
+            "wall_s": round(job.wall_s, 6),
+        }
+        retries += max(0, job.attempts - 1)
+        if job.status == DONE:
+            entry = {"job_id": job.spec.job_id}
+            entry.update(job.result or {})
+            results.append(entry)
+        elif job.status == FAILED:
+            failures.append({
+                "job_id": job.spec.job_id,
+                "config": job.spec.config_name,
+                "seed": job.spec.seed,
+                "error": job.error,
+            })
+    counts = queue.counts()
+    if interrupted:
+        status = "interrupted"
+    elif counts[FAILED] and queue.finished:
+        status = "partial"
+    elif queue.finished:
+        status = "complete"
+    else:
+        status = "incomplete"
+    return {
+        "campaign": {
+            "name": spec.name,
+            "runner": spec.runner,
+            "fingerprint": spec.fingerprint(),
+            "seeds": list(spec.seeds),
+            "configs": sorted(spec.configs),
+            "n_jobs": len(jobs),
+            "monitor": monitor,
+        },
+        "results": results,
+        "failures": failures,
+        "status": status,
+        "counts": counts,
+        "execution": {
+            "elapsed_s": round(elapsed_s, 3),
+            "workers": workers,
+            "retries": retries,
+            "finished_at": time.time(),
+            "per_job": per_job,
+        },
+    }
+
+
+def deterministic_payload(report: dict) -> str:
+    """Canonical JSON of the crash-convergent report subset.
+
+    Two campaign runs of the same spec — one clean, one with workers
+    SIGKILLed and the supervisor restarted — must produce byte-identical
+    strings here.
+    """
+    return canonical_json({k: report[k] for k in DETERMINISTIC_KEYS})
+
+
+def write_report(path, report: dict) -> None:
+    """Atomically write the report JSON (rename over any stale one)."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,131 @@
+"""Declarative campaign specifications: N seeds × M configs → job list.
+
+A :class:`CampaignSpec` is the *identity* of a campaign: the runner that
+trains one job, the seed set, and the named trainer configurations.  It
+expands deterministically into :class:`JobSpec` records with **stable job
+ids** (``<config>-s<seed>``), so a crashed orchestrator restarted against
+the same spec re-derives exactly the same job list and can reconcile it
+against the on-disk journal.  The spec round-trips through JSON and
+carries a content :meth:`~CampaignSpec.fingerprint`; the supervisor
+pins the fingerprint into the campaign directory and refuses to resume a
+directory that was started from a *different* spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["JobSpec", "CampaignSpec"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work: a (config, seed) cell of the campaign matrix."""
+
+    job_id: str
+    config_name: str
+    seed: int
+    runner: str
+    #: merged parameters handed to the runner (base ∪ config overrides)
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id, "config_name": self.config_name,
+            "seed": self.seed, "runner": self.runner,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative description of one multi-seed × multi-config sweep.
+
+    Parameters
+    ----------
+    name:
+        Campaign name (used in reports and directory metadata).
+    runner:
+        Which job runner trains one cell: a builtin name registered in
+        :mod:`repro.campaign.worker` (``"pde"``, ``"maxwell"``,
+        ``"serve_probe"``, …) or a dotted ``"module:function"`` path
+        importable from the worker process.
+    seeds:
+        The seed axis; every config runs once per seed.
+    configs:
+        Mapping of config name → runner parameter overrides.  Config
+        names become part of the job id, so they must be filename-safe.
+    base:
+        Parameters shared by every config (overridden per config).
+    """
+
+    name: str
+    runner: str
+    seeds: tuple = (0,)
+    configs: dict = field(default_factory=dict)
+    base: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not _NAME_RE.match(self.name):
+            raise ValueError(f"campaign name {self.name!r} must be filename-safe")
+        if not self.seeds:
+            raise ValueError("campaign needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds in {self.seeds!r}")
+        if not self.configs:
+            raise ValueError("campaign needs at least one config")
+        for cfg_name in self.configs:
+            if not _NAME_RE.match(cfg_name):
+                raise ValueError(
+                    f"config name {cfg_name!r} must be filename-safe "
+                    f"(it becomes part of the job id)"
+                )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+
+    # ------------------------------------------------------------------
+    def jobs(self) -> list[JobSpec]:
+        """The deterministic job list: config order × seed order."""
+        out = []
+        for cfg_name, overrides in self.configs.items():
+            for seed in self.seeds:
+                params = dict(self.base)
+                params.update(overrides or {})
+                out.append(JobSpec(
+                    job_id=f"{cfg_name}-s{seed}",
+                    config_name=cfg_name, seed=seed,
+                    runner=self.runner, params=params,
+                ))
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "runner": self.runner,
+            "seeds": list(self.seeds),
+            "configs": {k: dict(v or {}) for k, v in self.configs.items()},
+            "base": dict(self.base),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignSpec":
+        return cls(
+            name=payload["name"], runner=payload["runner"],
+            seeds=tuple(payload.get("seeds", (0,))),
+            configs=dict(payload.get("configs", {})),
+            base=dict(payload.get("base", {})),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this exact campaign."""
+        raw = canonical_json(self.to_dict())
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,377 @@
+"""Campaign supervisor: a preemptible multiprocessing worker-pool.
+
+:func:`run_campaign` drives a :class:`~repro.campaign.queue.JobQueue`
+to completion with a pool of spawned worker processes, surviving — by
+construction — every failure mode the chaos suite throws at it:
+
+* **worker SIGKILL mid-epoch** — the attempt leaves a journal ``start``
+  with no terminal record; the supervisor sees the dead process, charges
+  one failure, and requeues with exponential backoff.  The retry resumes
+  from the newest valid checkpoint, bitwise.
+* **worker hang** — the heartbeat file stops advancing; once staleness
+  exceeds ``heartbeat_timeout_s`` (or the attempt exceeds
+  ``job_timeout_s``) the supervisor SIGKILLs the worker itself and takes
+  the same retry path.
+* **supervisor death** — the journal is the source of truth; a fresh
+  ``run_campaign`` against the same workdir refuses a different spec
+  (fingerprint pin), replays the journal, heals ``running`` jobs back to
+  ``pending``, and continues.  Nothing is lost but the partial epoch
+  each orphaned worker was inside.
+* **permanent failure** — a job that fails ``max_failures`` times is
+  parked as ``failed``; the campaign *completes* and names it in the
+  report's ``failures`` section (graceful degradation, not an abort).
+* **operator Ctrl-C / SIGTERM** — via
+  :class:`~repro.resilience.GracefulShutdown`: workers get SIGTERM
+  (their trainers checkpoint and exit cleanly), jobs are requeued
+  *without* burning retry budget, and a partial report is written.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs.registry import metrics
+from ..resilience import GracefulShutdown, flip_bytes
+from .journal import Journal
+from .monitor import MonitorConfig
+from .queue import JobQueue
+from .report import build_report, write_report
+from .spec import CampaignSpec, canonical_json
+from .worker import EXIT_ERROR, EXIT_INTERRUPTED, EXIT_OK, worker_entry
+
+__all__ = ["CampaignConfig", "CampaignChaos", "SupervisorKilled",
+           "run_campaign"]
+
+logger = logging.getLogger("repro.campaign")
+
+
+class SupervisorKilled(RuntimeError):
+    """Raised by :class:`CampaignChaos` simulating orchestrator death."""
+
+
+@dataclass
+class CampaignChaos:
+    """Campaign-level fault injection (test/CI only).
+
+    Worker-directed faults are keyed by ``job_id → {attempt: epoch}``,
+    so chaos is *deterministic per attempt*: attempt 0 of a job can be
+    SIGKILLed at epoch 3 while its retry runs clean.
+    """
+
+    #: SIGKILL the worker at the end of this epoch of this attempt
+    kill_at: dict = field(default_factory=dict)
+    #: hang the worker (sleep forever) at this epoch of this attempt —
+    #: exercises heartbeat-staleness detection
+    hang_at: dict = field(default_factory=dict)
+    #: before launching ``{job_id: attempt}``, flip bytes in the job's
+    #: newest checkpoint — exercises newest-valid fallback at campaign
+    #: level (resume must walk back to the older valid archive)
+    corrupt_checkpoint_before: dict = field(default_factory=dict)
+    #: after this many jobs are done, SIGKILL all workers and raise
+    #: :class:`SupervisorKilled` — the caller restarts ``run_campaign``
+    kill_supervisor_after_done: int | None = None
+
+    def attempt_fault(self, table: dict, job_id: str, attempt: int):
+        per_job = table.get(job_id)
+        if not per_job:
+            return None
+        return per_job.get(attempt)
+
+
+@dataclass
+class CampaignConfig:
+    """Execution policy for one :func:`run_campaign` invocation."""
+
+    #: campaign working directory (journal, job dirs, report)
+    workdir: "str | Path" = "campaign"
+    #: worker pool size (spawned processes)
+    workers: int = 2
+    #: failures before a job is parked as permanently failed
+    max_failures: int = 3
+    #: exponential backoff: ``base * factor**(failures-1)``, capped
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    #: kill an attempt whose *total* runtime exceeds this (None = off)
+    job_timeout_s: float | None = None
+    #: kill an attempt whose heartbeat went stale (None = off).  The
+    #: heartbeat advances once per epoch, so this bounds epoch duration.
+    heartbeat_timeout_s: float | None = 60.0
+    #: cadence checkpoints every N epochs inside each job
+    checkpoint_every: int = 2
+    #: online black-hole/barren-plateau detection per job (None = off)
+    monitor: "MonitorConfig | None" = None
+    #: supervisor poll interval
+    poll_s: float = 0.02
+    #: write campaign_report.json into the workdir when done
+    write_report: bool = True
+    #: campaign-level fault injection (tests/CI only)
+    chaos: "CampaignChaos | None" = None
+
+
+@dataclass
+class _Running:
+    proc: object
+    job_id: str
+    attempt: int
+    #: monotonic launch time (timeout accounting)
+    started: float
+    #: wall-clock launch time (compared against heartbeat mtimes)
+    started_wall: float
+    heartbeat_path: Path
+
+
+def _pin_spec(workdir: Path, spec: CampaignSpec) -> None:
+    """Write the spec into the workdir, or refuse a mismatched resume."""
+    pin = workdir / "spec.json"
+    if pin.exists():
+        pinned = json.loads(pin.read_text(encoding="utf-8"))
+        if pinned.get("fingerprint") != spec.fingerprint():
+            raise RuntimeError(
+                f"{workdir} belongs to campaign fingerprint "
+                f"{pinned.get('fingerprint')!r}, refusing to resume it "
+                f"with spec {spec.fingerprint()!r} — use a fresh workdir"
+            )
+        return
+    payload = {"fingerprint": spec.fingerprint(), "spec": spec.to_dict()}
+    tmp = pin.with_name(pin.name + ".tmp")
+    tmp.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+    os.replace(tmp, pin)
+
+
+def _backoff(cfg: CampaignConfig, failures: int) -> float:
+    delay = cfg.backoff_base_s * cfg.backoff_factor ** max(0, failures - 1)
+    return min(delay, cfg.backoff_max_s)
+
+
+def _job_payload(cfg: CampaignConfig, workdir: Path, job, attempt: int):
+    spec = job.spec
+    payload = {
+        "job_id": spec.job_id,
+        "config_name": spec.config_name,
+        "seed": spec.seed,
+        "runner": spec.runner,
+        "params": dict(spec.params),
+        "job_dir": str(workdir / "jobs" / spec.job_id),
+        "checkpoint_every": cfg.checkpoint_every,
+        "monitor": cfg.monitor.to_dict() if cfg.monitor else None,
+    }
+    if cfg.chaos is not None:
+        payload["kill_at_epoch"] = cfg.chaos.attempt_fault(
+            cfg.chaos.kill_at, spec.job_id, attempt)
+        payload["hang_at_epoch"] = cfg.chaos.attempt_fault(
+            cfg.chaos.hang_at, spec.job_id, attempt)
+    return payload
+
+
+def _newest_checkpoint(ckpt_dir: Path):
+    if not ckpt_dir.is_dir():
+        return None
+    archives = sorted(ckpt_dir.glob("ckpt-*.npz"),
+                      key=lambda p: p.stat().st_mtime)
+    return archives[-1] if archives else None
+
+
+def _kill(proc) -> None:
+    if proc.is_alive():
+        try:
+            os.kill(proc.pid, signal.SIGKILL)
+        except (OSError, TypeError):  # pragma: no cover - already gone
+            pass
+    proc.join(timeout=10.0)
+
+
+def run_campaign(spec: CampaignSpec, config: CampaignConfig | None = None
+                 ) -> dict:
+    """Run (or resume) a campaign to completion; returns the report.
+
+    Safe to call again after any crash with the same spec and workdir:
+    the journal replays, terminal jobs stay terminal, and in-flight work
+    resumes from checkpoints.  The returned report is also written to
+    ``<workdir>/campaign_report.json`` (atomic rename).
+    """
+    cfg = config if config is not None else CampaignConfig()
+    workdir = Path(cfg.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    _pin_spec(workdir, spec)
+    queue = JobQueue(Journal(workdir / "journal.jsonl"), spec.jobs())
+    ctx = multiprocessing.get_context("spawn")
+    running: dict[str, _Running] = {}
+    started = time.monotonic()
+    interrupted = False
+    chaos = cfg.chaos
+    supervisor_killed = False
+
+    def reap(job_id: str, run: _Running, *, error: str | None = None):
+        """Apply one finished/killed attempt to the queue."""
+        wall = time.monotonic() - run.started
+        exit_code = run.proc.exitcode
+        job_dir = workdir / "jobs" / job_id
+        if error is None and exit_code == EXIT_OK:
+            result_path = job_dir / "result.json"
+            try:
+                result = json.loads(result_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                error = f"worker exited 0 without a readable result ({exc})"
+            else:
+                queue.mark_done(job_id, result, wall_s=wall)
+                logger.info("job %s done (attempt %d, %.2fs)",
+                            job_id, run.attempt, wall)
+                return
+        if error is None and exit_code == EXIT_INTERRUPTED:
+            queue.mark_interrupted(job_id, wall_s=wall)
+            logger.info("job %s interrupted cleanly; requeued", job_id)
+            return
+        if error is None:
+            if exit_code == EXIT_ERROR:
+                try:
+                    err = json.loads(
+                        (job_dir / "error.json").read_text(encoding="utf-8"))
+                    error = f"{err.get('type')}: {err.get('message')}"
+                except (OSError, json.JSONDecodeError):
+                    error = "worker exited 1 without error detail"
+            else:
+                error = f"worker died with exit code {exit_code}"
+        job = queue.jobs[job_id]
+        if job.failures + 1 >= cfg.max_failures:
+            queue.mark_failed(job_id, error, wall_s=wall)
+            logger.warning("job %s permanently failed after %d failures: %s",
+                           job_id, job.failures, error)
+        else:
+            backoff = _backoff(cfg, job.failures + 1)
+            queue.mark_retry(job_id, error, backoff, wall_s=wall)
+            logger.warning("job %s attempt %d failed (%s); retry in %.2fs",
+                           job_id, run.attempt, error, backoff)
+
+    with GracefulShutdown() as shutdown:
+        try:
+            while not queue.finished:
+                # ---- reap finished workers -------------------------------
+                for job_id in list(running):
+                    run = running[job_id]
+                    if run.proc.is_alive():
+                        continue
+                    run.proc.join()
+                    del running[job_id]
+                    reap(job_id, run)
+                # ---- supervisor-death chaos ------------------------------
+                if (chaos is not None
+                        and chaos.kill_supervisor_after_done is not None
+                        and not supervisor_killed
+                        and queue.counts()["done"]
+                        >= chaos.kill_supervisor_after_done):
+                    supervisor_killed = True
+                    for run in running.values():
+                        _kill(run.proc)
+                    raise SupervisorKilled(
+                        f"chaos: supervisor killed after "
+                        f"{chaos.kill_supervisor_after_done} jobs done"
+                    )
+                # ---- hang / timeout detection ----------------------------
+                now = time.monotonic()
+                for job_id in list(running):
+                    run = running[job_id]
+                    if not run.proc.is_alive():
+                        continue
+                    reason = None
+                    if (cfg.job_timeout_s is not None
+                            and now - run.started > cfg.job_timeout_s):
+                        reason = (f"attempt exceeded job_timeout_s="
+                                  f"{cfg.job_timeout_s}")
+                    elif cfg.heartbeat_timeout_s is not None:
+                        try:
+                            beat = run.heartbeat_path.stat().st_mtime
+                        except OSError:
+                            beat = 0.0
+                        stale = time.time() - max(beat, run.started_wall)
+                        if stale > cfg.heartbeat_timeout_s:
+                            reason = (f"heartbeat stale for {stale:.1f}s "
+                                      f"(> {cfg.heartbeat_timeout_s}s)")
+                    if reason is not None:
+                        metrics().counter(
+                            "campaign.workers.killed_stale").inc()
+                        _kill(run.proc)
+                        del running[job_id]
+                        reap(job_id, run, error=reason)
+                # ---- graceful operator shutdown --------------------------
+                if shutdown.requested:
+                    interrupted = True
+                    break
+                # ---- launch ----------------------------------------------
+                for job in queue.claimable():
+                    if len(running) >= cfg.workers:
+                        break
+                    job_id = job.spec.job_id
+                    if job_id in running:  # pragma: no cover - safety
+                        continue
+                    attempt = job.attempts
+                    if chaos is not None and chaos.attempt_fault(
+                            chaos.corrupt_checkpoint_before, job_id,
+                            attempt) is not None:
+                        newest = _newest_checkpoint(
+                            workdir / "jobs" / job_id / "ckpt")
+                        if newest is not None:
+                            flip_bytes(newest)
+                            logger.warning("chaos: corrupted %s", newest)
+                    payload = _job_payload(cfg, workdir, job, attempt)
+                    queue.mark_start(job_id)
+                    proc = ctx.Process(target=worker_entry,
+                                       args=(payload,), daemon=False)
+                    proc.start()
+                    running[job_id] = _Running(
+                        proc=proc, job_id=job_id, attempt=attempt,
+                        started=time.monotonic(),
+                        started_wall=time.time(),
+                        heartbeat_path=Path(payload["job_dir"]) / "heartbeat",
+                    )
+                    metrics().counter("campaign.workers.spawned").inc()
+                    logger.info("job %s attempt %d → pid %s",
+                                job_id, attempt, proc.pid)
+                # ---- sleep until something can happen --------------------
+                if queue.finished and not running:
+                    break
+                wake = queue.next_wakeup()
+                delay = cfg.poll_s if wake is None else min(cfg.poll_s, wake)
+                time.sleep(max(delay, 0.001))
+        finally:
+            if interrupted:
+                # SIGTERM the pool: trainers checkpoint and exit cleanly.
+                for run in running.values():
+                    if run.proc.is_alive():
+                        try:
+                            os.kill(run.proc.pid, signal.SIGTERM)
+                        except OSError:  # pragma: no cover
+                            pass
+                deadline = time.monotonic() + 30.0
+                for job_id, run in list(running.items()):
+                    run.proc.join(timeout=max(
+                        0.1, deadline - time.monotonic()))
+                    if run.proc.is_alive():  # pragma: no cover - stuck
+                        _kill(run.proc)
+                    reap(job_id, run)
+                running.clear()
+            elif supervisor_killed:
+                pass  # workers already SIGKILLed; journal heals on resume
+            else:
+                for run in running.values():  # pragma: no cover - safety
+                    _kill(run.proc)
+            metrics().timer("campaign.run").observe(
+                time.monotonic() - started)
+
+    report = build_report(
+        spec, queue,
+        elapsed_s=time.monotonic() - started,
+        workers=cfg.workers,
+        monitor=cfg.monitor.to_dict() if cfg.monitor else None,
+        interrupted=interrupted,
+    )
+    if cfg.write_report:
+        write_report(workdir / "campaign_report.json", report)
+    return report

@@ -99,6 +99,13 @@ class TrainerConfig:
     #: reference); ``backend="shm"`` must be launched through
     #: :func:`repro.dist.train_distributed`.
     dist: "object | None" = None
+    #: per-epoch observer ``hook(epoch, loss, grad_norm, grad_variance)``
+    #: called at the end of every (non-distributed) epoch; a truthy
+    #: return stops training cleanly after the epoch's checkpoint
+    #: cadence (a returned string is recorded as the stop reason).  Used
+    #: by :class:`repro.campaign.CampaignMonitor` for online
+    #: black-hole/barren-plateau detection.
+    epoch_hook: "object | None" = None
 
 
 @dataclass
@@ -123,6 +130,10 @@ class TrainingHistory:
     #: configured): the offending epoch and an actionable diagnostic.
     stop_epoch: int | None = None
     stop_reason: str | None = None
+    #: set when ``config.epoch_hook`` requested a clean early stop (e.g.
+    #: a campaign monitor early-stopping a doomed run).
+    early_stop_epoch: int | None = None
+    early_stop_reason: str | None = None
 
 
 @dataclass
@@ -351,7 +362,7 @@ class Trainer:
                 # resume rewinds to rank 0's newest boundary archive.
                 interrupted = True
             if cfg.lbfgs_epochs > 0 and not interrupted and (
-                hist.stop_reason is None
+                hist.stop_reason is None and hist.early_stop_epoch is None
             ):
                 self._finetune_lbfgs(hist)
         finally:
@@ -701,9 +712,18 @@ class Trainer:
             )
         if cfg.log_every and epoch % cfg.log_every == 0:  # pragma: no cover
             print(f"epoch {epoch:5d}  loss {hist.loss[-1]:.4e}")
+        early = False
+        if cfg.epoch_hook is not None:
+            verdict = cfg.epoch_hook(epoch, loss_value, norm, var)
+            if verdict:
+                hist.early_stop_epoch = epoch
+                hist.early_stop_reason = (
+                    verdict if isinstance(verdict, str) else "epoch_hook"
+                )
+                early = True
         if self._chaos is not None:
             self._chaos.end_step(epoch)
-        return hist.stop_reason is not None
+        return hist.stop_reason is not None or early
 
     def _finalize(self, hist: TrainingHistory,
                   interrupted: bool = False) -> TrainingResult:

@@ -97,6 +97,24 @@ def peak_rss_bytes() -> int:
         return 0
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware, 0 unknown).
+
+    Worker-pool scaling numbers (``BENCH_dist.json``,
+    ``BENCH_campaign.json``) are meaningless without the core budget
+    they ran under — a cgroup-pinned CI runner reports the same
+    ``cpu`` model string as a 64-core box.
+    """
+    try:
+        import os
+
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        import os
+
+        return os.cpu_count() or 0
+
+
 def environment_info(lowering=None) -> dict:
     """The standard ``environment`` block for benchmark reports.
 
@@ -112,6 +130,7 @@ def environment_info(lowering=None) -> dict:
         "machine": platform.machine(),
         "platform": platform.platform(),
         "cpu": cpu_model(),
+        "cpu_count": _available_cpus(),
         "blas": blas_info(),
         "fingerprint": env_fingerprint(),
         "peak_rss_bytes": peak_rss_bytes(),

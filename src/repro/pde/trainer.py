@@ -90,6 +90,14 @@ class PDETrainerConfig:
     #: reference); ``backend="shm"`` must be launched through
     #: :func:`repro.dist.train_distributed`.
     dist: "object | None" = None
+    #: per-epoch observer ``hook(epoch, loss, grad_norm, grad_variance)``
+    #: called at the end of every (non-distributed) epoch; a truthy
+    #: return stops training cleanly after the epoch's checkpoint
+    #: cadence (a returned string is recorded as the stop reason).  Used
+    #: by :class:`repro.campaign.CampaignMonitor` for online
+    #: black-hole/barren-plateau detection.  Gradient statistics are
+    #: only computed when a hook is attached.
+    epoch_hook: "object | None" = None
 
 
 @dataclass
@@ -105,6 +113,10 @@ class PDETrainingResult:
     #: configured): the offending epoch and an actionable diagnostic.
     stop_epoch: int | None = None
     stop_reason: str | None = None
+    #: set when ``config.epoch_hook`` requested a clean early stop (e.g.
+    #: a campaign monitor early-stopping a doomed run).
+    early_stop_epoch: int | None = None
+    early_stop_reason: str | None = None
 
     @property
     def final_l2(self) -> float | None:
@@ -208,6 +220,23 @@ class PDETrainer:
                 f"recovery, or lower the learning rate"
             )
             return False
+        return True
+
+    def _run_epoch_hook(self, epoch: int, loss_value: float,
+                        result: PDETrainingResult,
+                        stats: tuple | None = None) -> bool:
+        """Invoke ``config.epoch_hook``; truthy return = clean early stop."""
+        hook = self.config.epoch_hook
+        if hook is None:
+            return False
+        norm, var = self._grad_stats() if stats is None else stats
+        verdict = hook(epoch, loss_value, norm, var)
+        if not verdict:
+            return False
+        result.early_stop_epoch = epoch
+        result.early_stop_reason = (
+            verdict if isinstance(verdict, str) else "epoch_hook"
+        )
         return True
 
     def _checkpoint_arrays(self) -> dict:
@@ -419,9 +448,10 @@ class PDETrainer:
         ):
             result.l2_epochs.append(epoch)
             result.l2_error.append(self._evaluate())
+        early = self._run_epoch_hook(epoch, loss_value, result)
         if self._chaos is not None:
             self._chaos.end_step(epoch)
-        return result.stop_reason is not None
+        return result.stop_reason is not None or early
 
     def _epoch_observed(self, epoch: int, result: PDETrainingResult,
                         recorder) -> bool:
@@ -470,9 +500,11 @@ class PDETrainer:
             grad_variance=var,
             l2_error=l2,
         )
+        early = self._run_epoch_hook(epoch, result.loss[-1], result,
+                                     stats=(norm, var))
         if self._chaos is not None:
             self._chaos.end_step(epoch)
-        return result.stop_reason is not None
+        return result.stop_reason is not None or early
 
     def train(self) -> PDETrainingResult:
         """Run the training loop and return the result record."""

@@ -79,11 +79,20 @@ class ChaosInjector:
         active this exercises the clean boundary-interrupt path (final
         checkpoint, ``interrupted=True``) through the genuine signal
         machinery rather than a raised exception.
+    sigkill_end_at:
+        Steps at which the process SIGKILLs *itself* at the end of the
+        step, from :meth:`end_step` — the single-process counterpart of
+        :attr:`sigkill_at` (which only fires from the distributed
+        per-rank hook).  Because it fires *before* the epoch's cadence
+        checkpoint is written, the newest archive on disk predates the
+        killed step: exactly the progress-losing OOM-kill a campaign
+        worker must absorb and replay.
     """
 
     def __init__(self, nan_grad_at=(), inf_loss_grad_at=(),
                  corrupt_params_at=(), preempt_at: int | None = None,
-                 fail_writes=(), sigkill_at=(), sigterm_at=()):
+                 fail_writes=(), sigkill_at=(), sigterm_at=(),
+                 sigkill_end_at=()):
         self.nan_grad_at = frozenset(nan_grad_at)
         self.inf_loss_grad_at = frozenset(inf_loss_grad_at)
         self.corrupt_params_at = frozenset(corrupt_params_at)
@@ -91,6 +100,7 @@ class ChaosInjector:
         self.fail_writes = frozenset(fail_writes)
         self.sigkill_at = frozenset(sigkill_at)
         self.sigterm_at = frozenset(sigterm_at)
+        self.sigkill_end_at = frozenset(sigkill_end_at)
         self.counts = {
             "nan_grads": 0,
             "inf_grads": 0,
@@ -129,6 +139,9 @@ class ChaosInjector:
 
     def end_step(self, epoch: int) -> None:
         """Called once the step is fully complete."""
+        if epoch in self.sigkill_end_at:
+            self.counts["sigkills"] += 1
+            os.kill(os.getpid(), signal.SIGKILL)
         if epoch in self.sigterm_at:
             self.counts["sigterms"] += 1
             os.kill(os.getpid(), signal.SIGTERM)

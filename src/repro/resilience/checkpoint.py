@@ -19,6 +19,7 @@ archive; this module decides *when* to write, *which* files to keep, and
 
 from __future__ import annotations
 
+import logging
 import re
 from pathlib import Path
 
@@ -28,6 +29,8 @@ from ..obs.registry import metrics
 from .chaos import InjectedIOError
 
 __all__ = ["CheckpointManager"]
+
+logger = logging.getLogger("repro.resilience.checkpoint")
 
 
 class CheckpointManager:
@@ -122,7 +125,15 @@ class CheckpointManager:
                 extra_arrays=arrays,
             )
         except (OSError, InjectedIOError) as exc:
-            metrics().counter("resilience.checkpoint_write_failures").inc()
+            # A swallowed write must still be *visible*: a dying disk that
+            # fails every cadence point would otherwise leave a run with
+            # no resumable archive and no trace of why.
+            metrics().counter("resilience.checkpoint.write_failures").inc()
+            logger.warning(
+                "checkpoint write to %s failed (%s: %s); training "
+                "continues, the next cadence point will retry",
+                target, type(exc).__name__, exc,
+            )
             self._last_write_error = exc
             return None
         metrics().counter("resilience.checkpoint_writes").inc()

@@ -1,0 +1,154 @@
+"""Crash-convergence proofs for the campaign orchestrator.
+
+The contract under test: a campaign whose workers are SIGKILLed
+mid-epoch, whose checkpoints are corrupted on disk, and whose
+supervisor is killed and restarted, produces a deterministic report
+payload **byte-identical** to a campaign that never saw a fault — and a
+job that fails deterministically every time degrades into a *named*
+entry in the report's ``failures`` section instead of wedging the
+campaign.
+"""
+
+import pytest
+
+from repro import obs
+from repro.campaign import (
+    CampaignChaos,
+    CampaignConfig,
+    CampaignSpec,
+    SupervisorKilled,
+    deterministic_payload,
+    run_campaign,
+)
+
+pytestmark = pytest.mark.slow
+
+TOY_BASE = {"epochs": 8, "n_collocation": 32, "n_data": 8,
+            "hidden": 12, "resample_every": 4}
+
+
+def toy_spec(seeds=(0, 1)):
+    return CampaignSpec(name="chaos-toy", runner="pde", seeds=seeds,
+                        configs={"sch": {"problem": "schrodinger"}},
+                        base=TOY_BASE)
+
+
+def solo_spec():
+    return CampaignSpec(name="chaos-solo", runner="pde", seeds=(0,),
+                        configs={"sch": {"problem": "schrodinger"}},
+                        base=TOY_BASE)
+
+
+def config(workdir, **kw):
+    defaults = dict(workdir=workdir, workers=2, backoff_base_s=0.01,
+                    heartbeat_timeout_s=300.0, checkpoint_every=2)
+    defaults.update(kw)
+    return CampaignConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def clean_pair(tmp_path_factory):
+    """Reference reports for the 2-job and 1-job specs, run fault-free."""
+    root = tmp_path_factory.mktemp("campaign-clean")
+    pair_report = run_campaign(toy_spec(), config(root / "pair"))
+    solo_report = run_campaign(solo_spec(), config(root / "solo"))
+    assert pair_report["status"] == "complete"
+    assert solo_report["status"] == "complete"
+    return pair_report, solo_report
+
+
+def test_worker_sigkill_plus_supervisor_kill_converges(
+        tmp_path, clean_pair):
+    """Kill both workers mid-epoch AND the supervisor; resume; compare."""
+    clean, _ = clean_pair
+    chaos = CampaignChaos(
+        kill_at={"sch-s0": {0: 3}, "sch-s1": {0: 5, 1: 6}},
+        kill_supervisor_after_done=1,
+    )
+    with pytest.raises(SupervisorKilled):
+        run_campaign(toy_spec(), config(tmp_path, chaos=chaos))
+    # A fresh supervisor against the same workdir replays the journal,
+    # heals orphaned running jobs, and finishes the campaign.
+    resumed = run_campaign(toy_spec(), config(tmp_path))
+    assert resumed["status"] == "complete"
+    attempts = {j: v["attempts"]
+                for j, v in resumed["execution"]["per_job"].items()}
+    assert attempts["sch-s0"] >= 2 and attempts["sch-s1"] >= 3
+    assert deterministic_payload(resumed) == deterministic_payload(clean)
+
+
+def test_corrupt_newest_checkpoint_falls_back_and_converges(
+        tmp_path, clean_pair, caplog):
+    """Campaign-level ``resume_from="auto"`` corrupt-archive fallback.
+
+    Attempt 0 is SIGKILLed at epoch 5 (cadence archives exist for
+    epochs 2 and 4); before the retry launches, chaos flips bytes in the
+    *newest* archive.  The resume must skip it, restore epoch 2, and
+    still reproduce the fault-free run bitwise.
+    """
+    import logging
+
+    _, solo_clean = clean_pair
+    chaos = CampaignChaos(
+        kill_at={"sch-s0": {0: 5}},
+        corrupt_checkpoint_before={"sch-s0": {1: True}},
+    )
+    with caplog.at_level(logging.WARNING, logger="repro.campaign"):
+        report = run_campaign(solo_spec(), config(tmp_path, chaos=chaos))
+    assert report["status"] == "complete"
+    assert report["execution"]["per_job"]["sch-s0"]["attempts"] == 2
+    # the newest archive really was corrupted before the retry launched
+    assert any("chaos: corrupted" in rec.message for rec in caplog.records)
+    assert (deterministic_payload(report)
+            == deterministic_payload(solo_clean))
+
+
+def test_heartbeat_stale_worker_is_killed_and_retried(
+        tmp_path, clean_pair):
+    """A worker hanging inside an epoch is detected and SIGKILLed."""
+    _, solo_clean = clean_pair
+    obs.metrics().reset()
+    chaos = CampaignChaos(hang_at={"sch-s0": {0: 2}})
+    report = run_campaign(solo_spec(), config(
+        tmp_path, chaos=chaos, heartbeat_timeout_s=10.0, poll_s=0.1))
+    assert report["status"] == "complete"
+    assert report["execution"]["per_job"]["sch-s0"]["attempts"] == 2
+    assert obs.metrics().counter(
+        "campaign.workers.killed_stale").value >= 1
+    assert (deterministic_payload(report)
+            == deterministic_payload(solo_clean))
+
+
+def test_permanently_failing_job_degrades_gracefully(tmp_path):
+    """Deterministic failures park the job; the campaign still completes.
+
+    The report names every permanently failed job with its error, and
+    the partial report itself is crash-convergent: two independent
+    campaign runs produce identical payloads.
+    """
+    spec = CampaignSpec(name="doomed", runner="failing", seeds=(0, 1),
+                        configs={"f": {}})
+    cfg_a = config(tmp_path / "a", max_failures=2)
+    cfg_b = config(tmp_path / "b", max_failures=2)
+    a = run_campaign(spec, cfg_a)
+    b = run_campaign(spec, cfg_b)
+    assert a["status"] == "partial"
+    assert a["counts"]["failed"] == 2 and a["counts"]["done"] == 0
+    assert [f["job_id"] for f in a["failures"]] == ["f-s0", "f-s1"]
+    assert all("injected deterministic failure" in f["error"]
+               for f in a["failures"])
+    # each job burned its whole retry budget
+    assert all(v["attempts"] == 2 and v["failures"] == 2
+               for v in a["execution"]["per_job"].values())
+    assert deterministic_payload(a) == deterministic_payload(b)
+
+
+def test_resume_into_finished_campaign_is_a_noop(tmp_path, clean_pair):
+    """Re-running a completed campaign spawns nothing and re-reports."""
+    clean, _ = clean_pair
+    first = run_campaign(toy_spec(), config(tmp_path))
+    obs.metrics().reset()
+    again = run_campaign(toy_spec(), config(tmp_path))
+    assert obs.metrics().counter("campaign.workers.spawned").value == 0
+    assert deterministic_payload(again) == deterministic_payload(first)
+    assert deterministic_payload(again) == deterministic_payload(clean)
